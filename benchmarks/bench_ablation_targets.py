@@ -1,0 +1,99 @@
+"""Ablation: number and type of compilation targets ("further findings").
+
+Paper: "The number of targets (including targets representing
+co-occurrence queries) has a minor influence on performance; due to the
+combinatorial nature of k-medoids, clustering events are mostly
+satisfied in bulk ... experiments with other types of compilation
+targets (e.g., object-cluster assignment, pairwise object-cluster
+assignment) show very similar performance."
+
+Run the full sweep:  python -m benchmarks.bench_ablation_targets
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compile.compiler import compile_network
+from repro.data.datasets import sensor_dataset
+from repro.mining.kmedoids import KMedoidsSpec, build_kmedoids_program
+from repro.mining.targets import (
+    assignment_targets,
+    cooccurrence_targets,
+    is_medoid_targets,
+    medoid_targets,
+)
+from repro.network.build import build_network
+
+from .common import EPSILON
+
+OBJECTS = 10
+SPEC = KMedoidsSpec(k=2, iterations=2)
+
+
+def build_with_targets(kind: str):
+    dataset = sensor_dataset(
+        OBJECTS, scheme="positive", seed=8, variables=10, literals=4, group_size=4
+    )
+    program = build_kmedoids_program(dataset, SPEC)
+    last = SPEC.iterations - 1
+    if kind == "medoids":
+        medoid_targets(program, 2, OBJECTS, last)
+    elif kind == "medoids-few":
+        medoid_targets(program, 2, OBJECTS, last, objects=range(3))
+    elif kind == "assignments":
+        assignment_targets(program, 2, OBJECTS, last)
+    elif kind == "cooccurrence":
+        cooccurrence_targets(
+            program, 2, last, [(l, p) for l in range(4) for p in range(l)]
+        )
+    elif kind == "is-medoid":
+        is_medoid_targets(program, 2, last, range(OBJECTS))
+    elif kind == "all":
+        medoid_targets(program, 2, OBJECTS, last)
+        assignment_targets(program, 2, OBJECTS, last)
+        cooccurrence_targets(program, 2, last, [(0, 1), (0, 5)])
+    else:
+        raise ValueError(kind)
+    return dataset, build_network(program)
+
+
+TARGET_KINDS = (
+    "medoids-few",
+    "medoids",
+    "assignments",
+    "cooccurrence",
+    "is-medoid",
+    "all",
+)
+
+
+def main() -> None:
+    print("\n== Ablation — target type and count (positive, n=10, v=10) ==")
+    print(f"{'targets':>14}  {'count':>6}  {'seconds':>9}  {'tree nodes':>10}")
+    timings = {}
+    for kind in TARGET_KINDS:
+        dataset, network = build_with_targets(kind)
+        result = compile_network(
+            network, dataset.pool, scheme="hybrid", epsilon=EPSILON
+        )
+        timings[kind] = result.seconds
+        print(
+            f"{kind:>14}  {len(network.targets):>6}  {result.seconds:>9.4f}"
+            f"  {result.tree_nodes:>10}"
+        )
+    spread = max(timings.values()) / max(min(timings.values()), 1e-9)
+    print(f"max/min runtime ratio across target kinds: {spread:.2f} (paper: minor)")
+
+
+@pytest.mark.parametrize("kind", ["medoids", "assignments", "cooccurrence"])
+def bench_target_kind(benchmark, kind):
+    dataset, network = build_with_targets(kind)
+    benchmark.group = "ablation targets"
+    benchmark(
+        compile_network, network, dataset.pool, scheme="hybrid", epsilon=EPSILON
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Comparators from the paper's related work (Section 6).
+
+The paper argues against two families of alternatives:
+
+* **Monte Carlo** (MCDB/SimSQL): statistical estimates, "not designed
+  for exact and approximate computation with error guarantees".  We
+  compare the hybrid scheme's certified ε = 0.1 bounds against a Monte
+  Carlo run given the worst-case-equivalent sample budget (97 samples
+  for ±0.1 at 95%), and report the runtime and the fraction of targets
+  whose statistical interval actually covers the exact probability.
+* **Expected-distance clustering** (UCPC & co.): fast and hard-output,
+  but correlation-blind — "the output can be arbitrarily off".  We
+  count impossible co-clusterings (mutually exclusive objects placed in
+  the same cluster) that the possible-worlds semantics provably assigns
+  probability 0.
+
+Run the full sweep:  python -m benchmarks.bench_comparators
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compile.compiler import compile_network
+from repro.compile.montecarlo import monte_carlo_probabilities, samples_for_error
+from repro.mining.expected_distance import correlation_violations, expected_kmedoids
+from repro.mining.kmedoids import KMedoidsSpec
+
+from .common import EPSILON, make_workload
+
+OBJECTS = 12
+
+
+def workload():
+    return make_workload(
+        OBJECTS,
+        scheme="mutex",
+        seed=17,
+        mutex_size=4,
+        group_size=2,
+        label="comparators",
+    )
+
+
+def main() -> None:
+    shared = workload()
+    pool = shared.dataset.pool
+    exact = compile_network(shared.network, pool, targets=shared.targets)
+    hybrid = compile_network(
+        shared.network, pool, scheme="hybrid", epsilon=EPSILON,
+        targets=shared.targets,
+    )
+    budget = samples_for_error(EPSILON)
+    estimate = monte_carlo_probabilities(
+        shared.network, pool, targets=shared.targets, samples=budget, seed=1
+    )
+
+    print("\n== Comparator — Monte Carlo (MCDB-style) vs certified hybrid ==")
+    print(f"targets: {len(shared.targets)}, ε = {EPSILON}, "
+          f"MC budget = {budget} samples (worst-case ±{EPSILON} at 95%)")
+    print(f"{'method':>12}  {'seconds':>9}  {'coverage':>9}  {'certified':>9}")
+    hybrid_covered = sum(
+        1
+        for name in shared.targets
+        if hybrid.bounds[name][0] - 1e-9
+        <= exact.bounds[name][0]
+        <= hybrid.bounds[name][1] + 1e-9
+    )
+    mc_covered = sum(
+        1
+        for name in shared.targets
+        if estimate.bounds[name][0] <= exact.bounds[name][0] <= estimate.bounds[name][1]
+    )
+    total = len(shared.targets)
+    print(f"{'hybrid':>12}  {hybrid.seconds:>9.4f}  {hybrid_covered}/{total:<7}  {'yes':>9}")
+    print(f"{'montecarlo':>12}  {estimate.seconds:>9.4f}  {mc_covered}/{total:<7}  {'no':>9}")
+
+    print("\n== Comparator — expected-distance clustering (correlation-blind) ==")
+    hard = expected_kmedoids(shared.dataset, KMedoidsSpec(k=2, iterations=2))
+    violations = correlation_violations(shared.dataset, hard)
+    print(
+        f"hard clustering co-clusters {len(violations)} mutually exclusive "
+        "pairs that ENFrame provably never co-clusters "
+        f"(first few: {violations[:5]})"
+    )
+
+
+def bench_montecarlo(benchmark):
+    shared = workload()
+    budget = samples_for_error(EPSILON)
+    benchmark.group = "comparators"
+    benchmark(
+        monte_carlo_probabilities,
+        shared.network,
+        shared.dataset.pool,
+        targets=shared.targets,
+        samples=budget,
+    )
+
+
+def bench_expected_distance(benchmark):
+    shared = workload()
+    benchmark.group = "comparators"
+    benchmark(expected_kmedoids, shared.dataset, KMedoidsSpec(k=2, iterations=2))
+
+
+def bench_certified_hybrid(benchmark):
+    shared = workload()
+    benchmark.group = "comparators"
+    benchmark(
+        compile_network,
+        shared.network,
+        shared.dataset.pool,
+        scheme="hybrid",
+        epsilon=EPSILON,
+        targets=shared.targets,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Figure 6 (right): approximation runtime vs dataset fraction.
+
+Paper setup: lazy/eager/hybrid (ε = 0.1) under positive correlations
+(l = 8), dataset fractions f ∈ {10%..100%} of the 1300-point IPEC data,
+v ∈ {10, 30, 50}.  Expected shape: runtime grows with the fraction (the
+event network grows), lazy tracks hybrid closely under positive
+correlations, and larger variable counts dominate the cost.
+
+Scaled reproduction: full data = 24 points, fractions {25, 50, 75,
+100}%, v ∈ {8, 12}.
+
+Run the full sweep:  python -m benchmarks.bench_fig6_fraction
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.sensors import fraction as take_fraction
+
+from .common import Series, Workload, make_workload, print_table, run_algorithm
+
+FULL_OBJECTS = 24
+FRACTIONS = (25, 50, 75, 100)
+VARIABLES = (8, 12)
+ALGORITHMS = ("lazy", "eager", "hybrid")
+
+
+def workload_for(percent: int, variables: int) -> Workload:
+    objects = max(4, int(round(FULL_OBJECTS * percent / 100.0)))
+    return make_workload(
+        objects,
+        scheme="positive",
+        seed=7,
+        variables=variables,
+        literals=min(4, variables // 2),
+        group_size=4,
+        label=f"f={percent}% v={variables}",
+    )
+
+
+def sweep(variables: int) -> list[Series]:
+    series = [Series(name) for name in ALGORITHMS]
+    for percent in FRACTIONS:
+        workload = workload_for(percent, variables)
+        for line in series:
+            line.add(percent, run_algorithm(workload, line.name))
+    return series
+
+
+def main() -> None:
+    for variables in VARIABLES:
+        series = sweep(variables)
+        print_table(
+            f"Figure 6 (right) — approximations vs dataset fraction "
+            f"(positive, l=4, ε=0.1, v={variables}, 100% = {FULL_OBJECTS})",
+            "fraction %",
+            series,
+            FRACTIONS,
+        )
+        # Runtime should grow with the fraction for every scheme.
+        for line in series:
+            values = [seconds for _, seconds in sorted(line.points)]
+            if len(values) >= 2 and values[-1] < values[0]:
+                print(f"  note: {line.name} did not grow with the fraction")
+
+
+@pytest.mark.parametrize("percent", [50, 100])
+def bench_hybrid_fraction(benchmark, percent):
+    workload = workload_for(percent, 8)
+    benchmark.group = "fig6-right v=8"
+    benchmark(run_algorithm, workload, "hybrid")
+
+
+def bench_lazy_full_fraction(benchmark):
+    workload = workload_for(100, 8)
+    benchmark.group = "fig6-right v=8"
+    benchmark(run_algorithm, workload, "lazy")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Figure 6 (left): runtime vs number of variables, positive correlations.
+
+Paper setup: k-medoids on IPEC sensor data, positive correlations
+(disjunctions of l = 8 literals), dataset fractions f ∈ {50%, 100%},
+v ∈ [10, 50] variables, timeout 3600 s.  Expected shape: naive is
+competitive only for very few variables, then exact wins by up to six
+orders of magnitude, the approximations (ε = 0.1) beat exact by up to
+four orders, hybrid-d beats hybrid as v grows; lazy performs well under
+positive correlations because the decision tree is unbalanced.
+
+Scaled reproduction: n ∈ {6 (f=50%), 12 (f=100%)} objects, l = 4,
+v ∈ {4..14}, timeout 15 s.
+
+Run the full sweep:  python -m benchmarks.bench_fig6_variables
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .common import EPSILON, Series, Workload, make_workload, print_table, run_algorithm, speedup
+
+FULL_OBJECTS = 12  # "f = 100%"
+HALF_OBJECTS = 6  # "f = 50%"
+LITERALS = 4  # paper: l = 8, scaled with the variable budget
+VARIABLE_SWEEP = (4, 6, 8, 10, 12, 14)
+ALGORITHMS = ("naive", "exact", "lazy", "eager", "hybrid", "hybrid-d")
+NAIVE_TIMEOUT = 15.0
+
+
+def workload_for(variables: int, objects: int = FULL_OBJECTS) -> Workload:
+    return make_workload(
+        objects,
+        scheme="positive",
+        seed=variables,  # fresh lineage per point, as in the paper's 5 runs
+        variables=variables,
+        literals=min(LITERALS, variables // 2),
+        group_size=4,
+        label=f"v={variables}",
+    )
+
+
+def sweep(objects: int) -> list[Series]:
+    series = [Series(name) for name in ALGORITHMS]
+    for variables in VARIABLE_SWEEP:
+        workload = workload_for(variables, objects)
+        for line in series:
+            row = run_algorithm(workload, line.name, timeout=NAIVE_TIMEOUT)
+            line.add(variables, row)
+    return series
+
+
+def main() -> None:
+    for objects, fraction in ((FULL_OBJECTS, "100%"), (HALF_OBJECTS, "50%")):
+        series = sweep(objects)
+        print_table(
+            f"Figure 6 (left) — positive correlations (l={LITERALS}, "
+            f"f={fraction}, n={objects})",
+            "variables",
+            series,
+            VARIABLE_SWEEP,
+        )
+        by_name = {line.name: line for line in series}
+        naive_vs_exact = speedup(by_name["naive"], by_name["exact"])
+        exact_vs_hybrid = speedup(by_name["exact"], by_name["hybrid"])
+        if naive_vs_exact:
+            print(f"max speedup exact over naive:  {naive_vs_exact:8.1f}x")
+        if exact_vs_hybrid:
+            print(f"max speedup hybrid over exact: {exact_vs_hybrid:8.1f}x")
+        if by_name["naive"].timeouts:
+            print(
+                "naive timed out from v="
+                f"{min(by_name['naive'].timeouts):g} on (paper: v>25)"
+            )
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark subset (small sizes so the suite stays fast)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return workload_for(8)
+
+
+@pytest.mark.parametrize("algorithm", ["exact", "lazy", "eager", "hybrid"])
+def bench_sequential(benchmark, small_workload, algorithm):
+    benchmark.group = "fig6-left v=8"
+    benchmark(run_algorithm, small_workload, algorithm)
+
+
+def bench_naive_small(benchmark):
+    workload = workload_for(6)
+    benchmark.group = "fig6-left v=6"
+    benchmark(run_algorithm, workload, "naive", timeout=NAIVE_TIMEOUT)
+
+
+def bench_hybrid_distributed(benchmark, small_workload):
+    benchmark.group = "fig6-left v=8"
+    benchmark(run_algorithm, small_workload, "hybrid-d")
+
+
+if __name__ == "__main__":
+    main()

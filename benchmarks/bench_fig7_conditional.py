@@ -1,0 +1,66 @@
+"""Figure 7 (right): runtime vs number of objects, conditional correlations.
+
+Paper setup: Markov-chain lineage (two fresh variables per data point,
+so the variable count grows roughly as 2n — grey dashed line),
+n ∈ [20, 90] objects; naive, exact, hybrid, hybrid-d (eager and lazy
+overlap with exact: the decision tree is balanced).  Expected shape as
+in the mutex case, with the crossover at smaller n because v grows
+faster.
+
+Scaled reproduction: group size 2 (v ≈ n − 1), n ∈ {6..14}.
+
+Run the full sweep:  python -m benchmarks.bench_fig7_conditional
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .common import Series, Workload, make_workload, print_table, run_algorithm
+
+OBJECT_SWEEP = (6, 8, 10, 12, 14)
+ALGORITHMS = ("naive", "exact", "lazy", "eager", "hybrid", "hybrid-d")
+NAIVE_TIMEOUT = 15.0
+
+
+def workload_for(objects: int) -> Workload:
+    return make_workload(
+        objects,
+        scheme="conditional",
+        seed=objects,
+        group_size=2,
+        label=f"n={objects}",
+    )
+
+
+def main() -> None:
+    series = [Series(name) for name in ALGORITHMS]
+    variable_counts = {}
+    for objects in OBJECT_SWEEP:
+        workload = workload_for(objects)
+        variable_counts[objects] = workload.variables
+        for line in series:
+            line.add(
+                objects, run_algorithm(workload, line.name, timeout=NAIVE_TIMEOUT)
+            )
+    print_table(
+        "Figure 7 (right) — conditional (Markov chain) correlations",
+        "objects",
+        series,
+        OBJECT_SWEEP,
+    )
+    print(
+        "variables per point (grey line): "
+        + ", ".join(f"n={n}: v={v}" for n, v in variable_counts.items())
+    )
+
+
+@pytest.mark.parametrize("algorithm", ["exact", "hybrid", "hybrid-d"])
+def bench_conditional(benchmark, algorithm):
+    workload = workload_for(8)
+    benchmark.group = "fig7-conditional n=8"
+    benchmark(run_algorithm, workload, algorithm)
+
+
+if __name__ == "__main__":
+    main()

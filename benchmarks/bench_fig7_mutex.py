@@ -1,0 +1,83 @@
+"""Figure 7 (left): runtime vs number of objects, mutex correlations.
+
+Paper setup: mutex sets of size m = 12, n ∈ [35, 500] objects (the
+variable count grows with n, grey dashed line), algorithms naive, exact,
+hybrid, hybrid-d; eager and lazy overlap with exact because the decision
+tree is balanced under mutex correlations.  Expected shape: naive times
+out early, exact scales further, hybrid wins clearly, hybrid-d gains
+over an order of magnitude beyond ~60 variables.
+
+Scaled reproduction: m = 4, group size 2 (so v = n/2), n ∈ {8..20}.
+
+Run the full sweep:  python -m benchmarks.bench_fig7_mutex
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .common import Series, Workload, make_workload, print_table, run_algorithm
+
+OBJECT_SWEEP = (8, 12, 16, 20)
+MUTEX_SIZE = 4
+ALGORITHMS = ("naive", "exact", "lazy", "eager", "hybrid", "hybrid-d")
+NAIVE_TIMEOUT = 15.0
+
+
+def workload_for(objects: int) -> Workload:
+    return make_workload(
+        objects,
+        scheme="mutex",
+        seed=objects,
+        mutex_size=MUTEX_SIZE,
+        group_size=2,
+        label=f"n={objects}",
+    )
+
+
+def main() -> None:
+    series = [Series(name) for name in ALGORITHMS]
+    variable_counts = {}
+    for objects in OBJECT_SWEEP:
+        workload = workload_for(objects)
+        variable_counts[objects] = workload.variables
+        for line in series:
+            line.add(
+                objects, run_algorithm(workload, line.name, timeout=NAIVE_TIMEOUT)
+            )
+    print_table(
+        f"Figure 7 (left) — mutex correlations (m={MUTEX_SIZE})",
+        "objects",
+        series,
+        OBJECT_SWEEP,
+    )
+    print(
+        "variables per point (grey line): "
+        + ", ".join(f"n={n}: v={v}" for n, v in variable_counts.items())
+    )
+    # Paper: eager and lazy overlap with exact under mutex correlations.
+    by_name = {line.name: line for line in series}
+    exact_points = dict(by_name["exact"].points)
+    for scheme in ("lazy", "eager"):
+        points = dict(by_name[scheme].points)
+        shared = sorted(set(points) & set(exact_points))
+        if shared:
+            ratio = sum(points[x] / exact_points[x] for x in shared) / len(shared)
+            print(f"{scheme}/exact mean runtime ratio: {ratio:.2f} (paper: ~1)")
+
+
+@pytest.mark.parametrize("algorithm", ["exact", "hybrid", "hybrid-d"])
+def bench_mutex(benchmark, algorithm):
+    workload = workload_for(12)
+    benchmark.group = "fig7-mutex n=12"
+    benchmark(run_algorithm, workload, algorithm)
+
+
+def bench_mutex_naive(benchmark):
+    workload = workload_for(8)
+    benchmark.group = "fig7-mutex n=8"
+    benchmark(run_algorithm, workload, "naive", timeout=NAIVE_TIMEOUT)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Figure 8: large generated data sets with certain data points.
+
+Paper setup: hybrid and hybrid-d on generated data up to 13 000 points
+(positive correlations, l = 8, v = 30, ε = 0.1) with c ∈ {0%, 95%}
+certain objects.  Expected shape: runtime grows with n, and a high
+fraction of certain points speeds computation up substantially — the
+distance sums involving certain objects resolve with fewer variable
+assignments, so the decision tree is shallower.
+
+Scaled reproduction: v = 12, n ∈ {12, 24, 36}, c ∈ {0%, 95%}.
+
+Run the full sweep:  python -m benchmarks.bench_fig8_certain
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .common import Series, Workload, make_workload, print_table, run_algorithm
+
+OBJECT_SWEEP = (12, 24, 36)
+VARIABLES = 12
+CERTAIN_FRACTIONS = (0.0, 0.95)
+ALGORITHMS = ("hybrid", "hybrid-d")
+
+
+def workload_for(objects: int, certain: float) -> Workload:
+    return make_workload(
+        objects,
+        scheme="positive",
+        seed=5,
+        variables=VARIABLES,
+        literals=4,
+        group_size=4,
+        certain_fraction=certain,
+        label=f"n={objects} c={certain:.0%}",
+    )
+
+
+def main() -> None:
+    for certain in CERTAIN_FRACTIONS:
+        series = [Series(name) for name in ALGORITHMS]
+        for objects in OBJECT_SWEEP:
+            workload = workload_for(objects, certain)
+            for line in series:
+                line.add(objects, run_algorithm(workload, line.name))
+        print_table(
+            f"Figure 8 — hybrid on generated data, c = {certain:.0%} certain "
+            f"(positive, l=4, v={VARIABLES}, ε=0.1)",
+            "objects",
+            series,
+            OBJECT_SWEEP,
+        )
+    # Certainty speedup at the largest size.
+    uncertain = run_algorithm(workload_for(OBJECT_SWEEP[-1], 0.0), "hybrid")
+    certain = run_algorithm(workload_for(OBJECT_SWEEP[-1], 0.95), "hybrid")
+    if certain["seconds"] > 0:
+        print(
+            f"\nc=95% speedup over c=0% at n={OBJECT_SWEEP[-1]}: "
+            f"{uncertain['seconds'] / certain['seconds']:.1f}x "
+            f"(tree {uncertain['tree_nodes']:.0f} -> {certain['tree_nodes']:.0f} nodes)"
+        )
+
+
+@pytest.mark.parametrize("certain", [0.0, 0.95])
+def bench_certain_fraction(benchmark, certain):
+    workload = workload_for(12, certain)
+    benchmark.group = "fig8 n=12"
+    benchmark(run_algorithm, workload, "hybrid")
+
+
+if __name__ == "__main__":
+    main()

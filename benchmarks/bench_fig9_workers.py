@@ -1,0 +1,78 @@
+"""Figure 9: distributed runtime vs number of workers and job size.
+
+Paper setup: hybrid-d on positive correlations (n = 1000, v = 30,
+ε = 0.1), workers w ∈ [1, 20], job sizes d ∈ {3, 6, 9}.  Expected
+shape: small job sizes keep many workers busy (speedups up to w = 16),
+large job sizes generate too few jobs for extra workers to help (no
+improvement beyond ~4 workers); overall gain up to an order of
+magnitude from better work distribution.
+
+Scaled reproduction: n = 16, v = 16, w ∈ {1, 2, 4, 8, 16},
+d ∈ {2, 4, 6}.  The schedule is the deterministic makespan simulation
+(the paper simulated distribution on one machine as well).
+
+Run the full sweep:  python -m benchmarks.bench_fig9_workers
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .common import Series, Workload, make_workload, print_table, run_algorithm
+
+WORKER_SWEEP = (1, 2, 4, 8, 16)
+JOB_SIZES = (2, 4, 6)
+OBJECTS = 16
+VARIABLES = 16
+
+
+def workload() -> Workload:
+    return make_workload(
+        OBJECTS,
+        scheme="positive",
+        seed=3,
+        variables=VARIABLES,
+        literals=4,
+        group_size=4,
+        label="fig9",
+    )
+
+
+def main() -> None:
+    shared = workload()
+    series = [Series(f"job size {job_size}") for job_size in JOB_SIZES]
+    jobs_per_size = {}
+    for line, job_size in zip(series, JOB_SIZES):
+        for workers in WORKER_SWEEP:
+            row = run_algorithm(
+                shared, "hybrid-d", workers=workers, job_size=job_size
+            )
+            jobs_per_size[job_size] = row.get("jobs", 0.0)
+            line.add(workers, row)
+    print_table(
+        f"Figure 9 — hybrid-d makespan (positive, n={OBJECTS}, "
+        f"v={VARIABLES}, ε=0.1)",
+        "workers",
+        series,
+        WORKER_SWEEP,
+    )
+    print(
+        "jobs generated: "
+        + ", ".join(f"d={d}: {int(j)}" for d, j in sorted(jobs_per_size.items()))
+    )
+    # Small jobs keep scaling further than large jobs.
+    for line, job_size in zip(series, JOB_SIZES):
+        points = dict(line.points)
+        gain = points[WORKER_SWEEP[0]] / points[WORKER_SWEEP[-1]]
+        print(f"  d={job_size}: {gain:.1f}x gain from 1 to {WORKER_SWEEP[-1]} workers")
+
+
+@pytest.mark.parametrize("workers", [1, 4, 16])
+def bench_workers(benchmark, workers):
+    shared = workload()
+    benchmark.group = "fig9 job-size 2"
+    benchmark(run_algorithm, shared, "hybrid-d", workers=workers, job_size=2)
+
+
+if __name__ == "__main__":
+    main()

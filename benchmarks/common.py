@@ -1,0 +1,176 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every figure of the paper's evaluation (Section 5) has one benchmark
+module; all of them build k-medoids workloads over synthetic sensor data
+with one of the three correlation schemes and time the probability-
+computation algorithms: ``naive``, ``exact``, ``lazy``, ``eager``,
+``hybrid``, and distributed ``hybrid-d``.
+
+The paper's C++ implementation handles 1300 objects and up to 50
+variables inside its one-hour timeout; this pure-Python reproduction
+scales each sweep down (roughly 10-100x smaller) while preserving the
+*shape* of the results — who wins, by what factor, and where crossovers
+fall.  The scaling table lives in EXPERIMENTS.md.
+
+Each module doubles as a script: ``python benchmarks/bench_*.py`` prints
+the paper-style series; under ``pytest --benchmark-only`` a trimmed
+subset of the sweep runs through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compile.compiler import compile_network
+from repro.compile.distributed import compile_distributed
+from repro.data.datasets import ProbabilisticDataset, sensor_dataset
+from repro.mining.kmedoids import KMedoidsSpec, build_kmedoids_program
+from repro.mining.targets import medoid_targets
+from repro.network.build import build_network
+from repro.network.nodes import EventNetwork
+from repro.worlds.naive import naive_probabilities
+
+# The paper's absolute error budget (Section 5, "Algorithms").
+EPSILON = 0.1
+# Wall-clock ceiling per individual run (the paper used 3600 s).
+TIMEOUT = 30.0
+
+
+@dataclass
+class Workload:
+    """One compiled k-medoids instance ready for timing."""
+
+    dataset: ProbabilisticDataset
+    network: EventNetwork
+    targets: List[str]
+    label: str = ""
+
+    @property
+    def variables(self) -> int:
+        return self.dataset.variable_count
+
+    @property
+    def objects(self) -> int:
+        return len(self.dataset)
+
+
+def make_workload(
+    objects: int,
+    scheme: str,
+    seed: int = 0,
+    k: int = 2,
+    iterations: int = 2,
+    label: str = "",
+    **scheme_options,
+) -> Workload:
+    """Build the k-medoids event network for one experimental point."""
+    dataset = sensor_dataset(objects, scheme=scheme, seed=seed, **scheme_options)
+    spec = KMedoidsSpec(k=k, iterations=iterations)
+    program = build_kmedoids_program(dataset, spec)
+    targets = medoid_targets(program, k, objects, iterations - 1)
+    network = build_network(program)
+    return Workload(dataset, network, targets, label=label)
+
+
+def run_algorithm(
+    workload: Workload,
+    algorithm: str,
+    epsilon: float = EPSILON,
+    workers: int = 16,
+    job_size: int = 3,
+    timeout: float = TIMEOUT,
+) -> Dict[str, float]:
+    """Time one algorithm on one workload; returns a result row.
+
+    The returned dict carries ``seconds`` (wall-clock; for distributed
+    runs the simulated makespan), ``timeout`` (1.0 when the naive run
+    hit its budget), and instrumentation counters.
+    """
+    pool = workload.dataset.pool
+    if algorithm == "naive":
+        result = naive_probabilities(
+            workload.network, pool, targets=workload.targets, timeout=timeout
+        )
+        return {
+            "seconds": result.seconds,
+            "timeout": result.extra.get("timed_out", 0.0),
+            "tree_nodes": float(result.tree_nodes),
+        }
+    if algorithm.endswith("-d"):
+        result = compile_distributed(
+            workload.network,
+            pool,
+            scheme=algorithm[:-2],
+            epsilon=epsilon if algorithm != "exact-d" else 0.0,
+            workers=workers,
+            job_size=job_size,
+            targets=workload.targets,
+        )
+        return {
+            "seconds": result.makespan,
+            "sequential_seconds": result.seconds,
+            "timeout": 0.0,
+            "jobs": float(result.jobs),
+            "tree_nodes": float(result.tree_nodes),
+        }
+    result = compile_network(
+        workload.network,
+        pool,
+        scheme=algorithm,
+        epsilon=0.0 if algorithm == "exact" else epsilon,
+        targets=workload.targets,
+    )
+    return {
+        "seconds": result.seconds,
+        "timeout": 0.0,
+        "tree_nodes": float(result.tree_nodes),
+        "max_gap": result.max_gap(),
+    }
+
+
+@dataclass
+class Series:
+    """One plotted line: algorithm name -> (x, seconds) points."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+    timeouts: List[float] = field(default_factory=list)
+
+    def add(self, x: float, row: Dict[str, float]) -> None:
+        if row.get("timeout"):
+            self.timeouts.append(x)
+        else:
+            self.points.append((x, row["seconds"]))
+
+
+def print_table(
+    title: str,
+    x_label: str,
+    series: Sequence[Series],
+    x_values: Sequence[float],
+) -> None:
+    """Render sweep results the way the paper's figures tabulate them."""
+    print(f"\n== {title} ==")
+    header = [x_label] + [s.name for s in series]
+    print("  ".join(f"{column:>12}" for column in header))
+    for x in x_values:
+        cells = [f"{x:>12g}"]
+        for line in series:
+            value = dict(line.points).get(x)
+            if value is None:
+                cells.append(f"{'timeout':>12}")
+            else:
+                cells.append(f"{value:>12.4f}")
+        print("  ".join(cells))
+
+
+def speedup(slow: Series, fast: Series) -> Optional[float]:
+    """Largest observed ratio slow/fast over the shared x-values."""
+    slow_map, fast_map = dict(slow.points), dict(fast.points)
+    shared = set(slow_map) & set(fast_map)
+    ratios = [
+        slow_map[x] / fast_map[x] for x in shared if fast_map[x] > 0
+    ]
+    return max(ratios) if ratios else None

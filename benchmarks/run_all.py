@@ -1,0 +1,85 @@
+"""Run every paper-figure sweep and print one consolidated report.
+
+Usage:  python -m benchmarks.run_all [--quick]
+
+``--quick`` trims each sweep to its smallest sizes (a smoke pass in
+roughly a minute); the full report takes several minutes and regenerates
+all series recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    bench_ablation_dimensions,
+    bench_ablation_epsilon,
+    bench_ablation_iterations,
+    bench_ablation_network_size,
+    bench_ablation_ordering,
+    bench_ablation_targets,
+    bench_comparators,
+    bench_fig6_fraction,
+    bench_fig6_variables,
+    bench_fig7_conditional,
+    bench_fig7_mutex,
+    bench_fig8_certain,
+    bench_fig9_workers,
+)
+
+FIGURES = [
+    ("Figure 6 (left): runtime vs #variables", bench_fig6_variables),
+    ("Figure 6 (right): approximations vs fraction", bench_fig6_fraction),
+    ("Figure 7 (left): mutex correlations", bench_fig7_mutex),
+    ("Figure 7 (right): conditional correlations", bench_fig7_conditional),
+    ("Figure 8: certain data points", bench_fig8_certain),
+    ("Figure 9: workers x job size", bench_fig9_workers),
+    ("Comparators (Section 6)", bench_comparators),
+    ("Ablation: error budget", bench_ablation_epsilon),
+    ("Ablation: dimensions", bench_ablation_dimensions),
+    ("Ablation: iterations / folded", bench_ablation_iterations),
+    ("Ablation: targets", bench_ablation_targets),
+    ("Ablation: network size", bench_ablation_network_size),
+    ("Ablation: variable ordering", bench_ablation_ordering),
+]
+
+
+def _apply_quick_trims() -> None:
+    """Shrink the sweeps in place for a fast smoke pass."""
+    bench_fig6_variables.VARIABLE_SWEEP = (4, 6, 8)
+    bench_fig6_variables.NAIVE_TIMEOUT = 5.0
+    bench_fig6_fraction.FRACTIONS = (50, 100)
+    bench_fig6_fraction.VARIABLES = (8,)
+    bench_fig7_mutex.OBJECT_SWEEP = (8, 12)
+    bench_fig7_mutex.NAIVE_TIMEOUT = 5.0
+    bench_fig7_conditional.OBJECT_SWEEP = (6, 8)
+    bench_fig7_conditional.NAIVE_TIMEOUT = 5.0
+    bench_fig8_certain.OBJECT_SWEEP = (12, 24)
+    bench_fig9_workers.WORKER_SWEEP = (1, 4, 16)
+    bench_ablation_epsilon.EPSILONS = (0.05, 0.2)
+    bench_ablation_dimensions.DIMENSIONS = (2, 8)
+    bench_ablation_iterations.ITERATION_SWEEP = (1, 2)
+    bench_ablation_network_size.OBJECT_SWEEP = (6, 12)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="trimmed sweeps (~1 minute)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        _apply_quick_trims()
+
+    started = time.perf_counter()
+    for title, module in FIGURES:
+        print(f"\n{'#' * 72}\n# {title}\n{'#' * 72}")
+        module.main()
+    elapsed = time.perf_counter() - started
+    print(f"\nall sweeps completed in {elapsed:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

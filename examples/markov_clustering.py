@@ -1,0 +1,60 @@
+"""Markov clustering of an uncertain graph (Figure 3).
+
+MCL finds graph clusters by simulating stochastic flow: expansion
+(matrix squaring) spreads flow along walks, inflation (Hadamard powers)
+sharpens intra-cluster flow.  Here the *nodes* are uncertain — each
+exists with some lineage event — so the final flow matrix entries are
+random variables, and "node j is attracted to node i" becomes an event
+whose probability ENFrame computes.
+
+Run:  python examples/markov_clustering.py
+"""
+
+import random
+
+from repro.compile import compile_network
+from repro.correlations import independent_lineage
+from repro.mining import MCLSpec, attraction_targets, build_mcl_program, stochastic_graph
+from repro.network import build_network
+
+
+def main() -> None:
+    rng = random.Random(11)
+    n = 6
+    weights = stochastic_graph(n, rng, cluster_count=2)
+    lineage = independent_lineage(n, rng, group_size=2)
+    print(f"{n} uncertain graph nodes over {len(lineage.pool)} variables")
+    print("planted clusters: {0,1,2} and {3,4,5}\n")
+
+    spec = MCLSpec(inflation=2, iterations=2)
+    program = build_mcl_program(weights, lineage.events, spec)
+    names = attraction_targets(
+        program,
+        n,
+        spec.iterations - 1,
+        threshold=0.3,
+        pairs=[(i, j) for i in (0, 3) for j in range(n)],
+    )
+    network = build_network(program)
+    print(f"event network: {len(network)} nodes, {len(names)} targets")
+
+    result = compile_network(network, lineage.pool, scheme="exact")
+    print("\nP[flow j -> attractor i >= 0.3] after inflation:")
+    for i in (0, 3):
+        row = "  ".join(
+            f"{result.probability(f'Attract[{i}][{j}]'):.2f}" for j in range(n)
+        )
+        print(f"  attractor {i}: {row}")
+
+    intra = [result.probability(f"Attract[0][{j}]") for j in (0, 1, 2)]
+    inter = [result.probability(f"Attract[0][{j}]") for j in (3, 4, 5)]
+    print(
+        f"\nmean intra-cluster attraction {sum(intra)/3:.3f} vs "
+        f"inter-cluster {sum(inter)/3:.3f}"
+    )
+    assert sum(intra) > sum(inter), "MCL must recover the planted structure"
+    print("MCL recovers the planted clusters under uncertainty ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Anomaly detection in energy networks (the paper's motivating workload).
+
+Partial-discharge sensors in substations produce uncertain, correlated
+hourly readings.  Clustering separates normal operating regimes from
+anomalous high-discharge behaviour; the probability that a reading ends
+up in the anomaly cluster ranks assets by failure risk.
+
+This script:
+  1. generates IPEC-like sensor readings (load, discharge) with a burst
+     of anomalies;
+  2. attaches Markov-chain (conditional) lineage — consecutive readings
+     are correlated, as real time-series uncertainty is;
+  3. clusters with k-medoids under possible-worlds semantics (hybrid
+     ε-approximation, distributed);
+  4. reports the top at-risk readings by anomaly-cluster probability.
+
+Run:  python examples/sensor_anomalies.py
+"""
+
+from repro import ENFrame, KMedoidsSpec
+
+
+def main() -> None:
+    platform = ENFrame.from_sensor_data(
+        28, scheme="conditional", seed=7, group_size=4
+    )
+    dataset = platform.dataset
+    print(
+        f"{len(dataset)} hourly readings, {dataset.variable_count} random "
+        "variables (Markov-chain correlated lineage)"
+    )
+
+    # Cluster into normal vs anomalous; initialise with a low-discharge
+    # and a high-discharge reading to anchor the two regimes.
+    discharge = dataset.points[:, 1]
+    low = int(discharge.argmin())
+    high = int(discharge.argmax())
+    spec = KMedoidsSpec(k=2, iterations=3, init=(low, high))
+    platform.kmedoids(spec, targets="assignments")
+
+    # Distributed hybrid approximation, as in the paper's Figure 6.
+    result = platform.run(scheme="hybrid", epsilon=0.1, workers=8, job_size=3)
+    print(
+        f"\n{result.scheme}: {len(result.targets)} assignment events in "
+        f"{result.seconds:.2f}s (simulated makespan "
+        f"{result.raw.makespan:.2f}s on {result.raw.workers} workers, "
+        f"{result.raw.jobs} jobs)"
+    )
+
+    # Rank readings by probability of landing in the anomaly cluster
+    # (cluster 1, anchored at the max-discharge reading).
+    last = spec.iterations - 1
+    at_risk = sorted(
+        (
+            (l, result.probability(f"InCl[{last}][1][{l}]"))
+            for l in range(len(dataset))
+        ),
+        key=lambda pair: -pair[1],
+    )
+    print("\nTop at-risk readings (P[assigned to anomaly cluster]):")
+    for reading, probability in at_risk[:8]:
+        load, pd_count = dataset.points[reading][:2]
+        print(
+            f"  reading {reading:2d}: load={load:5.2f} discharge={pd_count:5.2f}"
+            f"  P={probability:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

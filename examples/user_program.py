@@ -1,0 +1,86 @@
+"""Writing your own user-language program (Figures 1-4).
+
+Users write plain Python-fragment programs, oblivious to the
+probabilistic nature of the data; ENFrame parses, validates, and
+translates them to event programs, then computes output probabilities.
+This example runs the paper's verbatim k-medoids source (Figure 1) and a
+small custom program, and cross-checks the probabilistic result against
+running the same source deterministically in one sampled world.
+
+Run:  python examples/user_program.py
+"""
+
+import random
+
+from repro import ENFrame, KMedoidsSpec
+from repro.events import values as V
+from repro.events.semantics import Evaluator
+from repro.lang import Externals, Interpreter, parse_program
+from repro.mining import KMEDOIDS_SOURCE
+
+
+def main() -> None:
+    n, k, iterations = 8, 2, 2
+    platform = ENFrame.from_sensor_data(
+        n, scheme="positive", seed=3, variables=6, literals=2, group_size=2
+    )
+
+    # Register the paper's verbatim Figure-1 source; target the final
+    # medoid-election events of both clusters for the first 4 objects.
+    platform.user_program(
+        KMEDOIDS_SOURCE,
+        params=(k, iterations),
+        init_indices=range(k),
+        targets=[("Centre", (i, l)) for i in range(k) for l in range(4)],
+    )
+    result = platform.run(scheme="exact")
+    print("Figure-1 k-medoids source, translated and compiled:")
+    print(result.summary())
+
+    # The same source runs deterministically in any single world: sample
+    # a world, replace absent objects by the undefined value, execute.
+    dataset = platform.dataset
+    rng = random.Random(0)
+    valuation = dataset.pool.sample_valuation(rng)
+    evaluator = Evaluator(valuation)
+    objects = [
+        dataset.points[l] if evaluator.event(dataset.events[l]) else V.UNDEFINED
+        for l in range(n)
+    ]
+    interpreter = Interpreter(
+        Externals(
+            load_data=(objects, n),
+            load_params=(k, iterations),
+            init=[objects[i] for i in range(k)],
+        )
+    )
+    env = interpreter.run(parse_program(KMEDOIDS_SOURCE))
+    chosen = [
+        (i, l) for i in range(k) for l in range(n) if env["Centre"][i][l]
+    ]
+    print(f"\nIn one sampled world the medoids are: {chosen}")
+
+    # A custom program: per-object distance to the first medoid,
+    # thresholded — "is object l within 0.5 of medoid 0?".
+    source = """
+(O, n) = loadData()
+(k, iter) = loadParams()
+M = init()
+Near = [None] * n
+for l in range(0, n):
+    Near[l] = dist(O[l], M[0]) <= 0.5
+"""
+    platform.user_program(
+        source,
+        params=(k, iterations),
+        init_indices=range(k),
+        targets=[("Near", (l,)) for l in range(n)],
+    )
+    near = platform.run(scheme="exact")
+    print("\nCustom program: P[dist(o_l, M[0]) <= 0.5]")
+    for l, target in enumerate(near.targets):
+        print(f"  object {l}: {near.probability(target):.3f}")
+
+
+if __name__ == "__main__":
+    main()

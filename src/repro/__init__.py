@@ -1,0 +1,37 @@
+"""ENFrame: a platform for processing probabilistic data.
+
+A from-scratch Python reproduction of "ENFrame: A Platform for Processing
+Probabilistic Data" (van Schaik, Olteanu, Fink — EDBT 2014): user
+programs over uncertain input are interpreted under the possible-worlds
+semantics by tracing them with fine-grained provenance events, compiling
+the events into networks, and computing output probabilities exactly or
+with anytime ε-guarantees, sequentially or distributed.
+
+Quickstart::
+
+    from repro import ENFrame, KMedoidsSpec
+
+    platform = ENFrame.from_sensor_data(24, scheme="mutex", seed=1)
+    platform.kmedoids(KMedoidsSpec(k=2, iterations=3))
+    print(platform.run(scheme="hybrid", epsilon=0.1).summary())
+"""
+
+from .core import ENFrame, ProbabilisticResult
+from .data import ProbabilisticDataset, certain_dataset, sensor_dataset
+from .mining import KMeansSpec, KMedoidsSpec, MCLSpec
+from .worlds import VariablePool
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ENFrame",
+    "KMeansSpec",
+    "KMedoidsSpec",
+    "MCLSpec",
+    "ProbabilisticDataset",
+    "ProbabilisticResult",
+    "VariablePool",
+    "certain_dataset",
+    "sensor_dataset",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Probability computation: exact, approximate, and distributed (Section 4)."""
+
+from .compiler import SCHEMES, ShannonCompiler, compile_network, make_evaluator
+from .distributed import DistributedCompiler, Job, compile_distributed
+from .folded_eval import FoldedEvaluator
+from .ordering import DynamicInfluenceOrder, FrequencyOrder, GivenOrder, make_order
+from .partial import B_FALSE, B_TRUE, B_UNKNOWN, NumState, PartialEvaluator
+from .result import CompilationResult
+
+__all__ = [
+    "B_FALSE",
+    "B_TRUE",
+    "B_UNKNOWN",
+    "CompilationResult",
+    "DistributedCompiler",
+    "DynamicInfluenceOrder",
+    "FoldedEvaluator",
+    "FrequencyOrder",
+    "GivenOrder",
+    "Job",
+    "NumState",
+    "PartialEvaluator",
+    "SCHEMES",
+    "ShannonCompiler",
+    "compile_distributed",
+    "compile_network",
+    "make_evaluator",
+    "make_order",
+]

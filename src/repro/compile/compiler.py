@@ -1,0 +1,234 @@
+"""Bulk compilation of event networks by Shannon expansion (Algorithm 1).
+
+One depth-first traversal of the decision tree induced by the input random
+variables computes probability bounds for *all* compilation targets at
+once.  The same traversal implements all four schemes of the paper:
+
+* ``exact``  — explore until every target is masked on every branch;
+* ``lazy``   — exact exploration, but stop tightening a target as soon as
+  its bounds are within ``2ε`` (budget spent on the rightmost branches);
+* ``eager``  — spend the error budget as early as possible: prune any
+  branch whose probability mass fits in the remaining global budget;
+* ``hybrid`` — split the budget evenly over the two branches at every
+  node, passing residual budget from the left branch to the right one.
+
+All schemes return certified bounds: ``L <= P[target] <= U`` always holds
+and ``U - L <= 2ε`` on completion (``ε = 0`` for exact).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.nodes import EventNetwork
+from ..worlds.variables import VariablePool
+from .ordering import VariableOrder, make_order
+from .partial import B_FALSE, B_TRUE, B_UNKNOWN, PartialEvaluator
+from .result import CompilationResult
+
+SCHEMES = ("exact", "lazy", "eager", "hybrid")
+
+_MIN_RECURSION = 100_000
+
+
+def make_evaluator(network: EventNetwork) -> PartialEvaluator:
+    """Evaluator matching the network flavour (flat or folded)."""
+    from ..network.folded import FoldedNetwork
+
+    if isinstance(network, FoldedNetwork):
+        from .folded_eval import FoldedEvaluator
+
+        return FoldedEvaluator(network)  # type: ignore[return-value]
+    return PartialEvaluator(network)
+
+
+class ShannonCompiler:
+    """Compiles all targets of an event network in one DFS (Section 4.1)."""
+
+    def __init__(
+        self,
+        network: EventNetwork,
+        pool: VariablePool,
+        targets: Optional[Sequence[str]] = None,
+        order: "str | Sequence[int]" = "frequency",
+    ) -> None:
+        self.network = network
+        self.pool = pool
+        names = list(targets) if targets is not None else list(network.targets)
+        if not names:
+            raise ValueError("network has no compilation targets")
+        self.target_names = names
+        self.target_ids = {name: network.targets[name] for name in names}
+        self.order: VariableOrder = make_order(network, order)
+        # Run state (reset per run()).
+        self.evaluator = make_evaluator(network)
+        self._lower: Dict[str, float] = {}
+        self._upper: Dict[str, float] = {}
+        self._scheme = "exact"
+        self._epsilon = 0.0
+        self._tree_nodes = 0
+        self._max_depth = 0
+        self._finished: set = set()
+        self._global_budget: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self, scheme: str = "exact", epsilon: float = 0.0) -> CompilationResult:
+        """Compile and return certified probability bounds per target."""
+        if scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
+        if scheme == "exact" and epsilon != 0.0:
+            raise ValueError("exact compilation requires epsilon == 0")
+        if scheme != "exact" and epsilon <= 0.0:
+            raise ValueError(f"scheme {scheme!r} requires a positive epsilon")
+        if sys.getrecursionlimit() < _MIN_RECURSION:
+            sys.setrecursionlimit(_MIN_RECURSION)
+
+        self.evaluator = make_evaluator(self.network)
+        self._lower = {name: 0.0 for name in self.target_names}
+        self._upper = {name: 1.0 for name in self.target_names}
+        self._scheme = scheme
+        self._epsilon = epsilon
+        self._tree_nodes = 0
+        self._max_depth = 0
+        self._finished = set()
+        self._global_budget = {name: 2.0 * epsilon for name in self.target_names}
+
+        budgets = {name: 2.0 * epsilon for name in self.target_names}
+        started = time.perf_counter()
+        self.evaluator.push()
+        self._dfs(1.0, list(self.target_names), budgets)
+        self.evaluator.pop()
+        elapsed = time.perf_counter() - started
+
+        bounds = {
+            name: (self._lower[name], self._upper[name])
+            for name in self.target_names
+        }
+        return CompilationResult(
+            bounds=bounds,
+            scheme=scheme,
+            epsilon=epsilon,
+            seconds=elapsed,
+            tree_nodes=self._tree_nodes,
+            evals=self.evaluator.evals,
+            max_depth=self._max_depth,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _dfs(
+        self,
+        prob: float,
+        active: List[str],
+        budgets: Dict[str, float],
+    ) -> Dict[str, float]:
+        """Explore the subtree below the current assignment.
+
+        ``prob`` is the probability mass of the current branch, ``active``
+        the targets not yet masked above, ``budgets`` the per-target error
+        budget available to this subtree (hybrid scheme).  Returns the
+        residual budgets.
+        """
+        self._tree_nodes += 1
+        depth = self.evaluator.depth
+        if depth > self._max_depth:
+            self._max_depth = depth
+
+        # Mask propagation: evaluate the active targets under the current
+        # assignment; record resolutions into the probability bounds.
+        states = self.evaluator.target_states(
+            [self.target_ids[name] for name in active]
+        )
+        still_active: List[str] = []
+        for name in active:
+            state = states[self.target_ids[name]]
+            if state == B_TRUE:
+                self._lower[name] += prob
+            elif state == B_FALSE:
+                self._upper[name] -= prob
+            elif name in self._finished:
+                continue
+            elif (
+                self._scheme != "exact"
+                and self._upper[name] - self._lower[name] <= 2.0 * self._epsilon
+            ):
+                # Bounds already ε-approximate: stop tightening this target.
+                self._finished.add(name)
+            else:
+                still_active.append(name)
+        if not still_active:
+            return budgets
+
+        # Approximation: prune this subtree if its whole mass fits in the
+        # error budget of every still-active target.
+        if self._scheme == "hybrid":
+            if all(budgets[name] >= prob for name in still_active):
+                residual = dict(budgets)
+                for name in still_active:
+                    residual[name] -= prob
+                return residual
+        elif self._scheme == "eager":
+            if all(self._global_budget[name] >= prob for name in still_active):
+                for name in still_active:
+                    self._global_budget[name] -= prob
+                return budgets
+
+        variable = self.order.next_variable(self.evaluator)
+        if variable is None:
+            raise AssertionError(
+                "all variables assigned but targets remain unresolved"
+            )
+
+        prob_true = self.pool.probability(variable, True)
+        prob_false = 1.0 - prob_true
+
+        if self._scheme == "hybrid":
+            left_budgets = {name: 0.5 * budgets[name] for name in budgets}
+        else:
+            left_budgets = budgets
+
+        residual_left = left_budgets
+        if prob_true > 0.0:
+            self.evaluator.push(variable, True)
+            residual_left = self._dfs(prob * prob_true, still_active, left_budgets)
+            self.evaluator.pop(variable)
+
+        if self._scheme == "hybrid":
+            right_budgets = {
+                name: 0.5 * budgets[name] + residual_left.get(name, 0.0)
+                for name in budgets
+            }
+        else:
+            right_budgets = budgets
+
+        # Skip the right branch when every target is already ε-approximate.
+        if self._scheme != "exact" and all(
+            self._upper[name] - self._lower[name] <= 2.0 * self._epsilon
+            for name in still_active
+        ):
+            return right_budgets
+
+        residual_right = right_budgets
+        if prob_false > 0.0:
+            self.evaluator.push(variable, False)
+            residual_right = self._dfs(
+                prob * prob_false, still_active, right_budgets
+            )
+            self.evaluator.pop(variable)
+        return residual_right
+
+
+def compile_network(
+    network: EventNetwork,
+    pool: VariablePool,
+    scheme: str = "exact",
+    epsilon: float = 0.0,
+    targets: Optional[Sequence[str]] = None,
+    order: "str | Sequence[int]" = "frequency",
+) -> CompilationResult:
+    """One-shot helper: build a compiler and run one scheme."""
+    compiler = ShannonCompiler(network, pool, targets=targets, order=order)
+    return compiler.run(scheme=scheme, epsilon=epsilon)

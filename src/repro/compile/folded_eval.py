@@ -1,0 +1,250 @@
+"""Partial evaluation of *folded* event networks.
+
+Mirrors :class:`repro.compile.partial.PartialEvaluator` with states keyed
+by ``(iteration, node)`` — the two-dimensional mask ``M[t][v]`` of
+Section 4.2.  A loop-input node at iteration ``t`` takes the state of its
+slot's *next* node at ``t - 1`` (its *init* node at ``t = 0``); nodes that
+do not depend on any loop input are evaluated once (keyed at iteration 0)
+regardless of ``t``.
+
+Compilation targets are evaluated at the final iteration, so the same
+Shannon-expansion compiler drives folded and unfolded networks
+identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.folded import FoldedNetwork
+from ..network.nodes import Kind
+from .partial import (
+    B_FALSE,
+    B_TRUE,
+    B_UNKNOWN,
+    NumState,
+    PartialEvaluator,
+    State,
+    atom_state,
+    num_add,
+    num_dist,
+    num_inv,
+    num_mul,
+    num_pow,
+)
+
+Key = Tuple[int, int]  # (iteration, node id)
+
+
+class FoldedEvaluator:
+    """Evaluates folded networks under the current partial assignment."""
+
+    __slots__ = (
+        "network",
+        "resolved",
+        "_trail",
+        "assignment",
+        "evals",
+        "_loop_dependent",
+        "_final",
+    )
+
+    def __init__(self, network: FoldedNetwork) -> None:
+        network.check_complete()
+        self.network = network
+        self.resolved: Dict[Key, State] = {}
+        self._trail: List[List[Key]] = []
+        self.assignment: Dict[int, bool] = {}
+        self.evals = 0
+        self._loop_dependent = network.loop_dependent()
+        self._final = network.iterations - 1
+
+    # -- trail management (same protocol as PartialEvaluator) ----------
+
+    def push(self, var_index: Optional[int] = None, value: bool = True) -> None:
+        self._trail.append([])
+        if var_index is not None:
+            self.assignment[var_index] = value
+
+    def pop(self, var_index: Optional[int] = None) -> None:
+        for key in self._trail.pop():
+            del self.resolved[key]
+        if var_index is not None:
+            del self.assignment[var_index]
+
+    @property
+    def depth(self) -> int:
+        return len(self._trail)
+
+    # -- evaluation -----------------------------------------------------
+
+    def _key(self, iteration: int, node_id: int) -> Key:
+        if node_id not in self._loop_dependent:
+            return (0, node_id)
+        return (iteration, node_id)
+
+    def state(self, key: Key, memo: Dict[Key, State]) -> State:
+        cached = self.resolved.get(key)
+        if cached is not None:
+            return cached
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._compute(key, memo)
+        if PartialEvaluator._is_stable(result):
+            self.resolved[key] = result
+            if self._trail:
+                self._trail[-1].append(key)
+        else:
+            memo[key] = result
+        return result
+
+    def _child(self, iteration: int, node_id: int, memo: Dict[Key, State]) -> State:
+        return self.state(self._key(iteration, node_id), memo)
+
+    def _compute(self, key: Key, memo: Dict[Key, State]) -> State:
+        self.evals += 1
+        iteration, node_id = key
+        node = self.network.nodes[node_id]
+        kind = node.kind
+        if kind is Kind.LOOP_IN:
+            name, _ = node.payload
+            _, init_node, next_node = self.network.slots[name]
+            if iteration == 0:
+                return self._child(0, init_node, memo)
+            return self._child(iteration - 1, next_node, memo)
+        if kind is Kind.VAR:
+            assigned = self.assignment.get(node.payload)
+            if assigned is None:
+                return B_UNKNOWN
+            return B_TRUE if assigned else B_FALSE
+        if kind is Kind.TRUE:
+            return B_TRUE
+        if kind is Kind.FALSE:
+            return B_FALSE
+        if kind is Kind.NOT:
+            child = self._child(iteration, node.children[0], memo)
+            if child == B_UNKNOWN:
+                return B_UNKNOWN
+            return B_TRUE if child == B_FALSE else B_FALSE
+        if kind is Kind.AND:
+            saw_unknown = False
+            for child_id in node.children:
+                child = self._child(iteration, child_id, memo)
+                if child == B_FALSE:
+                    return B_FALSE
+                if child == B_UNKNOWN:
+                    saw_unknown = True
+            return B_UNKNOWN if saw_unknown else B_TRUE
+        if kind is Kind.OR:
+            saw_unknown = False
+            for child_id in node.children:
+                child = self._child(iteration, child_id, memo)
+                if child == B_TRUE:
+                    return B_TRUE
+                if child == B_UNKNOWN:
+                    saw_unknown = True
+            return B_UNKNOWN if saw_unknown else B_FALSE
+        if kind is Kind.ATOM:
+            left = self._child(iteration, node.children[0], memo)
+            right = self._child(iteration, node.children[1], memo)
+            return atom_state(node.payload, left, right)
+        if kind is Kind.GUARD:
+            event = self._child(iteration, node.children[0], memo)
+            if event == B_TRUE:
+                return NumState.point(node.payload)
+            if event == B_FALSE:
+                return NumState.undefined()
+            return NumState(node.payload, node.payload, True, True)
+        if kind is Kind.COND:
+            event = self._child(iteration, node.children[0], memo)
+            if event == B_FALSE:
+                return NumState.undefined()
+            value = self._child(iteration, node.children[1], memo)
+            if event == B_TRUE:
+                return value
+            if not value.may_def:
+                return NumState.undefined()
+            return NumState(value.lo, value.hi, True, True)
+        if kind is Kind.SUM:
+            total = NumState.undefined()
+            for child_id in node.children:
+                total = num_add(total, self._child(iteration, child_id, memo))
+            return total
+        if kind is Kind.PROD:
+            product = NumState.point(1.0)
+            for child_id in node.children:
+                product = num_mul(product, self._child(iteration, child_id, memo))
+            return product
+        if kind is Kind.INV:
+            return num_inv(self._child(iteration, node.children[0], memo))
+        if kind is Kind.POW:
+            return num_pow(
+                self._child(iteration, node.children[0], memo), node.payload
+            )
+        if kind is Kind.DIST:
+            left = self._child(iteration, node.children[0], memo)
+            right = self._child(iteration, node.children[1], memo)
+            return num_dist(left, right, node.payload)
+        raise TypeError(f"cannot evaluate node kind {kind!r}")
+
+    # -- compiler interface ----------------------------------------------
+
+    def target_states(self, target_ids: Sequence[int]) -> Dict[int, State]:
+        """States of the targets at the final iteration."""
+        memo: Dict[Key, State] = {}
+        return {
+            target_id: self.state(self._key(self._final, target_id), memo)
+            for target_id in target_ids
+        }
+
+    def node_state(self, node_id: int, memo: Dict[Key, State]) -> State:
+        """State of an arbitrary node, read at the final iteration."""
+        return self.state(self._key(self._final, node_id), memo)
+
+    # -- convergence detection (Section 4.1, end) -------------------------
+
+    def slot_trace(self, max_iterations: Optional[int] = None) -> Tuple[int, bool]:
+        """Detect mask convergence across iterations.
+
+        Evaluates the slots' next-nodes iteration by iteration under the
+        *current* assignment and reports ``(iterations_run, converged)``:
+        converged means two consecutive iterations produced identical
+        resolved slot states, so further iterations cannot change the
+        result (the paper's convergence check over masks).
+        """
+        limit = max_iterations or self.network.iterations
+        memo: Dict[Key, State] = {}
+        previous: Optional[List[State]] = None
+        for iteration in range(limit):
+            current = [
+                self.state(self._key(iteration, next_node), memo)
+                for _, _, next_node in self.network.slots.values()
+            ]
+            if previous is not None and _states_equal(previous, current):
+                return iteration, True
+            previous = current
+        return limit, False
+
+
+def _states_equal(left: Sequence[State], right: Sequence[State]) -> bool:
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if isinstance(a, NumState) != isinstance(b, NumState):
+            return False
+        if isinstance(a, NumState):
+            if a.is_undefined and b.is_undefined:
+                continue
+            if a.is_point and b.is_point and _points_same(a.lo, b.lo):
+                continue
+            return False
+        if a != b or a == 2:  # unknown states never count as converged
+            return False
+    return True
+
+
+def _points_same(left, right) -> bool:
+    import numpy as np
+
+    return bool(np.array_equal(np.asarray(left), np.asarray(right)))

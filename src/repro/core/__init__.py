@@ -1,0 +1,6 @@
+"""The ENFrame platform facade."""
+
+from .platform import ENFrame
+from .result import ProbabilisticResult
+
+__all__ = ["ENFrame", "ProbabilisticResult"]

@@ -1,0 +1,249 @@
+"""The ENFrame platform facade.
+
+One object ties the pipeline together: load probabilistic data (static,
+synthetic, or from a pc-table query), register a user program (source
+text) or one of the built-in mining algorithms, choose compilation
+targets, and compute their probabilities with any of the paper's
+algorithms — naive per-world, sequential exact, eager/lazy/hybrid
+ε-approximation, or distributed.
+
+Typical use::
+
+    from repro import ENFrame, KMedoidsSpec
+
+    platform = ENFrame.from_sensor_data(40, scheme="mutex", seed=7)
+    platform.kmedoids(KMedoidsSpec(k=2, iterations=3))
+    result = platform.run(scheme="hybrid", epsilon=0.1)
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compile.compiler import ShannonCompiler, compile_network
+from ..compile.distributed import DistributedCompiler
+from ..compile.result import CompilationResult
+from ..data.datasets import ProbabilisticDataset, certain_dataset, sensor_dataset
+from ..events.expressions import Event
+from ..events.program import EventProgram, eid
+from ..lang.translate import (
+    TranslationExternals,
+    Translator,
+    dataset_externals,
+    translate_source,
+)
+from ..mining import targets as target_factories
+from ..mining.kmeans import KMeansSpec, build_kmeans_program, kmeans_assignment_targets
+from ..mining.kmedoids import (
+    KMedoidsSpec,
+    build_kmedoids_folded,
+    build_kmedoids_program,
+)
+from ..network.build import build_network
+from ..network.nodes import EventNetwork
+from ..worlds.naive import naive_probabilities
+from ..worlds.variables import VariablePool
+from .result import ProbabilisticResult
+
+
+class ENFrame:
+    """A configured platform instance bound to one probabilistic dataset."""
+
+    def __init__(self, dataset: ProbabilisticDataset) -> None:
+        self.dataset = dataset
+        self.program: Optional[EventProgram] = None
+        self.network: Optional[EventNetwork] = None
+        self.translator: Optional[Translator] = None
+        self._target_names: List[str] = []
+        self._spec: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    # Data loading
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_points(
+        cls, points: np.ndarray, events: Sequence[Event], pool: VariablePool
+    ) -> "ENFrame":
+        """Uncertain objects given explicitly (points + lineage + pool)."""
+        return cls(ProbabilisticDataset(np.asarray(points, float), list(events), pool))
+
+    @classmethod
+    def from_certain_points(cls, points: np.ndarray) -> "ENFrame":
+        """Deterministic input: the platform degrades to ordinary mining."""
+        return cls(certain_dataset(points))
+
+    @classmethod
+    def from_sensor_data(cls, count: int, **options) -> "ENFrame":
+        """Synthetic energy-network sensor data (see ``repro.data``)."""
+        return cls(sensor_dataset(count, **options))
+
+    @classmethod
+    def from_query(cls, query, feature_attributes: Sequence[str], pool) -> "ENFrame":
+        """Uncertain objects imported from a pc-table query (``loadData()``
+        via the SPROUT-style substrate of ``repro.db``)."""
+        return cls(query.to_dataset(feature_attributes, pool))
+
+    # ------------------------------------------------------------------
+    # Program registration
+    # ------------------------------------------------------------------
+
+    def kmedoids(
+        self,
+        spec: KMedoidsSpec,
+        targets: str = "medoids",
+        target_objects: Optional[Sequence[int]] = None,
+        folded: bool = False,
+    ) -> "ENFrame":
+        """Register k-medoids clustering (Figure 1).
+
+        ``targets`` selects the compilation targets: ``"medoids"``
+        (medoid-election events, the paper's default), ``"assignments"``
+        (object–cluster assignment), or ``"is_medoid"`` (object is a
+        medoid of any cluster).
+        """
+        self._spec = spec
+        n = len(self.dataset)
+        last = spec.iterations - 1
+        if folded:
+            if targets != "medoids":
+                raise ValueError("folded networks currently target medoids only")
+            self.network = build_kmedoids_folded(self.dataset, spec)
+            self.program = None
+            self._target_names = list(self.network.targets)
+            return self
+        program = build_kmedoids_program(self.dataset, spec)
+        if targets == "medoids":
+            names = target_factories.medoid_targets(
+                program, spec.k, n, last, objects=target_objects
+            )
+        elif targets == "assignments":
+            names = target_factories.assignment_targets(
+                program, spec.k, n, last, objects=target_objects
+            )
+        elif targets == "is_medoid":
+            names = target_factories.is_medoid_targets(
+                program, spec.k, last, target_objects or range(n)
+            )
+        else:
+            raise ValueError(f"unknown target kind {targets!r}")
+        self.program = program
+        self.network = build_network(program)
+        self._target_names = names
+        return self
+
+    def kmeans(
+        self,
+        spec: KMeansSpec,
+        target_objects: Optional[Sequence[int]] = None,
+    ) -> "ENFrame":
+        """Register k-means clustering (Figure 2); targets are the final
+        object–cluster assignment events."""
+        self._spec = spec
+        program = build_kmeans_program(self.dataset, spec)
+        names = kmeans_assignment_targets(
+            program, spec.k, len(self.dataset), spec.iterations - 1, target_objects
+        )
+        self.program = program
+        self.network = build_network(program)
+        self._target_names = names
+        return self
+
+    def cooccurrence(self, pairs: Iterable[Tuple[int, int]]) -> "ENFrame":
+        """Add co-occurrence targets ("are o_l and o_p in the same
+        cluster?") to a registered k-medoids/k-means program."""
+        if self.program is None or self._spec is None:
+            raise RuntimeError("register a clustering program first")
+        spec = self._spec
+        names = target_factories.cooccurrence_targets(
+            self.program, spec.k, spec.iterations - 1, pairs
+        )
+        self._target_names.extend(names)
+        self.network = build_network(self.program)
+        return self
+
+    def user_program(
+        self,
+        source: str,
+        params: Tuple[Any, ...],
+        init_indices: Sequence[int],
+        targets: Sequence[Tuple[str, Tuple[int, ...]]],
+    ) -> "ENFrame":
+        """Register an arbitrary user-language program.
+
+        ``params`` feeds ``loadParams()``, ``init_indices`` the initial
+        medoid/centroid choice, and ``targets`` names program variables
+        (with concrete indices) whose final values become compilation
+        targets, e.g. ``[("Centre", (0, 3))]``.
+        """
+        externals = dataset_externals(self.dataset, params, init_indices)
+        program, translator = translate_source(source, externals)
+        names = [
+            translator.target(variable, *indices) for variable, indices in targets
+        ]
+        self.program = program
+        self.translator = translator
+        self.network = build_network(program)
+        self._target_names = names
+        return self
+
+    # ------------------------------------------------------------------
+    # Probability computation
+    # ------------------------------------------------------------------
+
+    @property
+    def target_names(self) -> Tuple[str, ...]:
+        return tuple(self._target_names)
+
+    def run(
+        self,
+        scheme: str = "exact",
+        epsilon: float = 0.0,
+        order: "str | Sequence[int]" = "frequency",
+        workers: Optional[int] = None,
+        job_size: int = 3,
+        timeout: Optional[float] = None,
+    ) -> ProbabilisticResult:
+        """Compute target probabilities.
+
+        ``scheme`` is one of ``naive``, ``exact``, ``lazy``, ``eager``,
+        ``hybrid``, or ``montecarlo`` (the MCDB-style statistical
+        baseline); passing ``workers`` switches to the distributed
+        compiler (``hybrid-d`` & friends, Section 4.4).
+        """
+        if self.network is None:
+            raise RuntimeError("no program registered; call kmedoids()/kmeans()/...")
+        pool = self.dataset.pool
+        if scheme == "naive":
+            raw = naive_probabilities(
+                self.network, pool, targets=self._target_names, timeout=timeout
+            )
+        elif scheme == "montecarlo":
+            from ..compile.montecarlo import monte_carlo_probabilities
+
+            raw = monte_carlo_probabilities(
+                self.network, pool, targets=self._target_names
+            )
+        elif workers is not None:
+            coordinator = DistributedCompiler(
+                self.network,
+                pool,
+                targets=self._target_names,
+                order=order,
+                workers=workers,
+                job_size=job_size,
+            )
+            raw = coordinator.run(scheme=scheme, epsilon=epsilon)
+        else:
+            raw = compile_network(
+                self.network,
+                pool,
+                scheme=scheme,
+                epsilon=epsilon,
+                targets=self._target_names,
+                order=order,
+            )
+        return ProbabilisticResult(raw, list(self._target_names))

@@ -1,0 +1,68 @@
+"""User-facing results: probability distributions over program outputs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compile.result import CompilationResult
+
+
+class ProbabilisticResult:
+    """Wraps a :class:`CompilationResult` with friendlier accessors.
+
+    The result of a probabilistic program is a probability per output
+    event — e.g. per (cluster, object) medoid-election event — together
+    with the certified bounds and run statistics.
+    """
+
+    def __init__(self, raw: CompilationResult, targets: List[str]) -> None:
+        self.raw = raw
+        self.targets = targets
+
+    def probability(self, target: str) -> float:
+        return self.raw.probability(target)
+
+    def bounds(self, target: str) -> Tuple[float, float]:
+        return self.raw.bounds[target]
+
+    def probabilities(self) -> Dict[str, float]:
+        return {target: self.raw.probability(target) for target in self.targets}
+
+    @property
+    def seconds(self) -> float:
+        return self.raw.seconds
+
+    @property
+    def scheme(self) -> str:
+        return self.raw.scheme
+
+    def max_gap(self) -> float:
+        return self.raw.max_gap()
+
+    def is_exact(self, tolerance: float = 1e-9) -> bool:
+        return self.raw.is_exact(tolerance)
+
+    def top(self, count: int = 10) -> List[Tuple[str, float]]:
+        """The ``count`` most probable targets."""
+        ranked = sorted(
+            ((target, self.probability(target)) for target in self.targets),
+            key=lambda pair: -pair[1],
+        )
+        return ranked[:count]
+
+    def summary(self, limit: Optional[int] = 12) -> str:
+        lines = [
+            f"{self.raw.scheme} (ε={self.raw.epsilon}): "
+            f"{len(self.targets)} targets in {self.raw.seconds:.4f}s "
+            f"({self.raw.tree_nodes} decision-tree nodes)"
+        ]
+        shown = self.targets if limit is None else self.targets[:limit]
+        for target in shown:
+            lower, upper = self.raw.bounds[target]
+            if upper - lower <= 1e-9:
+                lines.append(f"  P[{target}] = {lower:.6f}")
+            else:
+                lines.append(f"  P[{target}] ∈ [{lower:.6f}, {upper:.6f}]")
+        if limit is not None and len(self.targets) > limit:
+            lines.append(f"  ... ({len(self.targets) - limit} more targets)")
+        return "\n".join(lines)

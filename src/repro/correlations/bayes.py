@@ -1,0 +1,134 @@
+"""Discrete Bayesian networks compiled to lineage events.
+
+Events "can succinctly encode instances of such formalisms as Bayesian
+networks and pc-tables" (Section 3).  This module makes that concrete
+for Boolean Bayesian networks: every node gets, per parent configuration,
+a fresh independent variable carrying the conditional probability; the
+node's event is then built by case analysis over the parents.  The
+conditional-correlations Markov chain of the evaluation (Section 5) is
+exactly the chain special case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import itertools
+
+from ..events.expressions import Event, conj, disj, negate, var
+from ..worlds.variables import VariablePool
+
+
+@dataclass
+class BayesNode:
+    """A Boolean BN node: parents plus a CPT over parent configurations.
+
+    ``cpt`` maps each tuple of parent truth values (ordered as
+    ``parents``) to ``P(node = true | configuration)``.  Root nodes use
+    the empty tuple as the single key.
+    """
+
+    name: str
+    parents: Tuple[str, ...]
+    cpt: Dict[Tuple[bool, ...], float]
+
+    def __post_init__(self) -> None:
+        expected = 2 ** len(self.parents)
+        if len(self.cpt) != expected:
+            raise ValueError(
+                f"node {self.name!r}: CPT must cover all {expected} parent "
+                f"configurations, got {len(self.cpt)}"
+            )
+
+
+class BayesianNetwork:
+    """A Boolean Bayesian network compiled to events over fresh variables."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, BayesNode] = {}
+        self._order: List[str] = []
+
+    def add_node(
+        self,
+        name: str,
+        parents: Sequence[str] = (),
+        cpt: Optional[Dict[Tuple[bool, ...], float]] = None,
+        probability: Optional[float] = None,
+    ) -> None:
+        """Add a node; roots may pass ``probability`` instead of a CPT."""
+        if name in self._nodes:
+            raise ValueError(f"node {name!r} already exists")
+        for parent in parents:
+            if parent not in self._nodes:
+                raise ValueError(
+                    f"parent {parent!r} of {name!r} must be added first"
+                )
+        if cpt is None:
+            if probability is None or parents:
+                raise ValueError(
+                    f"node {name!r}: pass a CPT (or a probability for roots)"
+                )
+            cpt = {(): probability}
+        self._nodes[name] = BayesNode(name, tuple(parents), dict(cpt))
+        self._order.append(name)
+
+    def compile(self, pool: VariablePool) -> Dict[str, Event]:
+        """Compile every node to an event over fresh pool variables.
+
+        For node ``X`` with parents ``P1..Pm`` the encoding introduces a
+        fresh variable ``x_c`` per parent configuration ``c`` with
+        marginal ``P(X | c)`` and defines
+
+            ``Φ(X) = ∨_c ( parents-match-c ∧ x_c )``
+
+        which yields exactly the network's joint distribution (the chain
+        rule, one independent coin per CPT row).
+        """
+        events: Dict[str, Event] = {}
+        for name in self._order:
+            node = self._nodes[name]
+            cases: List[Event] = []
+            for configuration in itertools.product(
+                (True, False), repeat=len(node.parents)
+            ):
+                coin = var(
+                    pool.add(
+                        node.cpt[configuration],
+                        name=f"{name}|{''.join('T' if v else 'F' for v in configuration)}",
+                    )
+                )
+                literals: List[Event] = []
+                for parent, value in zip(node.parents, configuration):
+                    parent_event = events[parent]
+                    literals.append(
+                        parent_event if value else negate(parent_event)
+                    )
+                cases.append(conj(literals + [coin]))
+            events[name] = disj(cases)
+        return events
+
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        return tuple(self._order)
+
+
+def markov_chain(
+    length: int,
+    pool: VariablePool,
+    start: float = 0.6,
+    stay: float = 0.7,
+    flip: float = 0.3,
+) -> List[Event]:
+    """A Boolean Markov chain as a Bayesian network (Section 5's
+    conditional-correlations scheme with explicit transition CPTs)."""
+    network = BayesianNetwork()
+    network.add_node("s0", probability=start)
+    for index in range(1, length):
+        network.add_node(
+            f"s{index}",
+            parents=(f"s{index - 1}",),
+            cpt={(True,): stay, (False,): flip},
+        )
+    events = network.compile(pool)
+    return [events[f"s{index}"] for index in range(length)]

@@ -1,0 +1,206 @@
+"""Correlation schemes for probabilistic input data (paper, Section 5).
+
+The paper evaluates ENFrame under three lineage schemes, each assigning a
+Boolean event ``Φ(o_l)`` over the variable pool to every data point:
+
+* **positive** — each event is a disjunction of ``l`` distinct positive
+  literals; any two points are positively correlated or independent.
+* **mutex** — points are partitioned into mutex sets of cardinality at
+  most ``m``: within a set any two points are mutually exclusive,
+  across sets they are independent.
+* **conditional** — a Markov chain: ``Φ_{i+1} = (Φ_i ∧ xt_{i+1}) ∨
+  (¬Φ_i ∧ xf_{i+1})``, introducing two fresh variables per point.
+* **independent** — one fresh variable per point (the model assumed by
+  most prior art; included for comparison).
+
+All schemes support *group lineage* ("data points were divided in groups
+with identical lineage", group size 4 in the paper — realistic for
+time-series sensor readings from a small time window) and a fraction of
+*certain* points (``Φ = ⊤``), used in Figure 8.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..events.expressions import TRUE, Event, conj, disj, negate, var
+from ..worlds.variables import VariablePool
+
+
+@dataclass
+class Lineage:
+    """Lineage events for a set of data points over a shared pool."""
+
+    pool: VariablePool
+    events: List[Event]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def variable_count(self) -> int:
+        return len(self.pool)
+
+    def certain_count(self) -> int:
+        return sum(1 for event in self.events if event is TRUE)
+
+
+def _grouped(count: int, group_size: int) -> List[int]:
+    """Group index per data point (consecutive points share lineage)."""
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    return [index // group_size for index in range(count)]
+
+
+def _apply_certain(
+    events: List[Event],
+    certain_fraction: float,
+    rng: random.Random,
+) -> List[Event]:
+    """Make a fraction of the points certain (Φ = ⊤), chosen at random."""
+    if not 0.0 <= certain_fraction <= 1.0:
+        raise ValueError("certain_fraction must be in [0, 1]")
+    if certain_fraction == 0.0:
+        return events
+    count = int(round(certain_fraction * len(events)))
+    chosen = set(rng.sample(range(len(events)), count))
+    return [
+        TRUE if index in chosen else event for index, event in enumerate(events)
+    ]
+
+
+def positive_lineage(
+    count: int,
+    variables: int,
+    rng: random.Random,
+    literals: int = 8,
+    group_size: int = 4,
+    certain_fraction: float = 0.0,
+    prob_low: float = 0.5,
+    prob_high: float = 0.8,
+) -> Lineage:
+    """Positive correlations: each event is a disjunction of ``literals``
+    distinct positive literals over a pool of ``variables`` variables."""
+    if literals > variables:
+        raise ValueError("cannot draw more literals than variables")
+    pool = VariablePool()
+    for _ in range(variables):
+        pool.add(rng.uniform(prob_low, prob_high))
+    events: List[Event] = []
+    group_events: Dict[int, Event] = {}
+    for group in _grouped(count, group_size):
+        if group not in group_events:
+            chosen = rng.sample(range(variables), literals)
+            group_events[group] = disj([var(index) for index in sorted(chosen)])
+        events.append(group_events[group])
+    return Lineage(pool, _apply_certain(events, certain_fraction, rng))
+
+
+def mutex_lineage(
+    count: int,
+    rng: random.Random,
+    mutex_size: int = 12,
+    group_size: int = 4,
+    certain_fraction: float = 0.0,
+    prob_low: float = 0.5,
+    prob_high: float = 0.8,
+) -> Lineage:
+    """Mutex correlations: groups are partitioned into mutex sets.
+
+    Each mutex set of ``m`` lineage groups uses ``m`` fresh variables
+    ``x_1..x_m``; group ``j`` of the set receives the event
+    ``x_j ∧ ¬x_1 ∧ ... ∧ ¬x_{j-1}``, so at most one group of the set is
+    present in any world and groups in different sets are independent.
+    """
+    if mutex_size < 1:
+        raise ValueError("mutex_size must be >= 1")
+    pool = VariablePool()
+    groups = _grouped(count, group_size)
+    group_count = (groups[-1] + 1) if groups else 0
+    group_events: List[Event] = []
+    position = 0
+    set_vars: List[int] = []
+    for group in range(group_count):
+        if position == 0:
+            set_vars = [
+                pool.add(rng.uniform(prob_low, prob_high))
+                for _ in range(min(mutex_size, group_count - group))
+            ]
+        literals: List[Event] = [var(set_vars[position])]
+        literals.extend(negate(var(index)) for index in set_vars[:position])
+        group_events.append(conj(literals))
+        position = (position + 1) % len(set_vars)
+    events = [group_events[group] for group in groups]
+    return Lineage(pool, _apply_certain(events, certain_fraction, rng))
+
+
+def conditional_lineage(
+    count: int,
+    rng: random.Random,
+    group_size: int = 4,
+    certain_fraction: float = 0.0,
+    prob_low: float = 0.5,
+    prob_high: float = 0.8,
+) -> Lineage:
+    """Conditional correlations: lineage groups form a Markov chain.
+
+    ``Φ_0 = x_0``; ``Φ_{i+1} = (Φ_i ∧ xt_{i+1}) ∨ (¬Φ_i ∧ xf_{i+1})`` with
+    two fresh variables per group (paper, Section 5 "Uncertainty").
+    """
+    pool = VariablePool()
+    groups = _grouped(count, group_size)
+    group_count = (groups[-1] + 1) if groups else 0
+    group_events: List[Event] = []
+    previous: Optional[Event] = None
+    for group in range(group_count):
+        if previous is None:
+            current: Event = var(pool.add(rng.uniform(prob_low, prob_high)))
+        else:
+            x_true = var(pool.add(rng.uniform(prob_low, prob_high)))
+            x_false = var(pool.add(rng.uniform(prob_low, prob_high)))
+            current = disj(
+                [conj([previous, x_true]), conj([negate(previous), x_false])]
+            )
+        group_events.append(current)
+        previous = current
+    events = [group_events[group] for group in groups]
+    return Lineage(pool, _apply_certain(events, certain_fraction, rng))
+
+
+def independent_lineage(
+    count: int,
+    rng: random.Random,
+    group_size: int = 1,
+    certain_fraction: float = 0.0,
+    prob_low: float = 0.5,
+    prob_high: float = 0.8,
+) -> Lineage:
+    """Tuple-independent lineage: one fresh variable per lineage group."""
+    pool = VariablePool()
+    groups = _grouped(count, group_size)
+    group_count = (groups[-1] + 1) if groups else 0
+    group_events = [
+        var(pool.add(rng.uniform(prob_low, prob_high))) for _ in range(group_count)
+    ]
+    events = [group_events[group] for group in groups]
+    return Lineage(pool, _apply_certain(events, certain_fraction, rng))
+
+
+SCHEME_FACTORIES: Dict[str, Callable[..., Lineage]] = {
+    "positive": positive_lineage,
+    "mutex": mutex_lineage,
+    "conditional": conditional_lineage,
+    "independent": independent_lineage,
+}
+
+
+def make_lineage(scheme: str, count: int, rng: random.Random, **options) -> Lineage:
+    """Dispatch on a scheme name; see the per-scheme factories for options."""
+    if scheme not in SCHEME_FACTORIES:
+        raise ValueError(
+            f"unknown correlation scheme {scheme!r}; "
+            f"expected one of {sorted(SCHEME_FACTORIES)}"
+        )
+    return SCHEME_FACTORIES[scheme](count, rng=rng, **options)

@@ -1,0 +1,27 @@
+"""Datasets: synthetic sensor data and probabilistic dataset containers."""
+
+from .datasets import (
+    ProbabilisticDataset,
+    certain_dataset,
+    from_lineage,
+    sensor_dataset,
+)
+from .sensors import (
+    DEFAULT_REGIMES,
+    Regime,
+    fraction,
+    generate_sensor_readings,
+    normalise,
+)
+
+__all__ = [
+    "DEFAULT_REGIMES",
+    "ProbabilisticDataset",
+    "Regime",
+    "certain_dataset",
+    "fraction",
+    "from_lineage",
+    "generate_sensor_readings",
+    "normalise",
+    "sensor_dataset",
+]

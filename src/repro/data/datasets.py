@@ -1,0 +1,95 @@
+"""Probabilistic datasets: feature vectors bound to lineage events.
+
+A :class:`ProbabilisticDataset` is the input contract of the platform:
+``n`` points in feature space, each with a Boolean lineage event over a
+shared variable pool.  Factories cover the paper's setups: synthetic
+sensor data under any correlation scheme, fully certain data, and data
+loaded from a pc-table query (the SPROUT path, see :mod:`repro.db`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..correlations.schemes import Lineage, make_lineage
+from ..events.expressions import TRUE, Event
+from ..worlds.variables import VariablePool
+from .sensors import generate_sensor_readings, normalise
+
+
+@dataclass
+class ProbabilisticDataset:
+    """Uncertain input objects: points plus per-point lineage events."""
+
+    points: np.ndarray
+    events: List[Event]
+    pool: VariablePool
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=float)
+        if self.points.ndim != 2:
+            raise ValueError("points must be a 2-D array (objects x features)")
+        if len(self.points) != len(self.events):
+            raise ValueError(
+                f"{len(self.points)} points but {len(self.events)} lineage events"
+            )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def dimensions(self) -> int:
+        return self.points.shape[1]
+
+    @property
+    def variable_count(self) -> int:
+        return len(self.pool)
+
+    def certain_count(self) -> int:
+        return sum(1 for event in self.events if event is TRUE)
+
+    def subset(self, count: int) -> "ProbabilisticDataset":
+        """The first ``count`` points (lineage and pool are shared)."""
+        if not 0 < count <= len(self):
+            raise ValueError(f"count must be in 1..{len(self)}")
+        return ProbabilisticDataset(
+            self.points[:count], list(self.events[:count]), self.pool
+        )
+
+
+def certain_dataset(points: np.ndarray) -> ProbabilisticDataset:
+    """A deterministic dataset: every point exists in every world."""
+    points = np.asarray(points, dtype=float)
+    return ProbabilisticDataset(points, [TRUE] * len(points), VariablePool())
+
+
+def from_lineage(points: np.ndarray, lineage: Lineage) -> ProbabilisticDataset:
+    return ProbabilisticDataset(points, list(lineage.events), lineage.pool)
+
+
+def sensor_dataset(
+    count: int,
+    scheme: str = "positive",
+    seed: int = 0,
+    dimensions: int = 2,
+    normalise_features: bool = True,
+    **scheme_options,
+) -> ProbabilisticDataset:
+    """Synthetic sensor readings under one of the correlation schemes.
+
+    This is the workhorse factory for the paper's experiments: it draws
+    ``count`` partial-discharge readings and attaches lineage from the
+    requested scheme (``positive``/``mutex``/``conditional``/
+    ``independent``), forwarding scheme options such as ``variables``,
+    ``literals``, ``mutex_size``, ``group_size``, ``certain_fraction``.
+    """
+    rng = random.Random(seed)
+    points = generate_sensor_readings(count, rng, dimensions=dimensions)
+    if normalise_features and count > 0:
+        points = normalise(points)
+    lineage = make_lineage(scheme, count, rng, **scheme_options)
+    return from_lineage(points, lineage)

@@ -1,0 +1,115 @@
+"""Aggregation over pc-tables producing conditional values.
+
+Aggregates over uncertain relations are random variables; following the
+semimodule construction of Fink, Han & Olteanu (PVLDB 2012) — the paper's
+reference [14] — we encode them as c-value expressions:
+
+* ``SUM(A)``   → ``Σ_t  Φ(t) ⊗ t.A``
+* ``COUNT(*)`` → ``Σ_t  Φ(t) ⊗ 1``
+* ``AVG(A)``   → ``COUNT(*)^{-1} · SUM(A)``
+* ``MIN/MAX(A)`` → Boolean events per candidate value (the candidate is
+  the extremum iff it is present and no smaller/larger candidate is).
+
+The resulting expressions plug directly into event programs: this is how
+``loadData()`` queries feed ENFrame with aggregate-derived uncertain
+values.  Note the empty aggregate is the *undefined* value ``u`` (the sum
+of no terms), matching Section 3.2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..events.expressions import (
+    CVal,
+    Event,
+    cinv,
+    conj,
+    cprod,
+    csum,
+    disj,
+    guard,
+    negate,
+)
+from .pctable import PCTable
+
+
+def sum_aggregate(table: PCTable, attribute: str) -> CVal:
+    """``SUM(attribute)`` as a c-value: ``Σ_t Φ(t) ⊗ t.A``."""
+    index = table.attribute_index(attribute)
+    return csum(guard(row.event, float(row.values[index])) for row in table)
+
+
+def count_aggregate(table: PCTable) -> CVal:
+    """``COUNT(*)`` as a c-value: ``Σ_t Φ(t) ⊗ 1``."""
+    return csum(guard(row.event, 1.0) for row in table)
+
+
+def avg_aggregate(table: PCTable, attribute: str) -> CVal:
+    """``AVG(attribute)`` as ``COUNT^{-1} · SUM`` (undefined when empty)."""
+    return cprod([cinv(count_aggregate(table)), sum_aggregate(table, attribute)])
+
+
+def min_events(table: PCTable, attribute: str) -> List[Tuple[float, Event]]:
+    """Events ``[value is the minimum]`` per distinct candidate value.
+
+    Candidate ``v`` is the minimum iff some tuple with value ``v`` is
+    present and every tuple with a smaller value is absent.
+    """
+    return _extremum_events(table, attribute, smaller_wins=True)
+
+
+def max_events(table: PCTable, attribute: str) -> List[Tuple[float, Event]]:
+    """Events ``[value is the maximum]`` per distinct candidate value."""
+    return _extremum_events(table, attribute, smaller_wins=False)
+
+
+def _extremum_events(
+    table: PCTable, attribute: str, smaller_wins: bool
+) -> List[Tuple[float, Event]]:
+    index = table.attribute_index(attribute)
+    by_value: Dict[float, List[Event]] = {}
+    for row in table:
+        by_value.setdefault(float(row.values[index]), []).append(row.event)
+    ordered = sorted(by_value, reverse=not smaller_wins)
+    results: List[Tuple[float, Event]] = []
+    beaten: List[Event] = []
+    for value in ordered:
+        present = disj(by_value[value])
+        blockers = [negate(event) for event in beaten]
+        results.append((value, conj([present] + blockers)))
+        beaten.append(present)
+    return results
+
+
+def count_distinct_events(
+    table: PCTable, attribute: str
+) -> List[Tuple[Any, Event]]:
+    """Per distinct value, the event that it appears in the world."""
+    index = table.attribute_index(attribute)
+    by_value: Dict[Any, List[Event]] = {}
+    order: List[Any] = []
+    for row in table:
+        value = row.values[index]
+        if value not in by_value:
+            by_value[value] = []
+            order.append(value)
+        by_value[value].append(row.event)
+    return [(value, disj(by_value[value])) for value in order]
+
+
+def group_by_sum(
+    table: PCTable, group_attribute: str, value_attribute: str
+) -> List[Tuple[Any, CVal]]:
+    """``SELECT g, SUM(v) GROUP BY g`` as per-group c-values."""
+    group_index = table.attribute_index(group_attribute)
+    value_index = table.attribute_index(value_attribute)
+    groups: Dict[Any, List] = {}
+    order: List[Any] = []
+    for row in table:
+        key = row.values[group_index]
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(guard(row.event, float(row.values[value_index])))
+    return [(key, csum(groups[key])) for key in order]

@@ -1,0 +1,160 @@
+"""Positive relational algebra over pc-tables with lineage tracking.
+
+Implements σ (select), π (project), ⋈ (natural and theta join), ∪
+(union), × (product), and ρ (rename) with provenance-semiring lineage
+composition: joins conjoin the lineage of the joined tuples, projection
+under set semantics disjoins the lineage of merged duplicates, union
+disjoins across operands [Green et al., PODS 2007].  This is the query
+substrate that ``loadData()`` uses to import uncertain objects
+(Section 2: "ENFrame supports positive relational algebra queries with
+aggregates via the SPROUT query engine").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..events.expressions import Event, conj, disj
+from .pctable import PCTable, PCTuple
+
+Predicate = Callable[[Dict[str, Any]], bool]
+
+
+def _bindings(table: PCTable, row: PCTuple) -> Dict[str, Any]:
+    return dict(zip(table.schema, row.values))
+
+
+def select(table: PCTable, predicate: Predicate, name: Optional[str] = None) -> PCTable:
+    """σ: keep tuples satisfying a predicate over attribute bindings.
+
+    The predicate must be deterministic (it sees attribute values, not
+    lineage); selection never changes lineage.
+    """
+    result = PCTable(name or f"σ({table.name})", table.schema)
+    for row in table:
+        if predicate(_bindings(table, row)):
+            result.tuples.append(row)
+    return result
+
+
+def project(
+    table: PCTable,
+    attributes: Sequence[str],
+    name: Optional[str] = None,
+    set_semantics: bool = True,
+) -> PCTable:
+    """π: restrict to the given attributes.
+
+    Under set semantics, duplicate result tuples are merged and their
+    lineage is the *disjunction* of the merged tuples' lineage — the
+    possible-worlds-correct provenance of projection.
+    """
+    indices = [table.attribute_index(attribute) for attribute in attributes]
+    result = PCTable(name or f"π({table.name})", attributes)
+    if not set_semantics:
+        for row in table:
+            result.tuples.append(
+                PCTuple(tuple(row.values[index] for index in indices), row.event)
+            )
+        return result
+    merged: Dict[Tuple[Any, ...], List[Event]] = {}
+    order: List[Tuple[Any, ...]] = []
+    for row in table:
+        key = tuple(row.values[index] for index in indices)
+        if key not in merged:
+            merged[key] = []
+            order.append(key)
+        merged[key].append(row.event)
+    for key in order:
+        result.tuples.append(PCTuple(key, disj(merged[key])))
+    return result
+
+
+def rename(table: PCTable, mapping: Dict[str, str], name: Optional[str] = None) -> PCTable:
+    """ρ: rename attributes."""
+    schema = tuple(mapping.get(attribute, attribute) for attribute in table.schema)
+    result = PCTable(name or table.name, schema)
+    result.tuples = list(table.tuples)
+    return result
+
+
+def product(left: PCTable, right: PCTable, name: Optional[str] = None) -> PCTable:
+    """×: Cartesian product; lineage of a pair is the conjunction."""
+    overlap = set(left.schema) & set(right.schema)
+    if overlap:
+        raise ValueError(
+            f"product requires disjoint schemas; both have {sorted(overlap)} "
+            "(use rename or natural_join)"
+        )
+    result = PCTable(name or f"({left.name}×{right.name})", left.schema + right.schema)
+    for left_row in left:
+        for right_row in right:
+            result.tuples.append(
+                PCTuple(
+                    left_row.values + right_row.values,
+                    conj([left_row.event, right_row.event]),
+                )
+            )
+    return result
+
+
+def natural_join(left: PCTable, right: PCTable, name: Optional[str] = None) -> PCTable:
+    """⋈: natural join on shared attributes; lineage conjoins.
+
+    Implemented as a hash join on the shared attributes.
+    """
+    shared = [attribute for attribute in left.schema if attribute in right.schema]
+    right_only = [attribute for attribute in right.schema if attribute not in shared]
+    left_key = [left.attribute_index(attribute) for attribute in shared]
+    right_key = [right.attribute_index(attribute) for attribute in shared]
+    right_rest = [right.attribute_index(attribute) for attribute in right_only]
+
+    buckets: Dict[Tuple[Any, ...], List[PCTuple]] = {}
+    for row in right:
+        key = tuple(row.values[index] for index in right_key)
+        buckets.setdefault(key, []).append(row)
+
+    result = PCTable(
+        name or f"({left.name}⋈{right.name})", tuple(left.schema) + tuple(right_only)
+    )
+    for left_row in left:
+        key = tuple(left_row.values[index] for index in left_key)
+        for right_row in buckets.get(key, ()):  # hash-join probe
+            values = left_row.values + tuple(
+                right_row.values[index] for index in right_rest
+            )
+            result.tuples.append(
+                PCTuple(values, conj([left_row.event, right_row.event]))
+            )
+    return result
+
+
+def theta_join(
+    left: PCTable,
+    right: PCTable,
+    predicate: Predicate,
+    name: Optional[str] = None,
+) -> PCTable:
+    """⋈θ: join on an arbitrary predicate over the combined bindings."""
+    joined = product(left, right, name=name)
+    return select(joined, predicate, name=name or joined.name)
+
+
+def union(left: PCTable, right: PCTable, name: Optional[str] = None) -> PCTable:
+    """∪: set union; duplicate tuples merge lineage disjunctively."""
+    if left.schema != right.schema:
+        raise ValueError(
+            f"union requires identical schemas; got {left.schema} and {right.schema}"
+        )
+    merged: Dict[Tuple[Any, ...], List[Event]] = {}
+    order: List[Tuple[Any, ...]] = []
+    for table in (left, right):
+        for row in table:
+            if row.values not in merged:
+                merged[row.values] = []
+                order.append(row.values)
+            merged[row.values].append(row.event)
+    result = PCTable(name or f"({left.name}∪{right.name})", left.schema)
+    for key in order:
+        result.tuples.append(PCTuple(key, disj(merged[key])))
+    return result

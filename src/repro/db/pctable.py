@@ -1,0 +1,154 @@
+"""PC-tables: relations whose tuples carry lineage events.
+
+A pc-table (probabilistic conditional table) annotates every tuple with a
+propositional event over the random-variable pool; the possible worlds of
+the table are its subinstances, each containing exactly the tuples whose
+events hold (Section 3: events "can succinctly encode instances of such
+formalisms as Bayesian networks and pc-tables").
+
+This module is the storage layer of the SPROUT-style query substrate:
+:mod:`repro.db.algebra` evaluates positive relational algebra over
+pc-tables with lineage composition, :mod:`repro.db.aggregates` computes
+aggregate c-values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..events.expressions import TRUE, Event, conj, disj, var
+from ..worlds.variables import VariablePool, Valuation
+from ..events.semantics import Evaluator
+
+
+@dataclass(frozen=True)
+class PCTuple:
+    """A tuple plus its lineage event."""
+
+    values: Tuple[Any, ...]
+    event: Event
+
+    def __getitem__(self, position: int) -> Any:
+        return self.values[position]
+
+
+class PCTable:
+    """A named relation over a schema, with per-tuple lineage."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Sequence[str],
+        tuples: Optional[Iterable[PCTuple]] = None,
+    ) -> None:
+        self.name = name
+        self.schema: Tuple[str, ...] = tuple(schema)
+        if len(set(self.schema)) != len(self.schema):
+            raise ValueError(f"duplicate attribute names in {self.schema}")
+        self.tuples: List[PCTuple] = list(tuples) if tuples is not None else []
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[PCTuple]:
+        return iter(self.tuples)
+
+    def attribute_index(self, attribute: str) -> int:
+        try:
+            return self.schema.index(attribute)
+        except ValueError:
+            raise KeyError(
+                f"relation {self.name!r} has no attribute {attribute!r}; "
+                f"schema is {self.schema}"
+            ) from None
+
+    def insert(self, values: Sequence[Any], event: Event = TRUE) -> None:
+        """Append a tuple; omitted lineage means the tuple is certain."""
+        if len(values) != len(self.schema):
+            raise ValueError(
+                f"expected {len(self.schema)} values, got {len(values)}"
+            )
+        self.tuples.append(PCTuple(tuple(values), event))
+
+    def column(self, attribute: str) -> List[Any]:
+        index = self.attribute_index(attribute)
+        return [row[index] for row in self.tuples]
+
+    # ------------------------------------------------------------------
+    # Possible-worlds semantics
+    # ------------------------------------------------------------------
+
+    def world(self, valuation: Valuation) -> List[Tuple[Any, ...]]:
+        """The deterministic instance of this table in one world."""
+        evaluator = Evaluator(valuation)
+        return [
+            row.values for row in self.tuples if evaluator.event(row.event)
+        ]
+
+    def tuple_probability(self, position: int, pool: VariablePool) -> float:
+        """Marginal probability of one tuple (by enumeration)."""
+        from ..events.probability import event_probability
+
+        return event_probability(self.tuples[position].event, pool)
+
+    def pretty(self, limit: Optional[int] = 20) -> str:
+        header = f"{self.name}({', '.join(self.schema)})"
+        lines = [header, "-" * len(header)]
+        for index, row in enumerate(self.tuples):
+            if limit is not None and index >= limit:
+                lines.append(f"... ({len(self.tuples) - limit} more)")
+                break
+            rendered = ", ".join(str(value) for value in row.values)
+            lines.append(f"({rendered})  ⟨{row.event!r}⟩")
+        return "\n".join(lines)
+
+
+def tuple_independent(
+    name: str,
+    schema: Sequence[str],
+    rows: Iterable[Tuple[Sequence[Any], float]],
+    pool: VariablePool,
+) -> PCTable:
+    """Build a tuple-independent table: one fresh variable per tuple.
+
+    ``rows`` yields ``(values, probability)`` pairs.  This is the classic
+    TID model, the simplest pc-table.
+    """
+    table = PCTable(name, schema)
+    for values, probability in rows:
+        table.insert(values, var(pool.add(probability)))
+    return table
+
+
+def block_independent_disjoint(
+    name: str,
+    schema: Sequence[str],
+    blocks: Iterable[Sequence[Tuple[Sequence[Any], float]]],
+    pool: VariablePool,
+) -> PCTable:
+    """Build a BID table: tuples within a block are mutually exclusive.
+
+    Each block is a list of ``(values, probability)`` alternatives whose
+    probabilities must sum to at most 1.  The encoding uses one fresh
+    variable per alternative with chained negations, the same encoding
+    as the mutex correlation scheme.
+    """
+    table = PCTable(name, schema)
+    for block in blocks:
+        total = sum(probability for _, probability in block)
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"block probabilities sum to {total} > 1")
+        previous: List[Event] = []
+        remaining = 1.0
+        for values, probability in block:
+            if remaining <= 0:
+                conditional = 0.0
+            else:
+                conditional = min(1.0, probability / remaining)
+            fresh = var(pool.add(conditional))
+            event = conj([fresh] + [previous_event for previous_event in previous])
+            table.insert(values, event)
+            previous.append(~fresh)
+            remaining -= probability
+    return table

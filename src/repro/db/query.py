@@ -1,0 +1,73 @@
+"""A small fluent query API over pc-tables.
+
+Wraps the algebra operators so that ``loadData()`` implementations and
+examples can express queries compactly::
+
+    readings = Query(sensors).where(lambda t: t["load"] > 0.5)\
+                             .join(Query(substations))\
+                             .project("substation", "discharge")\
+                             .table()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.datasets import ProbabilisticDataset
+from ..events.expressions import Event
+from ..worlds.variables import VariablePool
+from . import algebra
+from .pctable import PCTable
+
+
+class Query:
+    """A lazy-ish query builder; every step materialises a pc-table."""
+
+    def __init__(self, table: PCTable) -> None:
+        self._table = table
+
+    def table(self) -> PCTable:
+        return self._table
+
+    def where(self, predicate: Callable[[Dict[str, Any]], bool]) -> "Query":
+        return Query(algebra.select(self._table, predicate))
+
+    def project(self, *attributes: str) -> "Query":
+        return Query(algebra.project(self._table, attributes))
+
+    def rename(self, **mapping: str) -> "Query":
+        return Query(algebra.rename(self._table, mapping))
+
+    def join(self, other: "Query") -> "Query":
+        return Query(algebra.natural_join(self._table, other._table))
+
+    def join_on(
+        self, other: "Query", predicate: Callable[[Dict[str, Any]], bool]
+    ) -> "Query":
+        return Query(algebra.theta_join(self._table, other._table, predicate))
+
+    def union(self, other: "Query") -> "Query":
+        return Query(algebra.union(self._table, other._table))
+
+    # ------------------------------------------------------------------
+    # Bridges into the mining layer
+    # ------------------------------------------------------------------
+
+    def to_dataset(
+        self, feature_attributes: Sequence[str], pool: VariablePool
+    ) -> ProbabilisticDataset:
+        """Materialise query results as a probabilistic dataset.
+
+        Each result tuple becomes one uncertain object whose feature
+        vector is read from the named attributes and whose lineage is
+        the tuple's provenance — the ``loadData()`` path of the paper.
+        """
+        indices = [self._table.attribute_index(a) for a in feature_attributes]
+        points = np.array(
+            [[float(row.values[i]) for i in indices] for row in self._table],
+            dtype=float,
+        ).reshape(len(self._table), len(indices))
+        events: List[Event] = [row.event for row in self._table]
+        return ProbabilisticDataset(points, events, pool)

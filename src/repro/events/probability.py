@@ -1,0 +1,98 @@
+"""Probabilistic semantics of events by explicit enumeration (Section 3.3).
+
+Every event expression is a random variable over the probability space
+induced by the variable pool.  This module computes the exact probability
+distribution of events and c-values by enumerating all ``2^|X|``
+valuations.  It is intentionally simple: it serves as the *testing
+oracle* against which the compiled algorithms in :mod:`repro.compile`
+are validated, and as the reference implementation of Definition 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..worlds.variables import VariablePool
+from .expressions import CVal, Event
+from .semantics import Environment, Evaluator
+from .values import UNDEFINED, Value, _value_key_for_distribution
+
+
+def event_probability(
+    expression: Event,
+    pool: VariablePool,
+    environment: Optional[Environment] = None,
+) -> float:
+    """``P[expression = true]`` by enumerating every valuation."""
+    probability = 0.0
+    for valuation, mass in pool.iter_valuations():
+        if mass == 0.0:
+            continue
+        if Evaluator(valuation, environment).event(expression):
+            probability += mass
+    return probability
+
+
+def event_probabilities(
+    expressions: Mapping[str, Event],
+    pool: VariablePool,
+    environment: Optional[Environment] = None,
+) -> Dict[str, float]:
+    """Probabilities for several events sharing one enumeration pass."""
+    totals = {name: 0.0 for name in expressions}
+    for valuation, mass in pool.iter_valuations():
+        if mass == 0.0:
+            continue
+        evaluator = Evaluator(valuation, environment)
+        for name, expression in expressions.items():
+            if evaluator.event(expression):
+                totals[name] += mass
+    return totals
+
+
+def cval_distribution(
+    expression: CVal,
+    pool: VariablePool,
+    environment: Optional[Environment] = None,
+) -> List[Tuple[Value, float]]:
+    """The discrete distribution of a c-value random variable.
+
+    Returns ``(outcome, probability)`` pairs; the undefined value ``u``
+    appears as an outcome when the c-value is undefined in some world.
+    Outcomes are merged by value equality.
+    """
+    buckets: Dict[object, Tuple[Value, float]] = {}
+    for valuation, mass in pool.iter_valuations():
+        if mass == 0.0:
+            continue
+        outcome = Evaluator(valuation, environment).cval(expression)
+        key = _value_key_for_distribution(outcome)
+        if key in buckets:
+            value, accumulated = buckets[key]
+            buckets[key] = (value, accumulated + mass)
+        else:
+            buckets[key] = (outcome, mass)
+    return sorted(buckets.values(), key=lambda pair: -pair[1])
+
+
+def expected_value(
+    expression: CVal,
+    pool: VariablePool,
+    environment: Optional[Environment] = None,
+) -> Tuple[Value, float]:
+    """Expectation of a scalar c-value conditioned on being defined.
+
+    Returns ``(expectation, P[defined])``.  ``u`` outcomes carry no value;
+    the expectation is over the defined worlds only (and is ``u`` when the
+    c-value is undefined almost surely).
+    """
+    total = 0.0
+    defined_mass = 0.0
+    for outcome, mass in cval_distribution(expression, pool, environment):
+        if outcome is UNDEFINED:
+            continue
+        total += float(outcome) * mass
+        defined_mass += mass
+    if defined_mass == 0.0:
+        return UNDEFINED, 0.0
+    return total / defined_mass, defined_mass

@@ -1,0 +1,165 @@
+"""Event programs: ordered, immutable named declarations (paper, Section 3.4).
+
+An event program is a sequence of declarations ``EID ≡ EXPR`` where each
+event identifier is assigned exactly once and may reference identifiers
+declared earlier.  ∀-loops of the paper's grammar are *grounded* at
+construction time: the :meth:`EventProgram.forall` helper instantiates a
+declaration template for every index of a bounded range, mirroring how
+parametrised identifiers like ``InCl[it][i][l]`` are grounded.
+
+A subset of the declared (or anonymous) events is designated as
+*compilation targets*: these are the events whose probabilities the
+platform computes (e.g. "object l is a medoid of cluster i after the last
+iteration").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .expressions import CRef, CVal, Event, Expression, Ref, cref, ref
+
+
+class DuplicateDeclarationError(ValueError):
+    """Raised when an event identifier is declared more than once."""
+
+
+class UnknownIdentifierError(KeyError):
+    """Raised when a declaration references an undeclared identifier."""
+
+
+def eid(base: str, *indices: int) -> str:
+    """Construct a grounded event identifier like ``InCl[2][0][3]``."""
+    return base + "".join(f"[{index}]" for index in indices)
+
+
+class EventProgram:
+    """An ordered collection of immutable event/c-value declarations."""
+
+    def __init__(self) -> None:
+        self._declarations: Dict[str, Expression] = {}
+        self._order: List[str] = []
+        self._targets: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def declare(self, name: str, expression: Expression) -> "Ref | CRef":
+        """Declare ``name ≡ expression``; returns a reference to it.
+
+        Declarations are immutable: re-declaring a name raises
+        :class:`DuplicateDeclarationError`.  Every identifier referenced
+        by ``expression`` must already be declared (programs are
+        straight-line with respect to name definitions).
+        """
+        if name in self._declarations:
+            raise DuplicateDeclarationError(f"{name!r} is already declared")
+        for referenced in expression.references():
+            if referenced not in self._declarations:
+                raise UnknownIdentifierError(
+                    f"{name!r} references undeclared identifier {referenced!r}"
+                )
+        self._declarations[name] = expression
+        self._order.append(name)
+        if isinstance(expression, Event):
+            return ref(name)
+        return cref(name)
+
+    def declare_event(self, name: str, expression: Event) -> Ref:
+        if not isinstance(expression, Event):
+            raise TypeError(f"{name!r} must be declared as a Boolean event")
+        self.declare(name, expression)
+        return ref(name)
+
+    def declare_cval(self, name: str, expression: CVal) -> CRef:
+        if not isinstance(expression, CVal):
+            raise TypeError(f"{name!r} must be declared as a c-value")
+        self.declare(name, expression)
+        return cref(name)
+
+    def forall(
+        self,
+        base: str,
+        count: int,
+        body: Callable[[int], Expression],
+        start: int = 0,
+    ) -> List["Ref | CRef"]:
+        """Ground a ∀-loop: declare ``base[i] ≡ body(i)`` for each index."""
+        return [
+            self.declare(eid(base, index), body(index))
+            for index in range(start, start + count)
+        ]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._declarations
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, name: str) -> Expression:
+        return self._declarations[name]
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._order)
+
+    def items(self) -> Iterator[Tuple[str, Expression]]:
+        for name in self._order:
+            yield name, self._declarations[name]
+
+    @property
+    def environment(self) -> Dict[str, Expression]:
+        """Mapping for resolving :class:`Ref`/:class:`CRef` expressions."""
+        return self._declarations
+
+    # ------------------------------------------------------------------
+    # Compilation targets
+    # ------------------------------------------------------------------
+
+    def add_target(self, name: str) -> None:
+        """Mark a declared Boolean event as a compilation target."""
+        if name not in self._declarations:
+            raise UnknownIdentifierError(f"cannot target undeclared {name!r}")
+        if not isinstance(self._declarations[name], Event):
+            raise TypeError(f"target {name!r} must be a Boolean event")
+        if name not in self._targets:
+            self._targets.append(name)
+
+    def add_targets(self, names: Iterable[str]) -> None:
+        for name in names:
+            self.add_target(name)
+
+    @property
+    def targets(self) -> Tuple[str, ...]:
+        return tuple(self._targets)
+
+    def target_expression(self, name: str) -> Event:
+        expression = self._declarations[name]
+        assert isinstance(expression, Event)
+        return expression
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def variables(self) -> set:
+        """All random-variable indices used anywhere in the program."""
+        used: set = set()
+        for _, expression in self.items():
+            used |= expression.variables()
+        return used
+
+    def pretty(self, limit: Optional[int] = None) -> str:
+        """Human-readable listing of the declarations."""
+        lines = []
+        for index, (name, expression) in enumerate(self.items()):
+            if limit is not None and index >= limit:
+                lines.append(f"... ({len(self) - limit} more declarations)")
+                break
+            marker = "*" if name in self._targets else " "
+            lines.append(f"{marker} {name} ≡ {expression!r}")
+        return "\n".join(lines)

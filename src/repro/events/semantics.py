@@ -1,0 +1,157 @@
+"""Valuation semantics ``ν(·)`` of event expressions (paper, Section 3.2).
+
+Given a total valuation of the Boolean random variables, every event
+evaluates to a Python ``bool`` and every c-value evaluates to a scalar,
+a feature vector, or the undefined value ``u``.
+
+References to named declarations are resolved against an *environment*
+mapping identifiers to expressions (an :class:`~repro.events.program.
+EventProgram` provides one); evaluation memoises per identifier so that
+shared subprograms are evaluated once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Union
+
+from ..worlds.variables import Valuation
+from . import values as V
+from .expressions import (
+    And,
+    Atom,
+    CDist,
+    CInv,
+    CPow,
+    CProd,
+    CRef,
+    CSum,
+    Cond,
+    CVal,
+    Event,
+    Expression,
+    Guard,
+    Not,
+    Or,
+    Ref,
+    Var,
+    _FalseEvent,
+    _TrueEvent,
+)
+
+Environment = Mapping[str, Expression]
+Result = Union[bool, V.Value]
+
+
+class Evaluator:
+    """Evaluates expressions under one total valuation.
+
+    The evaluator caches results per expression object (by identity) so a
+    DAG of shared subexpressions is evaluated in linear time.
+    """
+
+    def __init__(
+        self, valuation: Valuation, environment: Optional[Environment] = None
+    ) -> None:
+        self._valuation = valuation
+        self._environment: Environment = environment or {}
+        self._cache: Dict[int, Result] = {}
+        self._named_cache: Dict[str, Result] = {}
+
+    def event(self, expression: Event) -> bool:
+        result = self._eval(expression)
+        if not isinstance(result, bool):
+            raise TypeError(f"expected Boolean event, got {expression!r}")
+        return result
+
+    def cval(self, expression: CVal) -> V.Value:
+        result = self._eval(expression)
+        if isinstance(result, bool):
+            raise TypeError(f"expected c-value, got {expression!r}")
+        return result
+
+    def _resolve(self, name: str) -> Result:
+        if name in self._named_cache:
+            return self._named_cache[name]
+        if name not in self._environment:
+            raise KeyError(f"undefined event identifier {name!r}")
+        result = self._eval(self._environment[name])
+        self._named_cache[name] = result
+        return result
+
+    def _eval(self, expression: Expression) -> Result:
+        key = id(expression)
+        cached = self._cache.get(key)
+        if cached is not None or key in self._cache:
+            return cached
+        result = self._eval_uncached(expression)
+        self._cache[key] = result
+        return result
+
+    def _eval_uncached(self, expression: Expression) -> Result:
+        if isinstance(expression, _TrueEvent):
+            return True
+        if isinstance(expression, _FalseEvent):
+            return False
+        if isinstance(expression, Var):
+            return bool(self._valuation[expression.index])
+        if isinstance(expression, (Ref, CRef)):
+            return self._resolve(expression.name)
+        if isinstance(expression, Not):
+            return not self._eval(expression.child)
+        if isinstance(expression, And):
+            return all(self._eval(op) for op in expression.operands)
+        if isinstance(expression, Or):
+            return any(self._eval(op) for op in expression.operands)
+        if isinstance(expression, Atom):
+            return V.compare(
+                expression.op,
+                self._eval(expression.left),
+                self._eval(expression.right),
+            )
+        if isinstance(expression, Guard):
+            if self._eval(expression.event):
+                return expression.value
+            return V.UNDEFINED
+        if isinstance(expression, Cond):
+            if self._eval(expression.event):
+                return self._eval(expression.cval)
+            return V.UNDEFINED
+        if isinstance(expression, CSum):
+            total: V.Value = V.UNDEFINED
+            for term in expression.terms:
+                total = V.add(total, self._eval(term))
+            return total
+        if isinstance(expression, CProd):
+            product: V.Value = 1.0
+            for factor in expression.factors:
+                product = V.multiply(product, self._eval(factor))
+            return product
+        if isinstance(expression, CInv):
+            return V.invert(self._eval(expression.child))
+        if isinstance(expression, CPow):
+            return V.power(self._eval(expression.child), expression.exponent)
+        if isinstance(expression, CDist):
+            return V.distance(
+                self._eval(expression.left),
+                self._eval(expression.right),
+                expression.metric,
+            )
+        raise TypeError(f"cannot evaluate expression of type {type(expression)}")
+
+
+def evaluate_event(
+    expression: Event,
+    valuation: Valuation,
+    environment: Optional[Environment] = None,
+) -> bool:
+    """Evaluate a Boolean event under a total valuation."""
+    return Evaluator(valuation, environment).event(expression)
+
+
+def evaluate_cval(
+    expression: CVal,
+    valuation: Valuation,
+    environment: Optional[Environment] = None,
+) -> V.Value:
+    """Evaluate a conditional value under a total valuation."""
+    return Evaluator(valuation, environment).cval(expression)

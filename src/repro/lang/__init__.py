@@ -1,0 +1,32 @@
+"""ENFrame's user language: parsing, validation, execution, translation."""
+
+from .grammar import UserProgram
+from .interpreter import Externals, Interpreter, run_program
+from .labels import LabelGenerator, example3_trace
+from .parser import UserSyntaxError, parse_program
+from .translate import (
+    TranslationError,
+    TranslationExternals,
+    Translator,
+    dataset_externals,
+    translate_source,
+)
+from .validator import ValidationError, validate_program
+
+__all__ = [
+    "Externals",
+    "Interpreter",
+    "LabelGenerator",
+    "TranslationError",
+    "TranslationExternals",
+    "Translator",
+    "UserProgram",
+    "UserSyntaxError",
+    "ValidationError",
+    "dataset_externals",
+    "example3_trace",
+    "parse_program",
+    "run_program",
+    "translate_source",
+    "validate_program",
+]

@@ -1,0 +1,147 @@
+"""Abstract syntax of ENFrame's user language (paper, Figure 4).
+
+The user language is a fragment of Python: declarations, bounded-range
+for-loops, arithmetic and comparisons, ``reduce_*`` over anonymous arrays
+built by list comprehension, tie-breaking, and the external calls
+``loadData()`` / ``loadParams()`` / ``init()``.
+
+This module defines the small AST the parser produces; it mirrors the
+grammar productions LOOP / DECL / EXPR / LCOMPR / REDUCE / RANGE / COMP /
+EXT of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+REDUCE_KINDS = ("reduce_and", "reduce_or", "reduce_sum", "reduce_mult", "reduce_count")
+COMPARISONS = ("<", ">", "==", "<=", ">=")
+EXTERNAL_CALLS = ("loadData", "loadParams", "init")
+BREAK_TIES = ("breakTies", "breakTies1", "breakTies2")
+
+
+class Expr:
+    """Base class of user-language expressions."""
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    """A Boolean, integer, or float literal."""
+
+    value: Union[bool, int, float]
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """A variable identifier."""
+
+    id: str
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """An array subscript ``base[i_0]...[i_m]``."""
+
+    base: str
+    indices: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class ArrayInit(Expr):
+    """``[None] * size`` — array initialisation."""
+
+    size: Expr
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    """``left op right`` with ``op`` one of ``< > == <= >=``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """``left + right`` or ``left * right``."""
+
+    op: str  # "+" or "*"
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A builtin function call: pow/invert/dist/scalar_mult/breakTies*."""
+
+    func: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Comprehension(Expr):
+    """``[expr for var in range(lo, hi) if cond]`` (cond optional)."""
+
+    expr: Expr
+    var: str
+    lower: Expr
+    upper: Expr
+    cond: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class Reduce(Expr):
+    """``reduce_*(comprehension)`` or ``reduce_*(array_name)``."""
+
+    kind: str
+    source: Expr  # Comprehension or Name/Index of an array
+
+
+@dataclass(frozen=True)
+class External(Expr):
+    """``loadData()`` / ``loadParams()`` / ``init()``."""
+
+    func: str
+
+
+class Stmt:
+    """Base class of user-language statements."""
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``target = expr`` where target is a name or a subscript."""
+
+    target: Union[Name, Index]
+    expr: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class TupleAssign(Stmt):
+    """``(a, b, ...) = externalCall()``."""
+
+    names: Tuple[str, ...]
+    call: External
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """``for var in range(lo, hi): body`` — a bounded-range loop."""
+
+    var: str
+    lower: Expr
+    upper: Expr
+    body: Tuple[Stmt, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class UserProgram:
+    """A parsed user program: a sequence of statements."""
+
+    statements: Tuple[Stmt, ...]
+    source: str = ""

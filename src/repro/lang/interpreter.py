@@ -1,0 +1,240 @@
+"""Deterministic interpreter for user programs.
+
+Executes a parsed user program on concrete data, following the semantics
+of Section 3.2 *including* the undefined value ``u``: when run on one
+possible world, absent objects are represented by ``u`` and propagate
+through distances, sums, and comparisons exactly as in the event
+semantics.  On fully certain data this is ordinary deterministic
+execution (clustering "as if the input data were deterministic").
+
+This interpreter is one of the three independent evaluation paths used
+to validate the platform (interpreter per world == event-program
+semantics == compiled probabilities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..events import values as V
+from ..mining.ties import break_ties, break_ties_1, break_ties_2
+from .grammar import (
+    ArrayInit,
+    Assign,
+    BinOp,
+    Call,
+    Compare,
+    Comprehension,
+    Expr,
+    External,
+    For,
+    Index,
+    Lit,
+    Name,
+    Reduce,
+    Stmt,
+    TupleAssign,
+    UserProgram,
+)
+
+
+class InterpreterError(RuntimeError):
+    """Runtime failure while executing a user program."""
+
+
+@dataclass
+class Externals:
+    """Concrete values returned by the external calls.
+
+    ``load_data`` / ``load_params`` are tuples matching the program's
+    tuple-assignment arity; ``init`` is the single value returned by
+    ``init()`` (e.g. a list of initial medoid vectors).  In a possible
+    world, absent objects are passed as :data:`~repro.events.values.
+    UNDEFINED` entries of the object list.
+    """
+
+    load_data: Tuple[Any, ...]
+    load_params: Tuple[Any, ...] = ()
+    init: Any = None
+
+    def resolve(self, func: str) -> Any:
+        if func == "loadData":
+            return self.load_data
+        if func == "loadParams":
+            return self.load_params
+        if func == "init":
+            return self.init
+        raise InterpreterError(f"unknown external call {func}()")
+
+
+class Interpreter:
+    """Executes user programs over an environment of concrete values."""
+
+    def __init__(self, externals: Externals) -> None:
+        self._externals = externals
+        self.env: Dict[str, Any] = {}
+
+    def run(self, program: UserProgram) -> Dict[str, Any]:
+        """Execute the program; returns the final environment."""
+        self._execute_block(program.statements)
+        return self.env
+
+    # ------------------------------------------------------------------
+
+    def _execute_block(self, statements: Sequence[Stmt]) -> None:
+        for stmt in statements:
+            self._execute(stmt)
+
+    def _execute(self, stmt: Stmt) -> None:
+        if isinstance(stmt, TupleAssign):
+            values = self._externals.resolve(stmt.call.func)
+            if len(values) != len(stmt.names):
+                raise InterpreterError(
+                    f"line {stmt.line}: {stmt.call.func}() returned "
+                    f"{len(values)} values for {len(stmt.names)} targets"
+                )
+            for name, value in zip(stmt.names, values):
+                self.env[name] = value
+            return
+        if isinstance(stmt, Assign):
+            value = self._eval(stmt.expr)
+            target = stmt.target
+            if isinstance(target, Name):
+                self.env[target.id] = value
+            else:
+                container = self._resolve_container(target)
+                index = self._eval_int(target.indices[-1])
+                container[index] = value
+            return
+        if isinstance(stmt, For):
+            lower = self._eval_int(stmt.lower)
+            upper = self._eval_int(stmt.upper)
+            for counter in range(lower, upper):
+                self.env[stmt.var] = counter
+                self._execute_block(stmt.body)
+            return
+        raise InterpreterError(f"unknown statement {type(stmt).__name__}")
+
+    def _resolve_container(self, target: Index) -> list:
+        container = self.env.get(target.base)
+        if container is None:
+            raise InterpreterError(f"array {target.base!r} used before assignment")
+        for index_expr in target.indices[:-1]:
+            container = container[self._eval_int(index_expr)]
+        if not isinstance(container, list):
+            raise InterpreterError(f"{target.base!r} is not an array")
+        return container
+
+    # ------------------------------------------------------------------
+
+    def _eval_int(self, expr: Expr) -> int:
+        value = self._eval(expr)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise InterpreterError(f"expected an integer, got {value!r}")
+        return value
+
+    def _eval(self, expr: Expr) -> Any:
+        if isinstance(expr, Lit):
+            return expr.value
+        if isinstance(expr, Name):
+            if expr.id not in self.env:
+                raise InterpreterError(f"{expr.id!r} used before assignment")
+            return self.env[expr.id]
+        if isinstance(expr, Index):
+            value = self.env.get(expr.base)
+            if value is None:
+                raise InterpreterError(f"array {expr.base!r} used before assignment")
+            for index_expr in expr.indices:
+                value = value[self._eval_int(index_expr)]
+            return value
+        if isinstance(expr, ArrayInit):
+            return [None] * self._eval_int(expr.size)
+        if isinstance(expr, Compare):
+            return V.compare(expr.op, self._eval(expr.left), self._eval(expr.right))
+        if isinstance(expr, BinOp):
+            left = self._eval(expr.left)
+            right = self._eval(expr.right)
+            if expr.op == "+":
+                return V.add(left, right)
+            return V.multiply(left, right)
+        if isinstance(expr, Call):
+            return self._eval_call(expr)
+        if isinstance(expr, Reduce):
+            return self._eval_reduce(expr)
+        if isinstance(expr, External):
+            return self._externals.resolve(expr.func)
+        raise InterpreterError(f"unknown expression {type(expr).__name__}")
+
+    def _eval_call(self, expr: Call) -> Any:
+        if expr.func == "pow":
+            base = self._eval(expr.args[0])
+            exponent = self._eval_int(expr.args[1])
+            return V.power(base, exponent)
+        if expr.func == "invert":
+            return V.invert(self._eval(expr.args[0]))
+        if expr.func == "dist":
+            return V.distance(self._eval(expr.args[0]), self._eval(expr.args[1]))
+        if expr.func == "scalar_mult":
+            return V.multiply(self._eval(expr.args[0]), self._eval(expr.args[1]))
+        if expr.func == "breakTies":
+            return break_ties(self._eval(expr.args[0]))
+        if expr.func == "breakTies1":
+            return break_ties_1(self._eval(expr.args[0]))
+        if expr.func == "breakTies2":
+            return break_ties_2(self._eval(expr.args[0]))
+        raise InterpreterError(f"unknown function {expr.func}()")
+
+    def _eval_reduce(self, expr: Reduce) -> Any:
+        elements = list(self._reduce_elements(expr.source))
+        kind = expr.kind
+        if kind == "reduce_and":
+            return all(bool(element) for element in elements)
+        if kind == "reduce_or":
+            return any(bool(element) for element in elements)
+        if kind == "reduce_sum":
+            total: Any = V.UNDEFINED
+            for element in elements:
+                total = V.add(total, element)
+            return total
+        if kind == "reduce_mult":
+            product: Any = 1.0
+            for element in elements:
+                product = V.multiply(product, element)
+            return product
+        if kind == "reduce_count":
+            # Per the translation Σ COND ⊗ 1: the count of an empty
+            # selection is the undefined value, not zero.
+            if not elements:
+                return V.UNDEFINED
+            return float(len(elements))
+        raise InterpreterError(f"unknown reduce kind {kind}")
+
+    def _reduce_elements(self, source: Expr):
+        if isinstance(source, Comprehension):
+            lower = self._eval_int(source.lower)
+            upper = self._eval_int(source.upper)
+            outer = self.env.get(source.var, _MISSING)
+            for counter in range(lower, upper):
+                self.env[source.var] = counter
+                if source.cond is None or bool(self._eval(source.cond)):
+                    yield self._eval(source.expr)
+            if outer is _MISSING:
+                self.env.pop(source.var, None)
+            else:
+                self.env[source.var] = outer
+            return
+        value = self._eval(source)
+        if not isinstance(value, list):
+            raise InterpreterError("reduce expects an array")
+        yield from value
+
+
+_MISSING = object()
+
+
+def run_program(program: UserProgram, externals: Externals) -> Dict[str, Any]:
+    """Parse-and-run convenience wrapper."""
+    return Interpreter(externals).run(program)

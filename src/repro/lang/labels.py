@@ -1,0 +1,185 @@
+"""The ``getLabel`` renaming scheme of Section 3.5 (Example 3).
+
+The translation from the (mutable) user language to the (immutable)
+event language renames each assignment of a variable ``M`` to a unique
+event identifier whose lexicographic order reflects the sequence of
+assignments.  The scheme establishes one counter per variable and per
+nested block:
+
+* an assignment within nested blocks is labelled by the block-entry
+  label extended with the block-local counter (``M1.0``, ``M1.0.2``, …);
+* on the first access of a variable inside a block, a *copy*
+  declaration ``<entry>.-1 ≡ <entry>`` carries the outer value in;
+* on leaving a block in which the variable was assigned, the last inner
+  label is copied to the next outer counter.
+
+This module implements the scheme on *grounded* (unrolled) programs:
+loop counters are concrete, so the labels of Example 3 appear with
+``i``/``j`` substituted (``M1.(2i)`` becomes ``M1.0``, ``M1.2``, …).
+The generator is exercised by the test suite against the full
+declaration sequence of Example 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class _Frame:
+    """One block-nesting level of the label stack."""
+
+    root: bool = False
+    counters: Dict[str, int] = field(default_factory=dict)
+    prefixes: Dict[str, str] = field(default_factory=dict)
+
+    def label(self, variable: str, counter: int) -> str:
+        if self.root:
+            return f"{variable}{counter}"
+        return f"{self.prefixes[variable]}.{counter}"
+
+
+class LabelGenerator:
+    """Grounded ``getLabel``: fresh identifiers plus copy declarations.
+
+    ``declarations`` records every emitted copy declaration as a
+    ``(label, source_label)`` pair, in program order; assignments are
+    recorded by the caller using the labels returned by :meth:`assign`.
+    """
+
+    def __init__(self) -> None:
+        self._stack: List[_Frame] = [_Frame(root=True)]
+        self.copies: List[Tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+
+    def enter_block(self) -> None:
+        """Enter a loop-body block (called once per executed iteration)."""
+        self._stack.append(_Frame())
+
+    def exit_block(self) -> List[Tuple[str, str]]:
+        """Leave the current block; returns the exit-copy declarations.
+
+        Every variable assigned inside the block is copied to a fresh
+        label of the enclosing block so the outer code sees its final
+        value.
+        """
+        frame = self._stack.pop()
+        emitted: List[Tuple[str, str]] = []
+        for variable, counter in frame.counters.items():
+            if counter <= 0:
+                continue
+            inner_label = frame.label(variable, counter - 1)
+            outer_label = self.assign(variable)
+            self.copies.append((outer_label, inner_label))
+            emitted.append((outer_label, inner_label))
+        return emitted
+
+    # ------------------------------------------------------------------
+
+    def _ensure_entry(self, variable: str, for_assignment: bool = False) -> None:
+        """Emit the block-entry copy on first access inside a block.
+
+        A *read* of a variable with no enclosing assignment is an error;
+        an *assignment* of a variable born inside the block anchors its
+        labels at a fresh root-level version (no copy to emit).
+        """
+        frame = self._stack[-1]
+        if frame.root or variable in frame.prefixes:
+            return
+        try:
+            outer_label = self._current_outer(variable)
+        except KeyError:
+            if not for_assignment:
+                raise
+            root = self._stack[0]
+            counter = root.counters.get(variable, 0)
+            root.counters[variable] = counter + 1
+            frame.prefixes[variable] = root.label(variable, counter)
+            frame.counters[variable] = 0
+            return
+        frame.prefixes[variable] = outer_label
+        frame.counters[variable] = 0
+        self.copies.append((f"{outer_label}.-1", outer_label))
+
+    def _current_outer(self, variable: str) -> str:
+        for frame in reversed(self._stack[:-1]):
+            counter = frame.counters.get(variable, 0)
+            if counter > 0:
+                return frame.label(variable, counter - 1)
+            if not frame.root and variable in frame.prefixes:
+                return f"{frame.prefixes[variable]}.-1"
+        raise KeyError(f"{variable!r} has no enclosing assignment")
+
+    def assign(self, variable: str) -> str:
+        """Fresh label for an assignment of ``variable`` in this block."""
+        self._ensure_entry(variable, for_assignment=True)
+        frame = self._stack[-1]
+        counter = frame.counters.get(variable, 0)
+        frame.counters[variable] = counter + 1
+        return frame.label(variable, counter)
+
+    def current(self, variable: str) -> str:
+        """Label holding the latest value of ``variable`` (for reads)."""
+        self._ensure_entry(variable)
+        frame = self._stack[-1]
+        counter = frame.counters.get(variable, 0)
+        if counter > 0:
+            return frame.label(variable, counter - 1)
+        if not frame.root and variable in frame.prefixes:
+            return f"{frame.prefixes[variable]}.-1"
+        raise KeyError(f"{variable!r} read before assignment")
+
+
+def example3_trace() -> List[Tuple[str, str]]:
+    """Re-derive the declaration sequence of Example 3.
+
+    Runs the label generator over the control flow of the example's user
+    program (two assignments, a loop of two iterations containing one
+    assignment and an inner loop of three iterations with one
+    assignment, and a final assignment) and returns ``(label, rhs)``
+    pairs where the right-hand side is rendered with the labels the
+    generator produced.
+    """
+    generator = LabelGenerator()
+    trace: List[Tuple[str, str]] = []
+
+    def emit_copies() -> None:
+        while generator.copies:
+            trace.append(generator.copies.pop(0))
+
+    # M = 7
+    label = generator.assign("M")
+    trace.append((label, "7"))
+    # M = M + 2  (read before assign)
+    rhs = generator.current("M")
+    label = generator.assign("M")
+    trace.append((label, f"{rhs} + 2"))
+    # One block per *loop statement*: iterations share the block, so the
+    # block counter advances across iterations (M1.0, M1.1, M1.2, ...).
+    generator.enter_block()
+    for i in range(2):
+        # M = M + i
+        rhs = generator.current("M")
+        emit_copies()
+        label = generator.assign("M")
+        trace.append((label, f"{rhs} + {i}"))
+        # The inner loop statement is executed anew in every outer
+        # iteration, hence a fresh block (and entry copy) each time.
+        generator.enter_block()
+        for j in range(3):
+            # M = M + 1
+            rhs = generator.current("M")
+            emit_copies()
+            label = generator.assign("M")
+            trace.append((label, f"{rhs} + 1"))
+        generator.exit_block()
+        emit_copies()
+    generator.exit_block()
+    emit_copies()
+    # M = M + 1
+    rhs = generator.current("M")
+    label = generator.assign("M")
+    trace.append((label, f"{rhs} + 1"))
+    return trace

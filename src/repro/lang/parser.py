@@ -1,0 +1,250 @@
+"""Parser for the user language: Python source → user-language AST.
+
+User programs are syntactically Python (Section 2), so we parse with the
+standard :mod:`ast` module and then *lower* the Python AST into the
+restricted grammar of Figure 4, rejecting anything outside the fragment
+with a :class:`UserSyntaxError` that names the offending construct and
+line.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import List, Optional, Tuple, Union
+
+from .grammar import (
+    BREAK_TIES,
+    EXTERNAL_CALLS,
+    REDUCE_KINDS,
+    ArrayInit,
+    Assign,
+    BinOp,
+    Call,
+    Compare,
+    Comprehension,
+    Expr,
+    External,
+    For,
+    Index,
+    Lit,
+    Name,
+    Reduce,
+    Stmt,
+    TupleAssign,
+    UserProgram,
+)
+
+_BUILTIN_CALLS = ("pow", "invert", "dist", "scalar_mult") + BREAK_TIES
+
+_COMPARE_OPS = {
+    ast.Lt: "<",
+    ast.Gt: ">",
+    ast.Eq: "==",
+    ast.LtE: "<=",
+    ast.GtE: ">=",
+}
+
+
+class UserSyntaxError(SyntaxError):
+    """The program uses a construct outside the Figure-4 fragment."""
+
+
+def _fail(node: ast.AST, message: str) -> None:
+    line = getattr(node, "lineno", 0)
+    raise UserSyntaxError(f"line {line}: {message}")
+
+
+def parse_program(source: str) -> UserProgram:
+    """Parse user-language source into a :class:`UserProgram`."""
+    module = ast.parse(textwrap.dedent(source))
+    statements = tuple(_lower_stmt(stmt) for stmt in module.body)
+    return UserProgram(statements=statements, source=source)
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+def _lower_stmt(node: ast.stmt) -> Stmt:
+    if isinstance(node, ast.Assign):
+        return _lower_assign(node)
+    if isinstance(node, ast.For):
+        return _lower_for(node)
+    _fail(node, f"unsupported statement {type(node).__name__}")
+
+
+def _lower_assign(node: ast.Assign) -> Stmt:
+    if len(node.targets) != 1:
+        _fail(node, "chained assignment is not supported")
+    target = node.targets[0]
+    if isinstance(target, ast.Tuple):
+        names = []
+        for element in target.elts:
+            if not isinstance(element, ast.Name):
+                _fail(node, "tuple targets must be plain identifiers")
+            names.append(element.id)
+        call = _lower_expr(node.value)
+        if not isinstance(call, External):
+            _fail(node, "tuple assignment is only allowed for external calls")
+        return TupleAssign(names=tuple(names), call=call, line=node.lineno)
+    lowered_target: Union[Name, Index]
+    if isinstance(target, ast.Name):
+        lowered_target = Name(target.id)
+    elif isinstance(target, ast.Subscript):
+        lowered_target = _lower_subscript(target)
+    else:
+        _fail(node, "assignment target must be a name or a subscript")
+    return Assign(target=lowered_target, expr=_lower_expr(node.value), line=node.lineno)
+
+
+def _lower_for(node: ast.For) -> For:
+    if node.orelse:
+        _fail(node, "for/else is not supported")
+    if not isinstance(node.target, ast.Name):
+        _fail(node, "loop variable must be a plain identifier")
+    lower, upper = _lower_range(node.iter)
+    body = tuple(_lower_stmt(stmt) for stmt in node.body)
+    return For(
+        var=node.target.id, lower=lower, upper=upper, body=body, line=node.lineno
+    )
+
+
+def _lower_range(node: ast.expr) -> Tuple[Expr, Expr]:
+    if (
+        not isinstance(node, ast.Call)
+        or not isinstance(node.func, ast.Name)
+        or node.func.id != "range"
+    ):
+        _fail(node, "loops must iterate over range(lo, hi)")
+    if len(node.args) != 2 or node.keywords:
+        _fail(node, "range takes exactly two positional arguments")
+    return _lower_expr(node.args[0]), _lower_expr(node.args[1])
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+def _lower_expr(node: ast.expr) -> Expr:
+    if isinstance(node, ast.Constant):
+        if node.value is None:
+            _fail(node, "None is only allowed in [None] * size initialisers")
+        if isinstance(node.value, (bool, int, float)):
+            return Lit(node.value)
+        _fail(node, f"unsupported literal {node.value!r}")
+    if isinstance(node, ast.Name):
+        return Name(node.id)
+    if isinstance(node, ast.Subscript):
+        return _lower_subscript(node)
+    if isinstance(node, ast.Compare):
+        if len(node.ops) != 1 or len(node.comparators) != 1:
+            _fail(node, "chained comparisons are not supported")
+        op_type = type(node.ops[0])
+        if op_type not in _COMPARE_OPS:
+            _fail(node, f"unsupported comparison {op_type.__name__}")
+        return Compare(
+            op=_COMPARE_OPS[op_type],
+            left=_lower_expr(node.left),
+            right=_lower_expr(node.comparators[0]),
+        )
+    if isinstance(node, ast.BinOp):
+        return _lower_binop(node)
+    if isinstance(node, ast.Call):
+        return _lower_call(node)
+    _fail(node, f"unsupported expression {type(node).__name__}")
+
+
+def _lower_subscript(node: ast.Subscript) -> Index:
+    indices: List[Expr] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Subscript):
+        indices.append(_lower_expr(current.slice))
+        current = current.value
+    if not isinstance(current, ast.Name):
+        _fail(node, "subscripts must apply to a named array")
+    return Index(base=current.id, indices=tuple(reversed(indices)))
+
+
+def _lower_binop(node: ast.BinOp) -> Expr:
+    # [None] * EXPR — array initialisation.
+    if isinstance(node.op, ast.Mult) and _is_none_list(node.left):
+        return ArrayInit(size=_lower_expr(node.right))
+    if isinstance(node.op, ast.Mult):
+        return BinOp("*", _lower_expr(node.left), _lower_expr(node.right))
+    if isinstance(node.op, ast.Add):
+        return BinOp("+", _lower_expr(node.left), _lower_expr(node.right))
+    _fail(node, f"unsupported operator {type(node.op).__name__}")
+
+
+def _is_none_list(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.List)
+        and len(node.elts) == 1
+        and isinstance(node.elts[0], ast.Constant)
+        and node.elts[0].value is None
+    )
+
+
+def _lower_call(node: ast.Call) -> Expr:
+    if not isinstance(node.func, ast.Name):
+        _fail(node, "only plain function calls are supported")
+    func = node.func.id
+    if node.keywords:
+        _fail(node, f"{func}() does not take keyword arguments")
+    if func in EXTERNAL_CALLS:
+        if node.args:
+            _fail(node, f"{func}() takes no arguments")
+        return External(func)
+    if func in REDUCE_KINDS:
+        if len(node.args) != 1:
+            _fail(node, f"{func}() takes exactly one argument")
+        return Reduce(kind=func, source=_lower_reduce_source(node.args[0]))
+    if func in _BUILTIN_CALLS:
+        expected = {
+            "pow": 2,
+            "invert": 1,
+            "dist": 2,
+            "scalar_mult": 2,
+            "breakTies": 1,
+            "breakTies1": 1,
+            "breakTies2": 1,
+        }[func]
+        if len(node.args) != expected:
+            _fail(node, f"{func}() takes exactly {expected} argument(s)")
+        return Call(func=func, args=tuple(_lower_expr(arg) for arg in node.args))
+    _fail(node, f"unknown function {func}()")
+
+
+def _lower_reduce_source(node: ast.expr) -> Expr:
+    if isinstance(node, ast.ListComp):
+        return _lower_comprehension(node)
+    # Reducing a named (possibly subscripted) array is also permitted,
+    # e.g. reduce_and(B) for an array B of Booleans.
+    lowered = _lower_expr(node)
+    if isinstance(lowered, (Name, Index)):
+        return lowered
+    _fail(node, "reduce expects a list comprehension or an array identifier")
+
+
+def _lower_comprehension(node: ast.ListComp) -> Comprehension:
+    if len(node.generators) != 1:
+        _fail(node, "list comprehensions must have exactly one generator")
+    generator = node.generators[0]
+    if generator.is_async:
+        _fail(node, "async comprehensions are not supported")
+    if not isinstance(generator.target, ast.Name):
+        _fail(node, "comprehension variable must be a plain identifier")
+    if len(generator.ifs) > 1:
+        _fail(node, "at most one if-filter is allowed")
+    lower, upper = _lower_range(generator.iter)
+    cond = _lower_expr(generator.ifs[0]) if generator.ifs else None
+    return Comprehension(
+        expr=_lower_expr(node.elt),
+        var=generator.target.id,
+        lower=lower,
+        upper=upper,
+        cond=cond,
+    )

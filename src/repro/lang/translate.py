@@ -1,0 +1,468 @@
+"""Translation of user programs into event programs (paper, Section 3.5).
+
+The two challenges of the translation are (i) mapping mutable user
+variables onto immutable event declarations and (ii) translating
+``reduce_*`` calls.  Mutability is handled by single-assignment
+renaming: bounded-range loops are grounded (each iteration instantiates
+its declarations with the loop counter fixed), and every assignment of a
+variable ``M`` declares a fresh event identifier ``M@c`` — the grounded
+equivalent of the paper's ``getLabel`` block-counter scheme (module
+:mod:`repro.lang.labels` implements the hierarchical labels of Example 3
+verbatim).  Reduce calls translate per Section 3.5:
+
+* ``reduce_and``  → conjunction (filters become implications);
+* ``reduce_or``   → disjunction (filters become conjunctions);
+* ``reduce_sum``  → Σ of c-values conditioned on the filter;
+* ``reduce_mult`` → Π with filtered factors encoded as
+  ``(cond ∧ expr) + (¬cond ⊗ 1)`` so that excluded factors contribute
+  the multiplicative identity;
+* ``reduce_count`` → ``Σ cond ⊗ 1``.
+
+Note on ``reduce_and`` filters: the paper's text translates the filtered
+conjunction to ``∧ (COND ∧ EXPR)``, which disagrees with the
+deterministic semantics of filtering (elements failing the filter are
+*excluded*, not conjoined as false).  We translate filters as
+implications ``∧ (¬COND ∨ EXPR)``, which matches the interpreter; the
+paper's own example programs only use unfiltered ``reduce_and``, where
+both translations coincide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..data.datasets import ProbabilisticDataset
+from ..events.expressions import (
+    FALSE,
+    TRUE,
+    CVal,
+    Event,
+    atom,
+    cdist,
+    cinv,
+    cond,
+    conj,
+    cpow,
+    cprod,
+    csum,
+    disj,
+    guard,
+    literal,
+    negate,
+)
+from ..events.program import EventProgram
+from ..events import values as V
+from ..mining.ties import tie_break_events
+from .grammar import (
+    ArrayInit,
+    Assign,
+    BinOp,
+    Call,
+    Compare,
+    Comprehension,
+    Expr,
+    External,
+    For,
+    Index,
+    Lit,
+    Name,
+    Reduce,
+    Stmt,
+    TupleAssign,
+    UserProgram,
+)
+from .parser import parse_program
+from .validator import validate_program
+
+
+class TranslationError(RuntimeError):
+    """The program cannot be translated to an event program."""
+
+
+Symbolic = Union[int, float, bool, Event, CVal, list, None]
+
+
+@dataclass
+class TranslationExternals:
+    """Values injected for the external calls during translation.
+
+    Entries may be integers/floats (compile-time constants, e.g. ``n``,
+    ``k``, ``iter``), event/c-value expressions, numpy vectors (certain
+    values, wrapped as ``⊤ ⊗ v``), or nested lists thereof.
+    """
+
+    load_data: Tuple[Any, ...]
+    load_params: Tuple[Any, ...] = ()
+    init: Any = None
+
+    def resolve(self, func: str) -> Any:
+        if func == "loadData":
+            return self.load_data
+        if func == "loadParams":
+            return self.load_params
+        if func == "init":
+            return self.init
+        raise TranslationError(f"unknown external call {func}()")
+
+
+def dataset_externals(
+    dataset: ProbabilisticDataset,
+    params: Tuple[Any, ...],
+    init_indices: Sequence[int],
+) -> TranslationExternals:
+    """Bindings for the clustering programs of Figures 1 and 2.
+
+    ``loadData()`` returns the guarded objects and their count;
+    ``init()`` returns the guarded initial medoids/centroids.
+    """
+    objects = [
+        guard(dataset.events[l], dataset.points[l]) for l in range(len(dataset))
+    ]
+    init = [
+        guard(dataset.events[l], dataset.points[l]) for l in init_indices
+    ]
+    return TranslationExternals(
+        load_data=(objects, len(dataset)), load_params=tuple(params), init=init
+    )
+
+
+class Translator:
+    """Translates a user program into an :class:`EventProgram`."""
+
+    def __init__(self, externals: TranslationExternals) -> None:
+        self._externals = externals
+        self.program = EventProgram()
+        self.env: Dict[str, Symbolic] = {}
+        self._versions: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def translate(self, program: UserProgram) -> EventProgram:
+        """Ground every statement into event declarations."""
+        self._execute_block(program.statements)
+        return self.program
+
+    def target(self, variable: str, *indices: int) -> str:
+        """Mark the (indexed) current value of a variable as a target."""
+        value: Symbolic = self.env.get(variable)
+        if value is None:
+            raise TranslationError(f"unknown variable {variable!r}")
+        for index in indices:
+            if not isinstance(value, list):
+                raise TranslationError(f"{variable!r} has fewer dimensions")
+            value = value[index]
+        name = _ref_name(value)
+        if name is None:
+            raise TranslationError(
+                f"{variable}{list(indices)} is not a declared Boolean event"
+            )
+        self.program.add_target(name)
+        return name
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _execute_block(self, statements: Sequence[Stmt]) -> None:
+        for stmt in statements:
+            self._execute(stmt)
+
+    def _execute(self, stmt: Stmt) -> None:
+        if isinstance(stmt, TupleAssign):
+            values = self._externals.resolve(stmt.call.func)
+            if len(values) != len(stmt.names):
+                raise TranslationError(
+                    f"line {stmt.line}: {stmt.call.func}() returned "
+                    f"{len(values)} values for {len(stmt.names)} targets"
+                )
+            for name, value in zip(stmt.names, values):
+                self.env[name] = self._declare(name, _ingest(value))
+            return
+        if isinstance(stmt, Assign):
+            value = self._translate_expr(stmt.expr)
+            target = stmt.target
+            if isinstance(target, Name):
+                self.env[target.id] = self._declare(target.id, value)
+            else:
+                container = self._resolve_container(target)
+                index = self._eval_index(target.indices[-1])
+                label = target.base + "".join(
+                    f"[{self._eval_index(ix)}]" for ix in target.indices
+                )
+                container[index] = self._declare_leafed(label, value)
+            return
+        if isinstance(stmt, For):
+            lower = self._eval_index(stmt.lower)
+            upper = self._eval_index(stmt.upper)
+            for counter in range(lower, upper):
+                self.env[stmt.var] = counter
+                self._execute_block(stmt.body)
+            return
+        raise TranslationError(f"unknown statement {type(stmt).__name__}")
+
+    def _resolve_container(self, target: Index) -> list:
+        value = self.env.get(target.base)
+        if value is None:
+            raise TranslationError(f"array {target.base!r} used before assignment")
+        for index_expr in target.indices[:-1]:
+            value = value[self._eval_index(index_expr)]
+        if not isinstance(value, list):
+            raise TranslationError(f"{target.base!r} is not an array")
+        return value
+
+    # ------------------------------------------------------------------
+    # Declarations (single-assignment renaming)
+    # ------------------------------------------------------------------
+
+    def _fresh(self, base: str) -> str:
+        version = self._versions.get(base, 0)
+        self._versions[base] = version + 1
+        return f"{base}@{version}"
+
+    def _declare(self, base: str, value: Symbolic) -> Symbolic:
+        """Declare the assigned value under fresh identifiers."""
+        if isinstance(value, (Event, CVal)):
+            label = self._fresh(base)
+            return self.program.declare(label, value)
+        if isinstance(value, list):
+            label = self._fresh(base)
+            return self._declare_elements(label, value)
+        return value  # compile-time constants are not declared
+
+    def _declare_leafed(self, label: str, value: Symbolic) -> Symbolic:
+        """Declare an element assignment under a positional label."""
+        if isinstance(value, (Event, CVal)):
+            return self.program.declare(self._fresh(label), value)
+        if isinstance(value, list):
+            return self._declare_elements(self._fresh(label), value)
+        return value
+
+    def _declare_elements(self, label: str, values: list) -> list:
+        declared: list = []
+        for position, value in enumerate(values):
+            if isinstance(value, (Event, CVal)):
+                declared.append(
+                    self.program.declare(f"{label}[{position}]", value)
+                )
+            elif isinstance(value, list):
+                declared.append(
+                    self._declare_elements(f"{label}[{position}]", value)
+                )
+            else:
+                declared.append(value)
+        return declared
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _eval_index(self, expr: Expr) -> int:
+        value = self._translate_expr(expr)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TranslationError(f"expected a compile-time integer, got {value!r}")
+        return value
+
+    def _translate_expr(self, expr: Expr) -> Symbolic:
+        if isinstance(expr, Lit):
+            return expr.value
+        if isinstance(expr, Name):
+            if expr.id not in self.env:
+                raise TranslationError(f"{expr.id!r} used before assignment")
+            return self.env[expr.id]
+        if isinstance(expr, Index):
+            value = self.env.get(expr.base)
+            if value is None:
+                raise TranslationError(
+                    f"array {expr.base!r} used before assignment"
+                )
+            for index_expr in expr.indices:
+                if not isinstance(value, list):
+                    raise TranslationError(f"{expr.base!r}: too many subscripts")
+                value = value[self._eval_index(index_expr)]
+            return value
+        if isinstance(expr, ArrayInit):
+            return [None] * self._eval_index(expr.size)
+        if isinstance(expr, Compare):
+            return self._translate_compare(expr)
+        if isinstance(expr, BinOp):
+            left = self._translate_expr(expr.left)
+            right = self._translate_expr(expr.right)
+            if _is_number(left) and _is_number(right):
+                return left + right if expr.op == "+" else left * right
+            if expr.op == "+":
+                return csum([_as_cval(left), _as_cval(right)])
+            return cprod([_as_cval(left), _as_cval(right)])
+        if isinstance(expr, Call):
+            return self._translate_call(expr)
+        if isinstance(expr, Reduce):
+            return self._translate_reduce(expr)
+        if isinstance(expr, External):
+            return _ingest(self._externals.resolve(expr.func))
+        raise TranslationError(f"unknown expression {type(expr).__name__}")
+
+    def _translate_compare(self, expr: Compare) -> Symbolic:
+        left = self._translate_expr(expr.left)
+        right = self._translate_expr(expr.right)
+        if _is_number(left) and _is_number(right):
+            return V.compare(expr.op, float(left), float(right))
+        return atom(expr.op, _as_cval(left), _as_cval(right))
+
+    def _translate_call(self, expr: Call) -> Symbolic:
+        func = expr.func
+        if func == "pow":
+            base = _as_cval(self._translate_expr(expr.args[0]))
+            exponent = self._eval_index(expr.args[1])
+            return cpow(base, exponent)
+        if func == "invert":
+            return cinv(_as_cval(self._translate_expr(expr.args[0])))
+        if func == "dist":
+            return cdist(
+                _as_cval(self._translate_expr(expr.args[0])),
+                _as_cval(self._translate_expr(expr.args[1])),
+            )
+        if func == "scalar_mult":
+            return cprod(
+                [
+                    _as_cval(self._translate_expr(expr.args[0])),
+                    _as_cval(self._translate_expr(expr.args[1])),
+                ]
+            )
+        if func in ("breakTies", "breakTies1", "breakTies2"):
+            array = self._translate_expr(expr.args[0])
+            if not isinstance(array, list):
+                raise TranslationError(f"{func}() expects an array")
+            return self._tie_break(func, array)
+        raise TranslationError(f"unknown function {func}()")
+
+    def _tie_break(self, func: str, array: list) -> list:
+        if func == "breakTies":
+            return tie_break_events([_as_event(element) for element in array])
+        rows = [[_as_event(element) for element in row] for row in array]
+        if func == "breakTies1":
+            # Fix the first dimension, break ties along the second.
+            return [tie_break_events(row) for row in rows]
+        # breakTies2: fix the second dimension, break along the first.
+        clusters = len(rows)
+        objects = len(rows[0]) if clusters else 0
+        columns = [
+            tie_break_events([rows[i][l] for i in range(clusters)])
+            for l in range(objects)
+        ]
+        return [[columns[l][i] for l in range(objects)] for i in range(clusters)]
+
+    def _translate_reduce(self, expr: Reduce) -> Symbolic:
+        kind = expr.kind
+        if isinstance(expr.source, Comprehension):
+            pairs = list(self._comprehension_pairs(expr.source))
+        else:
+            value = self._translate_expr(expr.source)
+            if not isinstance(value, list):
+                raise TranslationError("reduce expects an array")
+            pairs = [(TRUE, element) for element in value]
+        if kind == "reduce_and":
+            return conj(
+                disj([negate(cond_event), _as_event(element)])
+                for cond_event, element in pairs
+            )
+        if kind == "reduce_or":
+            return disj(
+                conj([cond_event, _as_event(element)])
+                for cond_event, element in pairs
+            )
+        if kind == "reduce_sum":
+            return csum(
+                cond(cond_event, _as_cval(element)) for cond_event, element in pairs
+            )
+        if kind == "reduce_mult":
+            # Excluded factors must contribute the multiplicative identity:
+            # (cond ∧ expr) + (¬cond ⊗ 1).
+            return cprod(
+                csum([cond(cond_event, _as_cval(element)),
+                      guard(negate(cond_event), 1.0)])
+                if cond_event is not TRUE
+                else _as_cval(element)
+                for cond_event, element in pairs
+            )
+        if kind == "reduce_count":
+            return csum(guard(cond_event, 1.0) for cond_event, _ in pairs)
+        raise TranslationError(f"unknown reduce kind {kind}")
+
+    def _comprehension_pairs(self, comprehension: Comprehension):
+        lower = self._eval_index(comprehension.lower)
+        upper = self._eval_index(comprehension.upper)
+        outer = self.env.get(comprehension.var, _MISSING)
+        for counter in range(lower, upper):
+            self.env[comprehension.var] = counter
+            if comprehension.cond is None:
+                cond_event: Event = TRUE
+            else:
+                translated = self._translate_expr(comprehension.cond)
+                cond_event = _as_event(translated)
+            if cond_event is FALSE:
+                continue
+            yield cond_event, self._translate_expr(comprehension.expr)
+        if outer is _MISSING:
+            self.env.pop(comprehension.var, None)
+        else:
+            self.env[comprehension.var] = outer
+
+
+_MISSING = object()
+
+
+def _is_number(value: Symbolic) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _as_cval(value: Symbolic) -> CVal:
+    if isinstance(value, CVal):
+        return value
+    if _is_number(value):
+        return literal(float(value))
+    if isinstance(value, np.ndarray):
+        return literal(value)
+    raise TranslationError(f"expected a c-value, got {value!r}")
+
+
+def _as_event(value: Symbolic) -> Event:
+    if isinstance(value, Event):
+        return value
+    if isinstance(value, bool):
+        return TRUE if value else FALSE
+    raise TranslationError(f"expected a Boolean event, got {value!r}")
+
+
+def _ingest(value: Any) -> Symbolic:
+    """Normalise externally supplied values into symbolic ones."""
+    if isinstance(value, tuple):
+        return tuple(_ingest(item) for item in value)
+    if isinstance(value, list):
+        return [_ingest(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return literal(value)
+    return value
+
+
+def _ref_name(value: Symbolic) -> Optional[str]:
+    from ..events.expressions import CRef, Ref
+
+    if isinstance(value, (Ref, CRef)):
+        return value.name
+    return None
+
+
+def translate_source(
+    source: str,
+    externals: TranslationExternals,
+    validate: bool = True,
+) -> Tuple[EventProgram, Translator]:
+    """Parse, validate, and translate user source in one call."""
+    program = parse_program(source)
+    if validate:
+        validate_program(program)
+    translator = Translator(externals)
+    translator.translate(program)
+    return translator.program, translator

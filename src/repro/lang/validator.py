@@ -1,0 +1,188 @@
+"""Static validation of user programs (constraints of Section 2.2).
+
+Beyond the grammar (enforced by the parser), user programs must satisfy:
+
+* **Bounded-range loops** — the arguments of every ``range`` (in loops
+  and comprehensions) are integer constants or immutable integer-valued
+  variables, i.e. names bound by external calls and never reassigned,
+  or enclosing loop counters.
+* **Loop counters are read-only** — a loop variable may not be assigned.
+* **Single assignment of parameters** — names bound by ``loadData()`` /
+  ``loadParams()`` cannot be re-bound by ordinary assignments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .grammar import (
+    ArrayInit,
+    Assign,
+    BinOp,
+    Call,
+    Compare,
+    Comprehension,
+    Expr,
+    External,
+    For,
+    Index,
+    Lit,
+    Name,
+    Reduce,
+    Stmt,
+    TupleAssign,
+    UserProgram,
+)
+
+
+class ValidationError(ValueError):
+    """The program violates a static constraint of the user language."""
+
+
+def validate_program(program: UserProgram) -> None:
+    """Raise :class:`ValidationError` on the first violated constraint.
+
+    Note that reassigning an externally bound name is legal in general —
+    the paper's own MCL program (Figure 3) reassigns the matrix ``M``
+    returned by ``loadData()`` — but a name used as a range bound or
+    array size must never be the target of an ordinary assignment.
+    """
+    external_names = _external_names(program)
+    assigned = _assigned_names(program)
+    _check_statements(program.statements, external_names, assigned, loop_vars=[])
+
+
+def _external_names(program: UserProgram) -> Set[str]:
+    names: Set[str] = set()
+
+    def visit(statements) -> None:
+        for stmt in statements:
+            if isinstance(stmt, TupleAssign):
+                names.update(stmt.names)
+            elif isinstance(stmt, For):
+                visit(stmt.body)
+
+    visit(program.statements)
+    return names
+
+
+def _assigned_names(program: UserProgram) -> Set[str]:
+    names: Set[str] = set()
+
+    def visit(statements) -> None:
+        for stmt in statements:
+            if isinstance(stmt, Assign):
+                target = stmt.target
+                names.add(target.id if isinstance(target, Name) else target.base)
+            elif isinstance(stmt, For):
+                visit(stmt.body)
+
+    visit(program.statements)
+    return names
+
+
+def _check_statements(
+    statements,
+    external: Set[str],
+    assigned: Set[str],
+    loop_vars: List[str],
+) -> None:
+    for stmt in statements:
+        if isinstance(stmt, Assign):
+            target = stmt.target
+            target_name = target.id if isinstance(target, Name) else target.base
+            if target_name in loop_vars:
+                raise ValidationError(
+                    f"line {stmt.line}: loop counter {target_name!r} reassigned"
+                )
+            _check_expr(stmt.expr, external, assigned, loop_vars, stmt.line)
+            if isinstance(target, Index):
+                for index in target.indices:
+                    _check_index_expr(index, external, assigned, loop_vars, stmt.line)
+        elif isinstance(stmt, TupleAssign):
+            continue
+        elif isinstance(stmt, For):
+            _check_bound(stmt.lower, external, assigned, loop_vars, stmt.line)
+            _check_bound(stmt.upper, external, assigned, loop_vars, stmt.line)
+            if stmt.var in loop_vars:
+                raise ValidationError(
+                    f"line {stmt.line}: loop counter {stmt.var!r} shadows an "
+                    "enclosing loop counter"
+                )
+            _check_statements(stmt.body, external, assigned, loop_vars + [stmt.var])
+        else:  # pragma: no cover - parser produces no other statements
+            raise ValidationError(f"unknown statement {type(stmt).__name__}")
+
+
+def _check_bound(
+    expr: Expr, external: Set[str], assigned: Set[str], loop_vars: List[str], line: int
+) -> None:
+    """Range bounds: integer literals or immutable integer names."""
+    if isinstance(expr, Lit):
+        if not isinstance(expr.value, int) or isinstance(expr.value, bool):
+            raise ValidationError(f"line {line}: range bound must be an integer")
+        return
+    if isinstance(expr, Name):
+        if expr.id in loop_vars:
+            return  # loop counters are constant within an iteration
+        if expr.id in assigned:
+            raise ValidationError(
+                f"line {line}: range bound {expr.id!r} must be immutable, "
+                "but it is assigned in the program"
+            )
+        return
+    if isinstance(expr, BinOp):
+        # Allow simple arithmetic over valid bounds, e.g. range(0, n + 1).
+        _check_bound(expr.left, external, assigned, loop_vars, line)
+        _check_bound(expr.right, external, assigned, loop_vars, line)
+        return
+    raise ValidationError(
+        f"line {line}: range bounds must be integer constants or "
+        "immutable integer variables"
+    )
+
+
+def _check_index_expr(
+    expr: Expr, external: Set[str], assigned: Set[str], loop_vars: List[str], line: int
+) -> None:
+    """Array subscripts follow the same rules as range bounds."""
+    _check_bound(expr, external, assigned, loop_vars, line)
+
+
+def _check_expr(
+    expr: Expr, external: Set[str], assigned: Set[str], loop_vars: List[str], line: int
+) -> None:
+    if isinstance(expr, (Lit, Name, External)):
+        return
+    if isinstance(expr, Index):
+        for index in expr.indices:
+            _check_index_expr(index, external, assigned, loop_vars, line)
+        return
+    if isinstance(expr, ArrayInit):
+        _check_bound(expr.size, external, assigned, loop_vars, line)
+        return
+    if isinstance(expr, Compare):
+        _check_expr(expr.left, external, assigned, loop_vars, line)
+        _check_expr(expr.right, external, assigned, loop_vars, line)
+        return
+    if isinstance(expr, BinOp):
+        _check_expr(expr.left, external, assigned, loop_vars, line)
+        _check_expr(expr.right, external, assigned, loop_vars, line)
+        return
+    if isinstance(expr, Call):
+        for arg in expr.args:
+            _check_expr(arg, external, assigned, loop_vars, line)
+        return
+    if isinstance(expr, Reduce):
+        source = expr.source
+        if isinstance(source, Comprehension):
+            _check_bound(source.lower, external, assigned, loop_vars, line)
+            _check_bound(source.upper, external, assigned, loop_vars, line)
+            inner = loop_vars + [source.var]
+            _check_expr(source.expr, external, assigned, inner, line)
+            if source.cond is not None:
+                _check_expr(source.cond, external, assigned, inner, line)
+        else:
+            _check_expr(source, external, assigned, loop_vars, line)
+        return
+    raise ValidationError(f"line {line}: unknown expression {type(expr).__name__}")

@@ -1,0 +1,29 @@
+"""Distance measures shared by the deterministic and event encodings."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..events.values import DISTANCE_FUNCTIONS
+
+METRICS = tuple(DISTANCE_FUNCTIONS)
+
+
+def pairwise_distances(points: np.ndarray, metric: str = "euclidean") -> np.ndarray:
+    """Dense ``(n, n)`` matrix of pairwise distances."""
+    points = np.asarray(points, dtype=float)
+    diff = points[:, None, :] - points[None, :, :]
+    if metric == "euclidean":
+        return np.sqrt(np.sum(diff**2, axis=2))
+    if metric == "sqeuclidean":
+        return np.sum(diff**2, axis=2)
+    if metric == "manhattan":
+        return np.sum(np.abs(diff), axis=2)
+    raise ValueError(f"unknown distance metric {metric!r}")
+
+
+def point_distance(left, right, metric: str = "euclidean") -> float:
+    """Distance between two concrete points."""
+    return DISTANCE_FUNCTIONS[metric](np.asarray(left), np.asarray(right))

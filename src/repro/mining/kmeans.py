@@ -1,0 +1,210 @@
+"""K-means clustering: event-program builder and reference semantics.
+
+Implements Figure 2 of the paper.  Unlike k-medoids, cluster centres are
+*c-values*: the centroid of cluster ``i`` is the conditional expression
+
+    ``M[it][i] = (Σ_l InCl[it][i][l] ∧ ⊤⊗1)^{-1} · (Σ_l InCl[it][i][l] ∧ O_l)``
+
+— a random variable over possible cluster centroids, exponentially more
+succinct than a purely Boolean encoding (Example 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.datasets import ProbabilisticDataset
+from ..events import values as V
+from ..events.expressions import (
+    TRUE,
+    atom,
+    cdist,
+    cinv,
+    cond,
+    conj,
+    cprod,
+    csum,
+    guard,
+)
+from ..events.program import EventProgram, eid
+from .ties import break_ties_2, tie_break_events
+
+
+@dataclass(frozen=True)
+class KMeansSpec:
+    """Parameters of a k-means run."""
+
+    k: int
+    iterations: int = 3
+    metric: str = "euclidean"
+    init: Optional[Tuple[int, ...]] = None
+
+    def initial_centroids(self, count: int) -> Tuple[int, ...]:
+        if self.init is not None:
+            if len(self.init) != self.k:
+                raise ValueError("init must name exactly k objects")
+            return self.init
+        if self.k > count:
+            raise ValueError("k exceeds the number of objects")
+        return tuple(range(self.k))
+
+
+def build_kmeans_program(
+    dataset: ProbabilisticDataset, spec: KMeansSpec
+) -> EventProgram:
+    """Ground the k-means event program (Figure 2, right) for a dataset."""
+    n = len(dataset)
+    if n == 0:
+        raise ValueError("cannot cluster an empty dataset")
+    k = spec.k
+    program = EventProgram()
+    init = spec.initial_centroids(n)
+
+    phi = [program.declare_event(eid("Phi", l), dataset.events[l]) for l in range(n)]
+    objects = [
+        program.declare_cval(eid("O", l), guard(phi[l], dataset.points[l]))
+        for l in range(n)
+    ]
+    centroids = [
+        program.declare_cval(
+            eid("Minit", i), guard(phi[init[i]], dataset.points[init[i]])
+        )
+        for i in range(k)
+    ]
+
+    for it in range(spec.iterations):
+        dist_to = [
+            [
+                program.declare_cval(
+                    eid("D", it, l, i), cdist(objects[l], centroids[i], spec.metric)
+                )
+                for i in range(k)
+            ]
+            for l in range(n)
+        ]
+        raw_incl = [
+            [
+                program.declare_event(
+                    eid("InClRaw", it, i, l),
+                    conj(
+                        atom("<=", dist_to[l][i], dist_to[l][j])
+                        for j in range(k)
+                        if j != i
+                    ),
+                )
+                for l in range(n)
+            ]
+            for i in range(k)
+        ]
+        incl = [[None] * n for _ in range(k)]
+        for l in range(n):
+            broken = tie_break_events(
+                [raw_incl[i][l] for i in range(k)], [phi[l]] * k
+            )
+            for i in range(k):
+                incl[i][l] = program.declare_event(eid("InCl", it, i, l), broken[i])
+
+        # Update phase: centroid = (member count)^{-1} · (member sum).
+        centroids = []
+        for i in range(k):
+            count = program.declare_cval(
+                eid("Count", it, i),
+                csum(cond(incl[i][l], guard(TRUE, 1.0)) for l in range(n)),
+            )
+            vector_sum = program.declare_cval(
+                eid("Sum", it, i),
+                csum(cond(incl[i][l], objects[l]) for l in range(n)),
+            )
+            centroids.append(
+                program.declare_cval(
+                    eid("M", it, i), cprod([cinv(count), vector_sum])
+                )
+            )
+
+    return program
+
+
+def kmeans_assignment_targets(
+    program: EventProgram,
+    k: int,
+    n: int,
+    last_iteration: int,
+    objects: Optional[Sequence[int]] = None,
+) -> List[str]:
+    """Mark the final-iteration assignment events as targets."""
+    chosen = range(n) if objects is None else objects
+    names = []
+    for i in range(k):
+        for l in chosen:
+            name = eid("InCl", last_iteration, i, l)
+            program.add_target(name)
+            names.append(name)
+    return names
+
+
+# ----------------------------------------------------------------------
+# Reference semantics: k-means in one concrete world
+# ----------------------------------------------------------------------
+
+
+def kmeans_in_world(
+    points: np.ndarray,
+    present: Sequence[bool],
+    spec: KMeansSpec,
+) -> Dict[str, object]:
+    """Run k-means in one world under the undefined-value semantics.
+
+    Mirrors the user program of Figure 2: absent objects yield undefined
+    distances (vacuously-true comparisons), empty clusters yield
+    undefined centroids (``count^{-1} = u`` annihilates the product).
+    """
+    points = np.asarray(points, dtype=float)
+    n = len(points)
+    k = spec.k
+    init = spec.initial_centroids(n)
+    present = [bool(flag) for flag in present]
+
+    def obj_value(l: int):
+        return points[l] if present[l] else V.UNDEFINED
+
+    centroids: List[object] = [obj_value(init[i]) for i in range(k)]
+    incl: List[List[bool]] = [[False] * n for _ in range(k)]
+
+    for _ in range(spec.iterations):
+        dist_to = [
+            [V.distance(obj_value(l), centroids[i], spec.metric) for i in range(k)]
+            for l in range(n)
+        ]
+        raw = [
+            [
+                all(
+                    V.compare("<=", dist_to[l][i], dist_to[l][j])
+                    for j in range(k)
+                    if j != i
+                )
+                for l in range(n)
+            ]
+            for i in range(k)
+        ]
+        eligible = [[raw[i][l] and present[l] for l in range(n)] for i in range(k)]
+        incl = break_ties_2(eligible)
+
+        centroids = []
+        for i in range(k):
+            count: object = V.UNDEFINED
+            total: object = V.UNDEFINED
+            for l in range(n):
+                if incl[i][l]:
+                    count = V.add(count, 1.0)
+                    total = V.add(total, obj_value(l))
+            centroids.append(V.multiply(V.invert(count), total))
+
+    return {"incl": incl, "centroids": centroids}
+
+
+def kmeans_deterministic(points: np.ndarray, spec: KMeansSpec) -> Dict[str, object]:
+    """Plain k-means on certain data (every object present)."""
+    return kmeans_in_world(points, [True] * len(points), spec)

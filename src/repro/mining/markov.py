@@ -1,0 +1,227 @@
+"""Markov clustering (MCL): event-program builder and reference semantics.
+
+Implements Figure 3 of the paper: MCL simulates stochastic flow in a
+graph by alternating *expansion* (matrix squaring — random walks of
+higher length) and *inflation* (entry-wise Hadamard power followed by
+row rescaling, as in the Figure-3 code), which boosts intra-cluster
+walk probabilities.
+
+Probabilistically, graph nodes carry lineage events; an edge exists in a
+world when both endpoints do, so the initial flow matrix entries are
+c-values guarded by the conjunction of the endpoint events.  After the
+final iteration, the *attraction* atoms ``[M[i][j] >= threshold]`` are
+natural compilation targets: "does the flow from node j to attractor i
+persist?", which determines cluster membership in MCL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..events import values as V
+from ..events.expressions import Event, atom, cinv, conj, cpow, cprod, csum, guard, literal
+from ..events.program import EventProgram, eid
+from ..worlds.variables import VariablePool
+
+
+@dataclass(frozen=True)
+class MCLSpec:
+    """Parameters of a Markov-clustering run (``loadParams()``)."""
+
+    inflation: int = 2
+    iterations: int = 2
+
+
+def build_mcl_program(
+    weights: np.ndarray,
+    node_events: Sequence[Event],
+    spec: MCLSpec,
+) -> EventProgram:
+    """Ground the MCL event program (Figure 3, right).
+
+    ``weights`` is the ``n x n`` row-stochastic matrix of edge weights
+    between the ``n`` nodes; ``node_events`` their lineage.  Declares
+    ``M[0][i][j]`` as the guarded initial flow and, per iteration,
+    ``N[it][i][j]`` (expansion) and ``M[it+1][i][j]`` (inflation).
+    """
+    weights = np.asarray(weights, dtype=float)
+    n = len(node_events)
+    if weights.shape != (n, n):
+        raise ValueError(f"weights must be {n}x{n} to match the node events")
+    program = EventProgram()
+
+    phi = [program.declare_event(eid("Phi", i), node_events[i]) for i in range(n)]
+    flow = [
+        [
+            program.declare_cval(
+                eid("M", 0, i, j),
+                guard(conj([phi[i], phi[j]]), float(weights[i][j])),
+            )
+            for j in range(n)
+        ]
+        for i in range(n)
+    ]
+
+    for it in range(spec.iterations):
+        # Expansion: N = M · M (random walks of doubled length).
+        expanded = [
+            [
+                program.declare_cval(
+                    eid("N", it, i, j),
+                    csum(cprod([flow[i][p], flow[p][j]]) for p in range(n)),
+                )
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+        # Inflation: Hadamard power + per-column rescaling.
+        powered = [
+            [
+                program.declare_cval(
+                    eid("P", it, i, j), cpow(expanded[i][j], spec.inflation)
+                )
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+        # Rescaling follows the user program of Figure 3 verbatim: the
+        # normaliser is the *row* sum Σ_k N[i][k]^r (the figure's text
+        # speaks of columns, but its code fixes i and sums over k).
+        row_sums = [
+            program.declare_cval(
+                eid("RowSum", it, i), csum(powered[i][p] for p in range(n))
+            )
+            for i in range(n)
+        ]
+        flow = [
+            [
+                program.declare_cval(
+                    eid("M", it + 1, i, j),
+                    cprod([powered[i][j], cinv(row_sums[i])]),
+                )
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+
+    return program
+
+
+def attraction_targets(
+    program: EventProgram,
+    n: int,
+    last_iteration: int,
+    threshold: float = 0.5,
+    pairs: Optional[Sequence[Tuple[int, int]]] = None,
+) -> List[str]:
+    """Target ``Attract[i][j]``: flow ``j → i`` is at least ``threshold``
+    after the final iteration (node ``j`` belongs to attractor ``i``)."""
+    chosen = (
+        pairs if pairs is not None else [(i, j) for i in range(n) for j in range(n)]
+    )
+    names = []
+    from ..events.expressions import cref
+
+    for i, j in chosen:
+        name = eid("Attract", i, j)
+        program.declare_event(
+            name,
+            atom(
+                ">=",
+                cref(eid("M", last_iteration + 1, i, j)),
+                literal(threshold),
+            ),
+        )
+        program.add_target(name)
+        names.append(name)
+    return names
+
+
+# ----------------------------------------------------------------------
+# Reference semantics: MCL in one concrete world
+# ----------------------------------------------------------------------
+
+
+def mcl_in_world(
+    weights: np.ndarray,
+    present: Sequence[bool],
+    spec: MCLSpec,
+) -> List[List[object]]:
+    """Run MCL in one world under the undefined-value semantics.
+
+    Entries involving absent nodes are undefined; sums skip undefined
+    terms (``u`` is the additive identity) and rescaling by an undefined
+    row sum annihilates the row.  Returns the final flow matrix of
+    values-or-``u``.
+    """
+    weights = np.asarray(weights, dtype=float)
+    n = len(present)
+    present = [bool(flag) for flag in present]
+    flow: List[List[object]] = [
+        [
+            float(weights[i][j]) if present[i] and present[j] else V.UNDEFINED
+            for j in range(n)
+        ]
+        for i in range(n)
+    ]
+    for _ in range(spec.iterations):
+        expanded = [
+            [
+                _sum(V.multiply(flow[i][p], flow[p][j]) for p in range(n))
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+        powered = [
+            [V.power(expanded[i][j], spec.inflation) for j in range(n)]
+            for i in range(n)
+        ]
+        row_sums = [_sum(powered[i][p] for p in range(n)) for i in range(n)]
+        flow = [
+            [
+                V.multiply(powered[i][j], V.invert(row_sums[i]))
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+    return flow
+
+
+def _sum(values) -> object:
+    total = V.UNDEFINED
+    for value in values:
+        total = V.add(total, value)
+    return total
+
+
+def stochastic_graph(
+    n: int,
+    rng,
+    cluster_count: int = 2,
+    intra_weight: float = 1.0,
+    inter_weight: float = 0.1,
+    self_loop: float = 0.5,
+) -> np.ndarray:
+    """A row-stochastic weight matrix with planted cluster structure.
+
+    Nodes are split into ``cluster_count`` consecutive blocks; edges
+    within a block are heavy, edges across blocks light — the structure
+    MCL is designed to recover.
+    """
+    if n < cluster_count:
+        raise ValueError("need at least one node per cluster")
+    block = [index * cluster_count // n for index in range(n)]
+    raw = np.zeros((n, n), dtype=float)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                raw[i][j] = self_loop
+            elif block[i] == block[j]:
+                raw[i][j] = intra_weight * rng.uniform(0.5, 1.0)
+            else:
+                raw[i][j] = inter_weight * rng.uniform(0.0, 1.0)
+    row_sums = raw.sum(axis=1, keepdims=True)
+    return raw / row_sums

@@ -1,0 +1,74 @@
+"""The paper's example user programs (Figures 1, 2, 3), verbatim.
+
+These are the user-language sources for k-medoids, k-means, and Markov
+clustering exactly as printed in the paper (modulo whitespace).  They are
+parsed by :mod:`repro.lang.parser`, executed deterministically by
+:mod:`repro.lang.interpreter`, and translated to event programs by
+:mod:`repro.lang.translate`.
+"""
+
+KMEDOIDS_SOURCE = """
+(O, n) = loadData()
+(k, iter) = loadParams()
+M = init()
+for it in range(0, iter):
+    InCl = [None] * k
+    for i in range(0, k):
+        InCl[i] = [None] * n
+        for l in range(0, n):
+            InCl[i][l] = reduce_and(
+                [(dist(O[l], M[i]) <= dist(O[l], M[j])) for j in range(0, k)])
+    InCl = breakTies2(InCl)
+    DistSum = [None] * k
+    for i in range(0, k):
+        DistSum[i] = [None] * n
+        for l in range(0, n):
+            DistSum[i][l] = reduce_sum(
+                [dist(O[l], O[p]) for p in range(0, n) if InCl[i][p]])
+    Centre = [None] * k
+    for i in range(0, k):
+        Centre[i] = [None] * n
+        for l in range(0, n):
+            Centre[i][l] = reduce_and(
+                [DistSum[i][l] <= DistSum[i][p] for p in range(0, n)])
+    Centre = breakTies1(Centre)
+    M = [None] * k
+    for i in range(0, k):
+        M[i] = reduce_sum([O[l] for l in range(0, n) if Centre[i][l]])
+"""
+
+KMEANS_SOURCE = """
+(O, n) = loadData()
+(k, iter) = loadParams()
+M = init()
+for it in range(0, iter):
+    InCl = [None] * k
+    for i in range(0, k):
+        InCl[i] = [None] * n
+        for l in range(0, n):
+            InCl[i][l] = reduce_and(
+                [dist(O[l], M[i]) <= dist(O[l], M[j]) for j in range(0, k)])
+    InCl = breakTies2(InCl)
+    M = [None] * k
+    for i in range(0, k):
+        M[i] = scalar_mult(invert(
+            reduce_count([1 for l in range(0, n) if InCl[i][l]])),
+            reduce_sum([O[l] for l in range(0, n) if InCl[i][l]]))
+"""
+
+MCL_SOURCE = """
+(O, n, M) = loadData()
+(r, iter) = loadParams()
+for it in range(0, iter):
+    N = [None] * n
+    for i in range(0, n):
+        N[i] = [None] * n
+        for j in range(0, n):
+            N[i][j] = reduce_sum([M[i][k] * M[k][j] for k in range(0, n)])
+    M = [None] * n
+    for i in range(0, n):
+        M[i] = [None] * n
+        for j in range(0, n):
+            M[i][j] = pow(N[i][j], r) * invert(
+                reduce_sum([pow(N[i][k], r) for k in range(0, n)]))
+"""

@@ -1,0 +1,100 @@
+"""Compilation-target factories for clustering event programs.
+
+The platform computes probabilities for selected output events.  The
+paper's experiments use *medoid selection* events as targets and note
+that other target types (object–cluster assignment, pairwise
+co-occurrence) behave very similarly.  These helpers mark the relevant
+declared events of a built program as compilation targets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..events.expressions import conj, disj, ref
+from ..events.program import EventProgram, eid
+
+
+def medoid_targets(
+    program: EventProgram,
+    k: int,
+    n: int,
+    last_iteration: int,
+    objects: Optional[Sequence[int]] = None,
+) -> List[str]:
+    """Target ``Centre[last][i][l]``: object ``l`` is elected medoid of
+    cluster ``i`` after the final iteration (the paper's default)."""
+    chosen = range(n) if objects is None else objects
+    names = []
+    for i in range(k):
+        for l in chosen:
+            name = eid("Centre", last_iteration, i, l)
+            program.add_target(name)
+            names.append(name)
+    return names
+
+
+def assignment_targets(
+    program: EventProgram,
+    k: int,
+    n: int,
+    last_iteration: int,
+    objects: Optional[Sequence[int]] = None,
+) -> List[str]:
+    """Target ``InCl[last][i][l]``: object ``l`` is assigned to cluster
+    ``i`` after the final iteration."""
+    chosen = range(n) if objects is None else objects
+    names = []
+    for i in range(k):
+        for l in chosen:
+            name = eid("InCl", last_iteration, i, l)
+            program.add_target(name)
+            names.append(name)
+    return names
+
+
+def cooccurrence_targets(
+    program: EventProgram,
+    k: int,
+    last_iteration: int,
+    pairs: Iterable[Tuple[int, int]],
+) -> List[str]:
+    """Target ``CoOccur[l][p]``: objects ``l`` and ``p`` end up in the
+    same cluster (the motivating query of Example 1)."""
+    names = []
+    for l, p in pairs:
+        name = eid("CoOccur", l, p)
+        program.declare_event(
+            name,
+            disj(
+                conj(
+                    [
+                        ref(eid("InCl", last_iteration, i, l)),
+                        ref(eid("InCl", last_iteration, i, p)),
+                    ]
+                )
+                for i in range(k)
+            ),
+        )
+        program.add_target(name)
+        names.append(name)
+    return names
+
+
+def is_medoid_targets(
+    program: EventProgram,
+    k: int,
+    last_iteration: int,
+    objects: Iterable[int],
+) -> List[str]:
+    """Target ``IsMedoid[l]``: object ``l`` is a medoid of *some* cluster."""
+    names = []
+    for l in objects:
+        name = eid("IsMedoid", l)
+        program.declare_event(
+            name,
+            disj(ref(eid("Centre", last_iteration, i, l)) for i in range(k)),
+        )
+        program.add_target(name)
+        names.append(name)
+    return names

@@ -1,0 +1,79 @@
+"""Tie-breaking: deterministic semantics and event encodings (Section 2.2).
+
+Clustering algorithms must break ties explicitly: ``breakTies2`` keeps,
+for each object, only the first cluster claiming it; ``breakTies1``
+keeps, for each cluster, only the first claimed object; ``breakTies``
+keeps the first ``True`` of a one-dimensional array.
+
+The event encodings additionally conjoin each candidate with an
+*eligibility* event (typically the object's existence lineage ``Φ(o_l)``):
+in the paper's event semantics, comparisons involving absent objects are
+vacuously true, so without the eligibility conjunct an absent object
+could win a tie that no world would give it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..events.expressions import TRUE, Event, conj, negate
+
+
+def break_ties(row: Sequence[bool]) -> List[bool]:
+    """Keep only the first ``True`` of a Boolean sequence."""
+    result = [bool(value) for value in row]
+    seen = False
+    for index, value in enumerate(result):
+        if value and seen:
+            result[index] = False
+        elif value:
+            seen = True
+    return result
+
+
+def break_ties_2(matrix: Sequence[Sequence[bool]]) -> List[List[bool]]:
+    """For each fixed second index (object), keep the first first-index
+    (cluster) claiming it — the user-language ``breakTies2``."""
+    clusters = len(matrix)
+    objects = len(matrix[0]) if clusters else 0
+    result = [[bool(value) for value in row] for row in matrix]
+    for obj in range(objects):
+        seen = False
+        for cluster in range(clusters):
+            if result[cluster][obj] and seen:
+                result[cluster][obj] = False
+            elif result[cluster][obj]:
+                seen = True
+    return result
+
+
+def break_ties_1(matrix: Sequence[Sequence[bool]]) -> List[List[bool]]:
+    """For each fixed first index (cluster), keep the first second-index
+    (object) claiming it — the user-language ``breakTies1``."""
+    return [break_ties(row) for row in matrix]
+
+
+def tie_break_events(
+    candidates: Sequence[Event],
+    eligibility: Optional[Sequence[Event]] = None,
+) -> List[Event]:
+    """Event encoding of first-true-wins over a sequence of candidates.
+
+    Returns events ``T_i = E_i ∧ C_i ∧ ¬(E_0 ∧ C_0) ∧ ... ∧ ¬(E_{i-1} ∧
+    C_{i-1})`` where ``C_i`` are the candidate events and ``E_i`` the
+    eligibility events (defaults to ``⊤``).  In every world, at most one
+    ``T_i`` holds — the first eligible candidate.
+    """
+    if eligibility is None:
+        eligibility = [TRUE] * len(candidates)
+    if len(eligibility) != len(candidates):
+        raise ValueError("eligibility must match candidates in length")
+    eligible = [
+        conj([gate, candidate])
+        for gate, candidate in zip(eligibility, candidates)
+    ]
+    results: List[Event] = []
+    for index, current in enumerate(eligible):
+        blockers = [negate(earlier) for earlier in eligible[:index]]
+        results.append(conj([current] + blockers))
+    return results

@@ -1,0 +1,18 @@
+"""Event networks: DAG representation of event programs (Section 4.1)."""
+
+from .build import NetworkBuilder, build_network, build_targets
+from .folded import FoldedBuilder, FoldedNetwork, LoopCVal, LoopEvent
+from .nodes import EventNetwork, Kind, Node
+
+__all__ = [
+    "EventNetwork",
+    "FoldedBuilder",
+    "FoldedNetwork",
+    "Kind",
+    "LoopCVal",
+    "LoopEvent",
+    "NetworkBuilder",
+    "Node",
+    "build_network",
+    "build_targets",
+]

@@ -1,0 +1,158 @@
+"""Building event networks from event programs.
+
+Grounds an :class:`~repro.events.program.EventProgram` into a hash-consed
+:class:`~repro.network.nodes.EventNetwork`: every named declaration is
+built once and references resolve to the already-built node, so shared
+subprograms are physically shared in the network (Section 4.1: "Expressions
+common to several events are only represented once in such graphs").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..events.expressions import (
+    And,
+    Atom,
+    CDist,
+    CInv,
+    CPow,
+    CProd,
+    CRef,
+    CSum,
+    Cond,
+    Event,
+    Expression,
+    Guard,
+    Not,
+    Or,
+    Ref,
+    Var,
+    _FalseEvent,
+    _TrueEvent,
+)
+from ..events.program import EventProgram
+from .nodes import EventNetwork, Kind
+
+
+def _payload_key(value) -> tuple:
+    if isinstance(value, np.ndarray):
+        return ("vec", value.shape, value.tobytes())
+    return ("scalar", value)
+
+
+class NetworkBuilder:
+    """Translates expressions into interned network nodes."""
+
+    def __init__(self, network: Optional[EventNetwork] = None) -> None:
+        self.network = network if network is not None else EventNetwork()
+        self._memo: Dict[Expression, int] = {}
+
+    def build_program(self, program: EventProgram) -> EventNetwork:
+        """Ground every declaration, bind names, and mark targets."""
+        for name, expression in program.items():
+            node_id = self.build(expression)
+            self.network.bind_name(name, node_id)
+        for target in program.targets:
+            self.network.add_target(target, self.network.names[target])
+        return self.network
+
+    def build(self, expression: Expression) -> int:
+        """Build (or reuse) the node for an expression; returns its id."""
+        memoised = self._memo.get(expression)
+        if memoised is not None:
+            return memoised
+        node_id = self._build_uncached(expression)
+        self._memo[expression] = node_id
+        return node_id
+
+    def _build_uncached(self, expression: Expression) -> int:
+        network = self.network
+        if isinstance(expression, _TrueEvent):
+            return network._intern(Kind.TRUE, (), None, None)
+        if isinstance(expression, _FalseEvent):
+            return network._intern(Kind.FALSE, (), None, None)
+        if isinstance(expression, Var):
+            return network._intern(
+                Kind.VAR, (), expression.index, expression.index
+            )
+        if isinstance(expression, (Ref, CRef)):
+            if expression.name not in network.names:
+                raise KeyError(
+                    f"reference to {expression.name!r} before its declaration"
+                )
+            return network.names[expression.name]
+        if isinstance(expression, Not):
+            child = self.build(expression.child)
+            return network._intern(Kind.NOT, (child,), None, None)
+        if isinstance(expression, And):
+            children = tuple(self.build(op) for op in expression.operands)
+            return network._intern(Kind.AND, children, None, None)
+        if isinstance(expression, Or):
+            children = tuple(self.build(op) for op in expression.operands)
+            return network._intern(Kind.OR, children, None, None)
+        if isinstance(expression, Atom):
+            left = self.build(expression.left)
+            right = self.build(expression.right)
+            return network._intern(
+                Kind.ATOM, (left, right), expression.op, expression.op
+            )
+        if isinstance(expression, Guard):
+            event = self.build(expression.event)
+            return network._intern(
+                Kind.GUARD,
+                (event,),
+                expression.value,
+                _payload_key(expression.value),
+            )
+        if isinstance(expression, Cond):
+            event = self.build(expression.event)
+            cval = self.build(expression.cval)
+            return network._intern(Kind.COND, (event, cval), None, None)
+        if isinstance(expression, CSum):
+            children = tuple(self.build(term) for term in expression.terms)
+            return network._intern(Kind.SUM, children, None, None)
+        if isinstance(expression, CProd):
+            children = tuple(self.build(factor) for factor in expression.factors)
+            return network._intern(Kind.PROD, children, None, None)
+        if isinstance(expression, CInv):
+            child = self.build(expression.child)
+            return network._intern(Kind.INV, (child,), None, None)
+        if isinstance(expression, CPow):
+            child = self.build(expression.child)
+            return network._intern(
+                Kind.POW, (child,), expression.exponent, expression.exponent
+            )
+        if isinstance(expression, CDist):
+            left = self.build(expression.left)
+            right = self.build(expression.right)
+            return network._intern(
+                Kind.DIST, (left, right), expression.metric, expression.metric
+            )
+        raise TypeError(f"cannot build node for {type(expression)}")
+
+
+def build_network(program: EventProgram) -> EventNetwork:
+    """Convenience wrapper: ground an event program into a network."""
+    return NetworkBuilder().build_program(program)
+
+
+def build_targets(
+    expressions: Dict[str, Event], extra: Optional[Iterable[Tuple[str, Event]]] = None
+) -> EventNetwork:
+    """Build a network directly from a mapping of target events.
+
+    Handy for tests and for compiling ad-hoc events that are not part of
+    a named program.
+    """
+    builder = NetworkBuilder()
+    for name, expression in expressions.items():
+        node_id = builder.build(expression)
+        builder.network.bind_name(name, node_id)
+        builder.network.add_target(name, node_id)
+    if extra:
+        for name, expression in extra:
+            builder.network.bind_name(name, builder.build(expression))
+    return builder.network

@@ -1,0 +1,103 @@
+"""Graphviz export of event networks (for debugging and documentation).
+
+Renders the DAG in the style of the paper's Figure 5: random variables at
+the bottom, Boolean connectives and c-value aggregates above, targets
+highlighted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..events.values import format_value
+from .nodes import EventNetwork, Kind
+
+_SHAPES = {
+    Kind.VAR: "circle",
+    Kind.TRUE: "plaintext",
+    Kind.FALSE: "plaintext",
+    Kind.GUARD: "box",
+    Kind.SUM: "box",
+    Kind.PROD: "box",
+    Kind.INV: "box",
+    Kind.POW: "box",
+    Kind.DIST: "box",
+    Kind.COND: "box",
+    Kind.LOOP_IN: "house",
+}
+
+
+def _label(network: EventNetwork, node_id: int) -> str:
+    node = network.nodes[node_id]
+    kind = node.kind
+    if kind is Kind.VAR:
+        return f"x{node.payload}"
+    if kind is Kind.TRUE:
+        return "⊤"
+    if kind is Kind.FALSE:
+        return "⊥"
+    if kind is Kind.NOT:
+        return "¬"
+    if kind is Kind.AND:
+        return "∧"
+    if kind is Kind.OR:
+        return "∨"
+    if kind is Kind.ATOM:
+        return node.payload
+    if kind is Kind.GUARD:
+        return f"⊗ {format_value(node.payload, precision=2)}"
+    if kind is Kind.COND:
+        return "∧⊗"
+    if kind is Kind.SUM:
+        return "Σ"
+    if kind is Kind.PROD:
+        return "Π"
+    if kind is Kind.INV:
+        return "⁻¹"
+    if kind is Kind.POW:
+        return f"^{node.payload}"
+    if kind is Kind.DIST:
+        return "dist"
+    if kind is Kind.LOOP_IN:
+        return f"⟲ {node.payload[0]}"
+    return kind.name
+
+
+def to_dot(
+    network: EventNetwork,
+    roots: Optional[Sequence[int]] = None,
+    graph_name: str = "event_network",
+) -> str:
+    """Render (a fragment of) the network as a Graphviz ``digraph``."""
+    if roots is None:
+        include = set(range(len(network.nodes)))
+    else:
+        include = network.reachable_from(list(roots))
+    target_ids = set(network.targets.values())
+    target_names = {node_id: name for name, node_id in network.targets.items()}
+
+    lines = [f"digraph {graph_name} {{", "  rankdir=BT;"]
+    for node in network.nodes:
+        if node.id not in include:
+            continue
+        shape = _SHAPES.get(node.kind, "ellipse")
+        label = _label(network, node.id).replace('"', "'")
+        attributes = [f'label="{label}"', f"shape={shape}"]
+        if node.id in target_ids:
+            attributes.append("style=filled")
+            attributes.append('fillcolor="lightblue"')
+            attributes.append(f'xlabel="{target_names[node.id]}"')
+        lines.append(f"  n{node.id} [{', '.join(attributes)}];")
+    for node in network.nodes:
+        if node.id not in include:
+            continue
+        for child in node.children:
+            lines.append(f"  n{child} -> n{node.id};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(network: EventNetwork, path: str, **options) -> None:
+    """Write the Graphviz rendering to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_dot(network, **options))

@@ -1,0 +1,139 @@
+"""JSON (de)serialisation of event networks and variable pools.
+
+Compiled event networks are expensive to build for large inputs; this
+module lets a platform deployment persist them (plus the variable pool
+they are defined over) and reload them for later probability
+computations — e.g. recompiling the same clustering with fresh
+marginals after a sensor recalibration.
+
+The format is a plain JSON document (schema version tagged) with one
+record per node; vector payloads are stored as lists.  Folded networks
+serialise their slot bindings and iteration count as well.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..worlds.variables import VariablePool
+from .folded import FoldedNetwork
+from .nodes import EventNetwork, Kind, Node
+
+FORMAT_VERSION = 1
+
+
+def _payload_to_json(kind: Kind, payload) -> Any:
+    if payload is None:
+        return None
+    if kind is Kind.GUARD and isinstance(payload, np.ndarray):
+        return {"vector": payload.tolist()}
+    if kind is Kind.LOOP_IN:
+        return {"slot": payload[0], "boolean": payload[1]}
+    return payload
+
+
+def _payload_from_json(kind: Kind, raw) -> Any:
+    if raw is None:
+        return None
+    if kind is Kind.GUARD and isinstance(raw, dict):
+        vector = np.asarray(raw["vector"], dtype=float)
+        vector.setflags(write=False)
+        return vector
+    if kind is Kind.LOOP_IN:
+        return (raw["slot"], raw["boolean"])
+    return raw
+
+
+def network_to_dict(network: EventNetwork) -> Dict[str, Any]:
+    """Serialise a network (flat or folded) to a JSON-ready dict."""
+    document: Dict[str, Any] = {
+        "version": FORMAT_VERSION,
+        "kind": "folded" if isinstance(network, FoldedNetwork) else "flat",
+        "nodes": [
+            {
+                "k": int(node.kind),
+                "c": list(node.children),
+                "p": _payload_to_json(node.kind, node.payload),
+            }
+            for node in network.nodes
+        ],
+        "targets": dict(network.targets),
+        "names": dict(network.names),
+    }
+    if isinstance(network, FoldedNetwork):
+        document["iterations"] = network.iterations
+        document["slots"] = {
+            name: list(binding) for name, binding in network.slots.items()
+        }
+    return document
+
+
+def network_from_dict(document: Dict[str, Any]) -> EventNetwork:
+    """Rebuild a network from its serialised form."""
+    version = document.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported network format version {version!r}")
+    if document["kind"] == "folded":
+        network: EventNetwork = FoldedNetwork(document["iterations"])
+    else:
+        network = EventNetwork()
+    for record in document["nodes"]:
+        kind = Kind(record["k"])
+        node_id = len(network.nodes)
+        network.nodes.append(
+            Node(
+                node_id,
+                kind,
+                tuple(record["c"]),
+                _payload_from_json(kind, record["p"]),
+            )
+        )
+    network.names = {str(k): int(v) for k, v in document["names"].items()}
+    network.targets = {str(k): int(v) for k, v in document["targets"].items()}
+    if isinstance(network, FoldedNetwork):
+        network.slots = {
+            name: tuple(binding) for name, binding in document["slots"].items()
+        }
+        network.check_complete()
+    return network
+
+
+def pool_to_dict(pool: VariablePool) -> Dict[str, Any]:
+    """Serialise a variable pool (marginals and names)."""
+    return {
+        "version": FORMAT_VERSION,
+        "probabilities": list(pool.probabilities),
+        "names": [pool.name(index) for index in pool.indices()],
+    }
+
+
+def pool_from_dict(document: Dict[str, Any]) -> VariablePool:
+    if document.get("version") != FORMAT_VERSION:
+        raise ValueError("unsupported pool format version")
+    pool = VariablePool()
+    for probability, name in zip(document["probabilities"], document["names"]):
+        pool.add(probability, name=name)
+    return pool
+
+
+def save_network(
+    network: EventNetwork, path: str, pool: Optional[VariablePool] = None
+) -> None:
+    """Write a network (and optionally its pool) to a JSON file."""
+    document = {"network": network_to_dict(network)}
+    if pool is not None:
+        document["pool"] = pool_to_dict(pool)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+
+def load_network(path: str):
+    """Load ``(network, pool_or_None)`` from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    network = network_from_dict(document["network"])
+    pool = pool_from_dict(document["pool"]) if "pool" in document else None
+    return network, pool

@@ -1,0 +1,15 @@
+"""Possible worlds: random variables, enumeration, and the naive baseline."""
+
+from .variables import Valuation, Variable, VariablePool, random_pool, total_valuations
+
+__all__ = [
+    "Valuation",
+    "Variable",
+    "VariablePool",
+    "random_pool",
+    "total_valuations",
+]
+
+from .naive import lineage_nodes, naive_probabilities
+
+__all__ += ["lineage_nodes", "naive_probabilities"]

@@ -1,0 +1,149 @@
+"""Boolean random variables and the probability space they induce.
+
+ENFrame models uncertainty with a finite set ``X`` of independent Boolean
+random variables (paper, Section 3.3).  A :class:`VariablePool` owns the
+variables together with their marginal probabilities.  A *valuation*
+``nu: X -> {true, false}`` is represented as a ``dict`` mapping variable
+indices to booleans; total valuations define *possible worlds* with
+probability ``Pr(nu) = prod_x P_x[nu(x)]`` (Definition 1 in the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+Valuation = Dict[int, bool]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A Boolean random variable: an index into a pool plus a name."""
+
+    index: int
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.name
+
+
+class VariablePool:
+    """A finite set of independent Boolean random variables.
+
+    Each variable carries the marginal probability of being ``True``.
+    Variables are identified by dense integer indices, which the rest of
+    the system (event expressions, networks, compilation) uses directly.
+    """
+
+    def __init__(self) -> None:
+        self._names: List[str] = []
+        self._probs: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def add(self, probability: float = 0.5, name: Optional[str] = None) -> int:
+        """Register a fresh variable and return its index."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        index = len(self._names)
+        self._names.append(name if name is not None else f"x{index}")
+        self._probs.append(float(probability))
+        return index
+
+    def add_many(self, probabilities: Iterable[float]) -> List[int]:
+        """Register several variables at once; returns their indices."""
+        return [self.add(p) for p in probabilities]
+
+    def probability(self, index: int, value: bool = True) -> float:
+        """Marginal probability ``P_x[value]`` of variable ``index``."""
+        p_true = self._probs[index]
+        return p_true if value else 1.0 - p_true
+
+    def name(self, index: int) -> str:
+        return self._names[index]
+
+    def set_probability(self, index: int, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        self._probs[index] = float(probability)
+
+    @property
+    def probabilities(self) -> Tuple[float, ...]:
+        return tuple(self._probs)
+
+    def indices(self) -> range:
+        return range(len(self._names))
+
+    # ------------------------------------------------------------------
+    # Probability space induced by the pool (Definition 1).
+    # ------------------------------------------------------------------
+
+    def valuation_probability(self, valuation: Valuation) -> float:
+        """``Pr(nu)`` of a *total* valuation under variable independence."""
+        prob = 1.0
+        for index in self.indices():
+            prob *= self.probability(index, valuation[index])
+        return prob
+
+    def partial_probability(self, valuation: Valuation) -> float:
+        """Probability mass of the set of worlds extending ``valuation``."""
+        prob = 1.0
+        for index, value in valuation.items():
+            prob *= self.probability(index, value)
+        return prob
+
+    def iter_valuations(self) -> Iterator[Tuple[Valuation, float]]:
+        """Yield every total valuation together with its probability.
+
+        There are ``2^len(pool)`` valuations; callers are expected to keep
+        pools small (this powers the naive baseline and the testing
+        oracle, not the production algorithms).
+        """
+        indices = list(self.indices())
+        for bits in itertools.product((True, False), repeat=len(indices)):
+            valuation = dict(zip(indices, bits))
+            yield valuation, self.valuation_probability(valuation)
+
+    def sample_valuation(self, rng: random.Random) -> Valuation:
+        """Draw a total valuation from the induced distribution."""
+        return {
+            index: rng.random() < self._probs[index] for index in self.indices()
+        }
+
+
+def random_pool(
+    count: int,
+    rng: random.Random,
+    low: float = 0.5,
+    high: float = 0.8,
+) -> VariablePool:
+    """Pool of ``count`` variables with probabilities uniform in [low, high].
+
+    The paper draws marginals uniformly from [0.5, 0.8] so that clustering
+    event probabilities are not trivially close to 0 or 1 (Section 5,
+    "Uncertainty").
+    """
+    pool = VariablePool()
+    for _ in range(count):
+        pool.add(rng.uniform(low, high))
+    return pool
+
+
+def total_valuations(
+    pool: VariablePool, over: Optional[Sequence[int]] = None
+) -> Iterator[Tuple[Valuation, float]]:
+    """Yield valuations over a subset of variables with their mass.
+
+    When ``over`` is given, only those variables are enumerated; the
+    returned probability is the mass of the corresponding *set* of worlds.
+    """
+    if over is None:
+        yield from pool.iter_valuations()
+        return
+    indices = list(over)
+    for bits in itertools.product((True, False), repeat=len(indices)):
+        valuation = dict(zip(indices, bits))
+        yield valuation, pool.partial_probability(valuation)

@@ -1,0 +1,66 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+import sys
+
+import pytest
+
+# The compiler raises the recursion limit for deep network traversals;
+# raising it up front keeps hypothesis from warning about mid-test changes.
+sys.setrecursionlimit(100_000)
+
+from repro.events.expressions import (
+    TRUE,
+    atom,
+    conj,
+    csum,
+    disj,
+    guard,
+    negate,
+    var,
+)
+from repro.worlds.variables import VariablePool
+
+
+def make_pool(probabilities):
+    pool = VariablePool()
+    for probability in probabilities:
+        pool.add(probability)
+    return pool
+
+
+def random_event(pool, rng, depth=3):
+    """A random event expression over the pool (shared by many tests)."""
+    if depth == 0 or rng.random() < 0.3:
+        return var(rng.randrange(len(pool)))
+    choice = rng.random()
+    if choice < 0.35:
+        return conj(
+            random_event(pool, rng, depth - 1) for _ in range(rng.randint(2, 3))
+        )
+    if choice < 0.70:
+        return disj(
+            random_event(pool, rng, depth - 1) for _ in range(rng.randint(2, 3))
+        )
+    if choice < 0.85:
+        return negate(random_event(pool, rng, depth - 1))
+    terms = [
+        guard(random_event(pool, rng, 1), rng.uniform(-2.0, 2.0)) for _ in range(3)
+    ]
+    return atom(
+        rng.choice(["<=", "<", ">=", ">"]),
+        csum(terms),
+        guard(TRUE, rng.uniform(-2.0, 2.0)),
+    )
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)
+
+
+@pytest.fixture
+def small_pool():
+    return make_pool([0.5, 0.3, 0.8])

@@ -1,0 +1,119 @@
+"""Integration: less-travelled combinations of platform features."""
+
+import pytest
+
+from repro import ENFrame, KMedoidsSpec
+from repro.compile.compiler import compile_network
+from repro.compile.distributed import compile_distributed
+from repro.compile.montecarlo import monte_carlo_probabilities
+from repro.data.datasets import sensor_dataset
+from repro.mining.kmedoids import build_kmedoids_folded
+
+
+class TestDistributedOverFoldedNetworks:
+    def test_folded_distributed_exact_matches_sequential(self):
+        dataset = sensor_dataset(
+            6, scheme="independent", seed=12, group_size=2
+        )
+        spec = KMedoidsSpec(k=2, iterations=3)
+        folded = build_kmedoids_folded(dataset, spec)
+        sequential = compile_network(folded, dataset.pool)
+        distributed = compile_distributed(
+            folded, dataset.pool, scheme="exact", workers=3, job_size=2
+        )
+        for name in sequential.bounds:
+            assert distributed.bounds[name][0] == pytest.approx(
+                sequential.bounds[name][0]
+            )
+
+    def test_folded_distributed_hybrid_guarantee(self):
+        dataset = sensor_dataset(6, scheme="mutex", seed=12, mutex_size=3,
+                                 group_size=2)
+        spec = KMedoidsSpec(k=2, iterations=2)
+        folded = build_kmedoids_folded(dataset, spec)
+        exact = compile_network(folded, dataset.pool)
+        result = compile_distributed(
+            folded, dataset.pool, scheme="hybrid", epsilon=0.1,
+            workers=4, job_size=2,
+        )
+        for name in exact.bounds:
+            probability = exact.bounds[name][0]
+            lower, upper = result.bounds[name]
+            assert lower - 1e-9 <= probability <= upper + 1e-9
+            assert upper - lower <= 0.2 + 1e-9
+
+
+class TestMonteCarloOnPipelines:
+    def test_montecarlo_estimates_clustering_events(self):
+        platform = ENFrame.from_sensor_data(
+            8, scheme="mutex", seed=19, mutex_size=3, group_size=2
+        )
+        platform.kmedoids(KMedoidsSpec(k=2, iterations=2))
+        exact = platform.run(scheme="exact")
+        estimate = monte_carlo_probabilities(
+            platform.network,
+            platform.dataset.pool,
+            targets=list(platform.target_names),
+            samples=3000,
+            seed=2,
+        )
+        for name in platform.target_names:
+            assert abs(
+                estimate.probability(name) - exact.probability(name)
+            ) < 0.06
+
+    def test_montecarlo_through_facade(self):
+        platform = ENFrame.from_sensor_data(
+            8, scheme="independent", seed=19, group_size=2
+        )
+        platform.kmedoids(KMedoidsSpec(k=2, iterations=2))
+        result = platform.run(scheme="montecarlo")
+        assert result.scheme == "montecarlo"
+        assert all(0.0 <= result.probability(t) <= 1.0 for t in result.targets)
+
+
+class TestSerializedPipelines:
+    def test_reload_and_recompile_with_new_marginals(self, tmp_path):
+        from repro.network.serialize import load_network, save_network
+
+        platform = ENFrame.from_sensor_data(
+            6, scheme="independent", seed=5, group_size=2
+        )
+        platform.kmedoids(KMedoidsSpec(k=2, iterations=2))
+        before = platform.run(scheme="exact")
+        path = tmp_path / "clustering.json"
+        save_network(platform.network, str(path), pool=platform.dataset.pool)
+
+        network, pool = load_network(str(path))
+        same = compile_network(network, pool)
+        for name in before.targets:
+            assert same.bounds[name][0] == pytest.approx(before.probability(name))
+        # Fresh marginals change the distribution but keep it valid.
+        for index in pool.indices():
+            pool.set_probability(index, 0.99)
+        updated = compile_network(network, pool)
+        assert updated.is_exact()
+
+
+class TestSensitivityOnPipelines:
+    def test_influences_explain_mutex_structure(self):
+        from repro.core.sensitivity import variable_influences
+
+        platform = ENFrame.from_sensor_data(
+            6, scheme="mutex", seed=23, mutex_size=3, group_size=2
+        )
+        platform.kmedoids(KMedoidsSpec(k=2, iterations=2))
+        exact = platform.run(scheme="exact")
+        target = max(exact.targets, key=lambda t: exact.probability(t))
+        influences = variable_influences(
+            platform.network, platform.dataset.pool, target
+        )
+        # Law of total probability reconstructs the marginal.
+        pool = platform.dataset.pool
+        for influence in influences:
+            p = pool.probability(influence.variable)
+            reconstructed = (
+                p * influence.probability_given_true
+                + (1 - p) * influence.probability_given_false
+            )
+            assert reconstructed == pytest.approx(exact.probability(target))

@@ -1,0 +1,132 @@
+"""Integration: k-means and MCL pipelines vs per-world golden standards."""
+
+import random
+
+import pytest
+
+from repro.compile.compiler import compile_network
+from repro.correlations.schemes import independent_lineage, mutex_lineage
+from repro.data.datasets import sensor_dataset
+from repro.events import values as V
+from repro.events.semantics import Evaluator
+from repro.mining.kmeans import (
+    KMeansSpec,
+    build_kmeans_program,
+    kmeans_assignment_targets,
+    kmeans_in_world,
+)
+from repro.mining.markov import (
+    MCLSpec,
+    attraction_targets,
+    build_mcl_program,
+    mcl_in_world,
+    stochastic_graph,
+)
+from repro.network.build import build_network
+
+
+@pytest.mark.parametrize("scheme,options", [
+    ("independent", dict(group_size=2)),
+    ("mutex", dict(mutex_size=3, group_size=2)),
+    ("positive", dict(variables=5, literals=2, group_size=2)),
+])
+def test_kmeans_exact_equals_golden_standard(scheme, options):
+    n = 6
+    dataset = sensor_dataset(n, scheme=scheme, seed=6, **options)
+    spec = KMeansSpec(k=2, iterations=2)
+    program = build_kmeans_program(dataset, spec)
+    names = kmeans_assignment_targets(program, 2, n, spec.iterations - 1)
+    network = build_network(program)
+    result = compile_network(network, dataset.pool)
+
+    golden = {name: 0.0 for name in names}
+    for valuation, mass in dataset.pool.iter_valuations():
+        if mass == 0.0:
+            continue
+        evaluator = Evaluator(valuation)
+        present = [evaluator.event(dataset.events[l]) for l in range(n)]
+        world = kmeans_in_world(dataset.points, present, spec)
+        position = 0
+        for i in range(2):
+            for l in range(n):
+                if world["incl"][i][l]:
+                    golden[names[position]] += mass
+                position += 1
+    for name in names:
+        assert result.bounds[name][0] == pytest.approx(golden[name]), name
+
+
+def test_kmeans_centroid_distribution_is_conditional():
+    """Centroids are c-values: empty clusters give undefined centroids,
+    and the per-world centroid matches the golden standard."""
+    n = 5
+    dataset = sensor_dataset(n, scheme="independent", seed=9)
+    spec = KMeansSpec(k=2, iterations=2)
+    program = build_kmeans_program(dataset, spec)
+    network = build_network(program)
+    for valuation, mass in dataset.pool.iter_valuations():
+        if mass == 0.0:
+            continue
+        evaluator = Evaluator(valuation, program.environment)
+        present = [evaluator.event(dataset.events[l]) for l in range(n)]
+        world = kmeans_in_world(dataset.points, present, spec)
+        for i in range(2):
+            symbolic = evaluator.cval(program[f"M[1][{i}]"])
+            concrete = world["centroids"][i]
+            if concrete is V.UNDEFINED:
+                assert symbolic is V.UNDEFINED
+            else:
+                assert V.values_equal(symbolic, concrete, tolerance=1e-9)
+
+
+@pytest.mark.parametrize("seed", [3, 8])
+def test_mcl_exact_equals_golden_standard(seed):
+    rng = random.Random(seed)
+    n = 4
+    weights = stochastic_graph(n, rng)
+    lineage = independent_lineage(n, rng, group_size=2)
+    spec = MCLSpec(inflation=2, iterations=2)
+    program = build_mcl_program(weights, lineage.events, spec)
+    threshold = 0.4
+    names = attraction_targets(program, n, spec.iterations - 1, threshold)
+    network = build_network(program)
+    result = compile_network(network, lineage.pool)
+
+    golden = {name: 0.0 for name in names}
+    for valuation, mass in lineage.pool.iter_valuations():
+        if mass == 0.0:
+            continue
+        evaluator = Evaluator(valuation)
+        present = [evaluator.event(lineage.events[i]) for i in range(n)]
+        flow = mcl_in_world(weights, present, spec)
+        for i in range(n):
+            for j in range(n):
+                if V.compare(">=", flow[i][j], threshold):
+                    golden[f"Attract[{i}][{j}]"] += mass
+    for name in names:
+        assert result.bounds[name][0] == pytest.approx(golden[name]), name
+
+
+def test_mcl_with_mutex_node_lineage():
+    """MCL under negative node correlations: mutually exclusive nodes
+    never both attract flow in the same world."""
+    rng = random.Random(4)
+    n = 4
+    weights = stochastic_graph(n, rng)
+    lineage = mutex_lineage(n, rng, mutex_size=2, group_size=1)
+    spec = MCLSpec(inflation=2, iterations=1)
+    program = build_mcl_program(weights, lineage.events, spec)
+    # Nodes 0 and 1 are mutually exclusive: the flow between them is
+    # undefined in *every* world — its distribution is the point mass on
+    # ``u``.  (Note that atoms over undefined c-values are vacuously
+    # true, so "never co-occur" must be read off the c-value itself.)
+    from repro.events.expressions import cref
+    from repro.events.probability import cval_distribution
+
+    distribution = cval_distribution(
+        cref("M[1][0][1]"), lineage.pool, program.environment
+    )
+    assert len(distribution) == 1
+    outcome, mass = distribution[0]
+    assert outcome is V.UNDEFINED
+    assert mass == pytest.approx(1.0)

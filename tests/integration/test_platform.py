@@ -1,0 +1,157 @@
+"""Integration: the ENFrame facade end to end."""
+
+import numpy as np
+import pytest
+
+from repro import ENFrame, KMeansSpec, KMedoidsSpec, VariablePool
+from repro.db import Query, tuple_independent
+from repro.events.expressions import var
+from repro.mining.programs import KMEDOIDS_SOURCE
+
+
+@pytest.fixture
+def platform():
+    return ENFrame.from_sensor_data(
+        8, scheme="mutex", seed=13, mutex_size=3, group_size=2
+    )
+
+
+class TestDataLoading:
+    def test_from_points(self):
+        pool = VariablePool()
+        events = [var(pool.add(0.5)) for _ in range(3)]
+        platform = ENFrame.from_points(np.zeros((3, 2)), events, pool)
+        assert len(platform.dataset) == 3
+
+    def test_from_certain_points(self):
+        platform = ENFrame.from_certain_points(np.zeros((4, 2)))
+        assert platform.dataset.certain_count() == 4
+
+    def test_from_query(self):
+        pool = VariablePool()
+        table = tuple_independent(
+            "R",
+            ("x", "y"),
+            [((0.0, 1.0), 0.5), ((1.0, 0.0), 0.8), ((5.0, 5.0), 0.9)],
+            pool,
+        )
+        platform = ENFrame.from_query(Query(table), ("x", "y"), pool)
+        assert len(platform.dataset) == 3
+        platform.kmedoids(KMedoidsSpec(k=2, iterations=1))
+        result = platform.run()
+        assert result.is_exact()
+
+
+class TestSchemes:
+    def test_all_schemes_agree_within_epsilon(self, platform):
+        platform.kmedoids(KMedoidsSpec(k=2, iterations=2))
+        exact = platform.run(scheme="exact")
+        naive = platform.run(scheme="naive")
+        for target in exact.targets:
+            assert naive.probability(target) == pytest.approx(
+                exact.probability(target)
+            )
+        for scheme in ("lazy", "eager", "hybrid"):
+            approx = platform.run(scheme=scheme, epsilon=0.1)
+            for target in exact.targets:
+                lower, upper = approx.bounds(target)
+                assert lower - 1e-9 <= exact.probability(target) <= upper + 1e-9
+
+    def test_distributed_run(self, platform):
+        platform.kmedoids(KMedoidsSpec(k=2, iterations=2))
+        result = platform.run(scheme="hybrid", epsilon=0.1, workers=4, job_size=2)
+        assert result.scheme == "hybrid-d"
+        assert result.raw.workers == 4
+        assert result.max_gap() <= 0.2 + 1e-9
+
+    def test_run_without_program(self, platform):
+        with pytest.raises(RuntimeError):
+            platform.run()
+
+
+class TestTargetKinds:
+    def test_medoid_targets(self, platform):
+        platform.kmedoids(KMedoidsSpec(k=2, iterations=2), targets="medoids")
+        assert all(name.startswith("Centre") for name in platform.target_names)
+
+    def test_assignment_targets(self, platform):
+        platform.kmedoids(KMedoidsSpec(k=2, iterations=2), targets="assignments")
+        assert all(name.startswith("InCl") for name in platform.target_names)
+
+    def test_is_medoid_targets(self, platform):
+        platform.kmedoids(
+            KMedoidsSpec(k=2, iterations=2),
+            targets="is_medoid",
+            target_objects=[0, 3],
+        )
+        result = platform.run()
+        assert set(result.targets) == {"IsMedoid[0]", "IsMedoid[3]"}
+
+    def test_unknown_target_kind(self, platform):
+        with pytest.raises(ValueError):
+            platform.kmedoids(KMedoidsSpec(k=2), targets="silhouette")
+
+    def test_target_subset(self, platform):
+        platform.kmedoids(
+            KMedoidsSpec(k=2, iterations=2), target_objects=[0, 1]
+        )
+        assert len(platform.target_names) == 4  # 2 clusters x 2 objects
+
+    def test_cooccurrence(self, platform):
+        platform.kmedoids(KMedoidsSpec(k=2, iterations=2), targets="assignments")
+        platform.cooccurrence([(0, 2)])
+        result = platform.run()
+        assert "CoOccur[0][2]" in result.targets
+
+    def test_folded_mode(self, platform):
+        platform.kmedoids(KMedoidsSpec(k=2, iterations=2), folded=True)
+        folded_result = platform.run()
+        platform.kmedoids(KMedoidsSpec(k=2, iterations=2))
+        unfolded_result = platform.run()
+        for target in unfolded_result.targets:
+            assert folded_result.probability(target) == pytest.approx(
+                unfolded_result.probability(target)
+            )
+
+
+class TestKMeansAndUserPrograms:
+    def test_kmeans_registration(self, platform):
+        platform.kmeans(KMeansSpec(k=2, iterations=2))
+        result = platform.run(scheme="hybrid", epsilon=0.15)
+        assert result.max_gap() <= 0.3 + 1e-9
+
+    def test_user_program_path_matches_builder_on_certain_data(self):
+        # On certain data the two construction paths (verbatim Figure-1
+        # source through the translator vs the curated event-program
+        # builder) must coincide exactly.  On uncertain data they differ
+        # deliberately: the paper omits the breakTies event encoding,
+        # and the translator implements literal first-true-wins ties
+        # while the builder conjoins object existence (each is verified
+        # against its own per-world golden standard elsewhere).
+        points = np.array([[0.0, 0.0], [0.2, 0.1], [4.0, 4.0], [4.2, 4.1]])
+        translated_platform = ENFrame.from_certain_points(points)
+        translated_platform.user_program(
+            KMEDOIDS_SOURCE,
+            params=(2, 2),
+            init_indices=range(2),
+            targets=[("Centre", (i, l)) for i in range(2) for l in range(4)],
+        )
+        translated = translated_platform.run()
+        built_platform = ENFrame.from_certain_points(points)
+        built_platform.kmedoids(KMedoidsSpec(k=2, iterations=2))
+        built = built_platform.run()
+        translated_values = sorted(translated.probabilities().values())
+        built_values = sorted(built.probabilities().values())
+        assert translated_values == pytest.approx(built_values)
+        assert set(translated_values) <= {0.0, 1.0}
+
+
+class TestResultAccessors:
+    def test_summary_and_top(self, platform):
+        platform.kmedoids(KMedoidsSpec(k=2, iterations=2))
+        result = platform.run()
+        assert "exact" in result.summary()
+        top = result.top(3)
+        assert len(top) == 3
+        assert top[0][1] >= top[1][1] >= top[2][1]
+        assert result.seconds >= 0

@@ -1,0 +1,184 @@
+"""Integration: translated user programs vs the per-world interpreter.
+
+Three independent paths must agree: (a) translate the paper's verbatim
+Figure 1-3 sources to event programs and compile exactly; (b) run the
+deterministic interpreter on the same source in every world; (c) for
+fully-present worlds, the plain reference implementations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compile.compiler import compile_network
+from repro.data.datasets import sensor_dataset
+from repro.events import values as V
+from repro.events.expressions import conj, guard
+from repro.events.semantics import Evaluator
+from repro.lang.interpreter import Externals, Interpreter
+from repro.lang.parser import parse_program
+from repro.lang.translate import (
+    TranslationExternals,
+    dataset_externals,
+    translate_source,
+)
+from repro.mining.programs import KMEANS_SOURCE, KMEDOIDS_SOURCE, MCL_SOURCE
+from repro.network.build import build_network
+
+
+def per_world_interpreter_probabilities(source, dataset, params, init_indices,
+                                        variable, indices_list):
+    """Run the interpreter in every world; returns {indices: probability}."""
+    n = len(dataset)
+    parsed = parse_program(source)
+    totals = {indices: 0.0 for indices in indices_list}
+    for valuation, mass in dataset.pool.iter_valuations():
+        if mass == 0.0:
+            continue
+        evaluator = Evaluator(valuation)
+        objects = [
+            dataset.points[l] if evaluator.event(dataset.events[l]) else V.UNDEFINED
+            for l in range(n)
+        ]
+        interpreter = Interpreter(
+            Externals(
+                load_data=(objects, n),
+                load_params=params,
+                init=[objects[i] for i in init_indices],
+            )
+        )
+        env = interpreter.run(parsed)
+        for indices in indices_list:
+            value = env[variable]
+            for index in indices:
+                value = value[index]
+            if value:
+                totals[indices] += mass
+    return totals
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_figure1_kmedoids_source(seed):
+    n, k, iterations = 6, 2, 2
+    dataset = sensor_dataset(n, scheme="mutex", seed=seed, mutex_size=3,
+                             group_size=2)
+    externals = dataset_externals(dataset, (k, iterations), range(k))
+    program, translator = translate_source(KMEDOIDS_SOURCE, externals)
+    indices = [(i, l) for i in range(k) for l in range(n)]
+    names = {pair: translator.target("Centre", *pair) for pair in indices}
+    network = build_network(program)
+    compiled = compile_network(network, dataset.pool)
+    golden = per_world_interpreter_probabilities(
+        KMEDOIDS_SOURCE, dataset, (k, iterations), range(k), "Centre", indices
+    )
+    for pair in indices:
+        assert compiled.bounds[names[pair]][0] == pytest.approx(golden[pair]), pair
+
+
+@pytest.mark.parametrize("seed", [0, 2])
+def test_figure2_kmeans_source(seed):
+    n, k, iterations = 6, 2, 2
+    dataset = sensor_dataset(n, scheme="positive", seed=seed, variables=5,
+                             literals=2, group_size=2)
+    externals = dataset_externals(dataset, (k, iterations), range(k))
+    program, translator = translate_source(KMEANS_SOURCE, externals)
+    indices = [(i, l) for i in range(k) for l in range(n)]
+    names = {pair: translator.target("InCl", *pair) for pair in indices}
+    network = build_network(program)
+    compiled = compile_network(network, dataset.pool)
+    golden = per_world_interpreter_probabilities(
+        KMEANS_SOURCE, dataset, (k, iterations), range(k), "InCl", indices
+    )
+    for pair in indices:
+        assert compiled.bounds[names[pair]][0] == pytest.approx(golden[pair]), pair
+
+
+def test_figure3_mcl_source():
+    import random
+
+    from repro.correlations.schemes import independent_lineage
+    from repro.mining.markov import stochastic_graph
+
+    rng = random.Random(5)
+    n, r, iterations = 3, 2, 2
+    weights = stochastic_graph(n, rng)
+    lineage = independent_lineage(n, rng)
+    # loadData() returns (O, n, M): guarded edge weights.
+    matrix = [
+        [
+            guard(conj([lineage.events[i], lineage.events[j]]), float(weights[i][j]))
+            for j in range(n)
+        ]
+        for i in range(n)
+    ]
+    externals = TranslationExternals(
+        load_data=(list(range(n)), n, matrix), load_params=(r, iterations)
+    )
+    program, translator = translate_source(MCL_SOURCE, externals)
+
+    # Compare the final flow matrix per world against the interpreter.
+    parsed = parse_program(MCL_SOURCE)
+    for valuation, mass in lineage.pool.iter_valuations():
+        if mass == 0.0:
+            continue
+        evaluator = Evaluator(valuation, program.environment)
+        present = [evaluator.event(lineage.events[i]) for i in range(n)]
+        world_matrix = [
+            [
+                float(weights[i][j]) if present[i] and present[j] else V.UNDEFINED
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+        interpreter = Interpreter(
+            Externals(
+                load_data=(list(range(n)), n, world_matrix),
+                load_params=(r, iterations),
+            )
+        )
+        env = interpreter.run(parsed)
+        for i in range(n):
+            for j in range(n):
+                symbolic = evaluator.cval(translator.env["M"][i][j])
+                concrete = env["M"][i][j]
+                if concrete is V.UNDEFINED:
+                    assert symbolic is V.UNDEFINED, (i, j, valuation)
+                else:
+                    assert symbolic == pytest.approx(concrete), (i, j, valuation)
+
+
+def test_translated_approximation_guarantee():
+    n, k, iterations = 6, 2, 2
+    dataset = sensor_dataset(n, scheme="conditional", seed=4, group_size=2)
+    externals = dataset_externals(dataset, (k, iterations), range(k))
+    program, translator = translate_source(KMEDOIDS_SOURCE, externals)
+    names = [translator.target("Centre", i, l) for i in range(k) for l in range(n)]
+    network = build_network(program)
+    exact = compile_network(network, dataset.pool)
+    approx = compile_network(network, dataset.pool, scheme="hybrid", epsilon=0.1)
+    for name in names:
+        probability = exact.bounds[name][0]
+        lower, upper = approx.bounds[name]
+        assert lower - 1e-9 <= probability <= upper + 1e-9
+        assert upper - lower <= 0.2 + 1e-9
+
+
+def test_certain_data_degrades_to_deterministic_clustering():
+    """On fully certain input the probabilistic result is 0/1 and matches
+    the plain deterministic reference implementation."""
+    from repro.data.datasets import certain_dataset
+    from repro.mining.kmedoids import KMedoidsSpec, kmedoids_deterministic
+
+    points = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+    dataset = certain_dataset(points)
+    externals = dataset_externals(dataset, (2, 2), range(2))
+    program, translator = translate_source(KMEDOIDS_SOURCE, externals)
+    names = {}
+    for i in range(2):
+        for l in range(4):
+            names[(i, l)] = translator.target("Centre", i, l)
+    network = build_network(program)
+    result = compile_network(network, dataset.pool)
+    reference = kmedoids_deterministic(points, KMedoidsSpec(k=2, iterations=2))
+    for (i, l), name in names.items():
+        expected = 1.0 if reference["centre"][i][l] else 0.0
+        assert result.bounds[name][0] == pytest.approx(expected)

@@ -1,0 +1,137 @@
+"""Property-based tests: DB lineage commutation and tie-break invariants."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.db import algebra
+from repro.db.aggregates import sum_aggregate
+from repro.db.pctable import PCTable
+from repro.events import values as V
+from repro.events.expressions import var
+from repro.events.semantics import Evaluator, evaluate_cval, evaluate_event
+from repro.mining.ties import break_ties, break_ties_1, break_ties_2, tie_break_events
+from repro.worlds.variables import VariablePool
+
+
+@st.composite
+def uncertain_tables(draw):
+    """A small pc-table of (group, value) tuples over fresh variables."""
+    pool = VariablePool()
+    rows = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(min_value=-5, max_value=5),
+                st.floats(min_value=0.1, max_value=0.9),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    table = PCTable("R", ("g", "v"))
+    for group, value, probability in rows:
+        table.insert((group, value), var(pool.add(probability)))
+    return pool, table
+
+
+@given(uncertain_tables())
+@settings(max_examples=60, deadline=None)
+def test_select_project_commutes_with_worlds(instance):
+    pool, table = instance
+    query = algebra.project(
+        algebra.select(table, lambda t: t["v"] >= 0), ["g"]
+    )
+    for valuation, mass in pool.iter_valuations():
+        if mass == 0.0:
+            continue
+        via_query = sorted(query.world(valuation))
+        via_world = sorted(
+            {(group,) for (group, value) in table.world(valuation) if value >= 0}
+        )
+        assert via_query == via_world
+
+
+@given(uncertain_tables(), uncertain_tables())
+@settings(max_examples=40, deadline=None)
+def test_join_commutes_with_worlds(left_instance, right_instance):
+    pool_left, left = left_instance
+    # Rebuild the right table over the same pool for a shared space.
+    pool, _ = left_instance
+    right = PCTable("S", ("g", "w"))
+    for row in right_instance[1].tuples:
+        # reuse the left pool's variables cyclically to create correlation
+        index = row.values[1] % max(1, len(pool))
+        right.insert((row.values[0], row.values[1]), var(abs(index)))
+    joined = algebra.natural_join(left, right)
+    for valuation, mass in pool.iter_valuations():
+        if mass == 0.0:
+            continue
+        via_query = sorted(joined.world(valuation))
+        left_world = left.world(valuation)
+        right_world = right.world(valuation)
+        via_world = sorted(
+            (g, v, w)
+            for (g, v) in left_world
+            for (g2, w) in right_world
+            if g == g2
+        )
+        assert via_query == via_world
+
+
+@given(uncertain_tables())
+@settings(max_examples=60, deadline=None)
+def test_sum_aggregate_commutes_with_worlds(instance):
+    pool, table = instance
+    aggregate = sum_aggregate(table, "v")
+    for valuation, mass in pool.iter_valuations():
+        if mass == 0.0:
+            continue
+        world_values = [float(v) for (_, v) in table.world(valuation)]
+        expected = sum(world_values) if world_values else V.UNDEFINED
+        actual = evaluate_cval(aggregate, valuation)
+        if expected is V.UNDEFINED:
+            assert actual is V.UNDEFINED
+        else:
+            assert actual == pytest.approx(expected)
+
+
+boolean_rows = st.lists(st.booleans(), min_size=1, max_size=8)
+
+
+@given(boolean_rows)
+def test_break_ties_at_most_one_survivor(row):
+    result = break_ties(row)
+    assert sum(result) <= 1
+    if any(row):
+        assert sum(result) == 1
+        assert result.index(True) == row.index(True)
+
+
+@given(st.lists(boolean_rows, min_size=1, max_size=4))
+def test_break_ties_2_each_column_at_most_one(matrix):
+    width = min(len(row) for row in matrix)
+    matrix = [row[:width] for row in matrix]
+    result = break_ties_2(matrix)
+    for column in range(width):
+        assert sum(result[row][column] for row in range(len(matrix))) <= 1
+
+
+@given(st.lists(boolean_rows, min_size=1, max_size=4))
+def test_break_ties_1_each_row_at_most_one(matrix):
+    result = break_ties_1(matrix)
+    for row in result:
+        assert sum(row) <= 1
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=0.9), min_size=1, max_size=4))
+@settings(max_examples=50, deadline=None)
+def test_event_tie_break_matches_deterministic(probabilities):
+    pool = VariablePool()
+    indices = [pool.add(probability) for probability in probabilities]
+    candidates = [var(index) for index in indices]
+    broken = tie_break_events(candidates)
+    for valuation, mass in pool.iter_valuations():
+        concrete = break_ties([valuation[index] for index in indices])
+        symbolic = [evaluate_event(event, valuation) for event in broken]
+        assert symbolic == concrete

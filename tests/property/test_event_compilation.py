@@ -1,0 +1,140 @@
+"""Property-based tests: compilation vs enumeration on random events.
+
+For arbitrary event expressions over small pools, the compiled exact
+probability must equal the enumeration oracle; every approximation
+scheme must return certified ε-bounds; the distributed compiler must
+agree with the sequential one.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.compile.compiler import compile_network
+from repro.compile.distributed import compile_distributed
+from repro.events.expressions import (
+    TRUE,
+    atom,
+    conj,
+    csum,
+    disj,
+    guard,
+    literal,
+    negate,
+    var,
+)
+from repro.events.probability import event_probability
+from repro.network.build import build_targets
+from repro.worlds.variables import VariablePool
+
+
+def pools(min_vars=1, max_vars=5):
+    return st.lists(
+        st.floats(min_value=0.05, max_value=0.95),
+        min_size=min_vars,
+        max_size=max_vars,
+    ).map(_make_pool)
+
+
+def _make_pool(probabilities):
+    pool = VariablePool()
+    for probability in probabilities:
+        pool.add(probability)
+    return pool
+
+
+@st.composite
+def events(draw, variable_count, depth=3):
+    if depth == 0:
+        return var(draw(st.integers(0, variable_count - 1)))
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return var(draw(st.integers(0, variable_count - 1)))
+    if kind == 1:
+        return negate(draw(events(variable_count, depth=depth - 1)))
+    if kind == 2:
+        operands = draw(
+            st.lists(events(variable_count, depth=depth - 1), min_size=2, max_size=3)
+        )
+        return conj(operands)
+    if kind == 3:
+        operands = draw(
+            st.lists(events(variable_count, depth=depth - 1), min_size=2, max_size=3)
+        )
+        return disj(operands)
+    # numeric atom over guarded sums
+    terms = [
+        guard(
+            draw(events(variable_count, depth=1)),
+            draw(st.floats(min_value=-3, max_value=3)),
+        )
+        for _ in range(draw(st.integers(1, 3)))
+    ]
+    op = draw(st.sampled_from(["<=", "<", ">=", ">"]))
+    threshold = draw(st.floats(min_value=-3, max_value=3))
+    return atom(op, csum(terms), literal(threshold))
+
+
+@st.composite
+def instances(draw):
+    pool = draw(pools())
+    event = draw(events(len(pool)))
+    return pool, event
+
+
+@given(instances())
+@settings(max_examples=120, deadline=None)
+def test_exact_compilation_equals_enumeration(instance):
+    pool, event = instance
+    network = build_targets({"t": event})
+    result = compile_network(network, pool)
+    expected = event_probability(event, pool)
+    lower, upper = result.bounds["t"]
+    assert abs(lower - expected) < 1e-9
+    assert abs(upper - expected) < 1e-9
+
+
+@given(instances(), st.sampled_from(["lazy", "eager", "hybrid"]),
+       st.floats(min_value=0.01, max_value=0.4))
+@settings(max_examples=80, deadline=None)
+def test_approximation_bounds_are_certified(instance, scheme, epsilon):
+    pool, event = instance
+    network = build_targets({"t": event})
+    result = compile_network(network, pool, scheme=scheme, epsilon=epsilon)
+    expected = event_probability(event, pool)
+    lower, upper = result.bounds["t"]
+    assert lower - 1e-9 <= expected <= upper + 1e-9
+    assert upper - lower <= 2 * epsilon + 1e-9
+
+
+@given(instances(), st.integers(1, 3), st.integers(1, 6))
+@settings(max_examples=50, deadline=None)
+def test_distributed_exact_equals_sequential(instance, job_size, workers):
+    pool, event = instance
+    network = build_targets({"t": event})
+    sequential = compile_network(network, pool)
+    distributed = compile_distributed(
+        network, pool, scheme="exact", workers=workers, job_size=job_size
+    )
+    assert abs(distributed.bounds["t"][0] - sequential.bounds["t"][0]) < 1e-9
+    assert abs(distributed.bounds["t"][1] - sequential.bounds["t"][1]) < 1e-9
+
+
+@given(instances())
+@settings(max_examples=50, deadline=None)
+def test_negation_complements(instance):
+    pool, event = instance
+    network = build_targets({"t": event, "not_t": negate(event)})
+    result = compile_network(network, pool)
+    assert result.bounds["t"][0] + result.bounds["not_t"][0] == 1.0 or abs(
+        result.bounds["t"][0] + result.bounds["not_t"][0] - 1.0
+    ) < 1e-9
+
+
+@given(instances(), st.sampled_from(["frequency", "dynamic", "index"]))
+@settings(max_examples=40, deadline=None)
+def test_variable_order_does_not_change_probability(instance, order):
+    pool, event = instance
+    network = build_targets({"t": event})
+    result = compile_network(network, pool, order=order)
+    expected = event_probability(event, pool)
+    assert abs(result.bounds["t"][0] - expected) < 1e-9

@@ -1,0 +1,133 @@
+"""Property-based tests: soundness of the interval abstraction.
+
+The partial evaluator's numeric states must *enclose* every concrete
+value reachable by extending the partial assignment — this is the
+invariant that makes Shannon expansion with masking exact.  We check it
+directly on the abstract operators (random abstract states with random
+concretisations) and end to end (random networks, random partial
+assignments: the three-valued state of a target never contradicts its
+concrete value in any extension).
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.compile.partial import (
+    B_FALSE,
+    B_TRUE,
+    B_UNKNOWN,
+    NumState,
+    PartialEvaluator,
+    atom_state,
+    num_add,
+    num_inv,
+    num_mul,
+    num_pow,
+)
+from repro.events import values as V
+from repro.events.semantics import evaluate_event
+from repro.network.build import build_targets
+from repro.worlds.variables import VariablePool
+
+from .test_event_compilation import events, instances
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+@st.composite
+def abstract_states(draw):
+    """An abstract state plus one concrete value it contains."""
+    may_u = draw(st.booleans())
+    may_def = draw(st.booleans()) or not may_u
+    if not may_def:
+        return NumState.undefined(), V.UNDEFINED
+    low = draw(finite)
+    high = draw(finite)
+    lo, hi = min(low, high), max(low, high)
+    state = NumState(lo, hi, may_u, True)
+    if may_u and draw(st.booleans()):
+        return state, V.UNDEFINED
+    concrete = draw(st.floats(min_value=lo, max_value=hi, allow_nan=False))
+    return state, concrete
+
+
+def contains(state: NumState, value) -> bool:
+    if value is V.UNDEFINED:
+        return state.may_u
+    if not state.may_def:
+        return False
+    return state.lo - 1e-6 <= value <= state.hi + 1e-6
+
+
+@given(abstract_states(), abstract_states())
+@settings(max_examples=200)
+def test_add_soundness(left, right):
+    (state_l, value_l), (state_r, value_r) = left, right
+    assert contains(num_add(state_l, state_r), V.add(value_l, value_r))
+
+
+@given(abstract_states(), abstract_states())
+@settings(max_examples=200)
+def test_mul_soundness(left, right):
+    (state_l, value_l), (state_r, value_r) = left, right
+    abstract = num_mul(state_l, state_r)
+    concrete = V.multiply(value_l, value_r)
+    assert contains(abstract, concrete)
+
+
+@given(abstract_states())
+@settings(max_examples=200)
+def test_inv_soundness(pair):
+    state, value = pair
+    assert contains(num_inv(state), V.invert(value))
+
+
+@given(abstract_states(), st.integers(0, 4))
+@settings(max_examples=200)
+def test_pow_soundness(pair, exponent):
+    state, value = pair
+    assert contains(num_pow(state, exponent), V.power(value, exponent))
+
+
+@given(abstract_states(), abstract_states(),
+       st.sampled_from(["<=", "<", ">=", ">", "=="]))
+@settings(max_examples=200)
+def test_atom_soundness(left, right, op):
+    (state_l, value_l), (state_r, value_r) = left, right
+    abstract = atom_state(op, state_l, state_r)
+    concrete = V.compare(op, value_l, value_r)
+    if abstract == B_TRUE:
+        assert concrete is True
+    elif abstract == B_FALSE:
+        assert concrete is False
+    # B_UNKNOWN is always sound.
+
+
+@given(instances(), st.data())
+@settings(max_examples=80, deadline=None)
+def test_partial_states_never_contradict_extensions(instance, data):
+    pool, event = instance
+    network = build_targets({"t": event})
+    evaluator = PartialEvaluator(network)
+    # random partial assignment
+    assigned = data.draw(
+        st.dictionaries(
+            st.integers(0, len(pool) - 1), st.booleans(), max_size=len(pool)
+        )
+    )
+    evaluator.push()
+    evaluator.assignment.update(assigned)
+    state = evaluator.target_states([network.targets["t"]])[network.targets["t"]]
+    # check against every total extension
+    import itertools
+
+    free = [index for index in range(len(pool)) if index not in assigned]
+    for bits in itertools.product([True, False], repeat=len(free)):
+        valuation = dict(assigned)
+        valuation.update(dict(zip(free, bits)))
+        concrete = evaluate_event(event, valuation)
+        if state == B_TRUE:
+            assert concrete is True
+        elif state == B_FALSE:
+            assert concrete is False

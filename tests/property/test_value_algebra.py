@@ -1,0 +1,91 @@
+"""Property-based tests: algebraic laws of the extended value domain.
+
+Section 3.2 extends the reals with ``u``; these laws (identity,
+annihilation, commutativity, associativity where it survives floating
+point) pin the implementation to the paper's semantics.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.events import values as V
+from repro.events.values import UNDEFINED
+
+scalars = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+maybe_undefined = st.one_of(st.just(UNDEFINED), scalars)
+
+
+@given(maybe_undefined)
+def test_add_identity(value):
+    assert V.values_equal(V.add(UNDEFINED, value), value)
+    assert V.values_equal(V.add(value, UNDEFINED), value)
+
+
+@given(maybe_undefined)
+def test_multiply_annihilation(value):
+    assert V.multiply(UNDEFINED, value) is UNDEFINED
+    assert V.multiply(value, UNDEFINED) is UNDEFINED
+
+
+@given(maybe_undefined, maybe_undefined)
+def test_add_commutative(left, right):
+    assert V.values_equal(V.add(left, right), V.add(right, left))
+
+
+@given(maybe_undefined, maybe_undefined)
+def test_multiply_commutative(left, right):
+    assert V.values_equal(V.multiply(left, right), V.multiply(right, left))
+
+
+@given(maybe_undefined, maybe_undefined, maybe_undefined)
+def test_add_associative(a, b, c):
+    left = V.add(V.add(a, b), c)
+    right = V.add(a, V.add(b, c))
+    if left is UNDEFINED or right is UNDEFINED:
+        assert left is right
+    else:
+        assert left == pytest.approx(right, abs=1e-6, rel=1e-9)
+
+
+@given(scalars)
+def test_invert_is_involution_off_zero(value):
+    if value == 0:
+        assert V.invert(value) is UNDEFINED
+    else:
+        double = V.invert(V.invert(value))
+        assert double == pytest.approx(value, rel=1e-9)
+
+
+@given(maybe_undefined, maybe_undefined, st.sampled_from(["<=", "<", ">=", ">", "=="]))
+def test_comparisons_true_when_any_undefined(left, right, op):
+    if left is UNDEFINED or right is UNDEFINED:
+        assert V.compare(op, left, right) is True
+
+
+@given(scalars, scalars)
+def test_comparison_trichotomy(left, right):
+    assert V.compare("<=", left, right) or V.compare(">", left, right)
+    assert not (V.compare("<", left, right) and V.compare(">", left, right))
+
+
+@given(st.integers(0, 6), scalars)
+def test_power_matches_python(exponent, base):
+    result = V.power(base, exponent)
+    assert result == pytest.approx(base**exponent, rel=1e-9, abs=1e-12)
+
+
+@given(
+    st.lists(scalars, min_size=1, max_size=4),
+    st.lists(scalars, min_size=1, max_size=4),
+)
+def test_distance_symmetry_and_nonnegativity(left, right):
+    size = min(len(left), len(right))
+    a = V.as_vector(left[:size])
+    b = V.as_vector(right[:size])
+    for metric in ("euclidean", "sqeuclidean", "manhattan"):
+        forward = V.distance(a, b, metric)
+        backward = V.distance(b, a, metric)
+        assert forward == pytest.approx(backward, rel=1e-6, abs=1e-9)
+        assert forward >= 0.0
+        assert V.distance(a, a, metric) == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,114 @@
+"""Unit tests for lineage-aware aggregation (semimodule c-values)."""
+
+import pytest
+
+from repro.db.aggregates import (
+    avg_aggregate,
+    count_aggregate,
+    count_distinct_events,
+    group_by_sum,
+    max_events,
+    min_events,
+    sum_aggregate,
+)
+from repro.db.pctable import PCTable
+from repro.events.expressions import var
+from repro.events.probability import cval_distribution, event_probability
+from repro.events.semantics import evaluate_cval, evaluate_event
+from repro.events.values import UNDEFINED
+from repro.worlds.variables import VariablePool
+
+
+def make_table():
+    pool = VariablePool()
+    x = [pool.add(0.5) for _ in range(3)]
+    table = PCTable("R", ("g", "v"))
+    table.insert(("a", 10.0), var(x[0]))
+    table.insert(("a", 20.0), var(x[1]))
+    table.insert(("b", 5.0), var(x[2]))
+    return pool, table
+
+
+class TestSumCountAvg:
+    def test_sum_per_world(self):
+        pool, table = make_table()
+        total = sum_aggregate(table, "v")
+        assert evaluate_cval(total, {0: True, 1: True, 2: True}) == 35.0
+        assert evaluate_cval(total, {0: True, 1: False, 2: False}) == 10.0
+        assert evaluate_cval(total, {0: False, 1: False, 2: False}) is UNDEFINED
+
+    def test_count_per_world(self):
+        pool, table = make_table()
+        count = count_aggregate(table)
+        assert evaluate_cval(count, {0: True, 1: True, 2: False}) == 2.0
+        assert evaluate_cval(count, {0: False, 1: False, 2: False}) is UNDEFINED
+
+    def test_avg_per_world(self):
+        pool, table = make_table()
+        average = avg_aggregate(table, "v")
+        assert evaluate_cval(average, {0: True, 1: True, 2: False}) == 15.0
+        assert evaluate_cval(average, {0: False, 1: False, 2: False}) is UNDEFINED
+
+    def test_sum_distribution_total_mass(self):
+        pool, table = make_table()
+        distribution = cval_distribution(sum_aggregate(table, "v"), pool)
+        assert sum(mass for _, mass in distribution) == pytest.approx(1.0)
+        # 2^3 worlds, 8 distinct sums incl. u.
+        assert len(distribution) == 8
+
+
+class TestMinMax:
+    def test_min_events_partition(self):
+        pool, table = make_table()
+        events = min_events(table, "v")
+        total = sum(event_probability(event, pool) for _, event in events)
+        # The minimum exists iff some tuple exists: 1 - (1/2)^3.
+        assert total == pytest.approx(1.0 - 0.125)
+
+    def test_min_event_semantics(self):
+        pool, table = make_table()
+        events = dict(min_events(table, "v"))
+        # min = 10 iff tuple(10) present and tuple(5) absent.
+        assert evaluate_event(events[10.0], {0: True, 1: False, 2: False})
+        assert not evaluate_event(events[10.0], {0: True, 1: False, 2: True})
+
+    def test_max_event_semantics(self):
+        pool, table = make_table()
+        events = dict(max_events(table, "v"))
+        assert evaluate_event(events[5.0], {0: False, 1: False, 2: True})
+        assert not evaluate_event(events[5.0], {0: True, 1: False, 2: True})
+
+    def test_min_max_probabilities_by_enumeration(self):
+        pool, table = make_table()
+        for value, event in min_events(table, "v"):
+            expected = 0.0
+            for valuation, mass in pool.iter_valuations():
+                world = [
+                    float(row.values[1])
+                    for row in table.tuples
+                    if evaluate_event(row.event, valuation)
+                ]
+                if world and min(world) == value:
+                    expected += mass
+            assert event_probability(event, pool) == pytest.approx(expected)
+
+
+class TestGrouping:
+    def test_group_by_sum(self):
+        pool, table = make_table()
+        groups = dict(group_by_sum(table, "g", "v"))
+        assert set(groups) == {"a", "b"}
+        assert evaluate_cval(groups["a"], {0: True, 1: True, 2: False}) == 30.0
+        assert evaluate_cval(groups["b"], {0: True, 1: True, 2: False}) is UNDEFINED
+
+    def test_count_distinct_events(self):
+        pool, table = make_table()
+        events = dict(count_distinct_events(table, "g"))
+        assert event_probability(events["a"], pool) == pytest.approx(0.75)
+        assert event_probability(events["b"], pool) == pytest.approx(0.5)
+
+    def test_empty_table_aggregates(self):
+        table = PCTable("E", ("v",))
+        pool = VariablePool()
+        assert evaluate_cval(sum_aggregate(table, "v"), {}) is UNDEFINED
+        assert min_events(table, "v") == []

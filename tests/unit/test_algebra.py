@@ -1,0 +1,146 @@
+"""Unit tests for the positive relational algebra with lineage.
+
+The key invariant ("commutation with worlds"): evaluating a query on a
+pc-table and then restricting to a world must equal restricting to the
+world first and evaluating the query deterministically.
+"""
+
+import pytest
+
+from repro.db import algebra
+from repro.db.pctable import PCTable
+from repro.events.expressions import conj, disj, var
+from repro.events.semantics import evaluate_event
+from repro.worlds.variables import VariablePool
+
+
+def make_tables():
+    pool = VariablePool()
+    x = [pool.add(0.5) for _ in range(4)]
+    readings = PCTable("readings", ("station", "load"))
+    readings.insert(("S1", 10), var(x[0]))
+    readings.insert(("S1", 30), var(x[1]))
+    readings.insert(("S2", 20), var(x[2]))
+    stations = PCTable("stations", ("station", "region"))
+    stations.insert(("S1", "north"), var(x[3]))
+    stations.insert(("S2", "south"))
+    return pool, readings, stations
+
+
+class TestSelect:
+    def test_select_keeps_lineage(self):
+        _, readings, _ = make_tables()
+        heavy = algebra.select(readings, lambda t: t["load"] >= 20)
+        assert len(heavy) == 2
+        assert heavy.tuples[0].event == readings.tuples[1].event
+
+    def test_select_empty(self):
+        _, readings, _ = make_tables()
+        none = algebra.select(readings, lambda t: t["load"] > 100)
+        assert len(none) == 0
+
+
+class TestProject:
+    def test_project_merges_duplicates_disjunctively(self):
+        _, readings, _ = make_tables()
+        stations = algebra.project(readings, ["station"])
+        assert len(stations) == 2
+        s1 = stations.tuples[0]
+        assert s1.values == ("S1",)
+        assert isinstance(s1.event, type(disj([var(0), var(1)])))
+
+    def test_project_bag_semantics(self):
+        _, readings, _ = make_tables()
+        bag = algebra.project(readings, ["station"], set_semantics=False)
+        assert len(bag) == 3
+
+    def test_projection_probability_correct(self):
+        from repro.events.probability import event_probability
+
+        pool, readings, _ = make_tables()
+        stations = algebra.project(readings, ["station"])
+        # P(S1 in result) = P(x0 or x1) = 0.75 for p=0.5 each.
+        assert event_probability(stations.tuples[0].event, pool) == pytest.approx(
+            0.75
+        )
+
+
+class TestJoin:
+    def test_natural_join_conjoins_lineage(self):
+        pool, readings, stations = make_tables()
+        joined = algebra.natural_join(readings, stations)
+        assert joined.schema == ("station", "load", "region")
+        assert len(joined) == 3
+        # ("S1", 10, "north") carries x0 ∧ x3.
+        first = joined.tuples[0]
+        assert evaluate_event(first.event, {0: True, 1: False, 2: False, 3: True})
+        assert not evaluate_event(first.event, {0: True, 1: True, 2: True, 3: False})
+
+    def test_theta_join(self):
+        _, readings, stations = make_tables()
+        renamed = algebra.rename(stations, {"station": "st"})
+        joined = algebra.theta_join(
+            readings, renamed, lambda t: t["station"] == t["st"]
+        )
+        assert len(joined) == 3
+
+    def test_product_requires_disjoint_schemas(self):
+        _, readings, stations = make_tables()
+        with pytest.raises(ValueError):
+            algebra.product(readings, stations)
+
+
+class TestUnionRename:
+    def test_union_merges_lineage(self):
+        pool = VariablePool()
+        a, b = pool.add(0.5), pool.add(0.5)
+        left = PCTable("L", ("v",))
+        left.insert((1,), var(a))
+        right = PCTable("R", ("v",))
+        right.insert((1,), var(b))
+        right.insert((2,), var(b))
+        merged = algebra.union(left, right)
+        assert len(merged) == 2
+        assert evaluate_event(merged.tuples[0].event, {a: False, b: True})
+
+    def test_union_schema_mismatch(self):
+        left = PCTable("L", ("v",))
+        right = PCTable("R", ("w",))
+        with pytest.raises(ValueError):
+            algebra.union(left, right)
+
+    def test_rename(self):
+        _, readings, _ = make_tables()
+        renamed = algebra.rename(readings, {"load": "kw"})
+        assert renamed.schema == ("station", "kw")
+        assert len(renamed) == len(readings)
+
+
+class TestWorldCommutation:
+    """Query-then-world == world-then-query, for a composed query."""
+
+    def test_commutation_over_all_worlds(self):
+        pool, readings, stations = make_tables()
+        query_result = algebra.project(
+            algebra.select(
+                algebra.natural_join(readings, stations),
+                lambda t: t["load"] <= 25,
+            ),
+            ["region"],
+        )
+        for valuation, mass in pool.iter_valuations():
+            if mass == 0.0:
+                continue
+            # world of the query result
+            result_world = sorted(query_result.world(valuation))
+            # query over the worlds of the inputs
+            readings_world = readings.world(valuation)
+            stations_world = stations.world(valuation)
+            joined = [
+                (rs, load, region)
+                for (rs, load) in readings_world
+                for (ss, region) in stations_world
+                if rs == ss and load <= 25
+            ]
+            expected = sorted({(region,) for (_, _, region) in joined})
+            assert result_world == expected

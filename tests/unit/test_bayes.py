@@ -1,0 +1,105 @@
+"""Unit tests for Bayesian-network-to-event compilation."""
+
+import pytest
+
+from repro.correlations.bayes import BayesianNetwork, markov_chain
+from repro.events.expressions import conj, negate
+from repro.events.probability import event_probability
+from repro.worlds.variables import VariablePool
+
+
+class TestBayesianNetwork:
+    def test_root_marginal(self):
+        network = BayesianNetwork()
+        network.add_node("rain", probability=0.2)
+        pool = VariablePool()
+        events = network.compile(pool)
+        assert event_probability(events["rain"], pool) == pytest.approx(0.2)
+
+    def test_child_marginal_by_chain_rule(self):
+        network = BayesianNetwork()
+        network.add_node("rain", probability=0.2)
+        network.add_node(
+            "wet", parents=("rain",), cpt={(True,): 0.9, (False,): 0.1}
+        )
+        pool = VariablePool()
+        events = network.compile(pool)
+        expected = 0.2 * 0.9 + 0.8 * 0.1
+        assert event_probability(events["wet"], pool) == pytest.approx(expected)
+
+    def test_joint_distribution(self):
+        network = BayesianNetwork()
+        network.add_node("a", probability=0.3)
+        network.add_node("b", parents=("a",), cpt={(True,): 0.6, (False,): 0.2})
+        pool = VariablePool()
+        events = network.compile(pool)
+        joint = event_probability(conj([events["a"], events["b"]]), pool)
+        assert joint == pytest.approx(0.3 * 0.6)
+        joint_not = event_probability(
+            conj([negate(events["a"]), events["b"]]), pool
+        )
+        assert joint_not == pytest.approx(0.7 * 0.2)
+
+    def test_two_parents(self):
+        network = BayesianNetwork()
+        network.add_node("a", probability=0.5)
+        network.add_node("b", probability=0.5)
+        network.add_node(
+            "c",
+            parents=("a", "b"),
+            cpt={
+                (True, True): 1.0,
+                (True, False): 0.5,
+                (False, True): 0.5,
+                (False, False): 0.0,
+            },
+        )
+        pool = VariablePool()
+        events = network.compile(pool)
+        expected = 0.25 * 1.0 + 0.25 * 0.5 + 0.25 * 0.5 + 0.25 * 0.0
+        assert event_probability(events["c"], pool) == pytest.approx(expected)
+
+    def test_unknown_parent_rejected(self):
+        network = BayesianNetwork()
+        with pytest.raises(ValueError):
+            network.add_node("child", parents=("ghost",), cpt={(True,): 1, (False,): 0})
+
+    def test_duplicate_node_rejected(self):
+        network = BayesianNetwork()
+        network.add_node("a", probability=0.5)
+        with pytest.raises(ValueError):
+            network.add_node("a", probability=0.5)
+
+    def test_incomplete_cpt_rejected(self):
+        network = BayesianNetwork()
+        network.add_node("a", probability=0.5)
+        with pytest.raises(ValueError):
+            network.add_node("b", parents=("a",), cpt={(True,): 0.5})
+
+    def test_root_requires_probability_or_cpt(self):
+        network = BayesianNetwork()
+        with pytest.raises(ValueError):
+            network.add_node("a")
+
+
+class TestMarkovChain:
+    def test_chain_marginals(self):
+        pool = VariablePool()
+        events = markov_chain(3, pool, start=0.6, stay=0.7, flip=0.3)
+        p0 = event_probability(events[0], pool)
+        assert p0 == pytest.approx(0.6)
+        p1 = event_probability(events[1], pool)
+        assert p1 == pytest.approx(0.6 * 0.7 + 0.4 * 0.3)
+
+    def test_chain_correlation(self):
+        pool = VariablePool()
+        events = markov_chain(2, pool, start=0.5, stay=0.9, flip=0.1)
+        joint = event_probability(conj([events[0], events[1]]), pool)
+        assert joint == pytest.approx(0.5 * 0.9)
+
+    def test_chain_length(self):
+        pool = VariablePool()
+        events = markov_chain(5, pool)
+        assert len(events) == 5
+        # 2 CPT rows per non-root node, 1 for the root.
+        assert len(pool) == 1 + 4 * 2

@@ -1,0 +1,76 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.algorithm == "hybrid"
+        assert args.epsilon == 0.1
+        assert args.scheme == "mutex"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--algorithm", "magic"])
+
+
+class TestCommands:
+    def test_cluster_hybrid(self, capsys):
+        code = main(
+            ["cluster", "--objects", "8", "--seed", "1", "--limit", "3",
+             "--group-size", "2", "--mutex-size", "3"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "hybrid" in output
+        assert "P[Centre" in output
+
+    def test_cluster_exact_distributed(self, capsys):
+        code = main(
+            ["cluster", "--objects", "8", "--algorithm", "exact",
+             "--workers", "2", "--group-size", "2"]
+        )
+        assert code == 0
+        assert "exact-d" in capsys.readouterr().out
+
+    def test_cluster_folded(self, capsys):
+        code = main(["cluster", "--objects", "8", "--folded",
+                     "--group-size", "2"])
+        assert code == 0
+
+    def test_cluster_positive_scheme(self, capsys):
+        code = main(
+            ["cluster", "--objects", "8", "--scheme", "positive",
+             "--variables", "6", "--algorithm", "lazy"]
+        )
+        assert code == 0
+
+    def test_network_statistics(self, capsys):
+        code = main(["network", "--objects", "6", "--group-size", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "total" in output
+        assert "variables" in output
+
+    def test_network_dot(self, capsys):
+        code = main(["network", "--objects", "6", "--dot", "--group-size", "2"])
+        assert code == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_explain_default_target(self, capsys):
+        code = main(["explain", "--objects", "6", "--group-size", "2",
+                     "--top", "2"])
+        assert code == 0
+        assert "influence" in capsys.readouterr().out
+
+    def test_explain_unknown_target(self, capsys):
+        code = main(["explain", "--objects", "6", "--group-size", "2",
+                     "--target", "NoSuchEvent"])
+        assert code == 2

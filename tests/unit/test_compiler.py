@@ -1,0 +1,243 @@
+"""Unit tests for the Shannon-expansion compiler (Algorithm 1)."""
+
+import pytest
+
+from repro.compile.compiler import ShannonCompiler, compile_network
+from repro.compile.ordering import (
+    DynamicInfluenceOrder,
+    FrequencyOrder,
+    GivenOrder,
+    make_order,
+)
+from repro.events.expressions import (
+    FALSE,
+    TRUE,
+    atom,
+    conj,
+    csum,
+    disj,
+    guard,
+    literal,
+    negate,
+    var,
+)
+from repro.events.probability import event_probability
+from repro.network.build import build_targets
+
+from ..conftest import make_pool
+
+
+class TestExactCompilation:
+    def test_single_variable(self):
+        pool = make_pool([0.3])
+        network = build_targets({"t": var(0)})
+        result = compile_network(network, pool)
+        assert result.bounds["t"] == (pytest.approx(0.3), pytest.approx(0.3))
+
+    def test_constant_targets_resolve_at_root(self):
+        pool = make_pool([0.5])
+        network = build_targets({"t": TRUE, "f": FALSE})
+        result = compile_network(network, pool)
+        assert result.bounds["t"] == (1.0, 1.0)
+        assert result.bounds["f"] == (0.0, 0.0)
+        assert result.tree_nodes == 1  # no branching needed
+
+    def test_disjunction(self):
+        pool = make_pool([0.5, 0.4])
+        network = build_targets({"t": disj([var(0), var(1)])})
+        result = compile_network(network, pool)
+        assert result.probability("t") == pytest.approx(0.7)
+
+    def test_multiple_targets_one_pass(self):
+        pool = make_pool([0.5, 0.5, 0.5])
+        events = {
+            "a": conj([var(0), var(1)]),
+            "b": disj([var(1), var(2)]),
+            "c": negate(var(2)),
+        }
+        network = build_targets(events)
+        result = compile_network(network, pool)
+        for name, event in events.items():
+            assert result.probability(name) == pytest.approx(
+                event_probability(event, pool)
+            )
+
+    def test_deterministic_variables_prune_zero_branches(self):
+        pool = make_pool([1.0, 0.5])
+        network = build_targets({"t": conj([var(0), var(1)])})
+        result = compile_network(network, pool)
+        assert result.probability("t") == pytest.approx(0.5)
+
+    def test_atom_target(self):
+        pool = make_pool([0.5, 0.5])
+        expression = atom(
+            "<=", csum([guard(var(0), 1.0), guard(var(1), 2.0)]), literal(1.5)
+        )
+        network = build_targets({"t": expression})
+        result = compile_network(network, pool)
+        assert result.probability("t") == pytest.approx(
+            event_probability(expression, pool)
+        )
+
+    def test_exact_rejects_epsilon(self):
+        pool = make_pool([0.5])
+        network = build_targets({"t": var(0)})
+        with pytest.raises(ValueError):
+            compile_network(network, pool, scheme="exact", epsilon=0.1)
+
+    def test_unknown_scheme_rejected(self):
+        pool = make_pool([0.5])
+        network = build_targets({"t": var(0)})
+        with pytest.raises(ValueError):
+            compile_network(network, pool, scheme="montecarlo")
+
+    def test_no_targets_rejected(self):
+        pool = make_pool([0.5])
+        network = build_targets({})
+        with pytest.raises(ValueError):
+            ShannonCompiler(network, pool)
+
+    def test_result_counters(self):
+        pool = make_pool([0.5, 0.5, 0.5])
+        network = build_targets({"t": conj([var(0), var(1), var(2)])})
+        result = compile_network(network, pool)
+        assert result.tree_nodes >= 3
+        assert result.max_depth >= 1
+        assert result.evals > 0
+        assert result.seconds >= 0.0
+
+
+class TestApproximationSchemes:
+    @pytest.fixture
+    def setup(self):
+        pool = make_pool([0.5, 0.6, 0.7, 0.4])
+        events = {
+            "a": disj([var(0), conj([var(1), var(2)])]),
+            "b": conj([var(2), var(3)]),
+        }
+        network = build_targets(events)
+        exact = {
+            name: event_probability(event, pool) for name, event in events.items()
+        }
+        return pool, network, exact
+
+    @pytest.mark.parametrize("scheme", ["lazy", "eager", "hybrid"])
+    @pytest.mark.parametrize("epsilon", [0.01, 0.1, 0.3])
+    def test_bounds_enclose_and_respect_epsilon(self, setup, scheme, epsilon):
+        pool, network, exact = setup
+        result = compile_network(network, pool, scheme=scheme, epsilon=epsilon)
+        for name, probability in exact.items():
+            lower, upper = result.bounds[name]
+            assert lower - 1e-9 <= probability <= upper + 1e-9
+            assert upper - lower <= 2 * epsilon + 1e-9
+
+    @pytest.mark.parametrize("scheme", ["lazy", "eager", "hybrid"])
+    def test_positive_epsilon_required(self, setup, scheme):
+        pool, network, _ = setup
+        with pytest.raises(ValueError):
+            compile_network(network, pool, scheme=scheme, epsilon=0.0)
+
+    def test_approximation_explores_no_more_than_exact(self, setup):
+        pool, network, _ = setup
+        exact_nodes = compile_network(network, pool).tree_nodes
+        hybrid_nodes = compile_network(
+            network, pool, scheme="hybrid", epsilon=0.2
+        ).tree_nodes
+        assert hybrid_nodes <= exact_nodes
+
+    def test_large_epsilon_prunes_aggressively(self):
+        pool = make_pool([0.5] * 8)
+        network = build_targets({"t": conj([var(i) for i in range(8)])})
+        result = compile_network(network, pool, scheme="hybrid", epsilon=0.49)
+        assert result.tree_nodes < 2**8
+
+    def test_estimate_within_epsilon(self, setup):
+        pool, network, exact = setup
+        result = compile_network(network, pool, scheme="hybrid", epsilon=0.1)
+        for name, probability in exact.items():
+            assert abs(result.probability(name) - probability) <= 0.1 + 1e-9
+
+
+class TestVariableOrdering:
+    def test_given_order_is_respected(self):
+        pool = make_pool([0.5, 0.5, 0.5])
+        network = build_targets({"t": conj([var(2), var(0)])})
+        compiler = ShannonCompiler(network, pool, order=[2, 0, 1])
+        result = compiler.run()
+        assert result.probability("t") == pytest.approx(0.25)
+
+    def test_frequency_order_prefers_frequent_variables(self):
+        pool = make_pool([0.5, 0.5])
+        # var 1 appears in three events, var 0 in one.
+        network = build_targets(
+            {
+                "a": var(1),
+                "b": negate(var(1)),
+                "c": conj([var(0), var(1)]),
+            }
+        )
+        order = FrequencyOrder(network)
+
+        class FakeEvaluator:
+            assignment = {}
+
+        assert order.next_variable(FakeEvaluator()) == 1
+
+    def test_dynamic_order_skips_assigned(self):
+        pool = make_pool([0.5, 0.5])
+        network = build_targets({"t": conj([var(0), var(1)])})
+        from repro.compile.partial import PartialEvaluator
+
+        order = DynamicInfluenceOrder(network)
+        evaluator = PartialEvaluator(network)
+        evaluator.push(0, True)
+        assert order.next_variable(evaluator) == 1
+
+    def test_all_orders_agree_on_probability(self):
+        pool = make_pool([0.4, 0.5, 0.6])
+        expression = disj([conj([var(0), var(1)]), var(2)])
+        network = build_targets({"t": expression})
+        expected = event_probability(expression, pool)
+        for order in ("frequency", "dynamic", "index", [2, 1, 0]):
+            result = compile_network(network, pool, order=order)
+            assert result.probability("t") == pytest.approx(expected)
+
+    def test_make_order_rejects_unknown(self):
+        pool = make_pool([0.5])
+        network = build_targets({"t": var(0)})
+        with pytest.raises(ValueError):
+            make_order(network, "alphabetical")
+
+    def test_given_order_exhausts(self):
+        order = GivenOrder([0, 1])
+
+        class FakeEvaluator:
+            assignment = {0: True, 1: False}
+
+        assert order.next_variable(FakeEvaluator()) is None
+
+
+class TestCompilationResult:
+    def test_gap_and_exactness(self):
+        pool = make_pool([0.5, 0.5, 0.5, 0.5])
+        network = build_targets({"t": conj([var(i) for i in range(4)])})
+        exact = compile_network(network, pool)
+        assert exact.is_exact()
+        assert exact.max_gap() == pytest.approx(0.0)
+        approx = compile_network(network, pool, scheme="hybrid", epsilon=0.2)
+        assert approx.gap("t") <= 0.4 + 1e-9
+
+    def test_summary_renders(self):
+        pool = make_pool([0.5])
+        network = build_targets({"t": var(0)})
+        result = compile_network(network, pool)
+        assert "t" in result.summary()
+        assert "exact" in result.summary()
+
+    def test_probability_clipped(self):
+        from repro.compile.result import CompilationResult
+
+        result = CompilationResult(
+            bounds={"t": (-0.1, 0.1)}, scheme="hybrid", epsilon=0.1
+        )
+        assert result.probability("t") == 0.0

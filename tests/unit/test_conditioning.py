@@ -1,0 +1,75 @@
+"""Unit tests for conditioning on constraint events."""
+
+import pytest
+
+from repro.db.conditioning import condition_events, conditional_probability
+from repro.events.expressions import FALSE, TRUE, conj, disj, negate, var
+from repro.events.probability import event_probability
+
+from ..conftest import make_pool
+
+
+class TestConditionalProbability:
+    def test_exact_conditioning(self):
+        pool = make_pool([0.5, 0.5])
+        event = var(0)
+        constraint = disj([var(0), var(1)])
+        lower, upper = conditional_probability(event, constraint, pool)
+        # P(x0 | x0 ∨ x1) = 0.5 / 0.75
+        assert lower == pytest.approx(0.5 / 0.75)
+        assert upper == pytest.approx(0.5 / 0.75)
+
+    def test_conditioning_on_true_is_marginal(self):
+        pool = make_pool([0.3])
+        lower, upper = conditional_probability(var(0), TRUE, pool)
+        assert lower == pytest.approx(0.3)
+        assert upper == pytest.approx(0.3)
+
+    def test_conditioning_induces_correlation(self):
+        # Under the constraint "exactly one of x0,x1", the tuples become
+        # mutually exclusive: P(x0 ∧ x1 | C) = 0.
+        pool = make_pool([0.5, 0.5])
+        exactly_one = disj(
+            [conj([var(0), negate(var(1))]), conj([negate(var(0)), var(1)])]
+        )
+        lower, upper = conditional_probability(
+            conj([var(0), var(1)]), exactly_one, pool
+        )
+        assert upper == pytest.approx(0.0)
+
+    def test_impossible_constraint(self):
+        pool = make_pool([0.5])
+        with pytest.raises(ZeroDivisionError):
+            conditional_probability(var(0), FALSE, pool)
+
+    def test_approximate_conditioning_encloses_exact(self):
+        pool = make_pool([0.5, 0.6, 0.7])
+        event = conj([var(0), var(2)])
+        constraint = disj([var(0), var(1)])
+        exact_lower, exact_upper = conditional_probability(event, constraint, pool)
+        lower, upper = conditional_probability(
+            event, constraint, pool, scheme="hybrid", epsilon=0.05
+        )
+        assert lower - 1e-9 <= exact_lower
+        assert upper + 1e-9 >= exact_upper
+
+
+class TestConditionEvents:
+    def test_multiple_events_one_pass(self):
+        pool = make_pool([0.5, 0.5])
+        constraint = disj([var(0), var(1)])
+        bounds = condition_events(
+            {"a": var(0), "b": var(1)}, constraint, pool
+        )
+        assert bounds["a"][0] == pytest.approx(0.5 / 0.75)
+        assert bounds["b"][0] == pytest.approx(0.5 / 0.75)
+
+    def test_matches_enumeration(self):
+        pool = make_pool([0.4, 0.6, 0.3])
+        constraint = disj([var(0), var(2)])
+        event = conj([var(1), var(2)])
+        joint = event_probability(conj([event, constraint]), pool)
+        denominator = event_probability(constraint, pool)
+        lower, upper = conditional_probability(event, constraint, pool)
+        assert lower == pytest.approx(joint / denominator)
+        assert upper == pytest.approx(joint / denominator)

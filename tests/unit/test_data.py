@@ -1,0 +1,140 @@
+"""Unit tests for datasets, sensor generation, and distances."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    ProbabilisticDataset,
+    certain_dataset,
+    from_lineage,
+    sensor_dataset,
+)
+from repro.data.sensors import (
+    DEFAULT_REGIMES,
+    fraction,
+    generate_sensor_readings,
+    normalise,
+)
+from repro.events.expressions import TRUE
+from repro.mining.distance import pairwise_distances, point_distance
+
+
+class TestSensorGenerator:
+    def test_shape(self):
+        rng = random.Random(0)
+        points = generate_sensor_readings(100, rng)
+        assert points.shape == (100, 2)
+
+    def test_extra_dimensions(self):
+        rng = random.Random(0)
+        points = generate_sensor_readings(50, rng, dimensions=5)
+        assert points.shape == (50, 5)
+
+    def test_discharge_nonnegative(self):
+        rng = random.Random(1)
+        points = generate_sensor_readings(500, rng)
+        assert (points[:, 1] >= 0).all()
+
+    def test_regime_mixture_creates_spread(self):
+        # Anomalous regimes exist: some readings far exceed the median.
+        rng = random.Random(2)
+        points = generate_sensor_readings(800, rng)
+        discharge = points[:, 1]
+        assert discharge.max() > 10 * max(np.median(discharge), 1e-9)
+
+    def test_determinism_per_seed(self):
+        a = generate_sensor_readings(20, random.Random(7))
+        b = generate_sensor_readings(20, random.Random(7))
+        assert np.array_equal(a, b)
+
+    def test_invalid_arguments(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            generate_sensor_readings(-1, rng)
+        with pytest.raises(ValueError):
+            generate_sensor_readings(5, rng, dimensions=1)
+
+    def test_normalise_to_unit_box(self):
+        rng = random.Random(3)
+        points = normalise(generate_sensor_readings(50, rng))
+        assert points.min() >= 0.0 and points.max() <= 1.0
+
+    def test_normalise_constant_column(self):
+        points = normalise(np.array([[1.0, 2.0], [1.0, 4.0]]))
+        assert not np.isnan(points).any()
+
+    def test_fraction(self):
+        rng = random.Random(0)
+        points = generate_sensor_readings(100, rng)
+        assert len(fraction(points, 10)) == 10
+        assert len(fraction(points, 100)) == 100
+        with pytest.raises(ValueError):
+            fraction(points, 0)
+
+
+class TestProbabilisticDataset:
+    def test_certain_dataset(self):
+        dataset = certain_dataset(np.zeros((4, 2)))
+        assert len(dataset) == 4
+        assert dataset.certain_count() == 4
+        assert all(event is TRUE for event in dataset.events)
+
+    def test_dimension_checks(self):
+        with pytest.raises(ValueError):
+            ProbabilisticDataset(np.zeros(3), [TRUE] * 3, None)
+
+    def test_length_mismatch(self):
+        from repro.worlds.variables import VariablePool
+
+        with pytest.raises(ValueError):
+            ProbabilisticDataset(np.zeros((3, 2)), [TRUE] * 2, VariablePool())
+
+    def test_sensor_dataset_factory(self):
+        dataset = sensor_dataset(12, scheme="mutex", seed=5, mutex_size=3)
+        assert len(dataset) == 12
+        assert dataset.dimensions == 2
+        assert dataset.variable_count > 0
+
+    def test_sensor_dataset_schemes_differ(self):
+        mutex = sensor_dataset(8, scheme="mutex", seed=5)
+        positive = sensor_dataset(
+            8, scheme="positive", seed=5, variables=6, literals=2
+        )
+        assert mutex.events != positive.events
+
+    def test_subset(self):
+        dataset = sensor_dataset(10, scheme="independent", seed=2)
+        subset = dataset.subset(4)
+        assert len(subset) == 4
+        assert subset.pool is dataset.pool
+        with pytest.raises(ValueError):
+            dataset.subset(0)
+
+    def test_from_lineage(self):
+        from repro.correlations.schemes import independent_lineage
+
+        rng = random.Random(1)
+        lineage = independent_lineage(5, rng)
+        dataset = from_lineage(np.zeros((5, 2)), lineage)
+        assert dataset.pool is lineage.pool
+
+
+class TestDistances:
+    def test_pairwise_euclidean(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        matrix = pairwise_distances(points)
+        assert matrix[0][1] == pytest.approx(5.0)
+        assert matrix[0][0] == 0.0
+        assert matrix[1][0] == matrix[0][1]
+
+    def test_pairwise_metrics(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert pairwise_distances(points, "manhattan")[0][1] == pytest.approx(2.0)
+        assert pairwise_distances(points, "sqeuclidean")[0][1] == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            pairwise_distances(points, "cosine")
+
+    def test_point_distance(self):
+        assert point_distance([0, 0], [3, 4]) == pytest.approx(5.0)

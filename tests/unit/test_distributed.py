@@ -1,0 +1,143 @@
+"""Unit tests for distributed probability computation (§4.4)."""
+
+import pytest
+
+from repro.compile.compiler import compile_network
+from repro.compile.distributed import DistributedCompiler, compile_distributed
+from repro.events.expressions import conj, disj, negate, var
+from repro.events.probability import event_probability
+
+from ..conftest import make_pool, random_event
+
+
+def make_instance():
+    pool = make_pool([0.5, 0.6, 0.4, 0.7, 0.5])
+    events = {
+        "a": disj([conj([var(0), var(1)]), conj([var(2), var(3)])]),
+        "b": conj([var(1), negate(var(4))]),
+    }
+    from repro.network.build import build_targets
+
+    return pool, build_targets(events), events
+
+
+class TestDistributedExact:
+    def test_matches_sequential_exact(self):
+        pool, network, events = make_instance()
+        sequential = compile_network(network, pool)
+        for job_size in (1, 2, 4):
+            for workers in (1, 3, 8):
+                result = compile_distributed(
+                    network,
+                    pool,
+                    scheme="exact",
+                    workers=workers,
+                    job_size=job_size,
+                )
+                for name in events:
+                    assert result.bounds[name][0] == pytest.approx(
+                        sequential.bounds[name][0]
+                    )
+                    assert result.bounds[name][1] == pytest.approx(
+                        sequential.bounds[name][1]
+                    )
+
+    def test_job_count_grows_with_smaller_jobs(self):
+        pool, network, _ = make_instance()
+        small = compile_distributed(network, pool, scheme="exact", job_size=1)
+        large = compile_distributed(network, pool, scheme="exact", job_size=5)
+        assert small.jobs >= large.jobs
+        assert large.jobs >= 1
+
+    def test_makespan_reported(self):
+        pool, network, _ = make_instance()
+        result = compile_distributed(
+            network, pool, scheme="exact", workers=4, job_size=2
+        )
+        assert result.makespan > 0.0
+        assert result.workers == 4
+        assert result.scheme == "exact-d"
+
+    def test_more_workers_never_slow_the_simulated_schedule(self):
+        pool, network, _ = make_instance()
+        coordinator_args = dict(job_size=1, overhead=0.0)
+        one = DistributedCompiler(network, pool, workers=1, **coordinator_args)
+        many = DistributedCompiler(network, pool, workers=8, **coordinator_args)
+        jobs_one = one.run(scheme="exact").jobs
+        jobs_many = many.run(scheme="exact").jobs
+        # Deterministic job DAG: worker count must not change the jobs.
+        assert jobs_one == jobs_many
+
+
+class TestDistributedApproximation:
+    @pytest.mark.parametrize("scheme", ["hybrid", "eager", "lazy"])
+    def test_epsilon_guarantee(self, scheme):
+        pool, network, events = make_instance()
+        result = compile_distributed(
+            network, pool, scheme=scheme, epsilon=0.1, workers=4, job_size=2
+        )
+        for name, event in events.items():
+            probability = event_probability(event, pool)
+            lower, upper = result.bounds[name]
+            assert lower - 1e-9 <= probability <= upper + 1e-9
+            assert upper - lower <= 0.2 + 1e-9
+
+    def test_budget_conservation_on_random_events(self, rng):
+        from repro.network.build import build_targets
+
+        for _ in range(10):
+            pool = make_pool([rng.uniform(0.2, 0.8) for _ in range(5)])
+            events = {f"t{i}": random_event(pool, rng) for i in range(2)}
+            network = build_targets(events)
+            result = compile_distributed(
+                network, pool, scheme="hybrid", epsilon=0.05, workers=3, job_size=2
+            )
+            for name, event in events.items():
+                probability = event_probability(event, pool)
+                lower, upper = result.bounds[name]
+                assert lower - 1e-9 <= probability <= upper + 1e-9
+                assert upper - lower <= 0.1 + 1e-9
+
+
+class TestThreadedExecution:
+    def test_threaded_soundness(self):
+        pool, network, events = make_instance()
+        result = compile_distributed(
+            network,
+            pool,
+            scheme="hybrid",
+            epsilon=0.1,
+            workers=3,
+            job_size=2,
+            execution="threads",
+        )
+        for name, event in events.items():
+            probability = event_probability(event, pool)
+            lower, upper = result.bounds[name]
+            assert lower - 1e-9 <= probability <= upper + 1e-9
+
+    def test_threaded_exact_matches(self):
+        pool, network, events = make_instance()
+        sequential = compile_network(network, pool)
+        result = compile_distributed(
+            network, pool, scheme="exact", workers=2, job_size=2,
+            execution="threads",
+        )
+        for name in events:
+            assert result.bounds[name][0] == pytest.approx(
+                sequential.bounds[name][0]
+            )
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        pool, network, _ = make_instance()
+        with pytest.raises(ValueError):
+            DistributedCompiler(network, pool, workers=0)
+        with pytest.raises(ValueError):
+            DistributedCompiler(network, pool, job_size=0)
+        coordinator = DistributedCompiler(network, pool)
+        with pytest.raises(ValueError):
+            coordinator.run(scheme="bogus")
+        with pytest.raises(ValueError):
+            coordinator.run(execution="mpi")

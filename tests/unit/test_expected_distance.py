@@ -1,0 +1,94 @@
+"""Unit tests for the expected-distance (prior-art) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import ProbabilisticDataset, certain_dataset, sensor_dataset
+from repro.events.expressions import conj, negate, var
+from repro.mining.expected_distance import (
+    HardClustering,
+    correlation_violations,
+    expected_distance_matrix,
+    expected_kmedoids,
+    marginal_presence,
+)
+from repro.mining.kmedoids import KMedoidsSpec, kmedoids_deterministic
+from repro.worlds.variables import VariablePool
+
+
+class TestExpectedDistances:
+    def test_marginals(self):
+        dataset = sensor_dataset(6, scheme="independent", seed=1)
+        presence = marginal_presence(dataset)
+        assert presence.shape == (6,)
+        assert ((0 < presence) & (presence <= 1)).all()
+
+    def test_certain_data_reduces_to_plain_distances(self):
+        from repro.mining.distance import pairwise_distances
+
+        dataset = certain_dataset(np.array([[0.0, 0.0], [3.0, 4.0]]))
+        expected = expected_distance_matrix(dataset)
+        assert np.allclose(expected, pairwise_distances(dataset.points))
+
+    def test_uncertainty_shrinks_distances(self):
+        pool = VariablePool()
+        events = [var(pool.add(0.5)), var(pool.add(0.5))]
+        dataset = ProbabilisticDataset(
+            np.array([[0.0, 0.0], [3.0, 4.0]]), events, pool
+        )
+        expected = expected_distance_matrix(dataset)
+        assert expected[0][1] == pytest.approx(5.0 * 0.25)
+
+
+class TestExpectedKMedoids:
+    def test_on_certain_data_matches_reference(self):
+        points = np.array(
+            [[0.0, 0.0], [0.2, 0.1], [5.0, 5.0], [5.2, 5.1], [5.1, 4.9]]
+        )
+        dataset = certain_dataset(points)
+        spec = KMedoidsSpec(k=2, iterations=3, init=(0, 2))
+        hard = expected_kmedoids(dataset, spec)
+        reference = kmedoids_deterministic(points, spec)
+        for l in range(len(points)):
+            expected_cluster = next(
+                i for i in range(2) if reference["incl"][i][l]
+            )
+            assert hard.assignments[l] == expected_cluster
+
+    def test_output_is_hard(self):
+        dataset = sensor_dataset(8, scheme="mutex", seed=2, mutex_size=3)
+        hard = expected_kmedoids(dataset, KMedoidsSpec(k=2, iterations=2))
+        assert len(hard.assignments) == 8
+        assert all(cluster in (0, 1) for cluster in hard.assignments)
+        assert len(hard.medoids) == 2
+
+    def test_together(self):
+        clustering = HardClustering(assignments=[0, 0, 1], medoids=[0, 2])
+        assert clustering.together(0, 1)
+        assert not clustering.together(0, 2)
+
+
+class TestCorrelationBlindness:
+    def test_mutually_exclusive_points_co_clustered(self):
+        """The paper's motivating failure: two similar but contradicting
+        readings are mutually exclusive, yet the expected-distance model
+        puts them in the same cluster — ENFrame never does."""
+        pool = VariablePool()
+        x = pool.add(0.5)
+        y = pool.add(0.5)
+        # Two nearly identical readings that contradict each other, plus
+        # a far-away pair forming the second cluster.
+        points = np.array([[0.0, 0.0], [0.05, 0.0], [9.0, 9.0], [9.05, 9.0]])
+        events = [var(x), negate(var(x)), var(y), negate(var(y))]
+        dataset = ProbabilisticDataset(points, events, pool)
+
+        hard = expected_kmedoids(dataset, KMedoidsSpec(k=2, iterations=2, init=(0, 2)))
+        assert hard.together(0, 1)  # the blind spot
+        violations = correlation_violations(dataset, hard)
+        assert (0, 1) in violations
+        assert (2, 3) in violations
+
+    def test_no_violations_under_independence(self):
+        dataset = sensor_dataset(6, scheme="independent", seed=4)
+        hard = expected_kmedoids(dataset, KMedoidsSpec(k=2, iterations=2))
+        assert correlation_violations(dataset, hard) == []

@@ -1,0 +1,162 @@
+"""Unit tests for event-language expression construction (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.events.expressions import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    CSum,
+    Guard,
+    Not,
+    Or,
+    atom,
+    cdist,
+    cinv,
+    cond,
+    conj,
+    cpow,
+    cprod,
+    cref,
+    csum,
+    disj,
+    guard,
+    literal,
+    negate,
+    ref,
+    var,
+)
+
+
+class TestSmartConstructors:
+    def test_conj_flattens(self):
+        nested = conj([conj([var(0), var(1)]), var(2)])
+        assert isinstance(nested, And)
+        assert len(nested.operands) == 3
+
+    def test_conj_drops_true(self):
+        assert conj([TRUE, var(0)]) == var(0)
+
+    def test_conj_short_circuits_false(self):
+        assert conj([var(0), FALSE, var(1)]) is FALSE
+
+    def test_conj_empty_is_true(self):
+        assert conj([]) is TRUE
+
+    def test_disj_flattens(self):
+        nested = disj([disj([var(0), var(1)]), var(2)])
+        assert isinstance(nested, Or)
+        assert len(nested.operands) == 3
+
+    def test_disj_drops_false(self):
+        assert disj([FALSE, var(0)]) == var(0)
+
+    def test_disj_short_circuits_true(self):
+        assert disj([var(0), TRUE]) is TRUE
+
+    def test_disj_empty_is_false(self):
+        assert disj([]) is FALSE
+
+    def test_negate_constants(self):
+        assert negate(TRUE) is FALSE
+        assert negate(FALSE) is TRUE
+
+    def test_double_negation_collapses(self):
+        assert negate(negate(var(0))) == var(0)
+
+    def test_cond_true_passthrough(self):
+        inner = guard(var(0), 1.0)
+        assert cond(TRUE, inner) is inner
+
+    def test_csum_flattens(self):
+        nested = csum([csum([literal(1.0), literal(2.0)]), literal(3.0)])
+        assert isinstance(nested, CSum)
+        assert len(nested.terms) == 3
+
+    def test_csum_singleton_unwraps(self):
+        inner = literal(1.0)
+        assert csum([inner]) is inner
+
+    def test_cprod_singleton_unwraps(self):
+        inner = literal(2.0)
+        assert cprod([inner]) is inner
+
+    def test_operator_sugar(self):
+        assert (var(0) & var(1)) == conj([var(0), var(1)])
+        assert (var(0) | var(1)) == disj([var(0), var(1)])
+        assert ~var(0) == negate(var(0))
+        assert literal(1.0) + literal(2.0) == csum([literal(1.0), literal(2.0)])
+        assert literal(1.0) * literal(2.0) == cprod([literal(1.0), literal(2.0)])
+
+
+class TestEqualityAndHashing:
+    def test_structural_equality(self):
+        assert conj([var(0), var(1)]) == conj([var(0), var(1)])
+        assert guard(var(0), 1.5) == guard(var(0), 1.5)
+        assert atom("<=", literal(1.0), literal(2.0)) == atom(
+            "<=", literal(1.0), literal(2.0)
+        )
+
+    def test_inequality(self):
+        assert conj([var(0), var(1)]) != conj([var(1), var(0)])
+        assert guard(var(0), 1.5) != guard(var(0), 2.5)
+        assert var(0) != var(1)
+
+    def test_hash_consistency(self):
+        left = disj([var(0), conj([var(1), var(2)])])
+        right = disj([var(0), conj([var(1), var(2)])])
+        assert hash(left) == hash(right)
+
+    def test_vector_guard_equality(self):
+        a = guard(var(0), np.array([1.0, 2.0]))
+        b = guard(var(0), np.array([1.0, 2.0]))
+        c = guard(var(0), np.array([1.0, 3.0]))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_usable_as_dict_keys(self):
+        table = {conj([var(0), var(1)]): "x"}
+        assert table[conj([var(0), var(1)])] == "x"
+
+    def test_guard_freezes_value(self):
+        g = guard(var(0), [1.0, 2.0])
+        assert isinstance(g.value, np.ndarray)
+        with pytest.raises(ValueError):
+            g.value[0] = 9.0
+
+    def test_bool_literal_becomes_float(self):
+        assert guard(TRUE, True).value == 1.0
+
+
+class TestIntrospection:
+    def test_variables(self):
+        expression = conj([var(0), disj([var(2), negate(var(5))])])
+        assert expression.variables() == {0, 2, 5}
+
+    def test_variables_through_cvals(self):
+        expression = atom("<=", guard(var(3), 1.0), guard(var(7), 2.0))
+        assert expression.variables() == {3, 7}
+
+    def test_references(self):
+        expression = conj([ref("A"), atom("<", cref("B"), literal(1.0))])
+        assert expression.references() == {"A", "B"}
+
+    def test_no_references(self):
+        assert conj([var(0), var(1)]).references() == set()
+
+    def test_atom_rejects_bad_operator(self):
+        with pytest.raises(ValueError):
+            atom("!=", literal(1.0), literal(2.0))
+
+    def test_cpow_coerces_exponent(self):
+        assert cpow(literal(2.0), 3).exponent == 3
+
+    def test_repr_is_readable(self):
+        assert "∧" in repr(conj([var(0), var(1)]))
+        assert "∨" in repr(disj([var(0), var(1)]))
+        assert "⊗" in repr(guard(var(0), 1.0))
+        assert "dist" in repr(cdist(literal(1.0), literal(2.0)))
+        assert "⁻¹" in repr(cinv(literal(2.0)))

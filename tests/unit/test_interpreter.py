@@ -1,0 +1,194 @@
+"""Unit tests for the deterministic interpreter (incl. u-semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.events.values import UNDEFINED
+from repro.lang.interpreter import Externals, Interpreter, InterpreterError, run_program
+from repro.lang.parser import parse_program
+
+
+def run(source, **externals):
+    defaults = dict(load_data=(), load_params=(), init=None)
+    defaults.update(externals)
+    return run_program(parse_program(source), Externals(**defaults))
+
+
+class TestBasics:
+    def test_assignment_and_arithmetic(self):
+        env = run("V = 2\nW = V + 3\nX = W * 2")
+        assert env["W"] == 5 and env["X"] == 10
+
+    def test_arrays(self):
+        env = run("M = [None] * 3\nM[0] = 1\nM[2] = 5")
+        assert env["M"] == [1, None, 5]
+
+    def test_nested_arrays(self):
+        env = run(
+            "M = [None] * 2\n"
+            "for i in range(0, 2):\n"
+            "    M[i] = [None] * 2\n"
+            "    for j in range(0, 2):\n"
+            "        M[i][j] = i + j"
+        )
+        assert env["M"] == [[0, 1], [1, 2]]
+
+    def test_loops(self):
+        env = run("V = 0\nfor i in range(0, 5):\n    V = V + i")
+        assert env["V"] == 10
+
+    def test_externals(self):
+        env = run(
+            "(O, n) = loadData()\n(k, iter) = loadParams()\nM = init()",
+            load_data=([1, 2], 2),
+            load_params=(1, 3),
+            init=[7],
+        )
+        assert env["n"] == 2 and env["iter"] == 3 and env["M"] == [7]
+
+    def test_external_arity_mismatch(self):
+        with pytest.raises(InterpreterError):
+            run("(a, b, c) = loadParams()", load_params=(1, 2))
+
+    def test_undefined_variable(self):
+        with pytest.raises(InterpreterError):
+            run("V = W + 1")
+
+    def test_comparisons(self):
+        env = run("A = 1 <= 2\nB = 2 < 1\nC = 2 == 2")
+        assert env["A"] is True and env["B"] is False and env["C"] is True
+
+
+class TestBuiltins:
+    def test_pow_invert(self):
+        env = run("A = pow(2, 3)\nB = invert(4)")
+        assert env["A"] == 8 and env["B"] == 0.25
+
+    def test_invert_zero_is_undefined(self):
+        env = run("A = invert(0)")
+        assert env["A"] is UNDEFINED
+
+    def test_dist(self):
+        env = run(
+            "(O, n) = loadData()\nD = dist(O[0], O[1])",
+            load_data=([np.array([0.0, 0.0]), np.array([3.0, 4.0])], 2),
+        )
+        assert env["D"] == 5.0
+
+    def test_scalar_mult(self):
+        env = run(
+            "(O, n) = loadData()\nV = scalar_mult(2, O[0])",
+            load_data=([np.array([1.0, 2.0])], 1),
+        )
+        assert np.array_equal(env["V"], np.array([2.0, 4.0]))
+
+    def test_break_ties2(self):
+        env = run(
+            "M = [None] * 2\n"
+            "M[0] = [None] * 2\n"
+            "M[1] = [None] * 2\n"
+            "M[0][0] = True\n"
+            "M[0][1] = True\n"
+            "M[1][0] = True\n"
+            "M[1][1] = False\n"
+            "M = breakTies2(M)"
+        )
+        assert env["M"] == [[True, True], [False, False]]
+
+
+class TestReduceSemantics:
+    def test_reduce_and_empty_is_true(self):
+        env = run("V = reduce_and([1 <= 2 for i in range(0, 0)])")
+        assert env["V"] is True
+
+    def test_reduce_sum_empty_is_undefined(self):
+        env = run("V = reduce_sum([i for i in range(0, 3) if i > 5])")
+        assert env["V"] is UNDEFINED
+
+    def test_reduce_count_empty_is_undefined(self):
+        # Matches the event translation Σ COND ⊗ 1 (§3.5).
+        env = run("V = reduce_count([1 for i in range(0, 3) if i > 5])")
+        assert env["V"] is UNDEFINED
+
+    def test_reduce_count_counts_filter_hits(self):
+        env = run("V = reduce_count([1 for i in range(0, 5) if i >= 2])")
+        assert env["V"] == 3.0
+
+    def test_reduce_or(self):
+        env = run("V = reduce_or([i == 2 for i in range(0, 4)])")
+        assert env["V"] is True
+
+    def test_reduce_mult(self):
+        env = run("V = reduce_mult([i + 1 for i in range(0, 3)])")
+        assert env["V"] == 6.0
+
+    def test_reduce_over_named_array(self):
+        env = run(
+            "B = [None] * 3\nB[0] = True\nB[1] = True\nB[2] = False\n"
+            "V = reduce_and(B)\nW = reduce_or(B)"
+        )
+        assert env["V"] is False and env["W"] is True
+
+    def test_comprehension_variable_scoping(self):
+        env = run("i = 9\nV = reduce_sum([i for i in range(0, 3)])\nW = i")
+        # NB: i here is a plain variable, restored after the comprehension.
+        assert env["W"] == 9
+
+    def test_undefined_propagates_through_sum(self):
+        env = run(
+            "(O, n) = loadData()\nV = reduce_sum([O[i] for i in range(0, 2)])",
+            load_data=([UNDEFINED, 3.0], 2),
+        )
+        assert env["V"] == 3.0
+
+
+class TestWorldSemantics:
+    def test_absent_objects_have_true_comparisons(self):
+        env = run(
+            "(O, n) = loadData()\nB = dist(O[0], O[1]) <= 0.1",
+            load_data=([UNDEFINED, np.array([5.0])], 2),
+        )
+        assert env["B"] is True
+
+    def test_kmedoids_source_on_certain_world(self):
+        from repro.mining.programs import KMEDOIDS_SOURCE
+
+        points = [np.array([0.0]), np.array([0.1]), np.array([5.0]), np.array([5.1])]
+        env = run(
+            KMEDOIDS_SOURCE,
+            load_data=(points, 4),
+            load_params=(2, 3),
+            init=[points[0], points[2]],
+        )
+        incl = env["InCl"]
+        # Clusters: {0,1} and {2,3}.
+        assert incl[0][0] and incl[0][1] and not incl[0][2] and not incl[0][3]
+        assert incl[1][2] and incl[1][3]
+
+    def test_kmeans_source_on_certain_world(self):
+        from repro.mining.programs import KMEANS_SOURCE
+
+        points = [np.array([0.0]), np.array([1.0]), np.array([10.0])]
+        env = run(
+            KMEANS_SOURCE,
+            load_data=(points, 3),
+            load_params=(2, 2),
+            init=[points[0], points[2]],
+        )
+        assert env["InCl"][0] == [True, True, False]
+        assert np.array_equal(env["M"][0], np.array([0.5]))
+
+    def test_mcl_source_runs(self):
+        from repro.mining.programs import MCL_SOURCE
+
+        matrix = [[0.8, 0.3], [0.2, 0.7]]
+        env = run(
+            MCL_SOURCE,
+            load_data=([0, 1], 2, [list(row) for row in matrix]),
+            load_params=(2, 2),
+        )
+        # Rows of the final flow matrix remain stochastic (the Figure-3
+        # code normalises rows).
+        for i in range(2):
+            total = env["M"][i][0] + env["M"][i][1]
+            assert total == pytest.approx(1.0)

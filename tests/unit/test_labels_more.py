@@ -1,0 +1,68 @@
+"""Additional unit tests for the getLabel scheme (edge cases)."""
+
+import pytest
+
+from repro.lang.labels import LabelGenerator
+
+
+class TestNestedBlocks:
+    def test_variable_assigned_only_in_inner_block(self):
+        generator = LabelGenerator()
+        generator.assign("V")
+        generator.enter_block()
+        # W is born inside the block; there is no enclosing assignment
+        # to copy, so a read-before-assign must fail cleanly.
+        with pytest.raises(KeyError):
+            generator.current("W")
+        label = generator.assign("W")
+        # With no outer value, the label is anchored at the block level.
+        assert "W" in label
+        copies = generator.exit_block()
+        assert any("W" in target for target, _ in copies)
+
+    def test_multiple_variables_independent_counters(self):
+        generator = LabelGenerator()
+        a0 = generator.assign("A")
+        b0 = generator.assign("B")
+        a1 = generator.assign("A")
+        assert a0 == "A0" and b0 == "B0" and a1 == "A1"
+
+    def test_reads_track_latest_assignment(self):
+        generator = LabelGenerator()
+        generator.assign("V")
+        assert generator.current("V") == "V0"
+        generator.assign("V")
+        assert generator.current("V") == "V1"
+
+    def test_block_entry_copy_emitted_once(self):
+        generator = LabelGenerator()
+        generator.assign("V")
+        generator.enter_block()
+        generator.current("V")
+        generator.current("V")
+        assert len(generator.copies) == 1
+        assert generator.copies[0] == ("V0.-1", "V0")
+
+    def test_three_levels(self):
+        generator = LabelGenerator()
+        generator.assign("M")  # M0
+        generator.enter_block()
+        generator.current("M")  # copy M0.-1
+        generator.assign("M")  # M0.0
+        generator.enter_block()
+        generator.current("M")  # copy M0.0.-1
+        label = generator.assign("M")  # M0.0.0
+        assert label == "M0.0.0"
+        generator.exit_block()  # copies to M0.1
+        generator.exit_block()  # copies to M1
+        labels = [target for target, _ in generator.copies]
+        assert "M0.1" in labels
+        assert "M1" in labels
+
+    def test_exit_without_assignment_emits_nothing(self):
+        generator = LabelGenerator()
+        generator.assign("V")
+        generator.enter_block()
+        generator.current("V")  # read only
+        copies = generator.exit_block()
+        assert copies == []

@@ -1,0 +1,130 @@
+"""Unit tests for the deterministic reference clustering semantics."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.events.values import UNDEFINED
+from repro.mining.kmeans import KMeansSpec, kmeans_deterministic, kmeans_in_world
+from repro.mining.kmedoids import (
+    KMedoidsSpec,
+    kmedoids_deterministic,
+    kmedoids_in_world,
+)
+from repro.mining.markov import MCLSpec, mcl_in_world, stochastic_graph
+
+
+WELL_SEPARATED = np.array(
+    [[0.0, 0.0], [0.2, 0.1], [0.1, 0.2], [5.0, 5.0], [5.2, 5.1], [5.1, 4.9]]
+)
+
+
+class TestKMedoidsDeterministic:
+    def test_recovers_separated_clusters(self):
+        spec = KMedoidsSpec(k=2, iterations=3, init=(0, 3))
+        result = kmedoids_deterministic(WELL_SEPARATED, spec)
+        incl = result["incl"]
+        assert incl[0][:3] == [True, True, True]
+        assert incl[1][3:] == [True, True, True]
+
+    def test_medoids_are_data_points(self):
+        spec = KMedoidsSpec(k=2, iterations=3, init=(0, 3))
+        result = kmedoids_deterministic(WELL_SEPARATED, spec)
+        for medoid in result["medoids"]:
+            assert any(np.array_equal(medoid, point) for point in WELL_SEPARATED)
+
+    def test_every_object_in_exactly_one_cluster(self):
+        spec = KMedoidsSpec(k=2, iterations=2)
+        result = kmedoids_deterministic(WELL_SEPARATED, spec)
+        for l in range(len(WELL_SEPARATED)):
+            assert sum(result["incl"][i][l] for i in range(2)) == 1
+
+    def test_exactly_one_centre_per_cluster(self):
+        spec = KMedoidsSpec(k=2, iterations=2)
+        result = kmedoids_deterministic(WELL_SEPARATED, spec)
+        for i in range(2):
+            assert sum(result["centre"][i]) == 1
+
+    def test_absent_objects_join_no_cluster(self):
+        spec = KMedoidsSpec(k=2, iterations=2, init=(0, 3))
+        present = [True, True, False, True, True, True]
+        result = kmedoids_in_world(WELL_SEPARATED, present, spec)
+        assert all(not result["incl"][i][2] for i in range(2))
+
+    def test_world_with_absent_init_medoid(self):
+        spec = KMedoidsSpec(k=2, iterations=2, init=(0, 3))
+        present = [False, True, True, True, True, True]
+        result = kmedoids_in_world(WELL_SEPARATED, present, spec)
+        # The algorithm still assigns every present object somewhere.
+        for l in range(1, 6):
+            assert sum(result["incl"][i][l] for i in range(2)) == 1
+
+    def test_init_validation(self):
+        with pytest.raises(ValueError):
+            KMedoidsSpec(k=2, init=(0,)).initial_medoids(6)
+        with pytest.raises(ValueError):
+            KMedoidsSpec(k=9).initial_medoids(6)
+
+    def test_default_init_first_k(self):
+        assert KMedoidsSpec(k=3).initial_medoids(10) == (0, 1, 2)
+
+
+class TestKMeansDeterministic:
+    def test_recovers_separated_clusters(self):
+        spec = KMeansSpec(k=2, iterations=3, init=(0, 3))
+        result = kmeans_deterministic(WELL_SEPARATED, spec)
+        assert result["incl"][0][:3] == [True, True, True]
+        assert result["incl"][1][3:] == [True, True, True]
+
+    def test_centroid_is_cluster_mean(self):
+        spec = KMeansSpec(k=2, iterations=3, init=(0, 3))
+        result = kmeans_deterministic(WELL_SEPARATED, spec)
+        expected = WELL_SEPARATED[:3].mean(axis=0)
+        assert np.allclose(result["centroids"][0], expected)
+
+    def test_empty_cluster_centroid_is_undefined(self):
+        points = np.array([[0.0], [0.1], [0.2]])
+        # Both centroids start on the left; cluster 1 captures nothing
+        # after ties give everything to the first cluster.
+        spec = KMeansSpec(k=2, iterations=1, init=(0, 0))
+        result = kmeans_deterministic(points, spec)
+        assert result["centroids"][1] is UNDEFINED
+
+    def test_world_semantics_with_absent_objects(self):
+        spec = KMeansSpec(k=2, iterations=2, init=(0, 3))
+        present = [True, False, True, True, True, False]
+        result = kmeans_in_world(WELL_SEPARATED, present, spec)
+        for l in (1, 5):
+            assert all(not result["incl"][i][l] for i in range(2))
+
+
+class TestMCLReference:
+    def test_flow_rows_stay_stochastic(self):
+        rng = random.Random(0)
+        weights = stochastic_graph(6, rng)
+        flow = mcl_in_world(weights, [True] * 6, MCLSpec(2, 2))
+        for row in flow:
+            assert sum(row) == pytest.approx(1.0)
+
+    def test_intra_cluster_flow_dominates(self):
+        rng = random.Random(0)
+        weights = stochastic_graph(6, rng, cluster_count=2)
+        flow = mcl_in_world(weights, [True] * 6, MCLSpec(2, 3))
+        intra = np.mean([flow[i][j] for i in range(3) for j in range(3)])
+        inter = np.mean([flow[i][j] for i in range(3) for j in range(3, 6)])
+        assert intra > inter
+
+    def test_absent_node_rows_undefined(self):
+        rng = random.Random(0)
+        weights = stochastic_graph(4, rng)
+        flow = mcl_in_world(weights, [True, True, True, False], MCLSpec(2, 1))
+        assert all(value is UNDEFINED for value in flow[3])
+        assert all(flow[i][3] is UNDEFINED for i in range(4))
+
+    def test_stochastic_graph_rows_sum_to_one(self):
+        rng = random.Random(5)
+        weights = stochastic_graph(8, rng, cluster_count=2)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+        with pytest.raises(ValueError):
+            stochastic_graph(1, rng, cluster_count=2)

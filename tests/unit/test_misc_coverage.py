@@ -1,0 +1,139 @@
+"""Assorted unit tests for smaller surfaces of the public API."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.compile.montecarlo import _z_score
+from repro.data.sensors import Regime, generate_sensor_readings
+from repro.events.expressions import conj, disj, guard, literal, var
+from repro.network.build import build_targets
+from repro.network.dot import to_dot
+from repro.worlds.variables import VariablePool
+
+from ..conftest import make_pool
+
+
+class TestZScores:
+    def test_standard_levels(self):
+        assert _z_score(0.95) == pytest.approx(1.96, abs=1e-3)
+        assert _z_score(0.99) == pytest.approx(2.5758, abs=1e-3)
+
+    def test_interpolated_level(self):
+        z = _z_score(0.925)
+        assert 1.6449 < z < 1.96
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            _z_score(0.4)
+
+
+class TestCustomRegimes:
+    def test_single_custom_regime(self):
+        rng = random.Random(0)
+        calm = (Regime("calm", 1.0, 0.5, 1.0, 0.01, 0.1),)
+        points = generate_sensor_readings(200, rng, regimes=calm)
+        assert abs(points[:, 0].mean() - 0.5) < 0.05
+
+    def test_weights_need_not_be_normalised(self):
+        rng = random.Random(0)
+        regimes = (
+            Regime("a", 3.0, 0.2, 1.0, 0.01, 0.1),
+            Regime("b", 1.0, 0.9, 1.0, 0.01, 0.1),
+        )
+        points = generate_sensor_readings(400, rng, regimes=regimes)
+        near_a = (abs(points[:, 0] - 0.2) < 0.1).sum()
+        near_b = (abs(points[:, 0] - 0.9) < 0.1).sum()
+        assert near_a > 2 * near_b  # 3:1 mixture
+
+
+class TestDotFoldedRendering:
+    def test_loop_in_nodes_rendered(self):
+        from repro.data.datasets import sensor_dataset
+        from repro.mining.kmedoids import KMedoidsSpec, build_kmedoids_folded
+
+        dataset = sensor_dataset(4, scheme="independent", seed=1)
+        folded = build_kmedoids_folded(dataset, KMedoidsSpec(k=2, iterations=2))
+        rendered = to_dot(folded)
+        assert "⟲" in rendered  # loop-input nodes get the loop glyph
+        assert "house" in rendered
+
+
+class TestFacadeEdgeCases:
+    def test_montecarlo_and_naive_via_cli(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["cluster", "--objects", "6", "--group-size", "2",
+             "--mutex-size", "3", "--algorithm", "naive", "--limit", "2"]
+        ) == 0
+        assert "naive" in capsys.readouterr().out
+        assert main(
+            ["cluster", "--objects", "6", "--group-size", "2",
+             "--mutex-size", "3", "--algorithm", "montecarlo", "--limit", "2"]
+        ) == 0
+        assert "montecarlo" in capsys.readouterr().out
+
+    def test_certain_fraction_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["cluster", "--objects", "8", "--scheme", "positive",
+             "--variables", "6", "--certain", "0.5", "--limit", "2"]
+        ) == 0
+
+
+class TestNetworkCornerCases:
+    def test_empty_network_stats(self):
+        network = build_targets({})
+        stats = network.stats()
+        assert stats["total"] == 0
+        assert stats["depth"] == 0
+
+    def test_single_constant_target(self):
+        from repro.compile.compiler import compile_network
+        from repro.events.expressions import TRUE
+
+        pool = VariablePool()
+        network = build_targets({"t": TRUE})
+        result = compile_network(network, pool)
+        assert result.bounds["t"] == (1.0, 1.0)
+
+    def test_guard_of_conjunction_shares_event_node(self):
+        shared_event = conj([var(0), var(1)])
+        network = build_targets(
+            {
+                "a": disj([shared_event, var(2)]),
+                "b": conj([shared_event, var(3)]),
+            }
+        )
+        from repro.network.nodes import Kind
+
+        ands = [n for n in network.nodes if n.kind is Kind.AND]
+        # shared_event appears once; "b" reuses it inside another AND.
+        assert len(ands) == 2
+
+    def test_literal_guard_repr(self):
+        assert "⊤" in repr(literal(2.0))
+
+
+class TestPoolEdgeCases:
+    def test_zero_variable_pool_compiles(self):
+        from repro.compile.compiler import compile_network
+        from repro.events.expressions import FALSE
+
+        pool = VariablePool()
+        network = build_targets({"f": FALSE})
+        result = compile_network(network, pool)
+        assert result.bounds["f"] == (0.0, 0.0)
+
+    def test_extreme_marginals(self):
+        from repro.compile.compiler import compile_network
+
+        pool = make_pool([1.0, 0.0, 0.5])
+        network = build_targets(
+            {"t": conj([var(0), disj([var(1), var(2)])])}
+        )
+        result = compile_network(network, pool)
+        assert result.bounds["t"][0] == pytest.approx(0.5)

@@ -1,0 +1,81 @@
+"""Unit tests for the Monte Carlo (MCDB-style) comparator."""
+
+import pytest
+
+from repro.compile.compiler import compile_network
+from repro.compile.montecarlo import monte_carlo_probabilities, samples_for_error
+from repro.events.expressions import conj, disj, var
+from repro.network.build import build_targets
+
+from ..conftest import make_pool
+
+
+class TestMonteCarloEstimates:
+    def test_estimate_converges(self):
+        pool = make_pool([0.5, 0.4, 0.7])
+        events = {"t": disj([var(0), conj([var(1), var(2)])])}
+        network = build_targets(events)
+        exact = compile_network(network, pool).bounds["t"][0]
+        result = monte_carlo_probabilities(network, pool, samples=4000, seed=1)
+        estimate = result.probability("t")
+        assert abs(estimate - exact) < 0.05
+
+    def test_interval_usually_covers(self):
+        pool = make_pool([0.3, 0.6])
+        network = build_targets({"t": conj([var(0), var(1)])})
+        exact = compile_network(network, pool).bounds["t"][0]
+        covered = 0
+        runs = 20
+        for seed in range(runs):
+            result = monte_carlo_probabilities(
+                network, pool, samples=300, seed=seed, confidence=0.95
+            )
+            lower, upper = result.bounds["t"]
+            if lower <= exact <= upper:
+                covered += 1
+        # With 95% nominal coverage, 20 runs should rarely miss twice.
+        assert covered >= runs - 3
+
+    def test_deterministic_per_seed(self):
+        pool = make_pool([0.5])
+        network = build_targets({"t": var(0)})
+        first = monte_carlo_probabilities(network, pool, samples=100, seed=7)
+        second = monte_carlo_probabilities(network, pool, samples=100, seed=7)
+        assert first.bounds == second.bounds
+
+    def test_certain_events(self):
+        from repro.events.expressions import TRUE
+
+        pool = make_pool([0.5])
+        network = build_targets({"t": TRUE})
+        result = monte_carlo_probabilities(network, pool, samples=50)
+        assert result.probability("t") == pytest.approx(1.0, abs=0.02)
+
+    def test_scheme_label_and_counters(self):
+        pool = make_pool([0.5])
+        network = build_targets({"t": var(0)})
+        result = monte_carlo_probabilities(network, pool, samples=64)
+        assert result.scheme == "montecarlo"
+        assert result.extra["samples"] == 64.0
+        assert result.tree_nodes == 64
+
+    def test_invalid_arguments(self):
+        pool = make_pool([0.5])
+        network = build_targets({"t": var(0)})
+        with pytest.raises(ValueError):
+            monte_carlo_probabilities(network, pool, samples=0)
+        with pytest.raises(ValueError):
+            monte_carlo_probabilities(network, pool, samples=10, confidence=0.3)
+
+
+class TestSampleBudget:
+    def test_sample_count_formula(self):
+        # z=1.96, eps=0.1 -> n = ceil(1.96^2 * 0.25 / 0.01) = 97
+        assert samples_for_error(0.1) == 97
+
+    def test_tighter_epsilon_needs_quadratically_more(self):
+        assert samples_for_error(0.05) >= 4 * samples_for_error(0.1) - 4
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            samples_for_error(0.0)

@@ -1,0 +1,78 @@
+"""Unit tests for the naive per-world baseline."""
+
+import pytest
+
+from repro.events.expressions import conj, disj, var
+from repro.events.probability import event_probability
+from repro.network.build import NetworkBuilder, build_targets
+from repro.worlds.naive import lineage_nodes, naive_probabilities
+
+from ..conftest import make_pool
+
+
+class TestNaiveBaseline:
+    def test_matches_enumeration(self):
+        pool = make_pool([0.5, 0.4, 0.7])
+        events = {"a": disj([var(0), var(1)]), "b": conj([var(1), var(2)])}
+        network = build_targets(events)
+        result = naive_probabilities(network, pool)
+        for name, event in events.items():
+            assert result.bounds[name][0] == pytest.approx(
+                event_probability(event, pool)
+            )
+            assert result.bounds[name][0] == result.bounds[name][1]
+
+    def test_world_count(self):
+        pool = make_pool([0.5, 0.5])
+        network = build_targets({"t": var(0)})
+        result = naive_probabilities(network, pool)
+        assert result.tree_nodes == 4  # 2^2 valuations
+
+    def test_world_signature_caching(self):
+        # Two variables, but the target only depends on the lineage event
+        # x0: with a world key, only 2 distinct worlds are evaluated.
+        pool = make_pool([0.5, 0.5])
+        network = build_targets({"t": var(0)})
+        builder = NetworkBuilder(network)
+        phi = builder.build(var(0))
+        network.bind_name("Phi", phi)
+        result = naive_probabilities(
+            network, pool, world_key_nodes=lineage_nodes(network, ["Phi"])
+        )
+        assert result.extra["distinct_worlds"] == 2.0
+        assert result.bounds["t"][0] == pytest.approx(0.5)
+
+    def test_timeout_reports_partial(self):
+        pool = make_pool([0.5] * 14)
+        network = build_targets({"t": conj([var(i) for i in range(14)])})
+        result = naive_probabilities(network, pool, timeout=0.0)
+        assert result.extra["timed_out"] == 1.0
+        # Partial bounds stay sound: upper is left at 1.
+        assert result.bounds["t"][1] == 1.0
+
+    def test_scheme_label(self):
+        pool = make_pool([0.5])
+        network = build_targets({"t": var(0)})
+        assert naive_probabilities(network, pool).scheme == "naive"
+
+    def test_subset_of_targets(self):
+        pool = make_pool([0.5, 0.5])
+        network = build_targets({"a": var(0), "b": var(1)})
+        result = naive_probabilities(network, pool, targets=["a"])
+        assert "a" in result.bounds and "b" not in result.bounds
+
+
+class TestNaiveOverFoldedNetworks:
+    def test_folded_network_naive_equals_compiled(self):
+        from repro.compile.compiler import compile_network
+        from repro.data.datasets import sensor_dataset
+        from repro.mining.kmedoids import KMedoidsSpec, build_kmedoids_folded
+
+        dataset = sensor_dataset(5, scheme="independent", seed=2, group_size=2)
+        folded = build_kmedoids_folded(dataset, KMedoidsSpec(k=2, iterations=2))
+        compiled = compile_network(folded, dataset.pool)
+        naive = naive_probabilities(folded, dataset.pool)
+        for name in compiled.bounds:
+            assert naive.bounds[name][0] == pytest.approx(
+                compiled.bounds[name][0]
+            )

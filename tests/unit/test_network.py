@@ -1,0 +1,165 @@
+"""Unit tests for event-network construction and hash-consing (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.events.expressions import (
+    atom,
+    cdist,
+    conj,
+    cref,
+    csum,
+    disj,
+    guard,
+    literal,
+    negate,
+    ref,
+    var,
+)
+from repro.events.program import EventProgram
+from repro.network.build import NetworkBuilder, build_network, build_targets
+from repro.network.dot import to_dot
+from repro.network.nodes import Kind
+
+
+class TestHashConsing:
+    def test_identical_expressions_share_nodes(self):
+        builder = NetworkBuilder()
+        first = builder.build(conj([var(0), var(1)]))
+        second = builder.build(conj([var(0), var(1)]))
+        assert first == second
+
+    def test_shared_subexpressions_once(self):
+        # Two atoms over the same sum share the sum node (Section 4.1).
+        shared = csum([guard(var(0), 1.0), guard(var(1), 2.0)])
+        network = build_targets(
+            {
+                "a": atom("<=", shared, literal(3.0)),
+                "b": atom(">=", shared, literal(1.0)),
+            }
+        )
+        sums = [node for node in network.nodes if node.kind is Kind.SUM]
+        assert len(sums) == 1
+
+    def test_distinct_payloads_not_shared(self):
+        builder = NetworkBuilder()
+        a = builder.build(guard(var(0), 1.0))
+        b = builder.build(guard(var(0), 2.0))
+        assert a != b
+
+    def test_vector_payloads_interned_by_content(self):
+        builder = NetworkBuilder()
+        a = builder.build(guard(var(0), np.array([1.0, 2.0])))
+        b = builder.build(guard(var(0), np.array([1.0, 2.0])))
+        assert a == b
+
+    def test_atom_operator_distinguishes(self):
+        builder = NetworkBuilder()
+        a = builder.build(atom("<=", literal(1.0), literal(2.0)))
+        b = builder.build(atom("<", literal(1.0), literal(2.0)))
+        assert a != b
+
+
+class TestProgramGrounding:
+    def test_references_resolve_to_shared_nodes(self):
+        program = EventProgram()
+        program.declare("A", conj([var(0), var(1)]))
+        program.declare("B", disj([ref("A"), var(2)]))
+        program.declare("C", negate(ref("A")))
+        program.add_target("B")
+        program.add_target("C")
+        network = build_network(program)
+        ands = [node for node in network.nodes if node.kind is Kind.AND]
+        assert len(ands) == 1
+
+    def test_targets_registered(self):
+        program = EventProgram()
+        program.declare("T", var(0))
+        program.add_target("T")
+        network = build_network(program)
+        assert "T" in network.targets
+        assert network.nodes[network.targets["T"]].kind is Kind.VAR
+
+    def test_cval_target_rejected(self):
+        network = build_targets({})
+        builder = NetworkBuilder(network)
+        node = builder.build(literal(1.0))
+        with pytest.raises(TypeError):
+            network.add_target("bad", node)
+
+    def test_forward_reference_rejected(self):
+        builder = NetworkBuilder()
+        with pytest.raises(KeyError):
+            builder.build(ref("missing"))
+
+
+class TestIntrospection:
+    def make(self):
+        return build_targets(
+            {
+                "t": conj(
+                    [
+                        var(0),
+                        atom(
+                            "<=",
+                            cdist(
+                                guard(var(1), np.array([0.0])),
+                                guard(var(2), np.array([1.0])),
+                            ),
+                            literal(2.0),
+                        ),
+                    ]
+                )
+            }
+        )
+
+    def test_variables(self):
+        network = self.make()
+        assert network.variables() == {0, 1, 2}
+
+    def test_variable_frequencies(self):
+        network = self.make()
+        frequencies = network.variable_frequencies()
+        assert set(frequencies) == {0, 1, 2}
+        assert all(count >= 1 for count in frequencies.values())
+
+    def test_parents(self):
+        network = self.make()
+        parents = network.parents()
+        # every non-root node has at least one parent
+        roots = set(network.targets.values())
+        for node in network.nodes:
+            if node.id not in roots:
+                assert parents[node.id]
+
+    def test_reachable_from_target(self):
+        network = self.make()
+        reachable = network.reachable_from(list(network.targets.values()))
+        assert reachable == set(range(len(network.nodes)))
+
+    def test_depth(self):
+        network = self.make()
+        assert network.depth() >= 3
+
+    def test_stats(self):
+        network = self.make()
+        stats = network.stats()
+        assert stats["total"] == len(network)
+        assert stats["targets"] == 1
+        assert stats["variables"] == 3
+        assert stats["AND"] == 1
+
+    def test_dot_export(self):
+        network = self.make()
+        rendered = to_dot(network)
+        assert rendered.startswith("digraph")
+        assert "lightblue" in rendered  # the target is highlighted
+        assert rendered.count("->") == sum(
+            len(node.children) for node in network.nodes
+        )
+
+    def test_dot_fragment(self):
+        network = self.make()
+        var_node = next(n for n in network.nodes if n.kind is Kind.VAR)
+        rendered = to_dot(network, roots=[var_node.id])
+        assert "->" not in rendered  # a leaf fragment has no edges

@@ -1,0 +1,156 @@
+"""Unit tests for the user-language parser (Figure 4 grammar)."""
+
+import pytest
+
+from repro.lang.grammar import (
+    ArrayInit,
+    Assign,
+    BinOp,
+    Call,
+    Compare,
+    Comprehension,
+    External,
+    For,
+    Index,
+    Lit,
+    Name,
+    Reduce,
+    TupleAssign,
+)
+from repro.lang.parser import UserSyntaxError, parse_program
+from repro.mining.programs import KMEANS_SOURCE, KMEDOIDS_SOURCE, MCL_SOURCE
+
+
+class TestPaperPrograms:
+    def test_kmedoids_parses(self):
+        program = parse_program(KMEDOIDS_SOURCE)
+        assert len(program.statements) == 4
+        assert isinstance(program.statements[0], TupleAssign)
+        assert isinstance(program.statements[3], For)
+
+    def test_kmeans_parses(self):
+        program = parse_program(KMEANS_SOURCE)
+        loop = program.statements[3]
+        assert isinstance(loop, For)
+        assert loop.var == "it"
+
+    def test_mcl_parses(self):
+        program = parse_program(MCL_SOURCE)
+        assert isinstance(program.statements[0], TupleAssign)
+        assert program.statements[0].names == ("O", "n", "M")
+
+
+class TestStatements:
+    def test_simple_assignment(self):
+        program = parse_program("V = 2")
+        stmt = program.statements[0]
+        assert isinstance(stmt, Assign)
+        assert stmt.target == Name("V")
+        assert stmt.expr == Lit(2)
+
+    def test_subscript_assignment(self):
+        program = parse_program("M[2] = True")
+        stmt = program.statements[0]
+        assert isinstance(stmt.target, Index)
+        assert stmt.target.base == "M"
+        assert stmt.target.indices == (Lit(2),)
+
+    def test_nested_subscript_assignment(self):
+        program = parse_program("M[i][j] = 1")
+        stmt = program.statements[0]
+        assert stmt.target.indices == (Name("i"), Name("j"))
+
+    def test_tuple_assignment_external(self):
+        program = parse_program("(O, n) = loadData()")
+        stmt = program.statements[0]
+        assert isinstance(stmt, TupleAssign)
+        assert stmt.names == ("O", "n")
+        assert stmt.call == External("loadData")
+
+    def test_single_assignment_external(self):
+        program = parse_program("M = init()")
+        stmt = program.statements[0]
+        assert isinstance(stmt, Assign)
+        assert stmt.expr == External("init")
+
+    def test_for_loop(self):
+        program = parse_program("for i in range(0, 5):\n    V = i")
+        loop = program.statements[0]
+        assert isinstance(loop, For)
+        assert loop.lower == Lit(0) and loop.upper == Lit(5)
+        assert len(loop.body) == 1
+
+
+class TestExpressions:
+    def test_array_init(self):
+        stmt = parse_program("M = [None] * k").statements[0]
+        assert isinstance(stmt.expr, ArrayInit)
+        assert stmt.expr.size == Name("k")
+
+    def test_comparison(self):
+        stmt = parse_program("B = x <= y").statements[0]
+        assert stmt.expr == Compare("<=", Name("x"), Name("y"))
+
+    def test_arithmetic(self):
+        stmt = parse_program("V = a * b + c").statements[0]
+        assert isinstance(stmt.expr, BinOp)
+        assert stmt.expr.op == "+"
+
+    def test_builtins(self):
+        stmt = parse_program("V = pow(invert(x), 2)").statements[0]
+        assert isinstance(stmt.expr, Call)
+        assert stmt.expr.func == "pow"
+        assert stmt.expr.args[0] == Call("invert", (Name("x"),))
+
+    def test_reduce_with_comprehension(self):
+        source = "V = reduce_sum([O[l] for l in range(0, n) if B[l]])"
+        stmt = parse_program(source).statements[0]
+        assert isinstance(stmt.expr, Reduce)
+        comp = stmt.expr.source
+        assert isinstance(comp, Comprehension)
+        assert comp.var == "l"
+        assert comp.cond == Index("B", (Name("l"),))
+
+    def test_reduce_over_named_array(self):
+        stmt = parse_program("V = reduce_and(B)").statements[0]
+        assert isinstance(stmt.expr, Reduce)
+        assert stmt.expr.source == Name("B")
+
+    def test_break_ties(self):
+        stmt = parse_program("InCl = breakTies2(InCl)").statements[0]
+        assert stmt.expr == Call("breakTies2", (Name("InCl"),))
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "while True:\n    pass",  # unbounded loop
+            "def f():\n    pass",  # function definitions
+            "import os",  # imports
+            "V = x if y else z",  # conditional expressions
+            "V = [1, 2, 3]",  # list literals
+            "V = {}",  # dicts
+            "V = x / y",  # division operator
+            "V = -x",  # unary minus
+            "V = a < b < c",  # chained comparison
+            "V = f(1)",  # unknown function
+            "V = 'text'",  # string literal
+            "for i in items:\n    V = 1",  # non-range iteration
+            "for i in range(5):\n    V = 1",  # one-argument range
+            "V, W = loadData(), 2",  # tuple of non-external
+            "V = reduce_sum(1)",  # reduce of a scalar
+            "V = None",  # bare None
+            "V = reduce_sum([x for a in range(0,2) for b in range(0,2)])",
+            "V = loadData(1)",  # external with arguments
+            "V = pow(x)",  # wrong arity
+            "x[0].y = 1",  # attribute targets
+        ],
+    )
+    def test_rejected_constructs(self, source):
+        with pytest.raises(UserSyntaxError):
+            parse_program(source)
+
+    def test_error_mentions_line(self):
+        with pytest.raises(UserSyntaxError, match="line 2"):
+            parse_program("V = 1\nW = x / y")

@@ -1,0 +1,270 @@
+"""Unit tests for partial evaluation: interval states and masking (Alg. 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.compile.partial import (
+    B_FALSE,
+    B_TRUE,
+    B_UNKNOWN,
+    NumState,
+    PartialEvaluator,
+    atom_state,
+    num_add,
+    num_dist,
+    num_inv,
+    num_mul,
+    num_pow,
+)
+from repro.events.expressions import (
+    atom,
+    cdist,
+    cinv,
+    cond,
+    conj,
+    cpow,
+    csum,
+    disj,
+    guard,
+    literal,
+    negate,
+    var,
+)
+from repro.network.build import build_targets
+
+
+def point(value):
+    return NumState.point(value)
+
+
+def interval(lo, hi, may_u=False):
+    return NumState(lo, hi, may_u, True)
+
+
+class TestNumStates:
+    def test_point_properties(self):
+        state = point(2.0)
+        assert state.is_point and state.is_resolved and not state.is_undefined
+
+    def test_undefined_properties(self):
+        state = NumState.undefined()
+        assert state.is_undefined and state.is_resolved and not state.is_point
+
+    def test_interval_unresolved(self):
+        state = interval(1.0, 2.0)
+        assert not state.is_resolved
+
+    def test_point_with_maybe_u_unresolved(self):
+        state = NumState(1.0, 1.0, True, True)
+        assert not state.is_resolved
+
+
+class TestAbstractAddition:
+    def test_points(self):
+        result = num_add(point(1.0), point(2.0))
+        assert result.is_point and result.lo == 3.0
+
+    def test_undefined_is_identity(self):
+        result = num_add(NumState.undefined(), point(2.0))
+        assert result.is_point and result.lo == 2.0
+
+    def test_maybe_undefined_widens(self):
+        # (x?3) + 2 ∈ {5, 2}
+        maybe = NumState(3.0, 3.0, True, True)
+        result = num_add(maybe, point(2.0))
+        assert result.lo == 2.0 and result.hi == 5.0 and not result.may_u
+
+    def test_both_maybe_undefined(self):
+        a = NumState(1.0, 1.0, True, True)
+        b = NumState(2.0, 2.0, True, True)
+        result = num_add(a, b)
+        assert result.lo == 1.0 and result.hi == 3.0 and result.may_u
+
+    def test_vector_addition(self):
+        a = point(np.array([1.0, 2.0]))
+        b = point(np.array([3.0, 4.0]))
+        result = num_add(a, b)
+        assert np.array_equal(result.lo, np.array([4.0, 6.0]))
+
+
+class TestAbstractMultiplication:
+    def test_sign_handling(self):
+        result = num_mul(interval(-2.0, 3.0), interval(-1.0, 4.0))
+        assert result.lo == -8.0 and result.hi == 12.0
+
+    def test_undefined_annihilates(self):
+        result = num_mul(NumState.undefined(), point(5.0))
+        assert result.is_undefined
+
+    def test_maybe_undefined_propagates(self):
+        a = NumState(2.0, 2.0, True, True)
+        result = num_mul(a, point(3.0))
+        assert result.may_u and result.lo == 6.0
+
+
+class TestAbstractInverse:
+    def test_positive_interval(self):
+        result = num_inv(interval(2.0, 4.0))
+        assert result.lo == 0.25 and result.hi == 0.5 and not result.may_u
+
+    def test_negative_interval(self):
+        result = num_inv(interval(-4.0, -2.0))
+        assert result.lo == -0.5 and result.hi == -0.25
+
+    def test_interval_containing_zero(self):
+        result = num_inv(interval(-1.0, 1.0))
+        assert result.may_u
+        assert result.lo == -math.inf and result.hi == math.inf
+
+    def test_zero_point(self):
+        assert num_inv(point(0.0)).is_undefined
+
+    def test_zero_boundary(self):
+        result = num_inv(interval(0.0, 2.0))
+        assert result.may_u and result.lo == 0.5 and result.hi == math.inf
+
+
+class TestAbstractPowerAndDistance:
+    def test_odd_power_monotone(self):
+        result = num_pow(interval(-2.0, 3.0), 3)
+        assert result.lo == -8.0 and result.hi == 27.0
+
+    def test_even_power_spanning_zero(self):
+        result = num_pow(interval(-2.0, 3.0), 2)
+        assert result.lo == 0.0 and result.hi == 9.0
+
+    def test_even_power_positive(self):
+        result = num_pow(interval(2.0, 3.0), 2)
+        assert result.lo == 4.0 and result.hi == 9.0
+
+    def test_negative_exponent(self):
+        result = num_pow(interval(2.0, 4.0), -1)
+        assert result.lo == 0.25 and result.hi == 0.5
+
+    def test_distance_points(self):
+        a = point(np.array([0.0, 0.0]))
+        b = point(np.array([3.0, 4.0]))
+        result = num_dist(a, b, "euclidean")
+        assert result.lo == pytest.approx(5.0) and result.hi == pytest.approx(5.0)
+
+    def test_distance_intervals(self):
+        a = NumState(np.array([0.0]), np.array([1.0]), False, True)
+        b = NumState(np.array([2.0]), np.array([3.0]), False, True)
+        result = num_dist(a, b, "euclidean")
+        assert result.lo == pytest.approx(1.0) and result.hi == pytest.approx(3.0)
+
+    def test_distance_overlapping_intervals_reach_zero(self):
+        a = NumState(np.array([0.0]), np.array([2.0]), False, True)
+        b = NumState(np.array([1.0]), np.array([3.0]), False, True)
+        result = num_dist(a, b, "euclidean")
+        assert result.lo == 0.0
+
+    def test_distance_undefined_side(self):
+        result = num_dist(NumState.undefined(), point(np.array([1.0])), "euclidean")
+        assert result.is_undefined
+
+    def test_distance_maybe_undefined(self):
+        a = NumState(np.array([1.0]), np.array([1.0]), True, True)
+        result = num_dist(a, point(np.array([0.0])), "euclidean")
+        assert result.may_u and result.lo == pytest.approx(1.0)
+
+
+class TestAtomStates:
+    def test_definitely_true(self):
+        assert atom_state("<=", interval(1.0, 2.0), interval(3.0, 4.0)) == B_TRUE
+
+    def test_definitely_false(self):
+        assert atom_state("<=", interval(3.0, 4.0), interval(1.0, 2.0)) == B_FALSE
+
+    def test_overlap_unknown(self):
+        assert atom_state("<=", interval(1.0, 3.0), interval(2.0, 4.0)) == B_UNKNOWN
+
+    def test_undefined_side_is_true(self):
+        assert atom_state("<=", NumState.undefined(), point(1.0)) == B_TRUE
+
+    def test_maybe_undefined_blocks_false(self):
+        # left > right always fails numerically, but left may be u -> true.
+        left = NumState(5.0, 5.0, True, True)
+        assert atom_state("<=", left, point(1.0)) == B_UNKNOWN
+
+    def test_maybe_undefined_still_true_when_comparison_always_holds(self):
+        left = NumState(0.0, 0.0, True, True)
+        assert atom_state("<=", left, point(1.0)) == B_TRUE
+
+    def test_equality(self):
+        assert atom_state("==", point(2.0), point(2.0)) == B_TRUE
+        assert atom_state("==", point(2.0), point(3.0)) == B_FALSE
+        assert atom_state("==", interval(1.0, 3.0), interval(2.0, 4.0)) == B_UNKNOWN
+
+
+class TestEvaluatorMasking:
+    def make_evaluator(self):
+        network = build_targets(
+            {
+                "or": disj([var(0), var(1)]),
+                "and": conj([var(0), var(1)]),
+                "atom": atom(
+                    "<=",
+                    csum([guard(var(0), 1.0), guard(var(1), 2.0)]),
+                    literal(2.5),
+                ),
+            }
+        )
+        return network, PartialEvaluator(network)
+
+    def test_unknown_before_assignment(self):
+        network, evaluator = self.make_evaluator()
+        evaluator.push()
+        states = evaluator.target_states(list(network.targets.values()))
+        assert all(state == B_UNKNOWN for state in states.values())
+
+    def test_or_short_circuit(self):
+        network, evaluator = self.make_evaluator()
+        evaluator.push(0, True)
+        states = evaluator.target_states([network.targets["or"]])
+        assert states[network.targets["or"]] == B_TRUE
+
+    def test_and_short_circuit(self):
+        network, evaluator = self.make_evaluator()
+        evaluator.push(0, False)
+        states = evaluator.target_states([network.targets["and"]])
+        assert states[network.targets["and"]] == B_FALSE
+
+    def test_trail_undo(self):
+        network, evaluator = self.make_evaluator()
+        evaluator.push()
+        evaluator.push(0, True)
+        evaluator.target_states(list(network.targets.values()))
+        resolved_inside = len(evaluator.resolved)
+        assert resolved_inside > 0
+        evaluator.pop(0)
+        assert len(evaluator.resolved) == 0
+        assert 0 not in evaluator.assignment
+
+    def test_full_assignment_resolves_everything(self):
+        network, evaluator = self.make_evaluator()
+        evaluator.push(0, True)
+        evaluator.push(1, True)
+        states = evaluator.target_states(list(network.targets.values()))
+        assert states[network.targets["or"]] == B_TRUE
+        assert states[network.targets["and"]] == B_TRUE
+        # sum = 3.0 > 2.5
+        assert states[network.targets["atom"]] == B_FALSE
+
+    def test_monotone_refinement(self):
+        # A state resolved at depth d stays resolved at depth d+1.
+        network, evaluator = self.make_evaluator()
+        evaluator.push(0, True)
+        first = evaluator.target_states([network.targets["or"]])
+        evaluator.push(1, False)
+        second = evaluator.target_states([network.targets["or"]])
+        assert first == second
+
+    def test_eval_counter_increments(self):
+        network, evaluator = self.make_evaluator()
+        evaluator.push(0, True)
+        before = evaluator.evals
+        evaluator.target_states(list(network.targets.values()))
+        assert evaluator.evals > before

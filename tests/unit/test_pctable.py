@@ -1,0 +1,113 @@
+"""Unit tests for pc-tables (storage layer of the DB substrate)."""
+
+import pytest
+
+from repro.db.pctable import (
+    PCTable,
+    PCTuple,
+    block_independent_disjoint,
+    tuple_independent,
+)
+from repro.events.expressions import TRUE, conj, var
+from repro.events.probability import event_probability
+from repro.events.semantics import evaluate_event
+from repro.worlds.variables import VariablePool
+
+
+class TestPCTableBasics:
+    def test_insert_and_len(self):
+        table = PCTable("R", ("a", "b"))
+        table.insert((1, 2))
+        table.insert((3, 4), var(0))
+        assert len(table) == 2
+        assert table.tuples[0].event is TRUE
+
+    def test_schema_arity_checked(self):
+        table = PCTable("R", ("a", "b"))
+        with pytest.raises(ValueError):
+            table.insert((1,))
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            PCTable("R", ("a", "a"))
+
+    def test_attribute_index(self):
+        table = PCTable("R", ("a", "b"))
+        assert table.attribute_index("b") == 1
+        with pytest.raises(KeyError):
+            table.attribute_index("z")
+
+    def test_column(self):
+        table = PCTable("R", ("a", "b"))
+        table.insert((1, 2))
+        table.insert((3, 4))
+        assert table.column("a") == [1, 3]
+
+    def test_tuple_indexing(self):
+        row = PCTuple((10, 20), TRUE)
+        assert row[1] == 20
+
+    def test_pretty(self):
+        table = PCTable("R", ("a",))
+        table.insert((1,), var(0))
+        rendered = table.pretty()
+        assert "R(a)" in rendered
+        assert "x0" in rendered
+
+
+class TestPossibleWorlds:
+    def test_world_filters_by_lineage(self):
+        table = PCTable("R", ("a",))
+        table.insert((1,), var(0))
+        table.insert((2,), var(1))
+        table.insert((3,))
+        assert table.world({0: True, 1: False}) == [(1,), (3,)]
+
+    def test_tuple_probability(self):
+        pool = VariablePool()
+        table = PCTable("R", ("a",))
+        table.insert((1,), var(pool.add(0.35)))
+        assert table.tuple_probability(0, pool) == pytest.approx(0.35)
+
+
+class TestTupleIndependent:
+    def test_one_variable_per_tuple(self):
+        pool = VariablePool()
+        table = tuple_independent(
+            "R", ("a",), [((1,), 0.5), ((2,), 0.8)], pool
+        )
+        assert len(pool) == 2
+        assert event_probability(table.tuples[0].event, pool) == pytest.approx(0.5)
+        assert event_probability(table.tuples[1].event, pool) == pytest.approx(0.8)
+
+
+class TestBlockIndependentDisjoint:
+    def test_alternatives_are_mutually_exclusive(self):
+        pool = VariablePool()
+        table = block_independent_disjoint(
+            "R", ("a",), [[((1,), 0.4), ((2,), 0.35)]], pool
+        )
+        for valuation, mass in pool.iter_valuations():
+            if mass == 0.0:
+                continue
+            present = [
+                index
+                for index, row in enumerate(table.tuples)
+                if evaluate_event(row.event, valuation)
+            ]
+            assert len(present) <= 1
+
+    def test_marginals_match_block_probabilities(self):
+        pool = VariablePool()
+        table = block_independent_disjoint(
+            "R", ("a",), [[((1,), 0.4), ((2,), 0.35)]], pool
+        )
+        assert event_probability(table.tuples[0].event, pool) == pytest.approx(0.4)
+        assert event_probability(table.tuples[1].event, pool) == pytest.approx(0.35)
+
+    def test_overfull_block_rejected(self):
+        pool = VariablePool()
+        with pytest.raises(ValueError):
+            block_independent_disjoint(
+                "R", ("a",), [[((1,), 0.7), ((2,), 0.5)]], pool
+            )

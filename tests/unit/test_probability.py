@@ -1,0 +1,122 @@
+"""Unit tests for the probabilistic semantics by enumeration (§3.3)."""
+
+import pytest
+
+from repro.events.expressions import (
+    TRUE,
+    atom,
+    conj,
+    csum,
+    disj,
+    guard,
+    literal,
+    negate,
+    ref,
+    var,
+)
+from repro.events.probability import (
+    cval_distribution,
+    event_probabilities,
+    event_probability,
+    expected_value,
+)
+from repro.events.values import UNDEFINED
+
+from ..conftest import make_pool
+
+
+class TestEventProbability:
+    def test_single_variable(self):
+        pool = make_pool([0.3])
+        assert event_probability(var(0), pool) == pytest.approx(0.3)
+
+    def test_negation(self):
+        pool = make_pool([0.3])
+        assert event_probability(negate(var(0)), pool) == pytest.approx(0.7)
+
+    def test_independent_conjunction(self):
+        pool = make_pool([0.5, 0.4])
+        assert event_probability(conj([var(0), var(1)]), pool) == pytest.approx(0.2)
+
+    def test_inclusion_exclusion(self):
+        pool = make_pool([0.5, 0.4])
+        expected = 0.5 + 0.4 - 0.5 * 0.4
+        assert event_probability(disj([var(0), var(1)]), pool) == pytest.approx(
+            expected
+        )
+
+    def test_constants(self):
+        pool = make_pool([0.5])
+        assert event_probability(TRUE, pool) == pytest.approx(1.0)
+
+    def test_shared_enumeration(self):
+        pool = make_pool([0.5, 0.6])
+        results = event_probabilities(
+            {"a": var(0), "b": conj([var(0), var(1)])}, pool
+        )
+        assert results["a"] == pytest.approx(0.5)
+        assert results["b"] == pytest.approx(0.3)
+
+    def test_environment_references(self):
+        pool = make_pool([0.5, 0.5])
+        environment = {"A": conj([var(0), var(1)])}
+        assert event_probability(ref("A"), pool, environment) == pytest.approx(0.25)
+
+    def test_atom_probability_with_undefined(self):
+        pool = make_pool([0.4])
+        # [x0⊗1 > 2]: fails when defined (prob .4), true when u (prob .6).
+        expression = atom(">", guard(var(0), 1.0), literal(2.0))
+        assert event_probability(expression, pool) == pytest.approx(0.6)
+
+    def test_deterministic_pool_probabilities(self):
+        pool = make_pool([1.0, 0.0])
+        assert event_probability(var(0), pool) == pytest.approx(1.0)
+        assert event_probability(var(1), pool) == pytest.approx(0.0)
+
+
+class TestCValDistribution:
+    def test_guard_distribution(self):
+        pool = make_pool([0.25])
+        outcomes = dict(
+            (str(outcome), probability)
+            for outcome, probability in cval_distribution(guard(var(0), 5.0), pool)
+        )
+        assert outcomes["5.0"] == pytest.approx(0.25)
+        assert outcomes["u"] == pytest.approx(0.75)
+
+    def test_sum_distribution(self):
+        pool = make_pool([0.5, 0.5])
+        expression = csum([guard(var(0), 1.0), guard(var(1), 2.0)])
+        distribution = {
+            str(outcome): probability
+            for outcome, probability in cval_distribution(expression, pool)
+        }
+        assert distribution["3.0"] == pytest.approx(0.25)
+        assert distribution["1.0"] == pytest.approx(0.25)
+        assert distribution["2.0"] == pytest.approx(0.25)
+        assert distribution["u"] == pytest.approx(0.25)
+
+    def test_distribution_mass_sums_to_one(self):
+        pool = make_pool([0.3, 0.7, 0.5])
+        expression = csum([guard(var(i), float(i + 1)) for i in range(3)])
+        total = sum(mass for _, mass in cval_distribution(expression, pool))
+        assert total == pytest.approx(1.0)
+
+    def test_distribution_sorted_by_mass(self):
+        pool = make_pool([0.9])
+        distribution = cval_distribution(guard(var(0), 1.0), pool)
+        masses = [mass for _, mass in distribution]
+        assert masses == sorted(masses, reverse=True)
+
+    def test_expected_value(self):
+        pool = make_pool([0.5])
+        expression = guard(var(0), 10.0)
+        expectation, defined_mass = expected_value(expression, pool)
+        assert expectation == pytest.approx(10.0)  # conditioned on defined
+        assert defined_mass == pytest.approx(0.5)
+
+    def test_expected_value_always_undefined(self):
+        pool = make_pool([0.0])
+        expectation, defined_mass = expected_value(guard(var(0), 1.0), pool)
+        assert expectation is UNDEFINED
+        assert defined_mass == 0.0

@@ -1,0 +1,139 @@
+"""Unit tests for event programs (§3.4): immutability, targets, loops."""
+
+import pytest
+
+from repro.events.expressions import conj, csum, guard, literal, ref, var
+from repro.events.program import (
+    DuplicateDeclarationError,
+    EventProgram,
+    UnknownIdentifierError,
+    eid,
+)
+
+
+class TestDeclarations:
+    def test_declare_and_lookup(self):
+        program = EventProgram()
+        program.declare("A", var(0))
+        assert "A" in program
+        assert program["A"] == var(0)
+
+    def test_declarations_are_immutable(self):
+        program = EventProgram()
+        program.declare("A", var(0))
+        with pytest.raises(DuplicateDeclarationError):
+            program.declare("A", var(1))
+
+    def test_forward_references_rejected(self):
+        program = EventProgram()
+        with pytest.raises(UnknownIdentifierError):
+            program.declare("B", conj([ref("A"), var(0)]))
+
+    def test_backward_references_allowed(self):
+        program = EventProgram()
+        program.declare("A", var(0))
+        program.declare("B", conj([ref("A"), var(1)]))
+        assert len(program) == 2
+
+    def test_declare_returns_typed_reference(self):
+        from repro.events.expressions import CRef, Ref
+
+        program = EventProgram()
+        assert isinstance(program.declare("E", var(0)), Ref)
+        assert isinstance(program.declare("C", literal(1.0)), CRef)
+
+    def test_declare_event_type_check(self):
+        program = EventProgram()
+        with pytest.raises(TypeError):
+            program.declare_event("C", literal(1.0))
+
+    def test_declare_cval_type_check(self):
+        program = EventProgram()
+        with pytest.raises(TypeError):
+            program.declare_cval("E", var(0))
+
+    def test_order_preserved(self):
+        program = EventProgram()
+        for index in range(5):
+            program.declare(f"E{index}", var(0))
+        assert program.names() == ("E0", "E1", "E2", "E3", "E4")
+
+
+class TestForallGrounding:
+    def test_forall_declares_per_index(self):
+        program = EventProgram()
+        refs = program.forall("X", 4, lambda index: var(index))
+        assert len(refs) == 4
+        assert program[eid("X", 2)] == var(2)
+
+    def test_forall_with_start(self):
+        program = EventProgram()
+        program.forall("X", 2, lambda index: var(index), start=5)
+        assert eid("X", 5) in program
+        assert eid("X", 6) in program
+
+    def test_eid_format(self):
+        assert eid("InCl", 2, 0, 3) == "InCl[2][0][3]"
+        assert eid("M") == "M"
+
+
+class TestTargets:
+    def test_add_target(self):
+        program = EventProgram()
+        program.declare("T", var(0))
+        program.add_target("T")
+        assert program.targets == ("T",)
+
+    def test_target_must_be_declared(self):
+        program = EventProgram()
+        with pytest.raises(UnknownIdentifierError):
+            program.add_target("missing")
+
+    def test_target_must_be_boolean(self):
+        program = EventProgram()
+        program.declare("C", literal(1.0))
+        with pytest.raises(TypeError):
+            program.add_target("C")
+
+    def test_duplicate_targets_collapse(self):
+        program = EventProgram()
+        program.declare("T", var(0))
+        program.add_targets(["T", "T"])
+        assert program.targets == ("T",)
+
+    def test_target_expression(self):
+        program = EventProgram()
+        program.declare("T", conj([var(0), var(1)]))
+        program.add_target("T")
+        assert program.target_expression("T") == conj([var(0), var(1)])
+
+
+class TestIntrospection:
+    def test_variables_across_declarations(self):
+        program = EventProgram()
+        program.declare("A", var(0))
+        program.declare("B", csum([guard(var(3), 1.0)]))
+        assert program.variables() == {0, 3}
+
+    def test_environment_resolves_references(self):
+        from repro.events.semantics import evaluate_event
+
+        program = EventProgram()
+        program.declare("A", var(0))
+        program.declare("B", conj([ref("A"), var(1)]))
+        assert evaluate_event(
+            program["B"], {0: True, 1: True}, program.environment
+        )
+
+    def test_pretty_marks_targets(self):
+        program = EventProgram()
+        program.declare("T", var(0))
+        program.add_target("T")
+        assert program.pretty().startswith("*")
+
+    def test_pretty_limit(self):
+        program = EventProgram()
+        for index in range(10):
+            program.declare(f"E{index}", var(0))
+        rendered = program.pretty(limit=3)
+        assert "7 more declarations" in rendered

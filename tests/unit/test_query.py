@@ -1,0 +1,99 @@
+"""Unit tests for the fluent query API (the loadData() bridge)."""
+
+import pytest
+
+from repro.db.pctable import PCTable, tuple_independent
+from repro.db.query import Query
+from repro.events.expressions import var
+from repro.worlds.variables import VariablePool
+
+
+def make_tables():
+    pool = VariablePool()
+    readings = tuple_independent(
+        "readings",
+        ("station", "load", "discharge"),
+        [
+            (("S1", 0.3, 2.0), 0.9),
+            (("S1", 0.8, 21.0), 0.7),
+            (("S2", 0.7, 4.0), 0.8),
+        ],
+        pool,
+    )
+    stations = PCTable("stations", ("station", "critical"))
+    stations.insert(("S1", True))
+    stations.insert(("S2", False))
+    return pool, readings, stations
+
+
+class TestQueryChaining:
+    def test_where(self):
+        pool, readings, _ = make_tables()
+        heavy = Query(readings).where(lambda t: t["discharge"] > 10).table()
+        assert len(heavy) == 1
+        assert heavy.tuples[0].values[0] == "S1"
+
+    def test_project(self):
+        pool, readings, _ = make_tables()
+        stations = Query(readings).project("station").table()
+        assert len(stations) == 2  # duplicates merged
+
+    def test_join_and_filter(self):
+        pool, readings, stations = make_tables()
+        critical = (
+            Query(readings)
+            .join(Query(stations))
+            .where(lambda t: t["critical"])
+            .table()
+        )
+        assert len(critical) == 2
+        assert all(row.values[0] == "S1" for row in critical)
+
+    def test_rename(self):
+        pool, readings, _ = make_tables()
+        renamed = Query(readings).rename(load="kw").table()
+        assert "kw" in renamed.schema
+
+    def test_union(self):
+        pool, readings, _ = make_tables()
+        s1 = Query(readings).where(lambda t: t["station"] == "S1")
+        s2 = Query(readings).where(lambda t: t["station"] == "S2")
+        merged = s1.union(s2).table()
+        assert len(merged) == 3
+
+    def test_join_on(self):
+        pool, readings, stations = make_tables()
+        renamed = Query(stations).rename(station="st")
+        joined = Query(readings).join_on(
+            renamed, lambda t: t["station"] == t["st"]
+        )
+        assert len(joined.table()) == 3
+
+
+class TestToDataset:
+    def test_feature_extraction(self):
+        pool, readings, _ = make_tables()
+        dataset = Query(readings).to_dataset(("load", "discharge"), pool)
+        assert len(dataset) == 3
+        assert dataset.dimensions == 2
+        assert dataset.points[1][1] == pytest.approx(21.0)
+        assert dataset.pool is pool
+
+    def test_lineage_preserved_through_query(self):
+        pool, readings, stations = make_tables()
+        dataset = (
+            Query(readings)
+            .join(Query(stations))
+            .where(lambda t: t["critical"])
+            .to_dataset(("load", "discharge"), pool)
+        )
+        # joined lineage is the reading's variable (stations are certain)
+        assert len(dataset) == 2
+        assert dataset.events[0].variables() <= set(range(len(pool)))
+
+    def test_empty_query_result(self):
+        pool, readings, _ = make_tables()
+        dataset = Query(readings).where(lambda t: False).to_dataset(
+            ("load",), pool
+        )
+        assert len(dataset) == 0

@@ -1,0 +1,79 @@
+"""Unit tests for the result wrappers (compile + user-facing)."""
+
+import pytest
+
+from repro.compile.result import CompilationResult
+from repro.core.result import ProbabilisticResult
+
+
+def make_raw():
+    return CompilationResult(
+        bounds={"a": (0.2, 0.4), "b": (0.9, 0.9), "c": (0.0, 1.0)},
+        scheme="hybrid",
+        epsilon=0.1,
+        seconds=0.5,
+        tree_nodes=42,
+        evals=1000,
+        max_depth=7,
+    )
+
+
+class TestCompilationResult:
+    def test_accessors(self):
+        raw = make_raw()
+        assert raw.lower("a") == 0.2
+        assert raw.upper("a") == 0.4
+        assert raw.gap("a") == pytest.approx(0.2)
+        assert raw.max_gap() == pytest.approx(1.0)
+        assert raw.probability("a") == pytest.approx(0.3)
+
+    def test_is_exact(self):
+        raw = make_raw()
+        assert not raw.is_exact()
+        exact = CompilationResult(bounds={"t": (0.5, 0.5)}, scheme="exact",
+                                  epsilon=0.0)
+        assert exact.is_exact()
+
+    def test_summary_contains_bounds(self):
+        summary = make_raw().summary()
+        assert "hybrid" in summary
+        assert "0.200000" in summary
+
+    def test_probability_clipping(self):
+        raw = CompilationResult(bounds={"t": (0.9, 1.3)}, scheme="hybrid",
+                                epsilon=0.2)
+        assert raw.probability("t") == 1.0
+
+
+class TestProbabilisticResult:
+    def test_delegation(self):
+        result = ProbabilisticResult(make_raw(), ["a", "b", "c"])
+        assert result.probability("b") == pytest.approx(0.9)
+        assert result.bounds("a") == (0.2, 0.4)
+        assert result.scheme == "hybrid"
+        assert result.seconds == 0.5
+        assert result.max_gap() == pytest.approx(1.0)
+        assert not result.is_exact()
+
+    def test_probabilities_dict(self):
+        result = ProbabilisticResult(make_raw(), ["a", "b"])
+        table = result.probabilities()
+        assert set(table) == {"a", "b"}
+
+    def test_top_ranking(self):
+        result = ProbabilisticResult(make_raw(), ["a", "b", "c"])
+        top = result.top(2)
+        assert top[0][0] == "b"
+        assert len(top) == 2
+
+    def test_summary_marks_intervals(self):
+        result = ProbabilisticResult(make_raw(), ["a", "b", "c"])
+        summary = result.summary(limit=2)
+        assert "∈" in summary  # interval rendering for non-exact targets
+        assert "more targets" in summary
+
+    def test_summary_point_estimates(self):
+        raw = CompilationResult(bounds={"t": (0.25, 0.25)}, scheme="exact",
+                                epsilon=0.0)
+        summary = ProbabilisticResult(raw, ["t"]).summary()
+        assert "= 0.250000" in summary

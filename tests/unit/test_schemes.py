@@ -1,0 +1,151 @@
+"""Unit tests for the correlation schemes of the evaluation (§5)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.correlations.schemes import (
+    conditional_lineage,
+    independent_lineage,
+    make_lineage,
+    mutex_lineage,
+    positive_lineage,
+)
+from repro.events.expressions import TRUE, Or, Var
+from repro.events.probability import event_probability
+from repro.events.semantics import evaluate_event
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+class TestPositiveScheme:
+    def test_events_are_disjunctions_of_positive_literals(self, rng):
+        lineage = positive_lineage(8, variables=10, rng=rng, literals=3, group_size=1)
+        for event in lineage.events:
+            assert isinstance(event, Or)
+            assert len(event.operands) == 3
+            assert all(isinstance(literal, Var) for literal in event.operands)
+
+    def test_group_lineage_shared(self, rng):
+        lineage = positive_lineage(8, variables=10, rng=rng, literals=3, group_size=4)
+        assert lineage.events[0] is lineage.events[3]
+        assert lineage.events[4] is lineage.events[7]
+        assert lineage.events[0] is not lineage.events[4]
+
+    def test_variable_budget_respected(self, rng):
+        lineage = positive_lineage(20, variables=6, rng=rng, literals=2)
+        assert lineage.variable_count == 6
+        used = set()
+        for event in lineage.events:
+            used |= event.variables()
+        assert used <= set(range(6))
+
+    def test_too_many_literals_rejected(self, rng):
+        with pytest.raises(ValueError):
+            positive_lineage(4, variables=3, rng=rng, literals=5)
+
+    def test_probabilities_in_range(self, rng):
+        lineage = positive_lineage(4, variables=8, rng=rng)
+        assert all(0.5 <= p <= 0.8 for p in lineage.pool.probabilities)
+
+
+class TestMutexScheme:
+    def test_mutual_exclusion_within_set(self, rng):
+        lineage = mutex_lineage(6, rng=rng, mutex_size=3, group_size=1)
+        pool = lineage.pool
+        # In no world are two members of the same mutex set both present.
+        for valuation, mass in pool.iter_valuations():
+            if mass == 0.0:
+                continue
+            present = [
+                index
+                for index, event in enumerate(lineage.events[:3])
+                if evaluate_event(event, valuation)
+            ]
+            assert len(present) <= 1
+
+    def test_independence_across_sets(self, rng):
+        lineage = mutex_lineage(4, rng=rng, mutex_size=2, group_size=1)
+        pool = lineage.pool
+        first, third = lineage.events[0], lineage.events[2]
+        p_first = event_probability(first, pool)
+        p_third = event_probability(third, pool)
+        from repro.events.expressions import conj
+
+        joint = event_probability(conj([first, third]), pool)
+        assert joint == pytest.approx(p_first * p_third)
+
+    def test_group_lineage(self, rng):
+        lineage = mutex_lineage(8, rng=rng, mutex_size=4, group_size=4)
+        assert lineage.events[0] is lineage.events[3]
+
+    def test_variable_count(self, rng):
+        # One variable per lineage group under mutex.
+        lineage = mutex_lineage(24, rng=rng, mutex_size=12, group_size=4)
+        assert lineage.variable_count == 6
+
+
+class TestConditionalScheme:
+    def test_chain_structure_two_fresh_vars_per_group(self, rng):
+        lineage = conditional_lineage(12, rng=rng, group_size=4)
+        # 3 groups: 1 variable for the root + 2 per subsequent group.
+        assert lineage.variable_count == 1 + 2 * 2
+
+    def test_adjacent_groups_are_correlated(self, rng):
+        from repro.events.expressions import conj
+
+        lineage = conditional_lineage(8, rng=rng, group_size=4)
+        pool = lineage.pool
+        a, b = lineage.events[0], lineage.events[4]
+        joint = event_probability(conj([a, b]), pool)
+        product = event_probability(a, pool) * event_probability(b, pool)
+        assert joint != pytest.approx(product)
+
+    def test_markov_property(self, rng):
+        # P(Φ2 | Φ1, Φ0) == P(Φ2 | Φ1): the chain is memoryless.
+        from repro.events.expressions import conj
+
+        lineage = conditional_lineage(3, rng=rng, group_size=1)
+        pool = lineage.pool
+        phi0, phi1, phi2 = lineage.events
+        p12 = event_probability(conj([phi1, phi2]), pool)
+        p1 = event_probability(phi1, pool)
+        p012 = event_probability(conj([phi0, phi1, phi2]), pool)
+        p01 = event_probability(conj([phi0, phi1]), pool)
+        assert p12 / p1 == pytest.approx(p012 / p01)
+
+
+class TestIndependentSchemeAndOptions:
+    def test_independent_one_var_per_group(self, rng):
+        lineage = independent_lineage(9, rng=rng, group_size=3)
+        assert lineage.variable_count == 3
+        assert all(isinstance(event, Var) for event in lineage.events)
+
+    def test_certain_fraction(self, rng):
+        lineage = independent_lineage(20, rng=rng, certain_fraction=0.5)
+        assert lineage.certain_count() == 10
+        assert all(
+            event is TRUE or isinstance(event, Var) for event in lineage.events
+        )
+
+    def test_certain_fraction_bounds(self, rng):
+        with pytest.raises(ValueError):
+            independent_lineage(4, rng=rng, certain_fraction=1.5)
+
+    def test_make_lineage_dispatch(self, rng):
+        lineage = make_lineage("mutex", 6, rng, mutex_size=3, group_size=2)
+        assert len(lineage) == 6
+        with pytest.raises(ValueError):
+            make_lineage("bogus", 6, rng)
+
+    def test_invalid_group_size(self, rng):
+        with pytest.raises(ValueError):
+            independent_lineage(4, rng=rng, group_size=0)
+
+    def test_empty_lineage(self, rng):
+        lineage = independent_lineage(0, rng=rng)
+        assert len(lineage) == 0

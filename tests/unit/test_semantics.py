@@ -1,0 +1,142 @@
+"""Unit tests for the valuation semantics ν(·) (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.events.expressions import (
+    FALSE,
+    TRUE,
+    atom,
+    cdist,
+    cinv,
+    cond,
+    conj,
+    cpow,
+    cprod,
+    cref,
+    csum,
+    disj,
+    guard,
+    literal,
+    negate,
+    ref,
+    var,
+)
+from repro.events.semantics import Evaluator, evaluate_cval, evaluate_event
+from repro.events.values import UNDEFINED
+
+
+class TestEventEvaluation:
+    def test_constants(self):
+        assert evaluate_event(TRUE, {}) is True
+        assert evaluate_event(FALSE, {}) is False
+
+    def test_variables(self):
+        assert evaluate_event(var(0), {0: True})
+        assert not evaluate_event(var(0), {0: False})
+
+    def test_connectives(self):
+        valuation = {0: True, 1: False}
+        assert evaluate_event(disj([var(0), var(1)]), valuation)
+        assert not evaluate_event(conj([var(0), var(1)]), valuation)
+        assert evaluate_event(negate(var(1)), valuation)
+
+    def test_atom_comparison(self):
+        expression = atom("<=", guard(var(0), 1.0), literal(2.0))
+        assert evaluate_event(expression, {0: True})
+
+    def test_atom_with_undefined_side_is_true(self):
+        expression = atom(">", guard(var(0), 1.0), literal(2.0))
+        # 1 > 2 fails, but when x0 is false the left side is u -> true.
+        assert not evaluate_event(expression, {0: True})
+        assert evaluate_event(expression, {0: False})
+
+
+class TestCValEvaluation:
+    def test_guard(self):
+        expression = guard(var(0), 4.5)
+        assert evaluate_cval(expression, {0: True}) == 4.5
+        assert evaluate_cval(expression, {0: False}) is UNDEFINED
+
+    def test_sum_skips_undefined(self):
+        expression = csum([guard(var(0), 1.0), guard(var(1), 2.0)])
+        assert evaluate_cval(expression, {0: True, 1: False}) == 1.0
+        assert evaluate_cval(expression, {0: True, 1: True}) == 3.0
+        assert evaluate_cval(expression, {0: False, 1: False}) is UNDEFINED
+
+    def test_product_annihilated_by_undefined(self):
+        expression = cprod([guard(var(0), 3.0), literal(2.0)])
+        assert evaluate_cval(expression, {0: True}) == 6.0
+        assert evaluate_cval(expression, {0: False}) is UNDEFINED
+
+    def test_empty_product_is_one(self):
+        from repro.events.expressions import CProd
+
+        assert evaluate_cval(CProd(()), {}) == 1.0
+
+    def test_inverse_and_power(self):
+        assert evaluate_cval(cinv(literal(4.0)), {}) == 0.25
+        assert evaluate_cval(cinv(literal(0.0)), {}) is UNDEFINED
+        assert evaluate_cval(cpow(literal(2.0), 3), {}) == 8.0
+
+    def test_distance(self):
+        expression = cdist(
+            guard(var(0), np.array([0.0, 0.0])), literal(np.array([3.0, 4.0]))
+        )
+        assert evaluate_cval(expression, {0: True}) == 5.0
+        assert evaluate_cval(expression, {0: False}) is UNDEFINED
+
+    def test_cond(self):
+        expression = cond(var(0), literal(7.0))
+        assert evaluate_cval(expression, {0: True}) == 7.0
+        assert evaluate_cval(expression, {0: False}) is UNDEFINED
+
+    def test_vector_sum(self):
+        expression = csum(
+            [guard(var(0), np.array([1.0, 0.0])), guard(var(1), np.array([0.0, 2.0]))]
+        )
+        result = evaluate_cval(expression, {0: True, 1: True})
+        assert np.array_equal(result, np.array([1.0, 2.0]))
+
+
+class TestEnvironmentResolution:
+    def test_named_reference(self):
+        environment = {"A": conj([var(0), var(1)])}
+        assert evaluate_event(ref("A"), {0: True, 1: True}, environment)
+        assert not evaluate_event(ref("A"), {0: True, 1: False}, environment)
+
+    def test_cval_reference(self):
+        environment = {"S": csum([guard(var(0), 1.0), literal(2.0)])}
+        assert evaluate_cval(cref("S"), {0: True}, environment) == 3.0
+
+    def test_chained_references(self):
+        environment = {
+            "A": var(0),
+            "B": conj([ref("A"), var(1)]),
+            "C": disj([ref("B"), var(2)]),
+        }
+        assert evaluate_event(ref("C"), {0: False, 1: False, 2: True}, environment)
+
+    def test_missing_reference_raises(self):
+        with pytest.raises(KeyError):
+            evaluate_event(ref("missing"), {})
+
+    def test_type_mismatch_event(self):
+        evaluator = Evaluator({0: True})
+        with pytest.raises(TypeError):
+            evaluator.event(guard(var(0), 1.0))
+
+    def test_type_mismatch_cval(self):
+        evaluator = Evaluator({0: True})
+        with pytest.raises(TypeError):
+            evaluator.cval(var(0))
+
+    def test_shared_subexpression_evaluated_once(self):
+        # The evaluator caches by object identity: a diamond-shaped DAG
+        # evaluates its shared node once.
+        shared = csum([guard(var(i), 1.0) for i in range(3)])
+        expression = conj(
+            [atom("<=", shared, literal(2.0)), atom(">=", shared, literal(1.0))]
+        )
+        evaluator = Evaluator({0: True, 1: True, 2: False})
+        assert evaluator.event(expression)

@@ -1,0 +1,82 @@
+"""Unit tests for tie-breaking (deterministic and event encodings)."""
+
+import pytest
+
+from repro.events.expressions import FALSE, TRUE, var
+from repro.events.probability import event_probabilities
+from repro.events.semantics import evaluate_event
+from repro.mining.ties import break_ties, break_ties_1, break_ties_2, tie_break_events
+
+from ..conftest import make_pool
+
+
+class TestDeterministicTies:
+    def test_break_ties_keeps_first(self):
+        assert break_ties([False, True, True, False, True]) == [
+            False,
+            True,
+            False,
+            False,
+            False,
+        ]
+
+    def test_break_ties_all_false(self):
+        assert break_ties([False, False]) == [False, False]
+
+    def test_break_ties_2_per_object(self):
+        matrix = [[True, False], [True, True]]
+        assert break_ties_2(matrix) == [[True, False], [False, True]]
+
+    def test_break_ties_1_per_cluster(self):
+        matrix = [[True, True], [False, True]]
+        assert break_ties_1(matrix) == [[True, False], [False, True]]
+
+    def test_inputs_not_mutated(self):
+        matrix = [[True, True]]
+        break_ties_1(matrix)
+        assert matrix == [[True, True]]
+
+
+class TestEventTies:
+    def test_at_most_one_true_in_every_world(self):
+        pool = make_pool([0.5, 0.5, 0.5])
+        candidates = [var(0), var(1), var(2)]
+        broken = tie_break_events(candidates)
+        for valuation, mass in pool.iter_valuations():
+            winners = [
+                index
+                for index, event in enumerate(broken)
+                if evaluate_event(event, valuation)
+            ]
+            assert len(winners) <= 1
+
+    def test_first_eligible_candidate_wins(self):
+        pool = make_pool([0.5, 0.5])
+        broken = tie_break_events([var(0), var(1)])
+        # winner is 1 iff x1 and not x0.
+        assert evaluate_event(broken[1], {0: False, 1: True})
+        assert not evaluate_event(broken[1], {0: True, 1: True})
+
+    def test_eligibility_gating(self):
+        pool = make_pool([0.5, 0.5])
+        # candidate 0 always true but ineligible: candidate 1 wins.
+        broken = tie_break_events([TRUE, TRUE], eligibility=[FALSE, var(0)])
+        assert not evaluate_event(broken[0], {0: True, 1: True})
+        assert evaluate_event(broken[1], {0: True, 1: True})
+
+    def test_probabilities_sum_to_any_candidate_probability(self):
+        pool = make_pool([0.5, 0.5])
+        candidates = [var(0), var(1)]
+        broken = tie_break_events(candidates)
+        probabilities = event_probabilities(
+            {str(index): event for index, event in enumerate(broken)}, pool
+        )
+        # P(some winner) = P(x0 or x1) = 0.75
+        assert sum(probabilities.values()) == pytest.approx(0.75)
+
+    def test_eligibility_length_mismatch(self):
+        with pytest.raises(ValueError):
+            tie_break_events([TRUE], eligibility=[TRUE, TRUE])
+
+    def test_empty_candidates(self):
+        assert tie_break_events([]) == []

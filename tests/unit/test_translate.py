@@ -1,0 +1,210 @@
+"""Unit tests for the user-to-event-program translation (§3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.events.expressions import TRUE, CSum, Guard, Or
+from repro.events.probability import event_probability
+from repro.events.semantics import evaluate_cval, evaluate_event
+from repro.events.values import UNDEFINED
+from repro.lang.labels import LabelGenerator, example3_trace
+from repro.lang.translate import (
+    TranslationError,
+    TranslationExternals,
+    translate_source,
+)
+from repro.worlds.variables import VariablePool
+
+from ..conftest import make_pool
+
+
+def translate(source, **externals):
+    defaults = dict(load_data=(), load_params=(), init=None)
+    defaults.update(externals)
+    return translate_source(source, TranslationExternals(**defaults))
+
+
+class TestScalarTranslation:
+    def test_constants_stay_compile_time(self):
+        program, translator = translate("V = 2\nW = V + 3")
+        assert translator.env["W"] == 5
+        assert len(program) == 0  # pure constants declare nothing
+
+    def test_comparison_becomes_atom(self):
+        from repro.events.expressions import guard, var
+
+        pool = make_pool([0.5])
+        program, translator = translate(
+            "(O, n) = loadData()\nB = dist(O[0], O[0]) <= 1",
+            load_data=([guard(var(0), np.array([1.0]))], 1),
+        )
+        name = translator.target("B")
+        assert event_probability(
+            program.target_expression(name), pool, program.environment
+        ) == pytest.approx(1.0)
+
+    def test_constant_comparison_folds(self):
+        program, translator = translate("B = 1 <= 2")
+        assert translator.env["B"] is True
+
+
+class TestReduceTranslation:
+    def setup_objects(self):
+        from repro.events.expressions import guard, var
+
+        pool = make_pool([0.5, 0.5, 0.5])
+        objects = [guard(var(i), float(i + 1)) for i in range(3)]
+        return pool, objects
+
+    def test_reduce_sum_with_filter(self):
+        pool, objects = self.setup_objects()
+        source = """
+(O, n) = loadData()
+B = [None] * n
+for l in range(0, n):
+    B[l] = dist(O[l], O[l]) <= 0
+S = reduce_sum([O[l] for l in range(0, n) if B[l]])
+"""
+        # dist(O[l],O[l]) is 0 when present, u when absent -> B[l] true
+        # always; the filter exercises the conditional-term encoding.
+        program, translator = translate(source, load_data=(objects, 3))
+        sum_ref = translator.env["S"]
+        value = evaluate_cval(sum_ref, {0: True, 1: False, 2: True}, program.environment)
+        assert value == 1.0 + 3.0
+
+    def test_reduce_count_matches_paper_encoding(self):
+        pool, objects = self.setup_objects()
+        source = """
+(O, n) = loadData()
+C = reduce_count([1 for l in range(0, n) if dist(O[l], O[l]) <= 0])
+"""
+        program, translator = translate(source, load_data=(objects, 3))
+        count = translator.env["C"]
+        # dist(u,u)<=0 is true, so the count is always 3 (all pass).
+        assert evaluate_cval(count, {0: False, 1: False, 2: False}, program.environment) == 3.0
+
+    def test_reduce_mult_identity_for_excluded(self):
+        source = "V = reduce_mult([2 for i in range(0, 3) if i <= 1])"
+        program, translator = translate(source)
+        value = evaluate_cval(translator.env["V"], {}, program.environment)
+        assert value == 4.0  # only i=0,1 contribute factors
+
+    def test_reduce_and_empty_range(self):
+        source = "V = reduce_and([1 <= 2 for i in range(0, 0)])"
+        program, translator = translate(source)
+        assert translator.env["V"] is not None
+
+    def test_reduce_or_encoding(self):
+        from repro.events.expressions import guard, var
+
+        pool = make_pool([0.5, 0.5])
+        objects = [guard(var(i), float(i)) for i in range(2)]
+        source = """
+(O, n) = loadData()
+B = reduce_or([1 <= dist(O[l], O[l]) for l in range(0, n)])
+"""
+        # 1 <= dist(o,o)=0 fails when defined, true when u: B is true
+        # iff some object is absent.
+        program, translator = translate(source, load_data=(objects, 2))
+        name = translator.target("B")
+        expected = 1.0 - 0.25  # P(not both present)
+        assert event_probability(
+            program.target_expression(name), pool, program.environment
+        ) == pytest.approx(expected)
+
+
+class TestArraysAndTies:
+    def test_array_element_declarations(self):
+        source = "M = [None] * 2\nM[0] = 1 <= 2\nM[1] = 2 <= 1"
+        program, translator = translate(source)
+        # Constant comparisons fold; elements stay compile-time bools.
+        assert translator.env["M"] == [True, False]
+
+    def test_break_ties_event_encoding(self):
+        from repro.events.expressions import guard, var
+
+        pool = make_pool([0.5, 0.5])
+        objects = [guard(var(i), float(i)) for i in range(2)]
+        source = """
+(O, n) = loadData()
+B = [None] * n
+for l in range(0, n):
+    B[l] = dist(O[l], O[l]) <= 0
+B = breakTies(B)
+"""
+        program, translator = translate(source, load_data=(objects, 2))
+        first = translator.target("B", 0)
+        second = translator.target("B", 1)
+        # Both raw events are true everywhere; after tie-breaking only
+        # the first survives.
+        assert event_probability(
+            program.target_expression(first), pool, program.environment
+        ) == pytest.approx(1.0)
+        assert event_probability(
+            program.target_expression(second), pool, program.environment
+        ) == pytest.approx(0.0)
+
+    def test_undeclared_variable(self):
+        with pytest.raises(TranslationError):
+            translate("V = W + 1")
+
+    def test_non_integer_index(self):
+        # The validator catches this statically; with validation off the
+        # translator itself must reject the non-integer index.
+        with pytest.raises(TranslationError):
+            translate_source(
+                "M = [None] * 2\nM[invert(2)] = 1",
+                TranslationExternals(load_data=()),
+                validate=False,
+            )
+
+    def test_target_requires_event(self):
+        program, translator = translate("V = 2")
+        with pytest.raises(TranslationError):
+            translator.target("V")
+
+
+class TestGetLabelScheme:
+    def test_example3_verbatim(self):
+        # The grounded declaration sequence of Example 3 (Section 3.5),
+        # with loop counters substituted (2i -> 0, 2; 2i+1 -> 1, 3).
+        expected = [
+            ("M0", "7"),
+            ("M1", "M0 + 2"),
+            ("M1.-1", "M1"),
+            ("M1.0", "M1.-1 + 0"),
+            ("M1.0.-1", "M1.0"),
+            ("M1.0.0", "M1.0.-1 + 1"),
+            ("M1.0.1", "M1.0.0 + 1"),
+            ("M1.0.2", "M1.0.1 + 1"),
+            ("M1.1", "M1.0.2"),
+            ("M1.2", "M1.1 + 1"),
+            ("M1.2.-1", "M1.2"),
+            ("M1.2.0", "M1.2.-1 + 1"),
+            ("M1.2.1", "M1.2.0 + 1"),
+            ("M1.2.2", "M1.2.1 + 1"),
+            ("M1.3", "M1.2.2"),
+            ("M2", "M1.3"),
+            ("M3", "M2 + 1"),
+        ]
+        assert example3_trace() == expected
+
+    def test_lexicographic_order_reflects_assignments(self):
+        generator = LabelGenerator()
+        first = generator.assign("V")
+        second = generator.assign("V")
+        assert first < second
+
+    def test_read_before_assignment_raises(self):
+        generator = LabelGenerator()
+        with pytest.raises(KeyError):
+            generator.current("V")
+
+    def test_block_exit_copies_assigned_variables(self):
+        generator = LabelGenerator()
+        generator.assign("V")
+        generator.enter_block()
+        generator.current("V")
+        generator.assign("V")
+        copies = generator.exit_block()
+        assert copies == [("V1", "V0.0")]

@@ -1,0 +1,85 @@
+"""Unit tests for static validation of user programs (§2.2)."""
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.lang.validator import ValidationError, validate_program
+from repro.mining.programs import KMEANS_SOURCE, KMEDOIDS_SOURCE, MCL_SOURCE
+
+
+def check(source):
+    validate_program(parse_program(source))
+
+
+class TestAcceptedPrograms:
+    @pytest.mark.parametrize(
+        "source", [KMEDOIDS_SOURCE, KMEANS_SOURCE, MCL_SOURCE]
+    )
+    def test_paper_programs_validate(self, source):
+        check(source)
+
+    def test_range_over_external_parameter(self):
+        check("(k, n) = loadParams()\nfor i in range(0, n):\n    V = i")
+
+    def test_range_over_loop_counter(self):
+        check(
+            "(k, n) = loadParams()\n"
+            "for i in range(0, n):\n"
+            "    for j in range(0, i):\n"
+            "        V = j"
+        )
+
+    def test_range_arithmetic(self):
+        check("(k, n) = loadParams()\nfor i in range(0, n + 1):\n    V = i")
+
+
+class TestRejectedPrograms:
+    def test_mutable_range_bound(self):
+        with pytest.raises(ValidationError, match="immutable"):
+            check("n = 3\nn = 4\nfor i in range(0, n):\n    V = i")
+
+    def test_loop_counter_reassigned(self):
+        with pytest.raises(ValidationError, match="loop counter"):
+            check("for i in range(0, 3):\n    i = 5")
+
+    def test_loop_counter_shadowing(self):
+        with pytest.raises(ValidationError, match="shadows"):
+            check(
+                "for i in range(0, 3):\n"
+                "    for i in range(0, 2):\n"
+                "        V = i"
+            )
+
+    def test_reassigned_external_usable_but_not_as_bound(self):
+        # Reassigning an external name is legal (MCL reassigns M), but a
+        # reassigned name can no longer bound a range.
+        check("(O, n) = loadData()\nO = [None] * 3")
+        with pytest.raises(ValidationError, match="immutable"):
+            check("(O, n) = loadData()\nn = 5\nfor i in range(0, n):\n    V = i")
+
+    def test_float_range_bound(self):
+        with pytest.raises(ValidationError, match="integer"):
+            check("for i in range(0, 3.5):\n    V = i")
+
+    def test_bool_range_bound(self):
+        with pytest.raises(ValidationError, match="integer"):
+            check("for i in range(0, True):\n    V = i")
+
+    def test_expression_range_bound(self):
+        with pytest.raises(ValidationError):
+            check("for i in range(0, pow(2, 3)):\n    V = i")
+
+    def test_mutable_array_size(self):
+        with pytest.raises(ValidationError, match="immutable"):
+            check("n = 3\nn = 4\nM = [None] * n")
+
+    def test_comprehension_bound_checked(self):
+        with pytest.raises(ValidationError, match="immutable"):
+            check("n = 1\nn = 2\nV = reduce_sum([1 for i in range(0, n)])")
+
+    def test_comprehension_variable_usable_in_body(self):
+        check("V = reduce_sum([i * 2 for i in range(0, 4)])")
+
+    def test_subscript_index_checked(self):
+        with pytest.raises(ValidationError):
+            check("n = 1\nn = 2\nM = [None] * 3\nM[n] = 1")

@@ -1,0 +1,168 @@
+"""Unit tests for the value domain with undefined propagation (§3.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.events import values as V
+from repro.events.values import UNDEFINED
+
+
+class TestUndefinedPropagation:
+    def test_undefined_is_singleton(self):
+        assert V._Undefined() is UNDEFINED
+
+    def test_add_identity_left(self):
+        assert V.add(UNDEFINED, 3.0) == 3.0
+
+    def test_add_identity_right(self):
+        assert V.add(3.0, UNDEFINED) == 3.0
+
+    def test_add_both_undefined(self):
+        assert V.add(UNDEFINED, UNDEFINED) is UNDEFINED
+
+    def test_add_vectors(self):
+        result = V.add(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        assert np.array_equal(result, np.array([4.0, 6.0]))
+
+    def test_add_undefined_vector(self):
+        vector = np.array([1.0, 2.0])
+        assert V.add(UNDEFINED, vector) is vector
+
+    def test_multiply_annihilates_left(self):
+        assert V.multiply(UNDEFINED, 5.0) is UNDEFINED
+
+    def test_multiply_annihilates_right(self):
+        assert V.multiply(5.0, UNDEFINED) is UNDEFINED
+
+    def test_multiply_scalars(self):
+        assert V.multiply(3.0, 4.0) == 12.0
+
+    def test_multiply_scalar_vector(self):
+        result = V.multiply(2.0, np.array([1.0, 2.0]))
+        assert np.array_equal(result, np.array([2.0, 4.0]))
+
+    def test_paper_example_five_times_inverted_zero(self):
+        # 5 · (3 − 3)^{-1} = 5 · u = u  (paper, Section 3.2)
+        assert V.multiply(5.0, V.invert(3.0 - 3.0)) is UNDEFINED
+
+
+class TestInvertAndPower:
+    def test_invert_zero_is_undefined(self):
+        assert V.invert(0.0) is UNDEFINED
+
+    def test_invert_undefined(self):
+        assert V.invert(UNDEFINED) is UNDEFINED
+
+    def test_invert_scalar(self):
+        assert V.invert(4.0) == 0.25
+
+    def test_invert_rejects_vectors(self):
+        with pytest.raises(TypeError):
+            V.invert(np.array([1.0, 2.0]))
+
+    def test_power_positive(self):
+        assert V.power(3.0, 2) == 9.0
+
+    def test_power_zero_exponent(self):
+        assert V.power(5.0, 0) == 1.0
+
+    def test_power_negative_exponent(self):
+        assert V.power(2.0, -1) == 0.5
+
+    def test_power_negative_exponent_of_zero(self):
+        assert V.power(0.0, -2) is UNDEFINED
+
+    def test_power_undefined(self):
+        assert V.power(UNDEFINED, 3) is UNDEFINED
+
+
+class TestDistances:
+    def test_euclidean(self):
+        assert V.euclidean(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+    def test_squared_euclidean(self):
+        assert V.squared_euclidean(np.array([0.0]), np.array([3.0])) == 9.0
+
+    def test_manhattan(self):
+        assert V.manhattan(np.array([1.0, 1.0]), np.array([-1.0, 2.0])) == 3.0
+
+    def test_distance_undefined_left(self):
+        assert V.distance(UNDEFINED, np.array([1.0])) is UNDEFINED
+
+    def test_distance_undefined_right(self):
+        assert V.distance(np.array([1.0]), UNDEFINED) is UNDEFINED
+
+    def test_distance_metric_dispatch(self):
+        a, b = np.array([0.0, 0.0]), np.array([1.0, 1.0])
+        assert V.distance(a, b, "manhattan") == 2.0
+        assert V.distance(a, b, "sqeuclidean") == 2.0
+        assert V.distance(a, b) == pytest.approx(math.sqrt(2.0))
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError):
+            V.distance(np.array([0.0]), np.array([1.0]), "chebyshev")
+
+
+class TestComparisons:
+    def test_compare_holds(self):
+        assert V.compare("<=", 1.0, 2.0)
+        assert V.compare("<", 1.0, 2.0)
+        assert V.compare(">=", 2.0, 2.0)
+        assert V.compare(">", 3.0, 2.0)
+        assert V.compare("==", 2.0, 2.0)
+
+    def test_compare_fails(self):
+        assert not V.compare("<=", 3.0, 2.0)
+        assert not V.compare("<", 2.0, 2.0)
+        assert not V.compare(">=", 1.0, 2.0)
+        assert not V.compare(">", 2.0, 2.0)
+        assert not V.compare("==", 1.0, 2.0)
+
+    def test_undefined_sides_are_true(self):
+        # Comparisons involving u evaluate to true (§3.2, ATOM).
+        for op in ("<=", "<", ">=", ">", "=="):
+            assert V.compare(op, UNDEFINED, 1.0)
+            assert V.compare(op, 1.0, UNDEFINED)
+            assert V.compare(op, UNDEFINED, UNDEFINED)
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            V.compare("!=", 1.0, 2.0)
+
+    def test_vector_comparison_rejected(self):
+        with pytest.raises(TypeError):
+            V.compare("<=", np.array([1.0]), 2.0)
+
+
+class TestValueEquality:
+    def test_values_equal_scalars(self):
+        assert V.values_equal(1.0, 1.0)
+        assert not V.values_equal(1.0, 1.5)
+
+    def test_values_equal_undefined(self):
+        assert V.values_equal(UNDEFINED, UNDEFINED)
+        assert not V.values_equal(UNDEFINED, 0.0)
+
+    def test_values_equal_vectors(self):
+        assert V.values_equal(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+        assert not V.values_equal(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_values_equal_tolerance(self):
+        assert V.values_equal(1.0, 1.0 + 1e-12, tolerance=1e-9)
+        assert not V.values_equal(1.0, 1.1, tolerance=1e-9)
+
+    def test_as_vector(self):
+        assert V.as_vector(3.0).shape == (1,)
+        assert V.as_vector([1, 2, 3]).shape == (3,)
+
+    def test_format_value(self):
+        assert V.format_value(UNDEFINED) == "u"
+        assert V.format_value(1.5) == "1.5"
+        assert V.format_value(np.array([1.0, 2.0])) == "(1, 2)"
+
+    def test_is_scalar(self):
+        assert V.is_scalar(1.0)
+        assert not V.is_scalar(np.array([1.0]))
+        assert not V.is_scalar(UNDEFINED)

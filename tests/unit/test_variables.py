@@ -1,0 +1,118 @@
+"""Unit tests for random-variable pools and the induced space (Def. 1)."""
+
+import random
+
+import pytest
+
+from repro.worlds.variables import VariablePool, random_pool, total_valuations
+
+
+class TestPoolBasics:
+    def test_add_returns_dense_indices(self):
+        pool = VariablePool()
+        assert pool.add(0.5) == 0
+        assert pool.add(0.5) == 1
+        assert len(pool) == 2
+
+    def test_probability_lookup(self):
+        pool = VariablePool()
+        index = pool.add(0.3)
+        assert pool.probability(index) == pytest.approx(0.3)
+        assert pool.probability(index, False) == pytest.approx(0.7)
+
+    def test_invalid_probability_rejected(self):
+        pool = VariablePool()
+        with pytest.raises(ValueError):
+            pool.add(1.5)
+        with pytest.raises(ValueError):
+            pool.add(-0.1)
+
+    def test_set_probability(self):
+        pool = VariablePool()
+        index = pool.add(0.5)
+        pool.set_probability(index, 0.9)
+        assert pool.probability(index) == pytest.approx(0.9)
+        with pytest.raises(ValueError):
+            pool.set_probability(index, 2.0)
+
+    def test_names(self):
+        pool = VariablePool()
+        pool.add(0.5)
+        pool.add(0.5, name="rain")
+        assert pool.name(0) == "x0"
+        assert pool.name(1) == "rain"
+
+    def test_add_many(self):
+        pool = VariablePool()
+        indices = pool.add_many([0.1, 0.2, 0.3])
+        assert indices == [0, 1, 2]
+        assert pool.probabilities == (0.1, 0.2, 0.3)
+
+
+class TestInducedSpace:
+    def test_valuation_probability_is_product(self):
+        pool = VariablePool()
+        pool.add(0.5)
+        pool.add(0.4)
+        assert pool.valuation_probability({0: True, 1: False}) == pytest.approx(
+            0.5 * 0.6
+        )
+
+    def test_partial_probability(self):
+        pool = VariablePool()
+        pool.add(0.5)
+        pool.add(0.4)
+        assert pool.partial_probability({1: True}) == pytest.approx(0.4)
+
+    def test_enumeration_covers_all_worlds(self):
+        pool = VariablePool()
+        pool.add(0.5)
+        pool.add(0.25)
+        valuations = list(pool.iter_valuations())
+        assert len(valuations) == 4
+        assert sum(mass for _, mass in valuations) == pytest.approx(1.0)
+
+    def test_enumeration_of_empty_pool(self):
+        pool = VariablePool()
+        valuations = list(pool.iter_valuations())
+        assert len(valuations) == 1
+        assert valuations[0] == ({}, 1.0)
+
+    def test_total_valuations_over_subset(self):
+        pool = VariablePool()
+        pool.add(0.5)
+        pool.add(0.25)
+        pool.add(0.75)
+        partials = list(total_valuations(pool, over=[1]))
+        assert len(partials) == 2
+        assert sum(mass for _, mass in partials) == pytest.approx(1.0)
+
+    def test_sample_valuation_respects_certainty(self):
+        pool = VariablePool()
+        pool.add(1.0)
+        pool.add(0.0)
+        rng = random.Random(0)
+        for _ in range(10):
+            valuation = pool.sample_valuation(rng)
+            assert valuation[0] is True
+            assert valuation[1] is False
+
+    def test_sample_valuation_frequency(self):
+        pool = VariablePool()
+        pool.add(0.8)
+        rng = random.Random(7)
+        hits = sum(pool.sample_valuation(rng)[0] for _ in range(2000))
+        assert 0.75 < hits / 2000 < 0.85
+
+
+class TestRandomPool:
+    def test_probabilities_in_paper_range(self):
+        rng = random.Random(5)
+        pool = random_pool(50, rng)
+        assert len(pool) == 50
+        assert all(0.5 <= p <= 0.8 for p in pool.probabilities)
+
+    def test_custom_range(self):
+        rng = random.Random(5)
+        pool = random_pool(20, rng, low=0.1, high=0.2)
+        assert all(0.1 <= p <= 0.2 for p in pool.probabilities)
