@@ -1,0 +1,179 @@
+"""Engine benchmark: scalar vs vectorized bulk-world evaluation.
+
+Times the two baseline schemes of the paper — naive world enumeration
+and MCDB-style Monte Carlo — in their original scalar form
+(``naive-scalar`` / ``montecarlo-scalar``: one recursive network
+traversal per world) against the vectorized bulk engine
+(``naive`` / ``montecarlo``: whole chunks of worlds per flattened
+network sweep), across k-medoids workloads of growing size.  Both paths
+run through the scheme registry; exactness is cross-checked per point
+(bulk naive must match scalar naive to 1e-9).
+
+Results are printed paper-style and written to ``BENCH_engine.json`` at
+the repository root (override with ``--output``).
+
+Run the full sweep:  python -m benchmarks.bench_engine_bulk
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.engine.registry import run_scheme
+
+from .common import Series, Workload, make_workload, print_table
+
+# Default scale: independent lineage, one variable per object, so the
+# world count doubles per object — the regime the naive baseline is
+# actually benchmarked in by the figure sweeps.
+OBJECT_SWEEP = (6, 8, 10, 12)
+MC_SAMPLES = 2000
+MATCH_ABS = 1e-9
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def workload_for(objects: int) -> Workload:
+    return make_workload(
+        objects,
+        scheme="independent",
+        seed=objects,
+        group_size=1,
+        label=f"n={objects}",
+    )
+
+
+def _timed(scheme: str, workload: Workload, **options) -> Dict[str, float]:
+    started = time.perf_counter()
+    result = run_scheme(
+        scheme,
+        workload.network,
+        workload.dataset.pool,
+        targets=workload.targets,
+        **options,
+    )
+    wall = time.perf_counter() - started
+    return {"result": result, "seconds": max(result.seconds, 1e-9), "wall": wall}
+
+
+def sweep_naive() -> List[Dict[str, float]]:
+    rows = []
+    for objects in OBJECT_SWEEP:
+        workload = workload_for(objects)
+        scalar = _timed("naive-scalar", workload)
+        bulk = _timed("naive", workload)
+        max_diff = max(
+            abs(
+                bulk["result"].bounds[name][0]
+                - scalar["result"].bounds[name][0]
+            )
+            for name in workload.targets
+        )
+        assert max_diff <= MATCH_ABS, (
+            f"bulk naive diverged from the scalar oracle by {max_diff}"
+        )
+        rows.append(
+            {
+                "objects": objects,
+                "variables": workload.variables,
+                "worlds": 2**workload.variables,
+                "targets": len(workload.targets),
+                "network_nodes": len(workload.network.nodes),
+                "scalar_seconds": scalar["seconds"],
+                "bulk_seconds": bulk["seconds"],
+                "speedup": scalar["seconds"] / bulk["seconds"],
+                "max_abs_diff": max_diff,
+            }
+        )
+    return rows
+
+
+def sweep_montecarlo() -> List[Dict[str, float]]:
+    rows = []
+    for objects in OBJECT_SWEEP:
+        workload = workload_for(objects)
+        scalar = _timed(
+            "montecarlo-scalar", workload, samples=MC_SAMPLES, seed=1
+        )
+        bulk = _timed("montecarlo", workload, samples=MC_SAMPLES, seed=1)
+        rows.append(
+            {
+                "objects": objects,
+                "variables": workload.variables,
+                "samples": MC_SAMPLES,
+                "targets": len(workload.targets),
+                "network_nodes": len(workload.network.nodes),
+                "scalar_seconds": scalar["seconds"],
+                "bulk_seconds": bulk["seconds"],
+                "speedup": scalar["seconds"] / bulk["seconds"],
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help="where to write the JSON results (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    naive_rows = sweep_naive()
+    mc_rows = sweep_montecarlo()
+
+    for title, rows in (
+        ("Engine — naive enumeration", naive_rows),
+        (f"Engine — Monte Carlo ({MC_SAMPLES} samples)", mc_rows),
+    ):
+        scalar_line = Series("scalar")
+        bulk_line = Series("vectorized")
+        for row in rows:
+            scalar_line.add(row["objects"], {"seconds": row["scalar_seconds"]})
+            bulk_line.add(row["objects"], {"seconds": row["bulk_seconds"]})
+        print_table(title, "objects", [scalar_line, bulk_line], OBJECT_SWEEP)
+        best = max(row["speedup"] for row in rows)
+        print(f"max speedup vectorized over scalar: {best:8.1f}x")
+
+    payload = {
+        "benchmark": "engine_bulk",
+        "epsilon_match": MATCH_ABS,
+        "naive": naive_rows,
+        "montecarlo": mc_rows,
+        "min_speedup_naive": min(row["speedup"] for row in naive_rows),
+        "min_speedup_montecarlo": min(row["speedup"] for row in mc_rows),
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark subset (small sizes so the suite stays fast)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return workload_for(6)
+
+
+@pytest.mark.parametrize("scheme", ["naive", "naive-scalar"])
+def bench_naive_paths(benchmark, small_workload, scheme):
+    benchmark.group = "engine naive n=6"
+    benchmark(_timed, scheme, small_workload)
+
+
+@pytest.mark.parametrize("scheme", ["montecarlo", "montecarlo-scalar"])
+def bench_montecarlo_paths(benchmark, small_workload, scheme):
+    benchmark.group = "engine montecarlo n=6"
+    benchmark(_timed, scheme, small_workload, samples=500, seed=1)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

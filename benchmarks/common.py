@@ -23,14 +23,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.compile.compiler import compile_network
-from repro.compile.distributed import compile_distributed
 from repro.data.datasets import ProbabilisticDataset, sensor_dataset
+from repro.engine.registry import CAP_DISTRIBUTED, has_capability, run_scheme
 from repro.mining.kmedoids import KMedoidsSpec, build_kmedoids_program
 from repro.mining.targets import medoid_targets
 from repro.network.build import build_network
 from repro.network.nodes import EventNetwork
-from repro.worlds.naive import naive_probabilities
 
 # The paper's absolute error budget (Section 5, "Algorithms").
 EPSILON = 0.1
@@ -84,50 +82,38 @@ def run_algorithm(
 ) -> Dict[str, float]:
     """Time one algorithm on one workload; returns a result row.
 
-    The returned dict carries ``seconds`` (wall-clock; for distributed
-    runs the simulated makespan), ``timeout`` (1.0 when the naive run
-    hit its budget), and instrumentation counters.
+    ``algorithm`` names any registered scheme; an ``-d`` suffix runs the
+    scheme under the distributed compiler with ``workers`` workers.  All
+    dispatch goes through :func:`repro.engine.registry.run_scheme`.  The
+    returned dict carries ``seconds`` (wall-clock; for distributed runs
+    the simulated makespan), ``timeout`` (1.0 when the naive run hit its
+    budget), and instrumentation counters.
     """
-    pool = workload.dataset.pool
-    if algorithm == "naive":
-        result = naive_probabilities(
-            workload.network, pool, targets=workload.targets, timeout=timeout
-        )
-        return {
-            "seconds": result.seconds,
-            "timeout": result.extra.get("timed_out", 0.0),
-            "tree_nodes": float(result.tree_nodes),
-        }
-    if algorithm.endswith("-d"):
-        result = compile_distributed(
-            workload.network,
-            pool,
-            scheme=algorithm[:-2],
-            epsilon=epsilon if algorithm != "exact-d" else 0.0,
-            workers=workers,
-            job_size=job_size,
-            targets=workload.targets,
-        )
-        return {
-            "seconds": result.makespan,
-            "sequential_seconds": result.seconds,
-            "timeout": 0.0,
-            "jobs": float(result.jobs),
-            "tree_nodes": float(result.tree_nodes),
-        }
-    result = compile_network(
+    distributed = algorithm.endswith("-d")
+    scheme = algorithm[:-2] if distributed else algorithm
+    if distributed and not has_capability(scheme, CAP_DISTRIBUTED):
+        raise ValueError(f"scheme {scheme!r} is not distributed-capable")
+    result = run_scheme(
+        scheme,
         workload.network,
-        pool,
-        scheme=algorithm,
-        epsilon=0.0 if algorithm == "exact" else epsilon,
+        workload.dataset.pool,
         targets=workload.targets,
+        epsilon=epsilon,
+        workers=workers if distributed else None,
+        job_size=job_size,
+        timeout=timeout,
     )
-    return {
-        "seconds": result.seconds,
-        "timeout": 0.0,
+    row = {
+        "seconds": result.makespan if distributed else result.seconds,
+        "timeout": result.extra.get("timed_out", 0.0),
         "tree_nodes": float(result.tree_nodes),
-        "max_gap": result.max_gap(),
     }
+    if distributed:
+        row["sequential_seconds"] = result.seconds
+        row["jobs"] = float(result.jobs)
+    else:
+        row["max_gap"] = result.max_gap()
+    return row
 
 
 @dataclass

@@ -17,10 +17,13 @@ import sys
 from typing import List, Optional
 
 from .core.platform import ENFrame
+from .engine.registry import available_schemes
 from .mining.kmedoids import KMedoidsSpec
 
 SCHEME_CHOICES = ("independent", "positive", "mutex", "conditional")
-ALGORITHM_CHOICES = ("exact", "lazy", "eager", "hybrid", "naive", "montecarlo")
+# Every scheme in the registry is a CLI algorithm; plugging a new scheme
+# into repro.engine.registry exposes it here with no CLI change.
+ALGORITHM_CHOICES = available_schemes()
 
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
@@ -66,9 +69,11 @@ def _command_cluster(args: argparse.Namespace) -> int:
         f"dataset: {args.objects} objects, "
         f"{platform.dataset.variable_count} variables ({args.scheme})"
     )
+    # The registry normalises options per scheme (epsilon is zeroed for
+    # exact schemes, workers dropped for non-distributed ones).
     result = platform.run(
         scheme=args.algorithm,
-        epsilon=args.epsilon if args.algorithm not in ("exact", "naive") else 0.0,
+        epsilon=args.epsilon,
         workers=args.workers,
         job_size=args.job_size,
     )

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..network.nodes import EventNetwork
 from ..worlds.variables import VariablePool
-from .compiler import SCHEMES, ShannonCompiler
+from .compiler import ShannonCompiler
 from .result import CompilationResult
 
 
@@ -109,8 +109,14 @@ class DistributedCompiler:
         reports the simulated makespan in ``result.makespan``;
         ``execution="threads"`` runs jobs on a thread pool.
         """
-        if scheme not in SCHEMES:
-            raise ValueError(f"unknown scheme {scheme!r}")
+        # The registry gate rejects schemes not marked distributed-capable;
+        # the Shannon-set check guards against plugin schemes claiming the
+        # capability, since the job compiler only implements Algorithm 1.
+        from ..engine.registry import CAP_DISTRIBUTED, get_scheme
+        from .compiler import SCHEMES
+
+        if not get_scheme(scheme).has(CAP_DISTRIBUTED) or scheme not in SCHEMES:
+            raise ValueError(f"scheme {scheme!r} is not distributed-capable")
         if scheme == "exact":
             epsilon = 0.0
         if execution == "simulate":

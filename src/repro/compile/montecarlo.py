@@ -8,6 +8,12 @@ total valuations from the induced distribution, evaluate the event
 network concretely per sample, and report frequency estimates with
 normal-approximation confidence intervals.
 
+The default path batches the sampling through the vectorized bulk
+engine (:mod:`repro.engine.bulk`); the original per-sample recursive
+evaluator survives as :func:`monte_carlo_probabilities_scalar`, which
+still handles folded networks and serves as the cross-validation
+oracle.
+
 Unlike the Shannon-expansion schemes, the returned intervals are
 *statistical* (they hold with the requested confidence, not with
 certainty), and the cost per sample is a full network evaluation —
@@ -19,6 +25,7 @@ from __future__ import annotations
 
 import math
 import random
+import statistics
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -28,24 +35,19 @@ from .compiler import make_evaluator
 from .partial import B_TRUE
 from .result import CompilationResult
 
-# z-scores for the usual confidence levels.
-_Z_SCORES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+_STANDARD_NORMAL = statistics.NormalDist()
 
 
-def _z_score(confidence: float) -> float:
-    if confidence in _Z_SCORES:
-        return _Z_SCORES[confidence]
+def z_score(confidence: float) -> float:
+    """Two-sided z-score for a confidence level, via the exact inverse
+    normal CDF (``z = Phi^-1((1 + confidence) / 2)``)."""
     if not 0.5 < confidence < 1.0:
         raise ValueError("confidence must be in (0.5, 1)")
-    # Beasley-Springer-Moro style rational approximation is overkill
-    # here; linear interpolation over the standard table is plenty for
-    # a baseline estimator.
-    points = sorted(_Z_SCORES.items())
-    for (c_low, z_low), (c_high, z_high) in zip(points, points[1:]):
-        if c_low <= confidence <= c_high:
-            ratio = (confidence - c_low) / (c_high - c_low)
-            return z_low + ratio * (z_high - z_low)
-    return _Z_SCORES[0.99]
+    return _STANDARD_NORMAL.inv_cdf(0.5 * (1.0 + confidence))
+
+
+# Backwards-compatible private alias (pre-registry code imported this).
+_z_score = z_score
 
 
 def monte_carlo_probabilities(
@@ -63,9 +65,50 @@ def monte_carlo_probabilities(
     (clipped to [0, 1]).  ``result.extra['samples']`` records the sample
     count; bounds are *not* certified — they can exclude the true
     probability with probability ``1 - confidence`` per target.
+
+    Sampling is vectorized through the bulk engine whenever the network
+    can be flattened; folded networks fall back to the scalar path.
+    Both paths are deterministic per seed, but draw from different
+    generators, so their per-seed estimates differ.
+    """
+    from ..engine.bulk import bulk_monte_carlo_probabilities
+    from ..engine.ir import supports_bulk
+
+    if supports_bulk(network):
+        return bulk_monte_carlo_probabilities(
+            network,
+            pool,
+            targets=targets,
+            samples=samples,
+            seed=seed,
+            confidence=confidence,
+        )
+    return monte_carlo_probabilities_scalar(
+        network,
+        pool,
+        targets=targets,
+        samples=samples,
+        seed=seed,
+        confidence=confidence,
+    )
+
+
+def monte_carlo_probabilities_scalar(
+    network: EventNetwork,
+    pool: VariablePool,
+    targets: Optional[Sequence[str]] = None,
+    samples: int = 1000,
+    seed: int = 0,
+    confidence: float = 0.95,
+) -> CompilationResult:
+    """The original per-sample estimator: one network traversal per draw.
+
+    Kept as the cross-validation oracle for the bulk engine and as the
+    only path that understands folded networks.
     """
     if samples < 1:
         raise ValueError("need at least one sample")
+    z = z_score(confidence)
     names = list(targets) if targets is not None else list(network.targets)
     target_ids = [network.targets[name] for name in names]
     evaluator = make_evaluator(network)
@@ -84,7 +127,6 @@ def monte_carlo_probabilities(
         evaluator.pop()
     elapsed = time.perf_counter() - started
 
-    z = _z_score(confidence)
     bounds: Dict[str, tuple] = {}
     for name in names:
         frequency = hits[name] / samples
@@ -112,5 +154,5 @@ def samples_for_error(epsilon: float, confidence: float = 0.95) -> int:
     """
     if epsilon <= 0:
         raise ValueError("epsilon must be positive")
-    z = _z_score(confidence)
+    z = z_score(confidence)
     return math.ceil(z * z * 0.25 / (epsilon * epsilon))

@@ -23,10 +23,9 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..compile.compiler import ShannonCompiler, compile_network
-from ..compile.distributed import DistributedCompiler
 from ..compile.result import CompilationResult
 from ..data.datasets import ProbabilisticDataset, certain_dataset, sensor_dataset
+from ..engine.registry import run_scheme
 from ..events.expressions import Event
 from ..events.program import EventProgram, eid
 from ..lang.translate import (
@@ -44,7 +43,6 @@ from ..mining.kmedoids import (
 )
 from ..network.build import build_network
 from ..network.nodes import EventNetwork
-from ..worlds.naive import naive_probabilities
 from ..worlds.variables import VariablePool
 from .result import ProbabilisticResult
 
@@ -206,44 +204,35 @@ class ENFrame:
         workers: Optional[int] = None,
         job_size: int = 3,
         timeout: Optional[float] = None,
+        samples: int = 1000,
+        seed: int = 0,
+        confidence: float = 0.95,
     ) -> ProbabilisticResult:
         """Compute target probabilities.
 
-        ``scheme`` is one of ``naive``, ``exact``, ``lazy``, ``eager``,
-        ``hybrid``, or ``montecarlo`` (the MCDB-style statistical
-        baseline); passing ``workers`` switches to the distributed
-        compiler (``hybrid-d`` & friends, Section 4.4).
+        ``scheme`` names any scheme registered with
+        :mod:`repro.engine.registry` — the paper's ``naive``, ``exact``,
+        ``lazy``, ``eager``, ``hybrid``, and ``montecarlo`` (the
+        MCDB-style statistical baseline) are built in, alongside the
+        ``naive-scalar``/``montecarlo-scalar`` oracles.  Passing
+        ``workers`` switches distributed-capable schemes to the
+        distributed compiler (``hybrid-d`` & friends, Section 4.4);
+        options irrelevant to the chosen scheme are ignored.
         """
         if self.network is None:
             raise RuntimeError("no program registered; call kmedoids()/kmeans()/...")
-        pool = self.dataset.pool
-        if scheme == "naive":
-            raw = naive_probabilities(
-                self.network, pool, targets=self._target_names, timeout=timeout
-            )
-        elif scheme == "montecarlo":
-            from ..compile.montecarlo import monte_carlo_probabilities
-
-            raw = monte_carlo_probabilities(
-                self.network, pool, targets=self._target_names
-            )
-        elif workers is not None:
-            coordinator = DistributedCompiler(
-                self.network,
-                pool,
-                targets=self._target_names,
-                order=order,
-                workers=workers,
-                job_size=job_size,
-            )
-            raw = coordinator.run(scheme=scheme, epsilon=epsilon)
-        else:
-            raw = compile_network(
-                self.network,
-                pool,
-                scheme=scheme,
-                epsilon=epsilon,
-                targets=self._target_names,
-                order=order,
-            )
+        raw = run_scheme(
+            scheme,
+            self.network,
+            self.dataset.pool,
+            targets=self._target_names,
+            epsilon=epsilon,
+            order=order,
+            workers=workers,
+            job_size=job_size,
+            timeout=timeout,
+            samples=samples,
+            seed=seed,
+            confidence=confidence,
+        )
         return ProbabilisticResult(raw, list(self._target_names))

@@ -1,0 +1,64 @@
+"""The unified evaluation-engine layer.
+
+Three pieces compose into one substrate shared by every probability
+computation scheme:
+
+* :mod:`repro.engine.ir` — flattens an event network once into
+  topologically-ordered NumPy arrays (kind codes, CSR operand tables,
+  constants), cached per network;
+* :mod:`repro.engine.bulk` — evaluates every compilation target over
+  *all* possible worlds (or all Monte Carlo samples) simultaneously as
+  Boolean/float matrices, replacing per-valuation recursion;
+* :mod:`repro.engine.registry` — the scheme registry through which the
+  platform facade, the CLI, the distributed compiler, and the benchmark
+  harness all dispatch; schemes declare capabilities (epsilon-aware,
+  statistical-bounds, distributed-capable) so new workloads plug in
+  without touching the callers.
+"""
+
+from .bulk import (
+    BulkEvaluator,
+    bulk_monte_carlo_probabilities,
+    bulk_naive_probabilities,
+)
+from .ir import FlatNetwork, UnsupportedNetworkError, flatten, supports_bulk
+from .registry import (
+    CAP_BULK,
+    CAP_DISTRIBUTED,
+    CAP_EPSILON,
+    CAP_EXACT,
+    CAP_STATISTICAL,
+    CAP_TIMEOUT,
+    SchemeOptions,
+    SchemeSpec,
+    available_schemes,
+    get_scheme,
+    has_capability,
+    register_scheme,
+    run_scheme,
+    unregister_scheme,
+)
+
+__all__ = [
+    "BulkEvaluator",
+    "CAP_BULK",
+    "CAP_DISTRIBUTED",
+    "CAP_EPSILON",
+    "CAP_EXACT",
+    "CAP_STATISTICAL",
+    "CAP_TIMEOUT",
+    "FlatNetwork",
+    "SchemeOptions",
+    "SchemeSpec",
+    "UnsupportedNetworkError",
+    "available_schemes",
+    "bulk_monte_carlo_probabilities",
+    "bulk_naive_probabilities",
+    "flatten",
+    "get_scheme",
+    "has_capability",
+    "register_scheme",
+    "run_scheme",
+    "supports_bulk",
+    "unregister_scheme",
+]

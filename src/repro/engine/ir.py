@@ -1,0 +1,189 @@
+"""Flattened intermediate representation of event networks.
+
+An :class:`~repro.network.nodes.EventNetwork` stores nodes as Python
+records; every evaluator that walks them pays interpreter overhead per
+node *per world*.  Flattening turns the network into a handful of NumPy
+arrays — kind codes, a CSR operand table, and per-kind payload columns —
+computed once and cached on the network, so bulk evaluators can sweep
+the whole DAG in topological order with one vectorized operation per
+node regardless of how many worlds are being evaluated.
+
+Folded networks (:class:`~repro.network.folded.FoldedNetwork`) carry
+loop-input slots whose meaning changes per iteration; they have no
+static flat form and raise :class:`UnsupportedNetworkError`, signalling
+callers to fall back to the scalar evaluators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..network.nodes import EventNetwork, Kind
+
+# Dense operator codes for the payload columns.
+ATOM_OPS: Dict[str, int] = {"<=": 0, "<": 1, ">=": 2, ">": 3, "==": 4}
+DIST_METRICS: Dict[str, int] = {"euclidean": 0, "sqeuclidean": 1, "manhattan": 2}
+
+
+class UnsupportedNetworkError(TypeError):
+    """The network has no static flat form (e.g. folded loop inputs)."""
+
+
+@dataclass
+class FlatNetwork:
+    """One event network flattened into dense arrays.
+
+    Node ids are preserved: row ``i`` of every array describes node ``i``
+    of the source network.  ``child_offsets``/``child_indices`` form a
+    CSR adjacency (children of node ``i`` are
+    ``child_indices[child_offsets[i]:child_offsets[i + 1]]``), already in
+    topological order because the builder interns children before
+    parents.
+    """
+
+    kinds: np.ndarray  # (N,) int16 — Kind codes
+    child_offsets: np.ndarray  # (N + 1,) int64
+    child_indices: np.ndarray  # (E,) int64
+    var_index: np.ndarray  # (N,) int64 — pool index for VAR nodes, else -1
+    atom_op: np.ndarray  # (N,) int8 — ATOM_OPS code for ATOM nodes, else -1
+    pow_exponent: np.ndarray  # (N,) int64 — exponent for POW nodes, else 0
+    dist_metric: np.ndarray  # (N,) int8 — DIST_METRICS code, else -1
+    guard_values: Dict[int, object]  # node id -> constant (float or vector)
+    targets: Dict[str, int]
+    _schedules: Dict[Tuple[int, ...], np.ndarray] = field(default_factory=dict)
+    _use_counts: Dict[bytes, np.ndarray] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def children(self, node_id: int) -> np.ndarray:
+        return self.child_indices[
+            self.child_offsets[node_id] : self.child_offsets[node_id + 1]
+        ]
+
+    def schedule(self, roots: Sequence[int]) -> np.ndarray:
+        """Node ids reachable from ``roots``, in evaluation order.
+
+        Node ids are already topological (children precede parents), so
+        the schedule is the sorted reachable set.  Cached per root set —
+        repeated bulk runs over the same targets pay for reachability
+        once.
+        """
+        key = tuple(sorted(set(int(r) for r in roots)))
+        cached = self._schedules.get(key)
+        if cached is not None:
+            return cached
+        seen = np.zeros(len(self.kinds), dtype=bool)
+        stack = list(key)
+        while stack:
+            node_id = stack.pop()
+            if seen[node_id]:
+                continue
+            seen[node_id] = True
+            stack.extend(int(c) for c in self.children(node_id))
+        order = np.flatnonzero(seen)
+        self._schedules[key] = order
+        return order
+
+    def use_counts(self, order: np.ndarray) -> np.ndarray:
+        """How many scheduled parents consume each node (for freeing).
+
+        Cached per schedule (evaluators decrement the counts in place,
+        so a fresh copy is returned each call).
+        """
+        key = order.tobytes()
+        counts = self._use_counts.get(key)
+        if counts is None:
+            counts = np.zeros(len(self.kinds), dtype=np.int64)
+            for node_id in order:
+                for child in self.children(int(node_id)):
+                    counts[child] += 1
+            self._use_counts[key] = counts
+        return counts.copy()
+
+
+def supports_bulk(network: EventNetwork) -> bool:
+    """Can this network be flattened for bulk evaluation?"""
+    try:
+        flatten(network)
+    except UnsupportedNetworkError:
+        return False
+    return True
+
+
+def flatten(network: EventNetwork) -> FlatNetwork:
+    """Flatten ``network`` (cached: repeated calls reuse the arrays).
+
+    The cache is invalidated when the network grows (builders append
+    nodes through the same object).
+    """
+    cached = getattr(network, "_flat_ir", None)
+    if cached is not None and cached[0] == len(network.nodes):
+        return cached[1]
+    flat = _flatten_uncached(network)
+    try:
+        network._flat_ir = (len(network.nodes), flat)
+    except AttributeError:  # pragma: no cover - exotic network subclasses
+        pass
+    return flat
+
+
+def _flatten_uncached(network: EventNetwork) -> FlatNetwork:
+    count = len(network.nodes)
+    kinds = np.empty(count, dtype=np.int16)
+    var_index = np.full(count, -1, dtype=np.int64)
+    atom_op = np.full(count, -1, dtype=np.int8)
+    pow_exponent = np.zeros(count, dtype=np.int64)
+    dist_metric = np.full(count, -1, dtype=np.int8)
+    guard_values: Dict[int, object] = {}
+    offsets = np.zeros(count + 1, dtype=np.int64)
+    child_lists: List[Tuple[int, ...]] = []
+
+    for node in network.nodes:
+        kind = node.kind
+        if kind is Kind.LOOP_IN:
+            raise UnsupportedNetworkError(
+                "folded networks (loop-input nodes) have no flat form"
+            )
+        kinds[node.id] = int(kind)
+        child_lists.append(node.children)
+        offsets[node.id + 1] = offsets[node.id] + len(node.children)
+        for child in node.children:
+            if child >= node.id:
+                raise UnsupportedNetworkError(
+                    "network node order is not topological"
+                )
+        if kind is Kind.VAR:
+            var_index[node.id] = node.payload
+        elif kind is Kind.ATOM:
+            atom_op[node.id] = ATOM_OPS[node.payload]
+        elif kind is Kind.POW:
+            pow_exponent[node.id] = node.payload
+        elif kind is Kind.DIST:
+            dist_metric[node.id] = DIST_METRICS[node.payload]
+        elif kind is Kind.GUARD:
+            value = node.payload
+            if isinstance(value, np.ndarray):
+                guard_values[node.id] = np.asarray(value, dtype=float)
+            else:
+                guard_values[node.id] = float(value)
+
+    child_indices = np.fromiter(
+        (c for children in child_lists for c in children),
+        dtype=np.int64,
+        count=int(offsets[-1]),
+    )
+    return FlatNetwork(
+        kinds=kinds,
+        child_offsets=offsets,
+        child_indices=child_indices,
+        var_index=var_index,
+        atom_op=atom_op,
+        pow_exponent=pow_exponent,
+        dist_metric=dist_metric,
+        guard_values=guard_values,
+        targets=dict(network.targets),
+    )

@@ -1,0 +1,209 @@
+"""The pluggable scheme registry: one dispatch point for all callers.
+
+Every probability-computation scheme — the paper's Shannon-expansion
+family, the naive per-world baseline, the MCDB-style Monte Carlo
+comparator, and anything a downstream workload plugs in — registers
+itself here with a *capability set*.  The platform facade
+(:meth:`repro.core.platform.ENFrame.run`), the CLI, the distributed
+compiler, and the benchmark harness all dispatch through
+:func:`run_scheme` instead of hard-coding ``if scheme == ...`` chains,
+so a new scheme is one :func:`register_scheme` call away from every
+entry point.
+
+Capabilities drive dispatch-time normalisation:
+
+* ``epsilon`` — the scheme consumes an error budget; for schemes
+  without it, ``epsilon`` is forced to ``0.0`` (exact/statistical
+  schemes ignore budgets rather than erroring on them);
+* ``statistical`` — bounds hold with a confidence level, not with
+  certainty (Monte Carlo);
+* ``distributed`` — the scheme can run under the job-based distributed
+  compiler (``workers=`` is honoured; otherwise it is ignored);
+* ``exact`` — bounds collapse to the exact probability;
+* ``timeout`` — the scheme honours a wall-clock budget;
+* ``bulk`` — the scheme evaluates through the vectorized bulk engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from ..compile.result import CompilationResult
+from ..network.nodes import EventNetwork
+from ..worlds.variables import VariablePool
+
+CAP_EPSILON = "epsilon"
+CAP_STATISTICAL = "statistical"
+CAP_DISTRIBUTED = "distributed"
+CAP_EXACT = "exact"
+CAP_TIMEOUT = "timeout"
+CAP_BULK = "bulk"
+
+CAPABILITIES = frozenset(
+    {
+        CAP_EPSILON,
+        CAP_STATISTICAL,
+        CAP_DISTRIBUTED,
+        CAP_EXACT,
+        CAP_TIMEOUT,
+        CAP_BULK,
+    }
+)
+
+
+@dataclass
+class SchemeOptions:
+    """Normalised run options handed to every scheme runner."""
+
+    epsilon: float = 0.0
+    order: "str | Sequence[int]" = "frequency"
+    workers: Optional[int] = None
+    job_size: int = 3
+    timeout: Optional[float] = None
+    samples: int = 1000
+    seed: int = 0
+    confidence: float = 0.95
+
+
+Runner = Callable[
+    [EventNetwork, VariablePool, Optional[Sequence[str]], SchemeOptions],
+    CompilationResult,
+]
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """One registered scheme: a name, a runner, and its capabilities."""
+
+    name: str
+    runner: Runner
+    capabilities: FrozenSet[str]
+    description: str = ""
+
+    def has(self, capability: str) -> bool:
+        return capability in self.capabilities
+
+
+_REGISTRY: Dict[str, SchemeSpec] = {}
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded
+    if not _builtins_loaded:
+        # Guard against re-entrancy during the import, but reset on
+        # failure so the root-cause import error resurfaces on retry
+        # instead of a misleading near-empty registry.
+        _builtins_loaded = True
+        try:
+            from . import schemes  # noqa: F401  (registers the built-ins)
+        except BaseException:
+            _builtins_loaded = False
+            raise
+
+
+def register_scheme(
+    name: str,
+    runner: Optional[Runner] = None,
+    *,
+    capabilities: Iterable[str] = (),
+    description: str = "",
+    replace: bool = False,
+):
+    """Register a scheme (usable directly or as a decorator).
+
+    ``capabilities`` must be drawn from :data:`CAPABILITIES`.  Duplicate
+    names raise unless ``replace=True`` — re-registration is explicit,
+    not accidental.
+    """
+    caps = frozenset(capabilities)
+    unknown = caps - CAPABILITIES
+    if unknown:
+        raise ValueError(f"unknown capabilities {sorted(unknown)!r}")
+
+    def _register(func: Runner) -> Runner:
+        if not replace and name in _REGISTRY:
+            raise ValueError(f"scheme {name!r} is already registered")
+        _REGISTRY[name] = SchemeSpec(
+            name=name,
+            runner=func,
+            capabilities=caps,
+            description=description or (func.__doc__ or "").strip().split("\n")[0],
+        )
+        return func
+
+    if runner is not None:
+        return _register(runner)
+    return _register
+
+
+def unregister_scheme(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def get_scheme(name: str) -> SchemeSpec:
+    """Look up a scheme; raises ``ValueError`` for unknown names."""
+    _ensure_builtins()
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown scheme {name!r}; expected one of {available_schemes()}"
+        )
+    return spec
+
+
+def available_schemes(capability: Optional[str] = None) -> Tuple[str, ...]:
+    """Registered scheme names (optionally filtered by capability)."""
+    _ensure_builtins()
+    names = (
+        name
+        for name, spec in _REGISTRY.items()
+        if capability is None or spec.has(capability)
+    )
+    return tuple(sorted(names))
+
+
+def has_capability(name: str, capability: str) -> bool:
+    return get_scheme(name).has(capability)
+
+
+def scheme_capabilities(name: str) -> FrozenSet[str]:
+    return get_scheme(name).capabilities
+
+
+def run_scheme(
+    name: str,
+    network: EventNetwork,
+    pool: VariablePool,
+    targets: Optional[Sequence[str]] = None,
+    *,
+    epsilon: float = 0.0,
+    order: "str | Sequence[int]" = "frequency",
+    workers: Optional[int] = None,
+    job_size: int = 3,
+    timeout: Optional[float] = None,
+    samples: int = 1000,
+    seed: int = 0,
+    confidence: float = 0.95,
+) -> CompilationResult:
+    """Dispatch one probability computation through the registry.
+
+    Options irrelevant to the chosen scheme are normalised away rather
+    than rejected: ``epsilon`` is zeroed for schemes without the
+    ``epsilon`` capability and ``workers`` is dropped for schemes that
+    are not ``distributed``-capable (matching the historical facade
+    behaviour where e.g. ``naive`` ignored ``workers``).
+    """
+    spec = get_scheme(name)
+    options = SchemeOptions(
+        epsilon=epsilon if spec.has(CAP_EPSILON) else 0.0,
+        order=order,
+        workers=workers if spec.has(CAP_DISTRIBUTED) else None,
+        job_size=job_size,
+        timeout=timeout,
+        samples=samples,
+        seed=seed,
+        confidence=confidence,
+    )
+    return spec.runner(network, pool, targets, options)

@@ -1,0 +1,153 @@
+"""Built-in scheme registrations.
+
+Importing this module (done lazily by the registry on first lookup)
+registers the paper's six schemes plus the two scalar cross-validation
+oracles:
+
+* ``exact`` / ``lazy`` / ``eager`` / ``hybrid`` — Shannon expansion
+  (Algorithm 1), distributed-capable via ``workers=``;
+* ``naive`` — bulk-vectorized world enumeration (scalar fallback for
+  folded networks);
+* ``montecarlo`` — bulk-vectorized MCDB-style sampling (scalar fallback
+  for folded networks);
+* ``naive-scalar`` / ``montecarlo-scalar`` — the original per-world
+  recursive evaluators, kept as oracles for cross-validation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..compile.result import CompilationResult
+from ..network.nodes import EventNetwork
+from ..worlds.variables import VariablePool
+from .registry import (
+    CAP_BULK,
+    CAP_DISTRIBUTED,
+    CAP_EPSILON,
+    CAP_EXACT,
+    CAP_STATISTICAL,
+    CAP_TIMEOUT,
+    SchemeOptions,
+    register_scheme,
+)
+
+
+def _run_shannon(
+    scheme: str,
+    network: EventNetwork,
+    pool: VariablePool,
+    targets: Optional[Sequence[str]],
+    options: SchemeOptions,
+) -> CompilationResult:
+    if options.workers is not None:
+        from ..compile.distributed import DistributedCompiler
+
+        coordinator = DistributedCompiler(
+            network,
+            pool,
+            targets=targets,
+            order=options.order,
+            workers=options.workers,
+            job_size=options.job_size,
+        )
+        return coordinator.run(scheme=scheme, epsilon=options.epsilon)
+    from ..compile.compiler import compile_network
+
+    return compile_network(
+        network,
+        pool,
+        scheme=scheme,
+        epsilon=options.epsilon,
+        targets=targets,
+        order=options.order,
+    )
+
+
+def _register_shannon(scheme: str, capabilities, description: str) -> None:
+    def runner(network, pool, targets, options):
+        return _run_shannon(scheme, network, pool, targets, options)
+
+    runner.__name__ = f"run_{scheme}"
+    register_scheme(
+        scheme, runner, capabilities=capabilities, description=description
+    )
+
+
+_register_shannon(
+    "exact",
+    {CAP_EXACT, CAP_DISTRIBUTED},
+    "Shannon expansion until every target is resolved on every branch",
+)
+for _scheme, _description in (
+    ("lazy", "exact exploration, stop tightening targets within 2eps"),
+    ("eager", "spend the error budget as early as possible"),
+    ("hybrid", "split the budget per branch, pass residuals rightwards"),
+):
+    _register_shannon(_scheme, {CAP_EPSILON, CAP_DISTRIBUTED}, _description)
+
+
+@register_scheme(
+    "naive",
+    capabilities={CAP_EXACT, CAP_TIMEOUT, CAP_BULK},
+    description="vectorized brute-force enumeration of all possible worlds",
+)
+def _run_naive(network, pool, targets, options):
+    from ..worlds.naive import naive_probabilities
+
+    return naive_probabilities(
+        network, pool, targets=targets, timeout=options.timeout
+    )
+
+
+@register_scheme(
+    "naive-scalar",
+    capabilities={CAP_EXACT, CAP_TIMEOUT},
+    description="per-world recursive enumeration (cross-validation oracle)",
+)
+def _run_naive_scalar(network, pool, targets, options):
+    from ..worlds.naive import naive_probabilities_scalar
+
+    result = naive_probabilities_scalar(
+        network, pool, targets=targets, timeout=options.timeout
+    )
+    result.scheme = "naive-scalar"
+    return result
+
+
+@register_scheme(
+    "montecarlo",
+    capabilities={CAP_STATISTICAL, CAP_BULK},
+    description="vectorized MCDB-style Monte Carlo estimation",
+)
+def _run_montecarlo(network, pool, targets, options):
+    from ..compile.montecarlo import monte_carlo_probabilities
+
+    return monte_carlo_probabilities(
+        network,
+        pool,
+        targets=targets,
+        samples=options.samples,
+        seed=options.seed,
+        confidence=options.confidence,
+    )
+
+
+@register_scheme(
+    "montecarlo-scalar",
+    capabilities={CAP_STATISTICAL},
+    description="per-sample Monte Carlo estimation (cross-validation oracle)",
+)
+def _run_montecarlo_scalar(network, pool, targets, options):
+    from ..compile.montecarlo import monte_carlo_probabilities_scalar
+
+    result = monte_carlo_probabilities_scalar(
+        network,
+        pool,
+        targets=targets,
+        samples=options.samples,
+        seed=options.seed,
+        confidence=options.confidence,
+    )
+    result.scheme = "montecarlo-scalar"
+    return result

@@ -10,6 +10,6 @@ __all__ = [
     "total_valuations",
 ]
 
-from .naive import lineage_nodes, naive_probabilities
+from .naive import lineage_nodes, naive_probabilities, naive_probabilities_scalar
 
-__all__ += ["lineage_nodes", "naive_probabilities"]
+__all__ += ["lineage_nodes", "naive_probabilities", "naive_probabilities_scalar"]

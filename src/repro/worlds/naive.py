@@ -1,12 +1,12 @@
 """The naive baseline: evaluate the program in every possible world.
 
 The paper's baseline "computes an equivalent clustering by explicitly
-iterating over all possible worlds" (Section 5, "Algorithms").  We
-enumerate every valuation of the random variables, evaluate the event
-network concretely in that world, and accumulate the probability mass of
-each target.  Distinct valuations frequently induce the same *world*
-(same set of present input objects); results are cached per world
-signature so that the per-world computation runs once per distinct world.
+iterating over all possible worlds" (Section 5, "Algorithms").  The
+default path routes through the vectorized bulk engine
+(:mod:`repro.engine.bulk`), which evaluates whole chunks of worlds per
+network sweep; the original per-world recursive evaluator survives as
+:func:`naive_probabilities_scalar` — it still handles folded networks
+and serves as the cross-validation oracle for the bulk engine.
 """
 
 from __future__ import annotations
@@ -29,12 +29,49 @@ def naive_probabilities(
 ) -> CompilationResult:
     """Exact target probabilities by brute-force world enumeration.
 
+    Evaluates all worlds at once through the bulk engine whenever the
+    network can be flattened; folded networks (and any other network
+    without a flat form) fall back to the scalar per-world evaluator.
     ``world_key_nodes`` optionally names Boolean nodes (typically the
     input-object lineage events) whose joint outcome identifies a world;
-    valuations mapping to an already-seen signature reuse the cached
-    per-world result, mirroring how a naive implementation would cluster
-    once per distinct world.  ``timeout`` (seconds) aborts the run; the
-    result then carries partial sums and ``extra['timed_out'] = 1``.
+    ``extra['distinct_worlds']`` then counts distinct signatures.
+    ``timeout`` (seconds) aborts the run; the result then carries
+    partial sums and ``extra['timed_out'] = 1``.
+    """
+    from ..engine.bulk import bulk_naive_probabilities
+    from ..engine.ir import supports_bulk
+
+    if supports_bulk(network):
+        return bulk_naive_probabilities(
+            network,
+            pool,
+            targets=targets,
+            world_key_nodes=world_key_nodes,
+            timeout=timeout,
+        )
+    return naive_probabilities_scalar(
+        network,
+        pool,
+        targets=targets,
+        world_key_nodes=world_key_nodes,
+        timeout=timeout,
+    )
+
+
+def naive_probabilities_scalar(
+    network: EventNetwork,
+    pool: VariablePool,
+    targets: Optional[Sequence[str]] = None,
+    world_key_nodes: Optional[Sequence[int]] = None,
+    timeout: Optional[float] = None,
+) -> CompilationResult:
+    """The original recursive baseline: one network traversal per world.
+
+    Valuations mapping to an already-seen ``world_key_nodes`` signature
+    reuse the cached per-world result, mirroring how a naive
+    implementation would cluster once per distinct world.  Kept as the
+    cross-validation oracle for the bulk engine and as the only path
+    that understands folded networks.
     """
     # Imported here: the compiler package imports the network package,
     # which would close an import cycle at module-load time.

@@ -1,0 +1,1 @@
+"""Test package (needed for the relative conftest imports)."""

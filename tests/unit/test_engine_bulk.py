@@ -1,0 +1,199 @@
+"""Unit tests for the vectorized bulk-world evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.engine.bulk import (
+    BulkEvaluator,
+    bulk_monte_carlo_probabilities,
+    bulk_naive_probabilities,
+    enumerate_worlds,
+    world_masses,
+)
+from repro.events.expressions import (
+    TRUE,
+    atom,
+    cdist,
+    cinv,
+    conj,
+    cpow,
+    cprod,
+    csum,
+    disj,
+    guard,
+    negate,
+    var,
+)
+from repro.events.probability import event_probability
+from repro.network.build import NetworkBuilder, build_targets
+from repro.worlds.naive import lineage_nodes, naive_probabilities_scalar
+
+from ..conftest import make_pool
+
+
+class TestWorldEnumeration:
+    def test_order_matches_pool_enumeration(self):
+        pool = make_pool([0.5, 0.4, 0.7])
+        assignments = enumerate_worlds(len(pool), 0, 1 << len(pool))
+        masses = world_masses(assignments, np.asarray(pool.probabilities))
+        for row, (valuation, mass) in zip(
+            range(len(assignments)), pool.iter_valuations()
+        ):
+            expected = [valuation[i] for i in range(len(pool))]
+            assert list(assignments[row]) == expected
+            assert masses[row] == mass  # bit-for-bit: same multiply order
+
+    def test_empty_pool_single_world(self):
+        assignments = enumerate_worlds(0, 0, 1)
+        assert assignments.shape == (1, 0)
+        assert world_masses(assignments, np.zeros(0)) == pytest.approx([1.0])
+
+
+class TestBulkEvaluator:
+    def _check_against_oracle(self, events, pool):
+        network = build_targets(events)
+        evaluator = BulkEvaluator(network)
+        assignments = enumerate_worlds(len(pool), 0, 1 << len(pool))
+        masses = world_masses(assignments, np.asarray(pool.probabilities))
+        target_ids = [network.targets[name] for name in events]
+        outcomes = evaluator.evaluate(assignments, target_ids)
+        for name, event in events.items():
+            bulk = float(masses @ outcomes[network.targets[name]])
+            assert bulk == pytest.approx(
+                event_probability(event, pool), abs=1e-12
+            )
+
+    def test_boolean_connectives(self):
+        pool = make_pool([0.5, 0.4, 0.7])
+        self._check_against_oracle(
+            {
+                "a": disj([var(0), conj([var(1), negate(var(2))])]),
+                "b": conj([var(0), disj([var(1), var(2)])]),
+                "true": TRUE,
+            },
+            pool,
+        )
+
+    def test_numeric_kinds(self):
+        pool = make_pool([0.5, 0.4, 0.7])
+        total = csum([guard(var(0), 1.0), guard(var(1), 2.0), guard(var(2), -1.0)])
+        product = cprod([guard(var(0), 2.0), guard(var(1), 3.0)])
+        self._check_against_oracle(
+            {
+                "sum_cmp": atom("<=", total, guard(TRUE, 1.5)),
+                "prod_cmp": atom(">", product, guard(TRUE, 5.0)),
+                "inv_cmp": atom("<", cinv(total), guard(TRUE, 0.6)),
+                "pow_cmp": atom(">=", cpow(total, 2), guard(TRUE, 1.0)),
+            },
+            pool,
+        )
+
+    def test_distances_over_vectors(self):
+        pool = make_pool([0.6, 0.3])
+        left = guard(var(0), np.array([0.0, 0.0]))
+        right = guard(var(1), np.array([3.0, 4.0]))
+        for metric, threshold in (
+            ("euclidean", 4.0),
+            ("sqeuclidean", 20.0),
+            ("manhattan", 6.0),
+        ):
+            self._check_against_oracle(
+                {"d": atom("<=", cdist(left, right, metric), guard(TRUE, threshold))},
+                pool,
+            )
+
+    def test_undefined_makes_atoms_true(self):
+        # With var(0) false the guard is undefined, so the atom holds.
+        pool = make_pool([0.3])
+        self._check_against_oracle(
+            {"t": atom(">", guard(var(0), -5.0), guard(TRUE, 0.0))}, pool
+        )
+
+    def test_division_by_zero_is_undefined(self):
+        # total = 0 when both vars are false -> inv undefined -> atom true.
+        pool = make_pool([0.5, 0.5])
+        total = csum([guard(var(0), 1.0), guard(var(1), -1.0)])
+        self._check_against_oracle(
+            {"t": atom("<", cinv(total), guard(TRUE, 0.0))}, pool
+        )
+
+
+class TestBulkNaive:
+    def test_matches_scalar_oracle(self):
+        pool = make_pool([0.5, 0.4, 0.7, 0.2])
+        events = {
+            "a": disj([var(0), conj([var(1), var(2)])]),
+            "b": conj([negate(var(3)), disj([var(0), var(2)])]),
+        }
+        network = build_targets(events)
+        bulk = bulk_naive_probabilities(network, pool)
+        scalar = naive_probabilities_scalar(network, pool)
+        for name in events:
+            assert bulk.bounds[name][0] == pytest.approx(
+                scalar.bounds[name][0], abs=1e-9
+            )
+            assert bulk.bounds[name][0] == bulk.bounds[name][1]
+        assert bulk.tree_nodes == scalar.tree_nodes
+        assert bulk.extra["vectorized"] == 1.0
+
+    def test_chunking_does_not_change_results(self):
+        pool = make_pool([0.5, 0.4, 0.7, 0.2, 0.9])
+        network = build_targets({"t": disj([var(i) for i in range(5)])})
+        whole = bulk_naive_probabilities(network, pool)
+        chunked = bulk_naive_probabilities(network, pool, chunk_size=3)
+        assert chunked.bounds["t"][0] == pytest.approx(
+            whole.bounds["t"][0], abs=1e-12
+        )
+        assert chunked.tree_nodes == whole.tree_nodes
+
+    def test_world_signatures(self):
+        pool = make_pool([0.5, 0.5])
+        network = build_targets({"t": var(0)})
+        builder = NetworkBuilder(network)
+        network.bind_name("Phi", builder.build(var(0)))
+        result = bulk_naive_probabilities(
+            network, pool, world_key_nodes=lineage_nodes(network, ["Phi"])
+        )
+        assert result.extra["distinct_worlds"] == 2.0
+
+    def test_timeout_reports_partial(self):
+        pool = make_pool([0.5] * 12)
+        network = build_targets({"t": conj([var(i) for i in range(12)])})
+        result = bulk_naive_probabilities(network, pool, timeout=0.0)
+        assert result.extra["timed_out"] == 1.0
+        assert result.bounds["t"][1] == 1.0
+
+
+class TestBulkMonteCarlo:
+    def test_deterministic_per_seed(self):
+        pool = make_pool([0.5, 0.3])
+        network = build_targets({"t": conj([var(0), var(1)])})
+        first = bulk_monte_carlo_probabilities(network, pool, samples=200, seed=3)
+        second = bulk_monte_carlo_probabilities(network, pool, samples=200, seed=3)
+        assert first.bounds == second.bounds
+
+    def test_chunking_preserves_the_stream(self):
+        pool = make_pool([0.5, 0.3, 0.8])
+        network = build_targets({"t": disj([var(0), var(1), var(2)])})
+        whole = bulk_monte_carlo_probabilities(network, pool, samples=500, seed=9)
+        chunked = bulk_monte_carlo_probabilities(
+            network, pool, samples=500, seed=9, chunk_size=64
+        )
+        # Chunked draws consume the generator in the same order.
+        assert chunked.bounds == whole.bounds
+
+    def test_estimate_converges(self):
+        pool = make_pool([0.5, 0.4, 0.7])
+        event = disj([var(0), conj([var(1), var(2)])])
+        network = build_targets({"t": event})
+        exact = event_probability(event, pool)
+        result = bulk_monte_carlo_probabilities(network, pool, samples=4000, seed=1)
+        assert abs(result.probability("t") - exact) < 0.05
+
+    def test_invalid_arguments(self):
+        pool = make_pool([0.5])
+        network = build_targets({"t": var(0)})
+        with pytest.raises(ValueError):
+            bulk_monte_carlo_probabilities(network, pool, samples=0)
+        with pytest.raises(ValueError):
+            bulk_monte_carlo_probabilities(network, pool, confidence=0.3)

@@ -1,0 +1,99 @@
+"""Unit tests for the flattened network IR."""
+
+import numpy as np
+import pytest
+
+from repro.engine.ir import (
+    ATOM_OPS,
+    FlatNetwork,
+    UnsupportedNetworkError,
+    flatten,
+    supports_bulk,
+)
+from repro.events.expressions import TRUE, atom, conj, csum, disj, guard, negate, var
+from repro.network.build import build_targets
+from repro.network.nodes import Kind
+
+
+def _example_network():
+    threshold = guard(TRUE, 1.5)
+    total = csum([guard(var(0), 1.0), guard(var(1), 2.0)])
+    return build_targets(
+        {
+            "bool": disj([var(0), conj([var(1), negate(var(2))])]),
+            "cmp": atom("<=", total, threshold),
+        }
+    )
+
+
+class TestFlatten:
+    def test_round_trips_node_structure(self):
+        network = _example_network()
+        flat = flatten(network)
+        assert len(flat) == len(network.nodes)
+        for node in network.nodes:
+            assert flat.kinds[node.id] == int(node.kind)
+            assert list(flat.children(node.id)) == list(node.children)
+
+    def test_payload_columns(self):
+        network = _example_network()
+        flat = flatten(network)
+        for node in network.nodes:
+            if node.kind is Kind.VAR:
+                assert flat.var_index[node.id] == node.payload
+            elif node.kind is Kind.ATOM:
+                assert flat.atom_op[node.id] == ATOM_OPS[node.payload]
+            elif node.kind is Kind.GUARD:
+                assert flat.guard_values[node.id] == pytest.approx(node.payload)
+
+    def test_cached_per_network(self):
+        network = _example_network()
+        assert flatten(network) is flatten(network)
+
+    def test_cache_invalidated_when_network_grows(self):
+        from repro.network.build import NetworkBuilder
+
+        network = _example_network()
+        first = flatten(network)
+        NetworkBuilder(network).build(var(5))
+        second = flatten(network)
+        assert second is not first
+        assert len(second) == len(network.nodes)
+
+    def test_vector_guard_payload(self):
+        network = build_targets(
+            {"t": atom("==", guard(var(0), np.array([1.0, 2.0])),
+                       guard(TRUE, np.array([1.0, 2.0])))}
+        )
+        flat = flatten(network)
+        vectors = [v for v in flat.guard_values.values()]
+        assert any(isinstance(v, np.ndarray) and v.shape == (2,) for v in vectors)
+
+
+class TestSchedule:
+    def test_schedule_is_topological_and_reachable_only(self):
+        network = build_targets({"a": var(0), "b": conj([var(1), var(2)])})
+        flat = flatten(network)
+        order = flat.schedule([network.targets["a"]])
+        # Only the VAR node for x0 is needed for target "a".
+        assert list(order) == [network.targets["a"]]
+        full = flat.schedule(sorted(network.targets.values()))
+        assert list(full) == sorted(full)
+
+    def test_schedule_cached(self):
+        network = _example_network()
+        flat = flatten(network)
+        roots = tuple(network.targets.values())
+        assert flat.schedule(roots) is flat.schedule(list(roots))
+
+
+class TestUnsupported:
+    def test_folded_networks_rejected(self):
+        from repro.data.datasets import sensor_dataset
+        from repro.mining.kmedoids import KMedoidsSpec, build_kmedoids_folded
+
+        dataset = sensor_dataset(5, scheme="independent", seed=2, group_size=2)
+        folded = build_kmedoids_folded(dataset, KMedoidsSpec(k=2, iterations=2))
+        assert not supports_bulk(folded)
+        with pytest.raises(UnsupportedNetworkError):
+            flatten(folded)

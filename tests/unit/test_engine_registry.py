@@ -1,0 +1,149 @@
+"""Unit tests for the pluggable scheme registry."""
+
+import pytest
+
+from repro.compile.result import CompilationResult
+from repro.engine.registry import (
+    CAP_BULK,
+    CAP_DISTRIBUTED,
+    CAP_EPSILON,
+    CAP_EXACT,
+    CAP_STATISTICAL,
+    available_schemes,
+    get_scheme,
+    has_capability,
+    register_scheme,
+    run_scheme,
+    scheme_capabilities,
+    unregister_scheme,
+)
+from repro.events.expressions import conj, disj, var
+from repro.events.probability import event_probability
+from repro.network.build import build_targets
+
+from ..conftest import make_pool
+
+
+def _instance():
+    pool = make_pool([0.5, 0.4, 0.7])
+    events = {"t": disj([var(0), conj([var(1), var(2)])])}
+    return pool, build_targets(events), events
+
+
+class TestRegistration:
+    def test_builtins_present(self):
+        names = available_schemes()
+        for expected in (
+            "exact",
+            "lazy",
+            "eager",
+            "hybrid",
+            "naive",
+            "naive-scalar",
+            "montecarlo",
+            "montecarlo-scalar",
+        ):
+            assert expected in names
+
+    def test_capability_filtering(self):
+        assert "hybrid" in available_schemes(CAP_EPSILON)
+        assert "naive" not in available_schemes(CAP_EPSILON)
+        assert "naive" in available_schemes(CAP_BULK)
+        assert "naive-scalar" not in available_schemes(CAP_BULK)
+        assert set(available_schemes(CAP_DISTRIBUTED)) == {
+            "exact",
+            "lazy",
+            "eager",
+            "hybrid",
+        }
+
+    def test_capability_queries(self):
+        assert has_capability("montecarlo", CAP_STATISTICAL)
+        assert CAP_EXACT in scheme_capabilities("naive")
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            get_scheme("magic")
+
+    def test_unknown_capability_rejected(self):
+        with pytest.raises(ValueError, match="unknown capabilities"):
+            register_scheme("broken", lambda *a: None, capabilities={"warp"})
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scheme("naive", lambda *a: None)
+
+    def test_plugin_roundtrip(self):
+        calls = []
+
+        @register_scheme("test-constant", capabilities={CAP_EXACT})
+        def run_constant(network, pool, targets, options):
+            calls.append(options)
+            names = list(targets) if targets else list(network.targets)
+            return CompilationResult(
+                bounds={name: (0.25, 0.25) for name in names},
+                scheme="test-constant",
+                epsilon=0.0,
+            )
+
+        try:
+            pool, network, _ = _instance()
+            result = run_scheme("test-constant", network, pool)
+            assert result.bounds["t"] == (0.25, 0.25)
+            assert calls[0].epsilon == 0.0
+        finally:
+            unregister_scheme("test-constant")
+        with pytest.raises(ValueError):
+            get_scheme("test-constant")
+
+
+class TestDispatch:
+    def test_all_exact_schemes_agree(self):
+        pool, network, events = _instance()
+        expected = event_probability(events["t"], pool)
+        for scheme in ("exact", "naive", "naive-scalar"):
+            result = run_scheme(scheme, network, pool)
+            assert result.bounds["t"][0] == pytest.approx(expected, abs=1e-9)
+
+    def test_scalar_oracles_are_labelled(self):
+        pool, network, _ = _instance()
+        assert run_scheme("naive-scalar", network, pool).scheme == "naive-scalar"
+        assert (
+            run_scheme("montecarlo-scalar", network, pool, samples=16).scheme
+            == "montecarlo-scalar"
+        )
+
+    def test_epsilon_normalised_for_exact_schemes(self):
+        pool, network, _ = _instance()
+        # Historically this raised inside the compiler; the registry
+        # normalises instead so callers need no per-scheme conditionals.
+        result = run_scheme("exact", network, pool, epsilon=0.5)
+        assert result.epsilon == 0.0
+        assert result.max_gap() == pytest.approx(0.0, abs=1e-12)
+
+    def test_epsilon_honoured_for_approximations(self):
+        pool, network, _ = _instance()
+        result = run_scheme("hybrid", network, pool, epsilon=0.1)
+        assert result.epsilon == 0.1
+        assert result.max_gap() <= 0.2 + 1e-12
+
+    def test_workers_route_to_distributed_compiler(self):
+        pool, network, _ = _instance()
+        result = run_scheme("hybrid", network, pool, epsilon=0.1, workers=2)
+        assert result.scheme == "hybrid-d"
+        assert result.jobs >= 1
+
+    def test_workers_ignored_for_non_distributed_schemes(self):
+        pool, network, events = _instance()
+        result = run_scheme("naive", network, pool, workers=4)
+        assert result.scheme == "naive"
+        assert result.jobs == 0
+        assert result.bounds["t"][0] == pytest.approx(
+            event_probability(events["t"], pool)
+        )
+
+    def test_montecarlo_options_forwarded(self):
+        pool, network, _ = _instance()
+        result = run_scheme("montecarlo", network, pool, samples=128, seed=5)
+        assert result.extra["samples"] == 128.0
+        assert result.tree_nodes == 128
