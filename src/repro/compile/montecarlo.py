@@ -8,11 +8,11 @@ total valuations from the induced distribution, evaluate the event
 network concretely per sample, and report frequency estimates with
 normal-approximation confidence intervals.
 
-The default path batches the sampling through the vectorized bulk
-engine (:mod:`repro.engine.bulk`); the original per-sample recursive
-evaluator survives as :func:`monte_carlo_probabilities_scalar`, which
-still handles folded networks and serves as the cross-validation
-oracle.
+All networks — flat and folded alike — batch the sampling through the
+vectorized bulk engine (:mod:`repro.engine.bulk`); the original
+per-sample recursive evaluator survives as
+:func:`monte_carlo_probabilities_scalar`, kept purely as the
+cross-validation oracle.
 
 Unlike the Shannon-expansion schemes, the returned intervals are
 *statistical* (they hold with the requested confidence, not with
@@ -66,24 +66,15 @@ def monte_carlo_probabilities(
     count; bounds are *not* certified — they can exclude the true
     probability with probability ``1 - confidence`` per target.
 
-    Sampling is vectorized through the bulk engine whenever the network
-    can be flattened; folded networks fall back to the scalar path.
-    Both paths are deterministic per seed, but draw from different
-    generators, so their per-seed estimates differ.
+    Sampling is always vectorized through the bulk engine (folded
+    networks sweep their loop layer once per iteration); there is no
+    scalar fallback.  Deterministic per seed, but the scalar oracle
+    draws from a different generator, so per-seed estimates differ
+    between the two.
     """
     from ..engine.bulk import bulk_monte_carlo_probabilities
-    from ..engine.ir import supports_bulk
 
-    if supports_bulk(network):
-        return bulk_monte_carlo_probabilities(
-            network,
-            pool,
-            targets=targets,
-            samples=samples,
-            seed=seed,
-            confidence=confidence,
-        )
-    return monte_carlo_probabilities_scalar(
+    return bulk_monte_carlo_probabilities(
         network,
         pool,
         targets=targets,
@@ -103,8 +94,8 @@ def monte_carlo_probabilities_scalar(
 ) -> CompilationResult:
     """The original per-sample estimator: one network traversal per draw.
 
-    Kept as the cross-validation oracle for the bulk engine and as the
-    only path that understands folded networks.
+    Kept as the cross-validation oracle for the bulk engine (it handles
+    folded networks too, through the scalar folded evaluator).
     """
     if samples < 1:
         raise ValueError("need at least one sample")

@@ -18,10 +18,19 @@ computation scheme:
 
 from .bulk import (
     BulkEvaluator,
+    FoldedBulkEvaluator,
     bulk_monte_carlo_probabilities,
     bulk_naive_probabilities,
+    make_bulk_evaluator,
 )
-from .ir import FlatNetwork, UnsupportedNetworkError, flatten, supports_bulk
+from .ir import (
+    FlatNetwork,
+    FoldedFlatIR,
+    UnsupportedNetworkError,
+    flatten,
+    flatten_folded,
+    supports_bulk,
+)
 from .registry import (
     CAP_BULK,
     CAP_DISTRIBUTED,
@@ -35,12 +44,15 @@ from .registry import (
     get_scheme,
     has_capability,
     register_scheme,
+    reset_registry,
     run_scheme,
     unregister_scheme,
 )
 
 __all__ = [
     "BulkEvaluator",
+    "FoldedBulkEvaluator",
+    "FoldedFlatIR",
     "CAP_BULK",
     "CAP_DISTRIBUTED",
     "CAP_EPSILON",
@@ -55,9 +67,12 @@ __all__ = [
     "bulk_monte_carlo_probabilities",
     "bulk_naive_probabilities",
     "flatten",
+    "flatten_folded",
     "get_scheme",
     "has_capability",
+    "make_bulk_evaluator",
     "register_scheme",
+    "reset_registry",
     "run_scheme",
     "supports_bulk",
     "unregister_scheme",

@@ -22,14 +22,22 @@ from __future__ import annotations
 
 import math
 import time
+from collections import ChainMap
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..compile.result import CompilationResult
+from ..network.folded import FoldedNetwork
 from ..network.nodes import EventNetwork, Kind
 from ..worlds.variables import VariablePool
-from .ir import FlatNetwork, flatten
+from .ir import (
+    FlatNetwork,
+    FoldedFlatIR,
+    UnsupportedNetworkError,
+    flatten,
+    flatten_folded,
+)
 
 _K_TRUE = int(Kind.TRUE)
 _K_FALSE = int(Kind.FALSE)
@@ -242,6 +250,150 @@ class BulkEvaluator:
         raise TypeError(f"cannot bulk-evaluate node kind {Kind(kind)!r}")
 
 
+class FoldedBulkEvaluator(BulkEvaluator):
+    """Bulk evaluation of folded networks: one layer sweep per iteration.
+
+    The loop-independent prefix is evaluated once per batch; the
+    loop-dependent layer is then swept ``iterations`` times as whole
+    boolean/float matrices, with each slot's loop-input node fed the
+    value its *next* node produced in the previous sweep (the *init*
+    node's value for the first sweep).  Node values read at the end
+    match the scalar :class:`repro.compile.folded_eval.FoldedEvaluator`
+    at the final iteration.  Folded layers are small by construction
+    (the whole point of the encoding), so no mid-sweep freeing is done.
+
+    Only the slots reachable from the requested roots are carried:
+    unreachable slots get no state column and are never read, so
+    evaluating a subset of targets on a multi-slot network is safe.
+    """
+
+    def __init__(self, network: FoldedNetwork) -> None:
+        self.network = network
+        self.ir: FoldedFlatIR = flatten_folded(network)
+        self.flat = self.ir.flat
+
+    def evaluate(
+        self, assignments: np.ndarray, node_ids: Sequence[int]
+    ) -> Dict[int, np.ndarray]:
+        ir = self.ir
+        roots = [int(node_id) for node_id in node_ids]
+        prefix, layer = ir.split(roots)
+        worlds = assignments.shape[0]
+
+        prefix_values: Dict[int, object] = {}
+        for raw_id in prefix:
+            node_id = int(raw_id)
+            prefix_values[node_id] = self._compute(
+                int(self.flat.kinds[node_id]),
+                node_id,
+                self.flat.children(node_id),
+                prefix_values,
+                assignments,
+                worlds,
+            )
+
+        layer_ids = [int(raw_id) for raw_id in layer]
+        layer_values: Dict[int, object] = {}
+        values = ChainMap(layer_values, prefix_values)
+        if ir.has_loop_dependent_init:
+            # Cross-slot init chains: the first iteration needs the
+            # demand-driven order of the scalar evaluator (a loop input
+            # at iteration 0 is its slot's init *at iteration 0*).
+            self._first_sweep_demand_driven(
+                layer_ids, layer_values, values, assignments, worlds
+            )
+        else:
+            # Every init is loop-independent, i.e. already in the prefix
+            # (``.get``: slots unreachable from the roots have no value
+            # and no reader).
+            state = [prefix_values.get(int(i)) for i in ir.init_ids]
+            self._sweep(layer_ids, state, layer_values, values, assignments, worlds)
+        for _ in range(ir.iterations - 1):
+            state = [values.get(int(n)) for n in ir.next_ids]
+            self._sweep(layer_ids, state, layer_values, values, assignments, worlds)
+
+        return {node_id: values[node_id] for node_id in roots}
+
+    def _sweep(
+        self,
+        layer_ids: List[int],
+        state: List[object],
+        layer_values: Dict[int, object],
+        values: "ChainMap",
+        assignments: np.ndarray,
+        worlds: int,
+    ) -> None:
+        """One iteration: recompute the loop layer from the slot state."""
+        flat = self.flat
+        loop_slot = self.ir.loop_slot
+        layer_values.clear()
+        for node_id in layer_ids:
+            slot = int(loop_slot[node_id])
+            if slot >= 0:
+                layer_values[node_id] = state[slot]
+                continue
+            layer_values[node_id] = self._compute(
+                int(flat.kinds[node_id]),
+                node_id,
+                flat.children(node_id),
+                values,
+                assignments,
+                worlds,
+            )
+
+    def _first_sweep_demand_driven(
+        self,
+        layer_ids: List[int],
+        layer_values: Dict[int, object],
+        values: "ChainMap",
+        assignments: np.ndarray,
+        worlds: int,
+    ) -> None:
+        """Iteration 0 with loop inputs resolving through their inits."""
+        flat = self.flat
+        ir = self.ir
+        in_progress: set = set()
+
+        def value_of(node_id: int):
+            existing = values.get(node_id)
+            if existing is not None:
+                return existing
+            if node_id in in_progress:
+                raise UnsupportedNetworkError(
+                    "cyclic slot initialisation in folded network"
+                )
+            in_progress.add(node_id)
+            slot = int(ir.loop_slot[node_id])
+            if slot >= 0:
+                result = value_of(int(ir.init_ids[slot]))
+            else:
+                children = flat.children(node_id)
+                for child in children:
+                    value_of(int(child))
+                result = self._compute(
+                    int(flat.kinds[node_id]),
+                    node_id,
+                    children,
+                    values,
+                    assignments,
+                    worlds,
+                )
+            in_progress.discard(node_id)
+            layer_values[node_id] = result
+            return result
+
+        layer_values.clear()
+        for node_id in layer_ids:
+            value_of(node_id)
+
+
+def make_bulk_evaluator(network: EventNetwork) -> BulkEvaluator:
+    """Evaluator matching the network flavour (flat or folded)."""
+    if isinstance(network, FoldedNetwork):
+        return FoldedBulkEvaluator(network)
+    return BulkEvaluator(network)
+
+
 # ----------------------------------------------------------------------
 # World-batch construction
 # ----------------------------------------------------------------------
@@ -301,7 +453,7 @@ def bulk_naive_probabilities(
     names = list(targets) if targets is not None else list(network.targets)
     target_ids = [network.targets[name] for name in names]
     key_ids = list(world_key_nodes) if world_key_nodes is not None else []
-    evaluator = BulkEvaluator(network)
+    evaluator = make_bulk_evaluator(network)
     probabilities = np.asarray(pool.probabilities, dtype=float)
     variable_count = len(pool)
     world_count = 1 << variable_count
@@ -373,7 +525,7 @@ def bulk_monte_carlo_probabilities(
     z = z_score(confidence)  # validates the confidence level
     names = list(targets) if targets is not None else list(network.targets)
     target_ids = [network.targets[name] for name in names]
-    evaluator = BulkEvaluator(network)
+    evaluator = make_bulk_evaluator(network)
     probabilities = np.asarray(pool.probabilities, dtype=float)
     rng = np.random.default_rng(seed)
     hits = {name: 0 for name in names}

@@ -9,9 +9,13 @@ the whole DAG in topological order with one vectorized operation per
 node regardless of how many worlds are being evaluated.
 
 Folded networks (:class:`~repro.network.folded.FoldedNetwork`) carry
-loop-input slots whose meaning changes per iteration; they have no
-static flat form and raise :class:`UnsupportedNetworkError`, signalling
-callers to fall back to the scalar evaluators.
+loop-input slots whose meaning changes per iteration, so they have no
+*static* flat form (:func:`flatten` raises
+:class:`UnsupportedNetworkError` on them).  They flatten through
+:func:`flatten_folded` instead, which produces a :class:`FoldedFlatIR`:
+loop-input nodes become state columns, the loop-independent prefix is
+scheduled once, and the loop-dependent layer is scheduled for one sweep
+per iteration with slot state carried via the init/next node bindings.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..network.folded import FoldedNetwork
 from ..network.nodes import EventNetwork, Kind
 
 # Dense operator codes for the payload columns.
@@ -105,11 +110,78 @@ class FlatNetwork:
         return counts.copy()
 
 
+@dataclass
+class FoldedFlatIR:
+    """A folded network flattened for iteration-swept bulk evaluation.
+
+    ``flat`` holds the whole template as a :class:`FlatNetwork` (loop
+    inputs included); the extra columns bind each loop-input node to its
+    slot.  Evaluators run the loop-independent *prefix* once, then sweep
+    the loop-dependent *layer* ``iterations`` times, feeding each slot's
+    loop-input node the value its *next* node produced in the previous
+    sweep (its *init* node's value for the first sweep) — the matrix form
+    of the per-iteration mask ``M[t][v]`` of Section 4.2.
+    """
+
+    flat: FlatNetwork
+    iterations: int
+    slot_names: Tuple[str, ...]
+    loop_in_ids: np.ndarray  # (S,) int64 — loop-input node per slot
+    init_ids: np.ndarray  # (S,) int64 — initial-value node per slot
+    next_ids: np.ndarray  # (S,) int64 — iteration-update node per slot
+    loop_slot: np.ndarray  # (N,) int64 — slot index of LOOP_IN nodes, else -1
+    loop_dependent: np.ndarray  # (N,) bool — value can change across iterations
+    # True when some slot is initialised from a loop-dependent node (a
+    # cross-slot init chain): the first iteration then needs the
+    # demand-driven evaluation order of the scalar evaluator instead of
+    # the plain topological layer sweep.
+    has_loop_dependent_init: bool = False
+    _splits: Dict[Tuple[int, ...], Tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=dict
+    )
+
+    def split(self, roots: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """``(prefix, layer)`` schedules for evaluating ``roots``.
+
+        Reachability follows the implicit loop edges (a loop input needs
+        its slot's init and next nodes); both schedules are in node-id
+        (topological) order.  Cached per root set.
+        """
+        key = tuple(sorted(set(int(r) for r in roots)))
+        cached = self._splits.get(key)
+        if cached is not None:
+            return cached
+        seen = np.zeros(len(self.flat), dtype=bool)
+        stack = list(key)
+        while stack:
+            node_id = stack.pop()
+            if seen[node_id]:
+                continue
+            seen[node_id] = True
+            stack.extend(int(c) for c in self.flat.children(node_id))
+            slot = int(self.loop_slot[node_id])
+            if slot >= 0:
+                stack.append(int(self.init_ids[slot]))
+                stack.append(int(self.next_ids[slot]))
+        reachable = np.flatnonzero(seen)
+        dependent = self.loop_dependent[reachable]
+        prefix_layer = (reachable[~dependent], reachable[dependent])
+        self._splits[key] = prefix_layer
+        return prefix_layer
+
+
 def supports_bulk(network: EventNetwork) -> bool:
-    """Can this network be flattened for bulk evaluation?"""
+    """Can this network be flattened for bulk evaluation?
+
+    ``ValueError`` covers incomplete folded networks (unbound slots),
+    which are no more evaluable than networks without a flat form.
+    """
     try:
-        flatten(network)
-    except UnsupportedNetworkError:
+        if isinstance(network, FoldedNetwork):
+            flatten_folded(network)
+        else:
+            flatten(network)
+    except (UnsupportedNetworkError, ValueError):
         return False
     return True
 
@@ -131,7 +203,56 @@ def flatten(network: EventNetwork) -> FlatNetwork:
     return flat
 
 
-def _flatten_uncached(network: EventNetwork) -> FlatNetwork:
+def flatten_folded(network: FoldedNetwork) -> FoldedFlatIR:
+    """Flatten a folded network (cached like :func:`flatten`).
+
+    Requires every slot to be bound (``check_complete``).  The cache is
+    invalidated when the network grows *or* when a slot is rebound
+    (``define_slot`` clears it).
+    """
+    cached = getattr(network, "_folded_flat_ir", None)
+    if cached is not None and cached[0] == len(network.nodes):
+        return cached[1]
+    network.check_complete()
+    flat = _flatten_uncached(network, allow_loop_inputs=True)
+
+    slot_names = tuple(network.slots)
+    loop_in_ids = np.empty(len(slot_names), dtype=np.int64)
+    init_ids = np.empty(len(slot_names), dtype=np.int64)
+    next_ids = np.empty(len(slot_names), dtype=np.int64)
+    loop_slot = np.full(len(network.nodes), -1, dtype=np.int64)
+    for slot, name in enumerate(slot_names):
+        loop_in, init_node, next_node = network.slots[name]
+        loop_in_ids[slot] = loop_in
+        init_ids[slot] = init_node
+        next_ids[slot] = next_node
+        loop_slot[loop_in] = slot
+
+    dependent_ids = network.loop_dependent()
+    loop_dependent = np.zeros(len(network.nodes), dtype=bool)
+    loop_dependent[sorted(dependent_ids)] = True
+
+    ir = FoldedFlatIR(
+        flat=flat,
+        iterations=network.iterations,
+        slot_names=slot_names,
+        loop_in_ids=loop_in_ids,
+        init_ids=init_ids,
+        next_ids=next_ids,
+        loop_slot=loop_slot,
+        loop_dependent=loop_dependent,
+        has_loop_dependent_init=bool(loop_dependent[init_ids].any()),
+    )
+    try:
+        network._folded_flat_ir = (len(network.nodes), ir)
+    except AttributeError:  # pragma: no cover - exotic network subclasses
+        pass
+    return ir
+
+
+def _flatten_uncached(
+    network: EventNetwork, *, allow_loop_inputs: bool = False
+) -> FlatNetwork:
     count = len(network.nodes)
     kinds = np.empty(count, dtype=np.int16)
     var_index = np.full(count, -1, dtype=np.int64)
@@ -144,9 +265,10 @@ def _flatten_uncached(network: EventNetwork) -> FlatNetwork:
 
     for node in network.nodes:
         kind = node.kind
-        if kind is Kind.LOOP_IN:
+        if kind is Kind.LOOP_IN and not allow_loop_inputs:
             raise UnsupportedNetworkError(
-                "folded networks (loop-input nodes) have no flat form"
+                "folded networks (loop-input nodes) have no static flat "
+                "form; flatten_folded() builds their iteration-swept IR"
             )
         kinds[node.id] = int(kind)
         child_lists.append(node.children)

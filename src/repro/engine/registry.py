@@ -97,7 +97,9 @@ def _ensure_builtins() -> None:
         # instead of a misleading near-empty registry.
         _builtins_loaded = True
         try:
-            from . import schemes  # noqa: F401  (registers the built-ins)
+            from . import schemes
+
+            schemes.register_builtins()
         except BaseException:
             _builtins_loaded = False
             raise
@@ -139,7 +141,25 @@ def register_scheme(
 
 
 def unregister_scheme(name: str) -> None:
+    # Load the built-ins first: unregistering e.g. "naive" before any
+    # lookup must actually remove it, not pop from an empty registry
+    # that the next lookup silently repopulates.
+    _ensure_builtins()
     _REGISTRY.pop(name, None)
+
+
+def reset_registry() -> None:
+    """Restore the registry to its built-ins-only state.
+
+    Drops every plugin and re-registers the built-ins, recovering any
+    built-in removed with :func:`unregister_scheme` — without this, a
+    dropped built-in would be lost for the rest of the process because
+    the lazy-load flag stays set.
+    """
+    global _builtins_loaded
+    _REGISTRY.clear()
+    _builtins_loaded = False
+    _ensure_builtins()
 
 
 def get_scheme(name: str) -> SchemeSpec:
@@ -154,7 +174,16 @@ def get_scheme(name: str) -> SchemeSpec:
 
 
 def available_schemes(capability: Optional[str] = None) -> Tuple[str, ...]:
-    """Registered scheme names (optionally filtered by capability)."""
+    """Registered scheme names (optionally filtered by capability).
+
+    An unknown ``capability`` raises ``ValueError`` (matching
+    :func:`register_scheme`) instead of silently matching nothing.
+    """
+    if capability is not None and capability not in CAPABILITIES:
+        raise ValueError(
+            f"unknown capability {capability!r}; "
+            f"expected one of {sorted(CAPABILITIES)}"
+        )
     _ensure_builtins()
     names = (
         name
@@ -191,8 +220,9 @@ def run_scheme(
 
     Options irrelevant to the chosen scheme are normalised away rather
     than rejected: ``epsilon`` is zeroed for schemes without the
-    ``epsilon`` capability and ``workers`` is dropped for schemes that
-    are not ``distributed``-capable (matching the historical facade
+    ``epsilon`` capability, ``workers`` is dropped for schemes that are
+    not ``distributed``-capable, and ``timeout`` is dropped for schemes
+    without the ``timeout`` capability (matching the historical facade
     behaviour where e.g. ``naive`` ignored ``workers``).
     """
     spec = get_scheme(name)
@@ -201,7 +231,7 @@ def run_scheme(
         order=order,
         workers=workers if spec.has(CAP_DISTRIBUTED) else None,
         job_size=job_size,
-        timeout=timeout,
+        timeout=timeout if spec.has(CAP_TIMEOUT) else None,
         samples=samples,
         seed=seed,
         confidence=confidence,

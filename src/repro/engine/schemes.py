@@ -1,15 +1,16 @@
 """Built-in scheme registrations.
 
-Importing this module (done lazily by the registry on first lookup)
+:func:`register_builtins` (called lazily by the registry on first
+lookup, and again by :func:`repro.engine.registry.reset_registry`)
 registers the paper's six schemes plus the two scalar cross-validation
 oracles:
 
 * ``exact`` / ``lazy`` / ``eager`` / ``hybrid`` — Shannon expansion
   (Algorithm 1), distributed-capable via ``workers=``;
-* ``naive`` — bulk-vectorized world enumeration (scalar fallback for
-  folded networks);
-* ``montecarlo`` — bulk-vectorized MCDB-style sampling (scalar fallback
-  for folded networks);
+* ``naive`` — bulk-vectorized world enumeration (flat and folded
+  networks alike);
+* ``montecarlo`` — bulk-vectorized MCDB-style sampling (flat and folded
+  networks alike);
 * ``naive-scalar`` / ``montecarlo-scalar`` — the original per-world
   recursive evaluators, kept as oracles for cross-validation.
 """
@@ -64,34 +65,14 @@ def _run_shannon(
     )
 
 
-def _register_shannon(scheme: str, capabilities, description: str) -> None:
+def _make_shannon_runner(scheme: str):
     def runner(network, pool, targets, options):
         return _run_shannon(scheme, network, pool, targets, options)
 
     runner.__name__ = f"run_{scheme}"
-    register_scheme(
-        scheme, runner, capabilities=capabilities, description=description
-    )
+    return runner
 
 
-_register_shannon(
-    "exact",
-    {CAP_EXACT, CAP_DISTRIBUTED},
-    "Shannon expansion until every target is resolved on every branch",
-)
-for _scheme, _description in (
-    ("lazy", "exact exploration, stop tightening targets within 2eps"),
-    ("eager", "spend the error budget as early as possible"),
-    ("hybrid", "split the budget per branch, pass residuals rightwards"),
-):
-    _register_shannon(_scheme, {CAP_EPSILON, CAP_DISTRIBUTED}, _description)
-
-
-@register_scheme(
-    "naive",
-    capabilities={CAP_EXACT, CAP_TIMEOUT, CAP_BULK},
-    description="vectorized brute-force enumeration of all possible worlds",
-)
 def _run_naive(network, pool, targets, options):
     from ..worlds.naive import naive_probabilities
 
@@ -100,11 +81,6 @@ def _run_naive(network, pool, targets, options):
     )
 
 
-@register_scheme(
-    "naive-scalar",
-    capabilities={CAP_EXACT, CAP_TIMEOUT},
-    description="per-world recursive enumeration (cross-validation oracle)",
-)
 def _run_naive_scalar(network, pool, targets, options):
     from ..worlds.naive import naive_probabilities_scalar
 
@@ -115,11 +91,6 @@ def _run_naive_scalar(network, pool, targets, options):
     return result
 
 
-@register_scheme(
-    "montecarlo",
-    capabilities={CAP_STATISTICAL, CAP_BULK},
-    description="vectorized MCDB-style Monte Carlo estimation",
-)
 def _run_montecarlo(network, pool, targets, options):
     from ..compile.montecarlo import monte_carlo_probabilities
 
@@ -133,11 +104,6 @@ def _run_montecarlo(network, pool, targets, options):
     )
 
 
-@register_scheme(
-    "montecarlo-scalar",
-    capabilities={CAP_STATISTICAL},
-    description="per-sample Monte Carlo estimation (cross-validation oracle)",
-)
 def _run_montecarlo_scalar(network, pool, targets, options):
     from ..compile.montecarlo import monte_carlo_probabilities_scalar
 
@@ -151,3 +117,56 @@ def _run_montecarlo_scalar(network, pool, targets, options):
     )
     result.scheme = "montecarlo-scalar"
     return result
+
+
+def register_builtins() -> None:
+    """(Re-)register every built-in scheme; idempotent by construction."""
+    register_scheme(
+        "exact",
+        _make_shannon_runner("exact"),
+        capabilities={CAP_EXACT, CAP_DISTRIBUTED},
+        description=(
+            "Shannon expansion until every target is resolved on every branch"
+        ),
+        replace=True,
+    )
+    for scheme, description in (
+        ("lazy", "exact exploration, stop tightening targets within 2eps"),
+        ("eager", "spend the error budget as early as possible"),
+        ("hybrid", "split the budget per branch, pass residuals rightwards"),
+    ):
+        register_scheme(
+            scheme,
+            _make_shannon_runner(scheme),
+            capabilities={CAP_EPSILON, CAP_DISTRIBUTED},
+            description=description,
+            replace=True,
+        )
+    register_scheme(
+        "naive",
+        _run_naive,
+        capabilities={CAP_EXACT, CAP_TIMEOUT, CAP_BULK},
+        description="vectorized brute-force enumeration of all possible worlds",
+        replace=True,
+    )
+    register_scheme(
+        "naive-scalar",
+        _run_naive_scalar,
+        capabilities={CAP_EXACT, CAP_TIMEOUT},
+        description="per-world recursive enumeration (cross-validation oracle)",
+        replace=True,
+    )
+    register_scheme(
+        "montecarlo",
+        _run_montecarlo,
+        capabilities={CAP_STATISTICAL, CAP_BULK},
+        description="vectorized MCDB-style Monte Carlo estimation",
+        replace=True,
+    )
+    register_scheme(
+        "montecarlo-scalar",
+        _run_montecarlo_scalar,
+        capabilities={CAP_STATISTICAL},
+        description="per-sample Monte Carlo estimation (cross-validation oracle)",
+        replace=True,
+    )

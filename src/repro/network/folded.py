@@ -73,7 +73,9 @@ class FoldedNetwork(EventNetwork):
         self.iterations = iterations
         # slot name -> (loop_in node, init node, next node)
         self.slots: Dict[str, Tuple[int, Optional[int], Optional[int]]] = {}
-        self._loop_dependent: Optional[Set[int]] = None
+        # (node count at computation time, dependent set) — keyed by size
+        # so growing the network invalidates it.
+        self._loop_dependent: Optional[Tuple[int, Set[int]]] = None
 
     def define_slot(self, name: str, init_node: int, next_node: int) -> None:
         """Bind a slot's initial value and its iteration update."""
@@ -82,6 +84,9 @@ class FoldedNetwork(EventNetwork):
         loop_in, _, _ = self.slots[name]
         self.slots[name] = (loop_in, init_node, next_node)
         self._loop_dependent = None
+        # Rebinding changes the iteration semantics without growing the
+        # network, so the size-keyed folded flat IR must be dropped too.
+        self._folded_flat_ir = None
 
     def check_complete(self) -> None:
         for name, (_, init_node, next_node) in self.slots.items():
@@ -89,22 +94,27 @@ class FoldedNetwork(EventNetwork):
                 raise ValueError(f"slot {name!r} has no init/next binding")
 
     def loop_dependent(self) -> Set[int]:
-        """Node ids whose value can change across iterations."""
-        if self._loop_dependent is None:
-            dependent: Set[int] = {
-                loop_in for loop_in, _, _ in self.slots.values()
-            }
-            changed = True
-            while changed:
-                changed = False
-                for node in self.nodes:
-                    if node.id in dependent:
-                        continue
-                    if any(child in dependent for child in node.children):
-                        dependent.add(node.id)
-                        changed = True
-            self._loop_dependent = dependent
-        return self._loop_dependent
+        """Node ids whose value can change across iterations.
+
+        ``self.nodes`` is topologically ordered (children precede
+        parents), so a single pass settles the fixpoint: by the time a
+        node is visited, every child's dependence is already known.
+        Cached per network size, so nodes appended after the first call
+        (e.g. late targets) are classified too.
+        """
+        cached = self._loop_dependent
+        if cached is not None and cached[0] == len(self.nodes):
+            return cached[1]
+        dependent: Set[int] = {
+            loop_in for loop_in, _, _ in self.slots.values()
+        }
+        for node in self.nodes:
+            if node.id not in dependent and any(
+                child in dependent for child in node.children
+            ):
+                dependent.add(node.id)
+        self._loop_dependent = (len(self.nodes), dependent)
+        return dependent
 
 
 class FoldedBuilder(NetworkBuilder):

@@ -1,12 +1,13 @@
 """The naive baseline: evaluate the program in every possible world.
 
 The paper's baseline "computes an equivalent clustering by explicitly
-iterating over all possible worlds" (Section 5, "Algorithms").  The
-default path routes through the vectorized bulk engine
-(:mod:`repro.engine.bulk`), which evaluates whole chunks of worlds per
-network sweep; the original per-world recursive evaluator survives as
-:func:`naive_probabilities_scalar` — it still handles folded networks
-and serves as the cross-validation oracle for the bulk engine.
+iterating over all possible worlds" (Section 5, "Algorithms").  All
+networks — flat and folded alike — route through the vectorized bulk
+engine (:mod:`repro.engine.bulk`), which evaluates whole chunks of
+worlds per network sweep (folded networks sweep their loop layer once
+per iteration).  The original per-world recursive evaluator survives as
+:func:`naive_probabilities_scalar`, kept purely as the cross-validation
+oracle for the bulk engine.
 """
 
 from __future__ import annotations
@@ -29,27 +30,18 @@ def naive_probabilities(
 ) -> CompilationResult:
     """Exact target probabilities by brute-force world enumeration.
 
-    Evaluates all worlds at once through the bulk engine whenever the
-    network can be flattened; folded networks (and any other network
-    without a flat form) fall back to the scalar per-world evaluator.
-    ``world_key_nodes`` optionally names Boolean nodes (typically the
-    input-object lineage events) whose joint outcome identifies a world;
-    ``extra['distinct_worlds']`` then counts distinct signatures.
-    ``timeout`` (seconds) aborts the run; the result then carries
-    partial sums and ``extra['timed_out'] = 1``.
+    Evaluates all worlds at once through the bulk engine — flat networks
+    in one sweep per chunk, folded networks with one loop-layer sweep
+    per iteration (:class:`repro.engine.ir.FoldedFlatIR`); there is no
+    scalar fallback.  ``world_key_nodes`` optionally names Boolean nodes
+    (typically the input-object lineage events) whose joint outcome
+    identifies a world; ``extra['distinct_worlds']`` then counts
+    distinct signatures.  ``timeout`` (seconds) aborts the run; the
+    result then carries partial sums and ``extra['timed_out'] = 1``.
     """
     from ..engine.bulk import bulk_naive_probabilities
-    from ..engine.ir import supports_bulk
 
-    if supports_bulk(network):
-        return bulk_naive_probabilities(
-            network,
-            pool,
-            targets=targets,
-            world_key_nodes=world_key_nodes,
-            timeout=timeout,
-        )
-    return naive_probabilities_scalar(
+    return bulk_naive_probabilities(
         network,
         pool,
         targets=targets,
@@ -70,8 +62,8 @@ def naive_probabilities_scalar(
     Valuations mapping to an already-seen ``world_key_nodes`` signature
     reuse the cached per-world result, mirroring how a naive
     implementation would cluster once per distinct world.  Kept as the
-    cross-validation oracle for the bulk engine and as the only path
-    that understands folded networks.
+    cross-validation oracle for the bulk engine (it handles folded
+    networks too, through the scalar folded evaluator).
     """
     # Imported here: the compiler package imports the network package,
     # which would close an import cycle at module-load time.

@@ -5,9 +5,11 @@ import pytest
 
 from repro.engine.bulk import (
     BulkEvaluator,
+    FoldedBulkEvaluator,
     bulk_monte_carlo_probabilities,
     bulk_naive_probabilities,
     enumerate_worlds,
+    make_bulk_evaluator,
     world_masses,
 )
 from repro.events.expressions import (
@@ -162,6 +164,221 @@ class TestBulkNaive:
         result = bulk_naive_probabilities(network, pool, timeout=0.0)
         assert result.extra["timed_out"] == 1.0
         assert result.bounds["t"][1] == 1.0
+
+
+class TestFoldedBulk:
+    """Folded networks evaluate through the iteration-swept bulk path."""
+
+    def _counter(self, iterations):
+        from repro.events.expressions import literal
+        from repro.network.folded import FoldedBuilder, LoopCVal
+
+        builder = FoldedBuilder(iterations)
+        slot = LoopCVal("S")
+        next_value = csum([slot, guard(var(0), 1.0)])
+        builder.define_slot("S", init=literal(0.0), next_value=next_value)
+        builder.add_target(
+            "big", atom(">=", next_value, guard(TRUE, float(iterations)))
+        )
+        return builder.folded
+
+    def test_make_bulk_evaluator_dispatches(self):
+        folded = self._counter(2)
+        assert isinstance(make_bulk_evaluator(folded), FoldedBulkEvaluator)
+        flat = build_targets({"t": var(0)})
+        evaluator = make_bulk_evaluator(flat)
+        assert isinstance(evaluator, BulkEvaluator)
+        assert not isinstance(evaluator, FoldedBulkEvaluator)
+
+    def test_counter_semantics(self):
+        # With x0 true the slot reaches `iterations`, so P[big] = P[x0].
+        pool = make_pool([0.3])
+        for iterations in (1, 2, 5):
+            result = bulk_naive_probabilities(self._counter(iterations), pool)
+            assert result.bounds["big"][0] == pytest.approx(0.3, abs=1e-12)
+            assert result.extra["vectorized"] == 1.0
+
+    def test_multi_slot_boolean_and_numeric(self):
+        # Boolean slot: "x0 ever seen so far"; numeric slot: running sum
+        # gated on the boolean slot — exercises both slot kinds and the
+        # cross-slot wiring.
+        from repro.events.expressions import cond, literal
+        from repro.network.folded import FoldedBuilder, LoopCVal, LoopEvent
+
+        iterations = 3
+        builder = FoldedBuilder(iterations)
+        seen = LoopEvent("seen")
+        total = LoopCVal("T")
+        seen_next = disj([seen, var(0)])
+        total_next = csum([total, cond(seen_next, guard(var(1), 1.0))])
+        builder.define_slot("seen", init=var(0), next_value=seen_next)
+        builder.define_slot("T", init=literal(0.0), next_value=total_next)
+        builder.add_target("flag", seen_next)
+        builder.add_target(
+            "accumulated", atom(">=", total_next, guard(TRUE, float(iterations)))
+        )
+        folded = builder.folded
+
+        pool = make_pool([0.4, 0.7])
+        bulk = bulk_naive_probabilities(folded, pool)
+        scalar = naive_probabilities_scalar(folded, pool)
+        for name in folded.targets:
+            assert bulk.bounds[name][0] == pytest.approx(
+                scalar.bounds[name][0], abs=1e-9
+            )
+        # flag is just "x0" (seen from iteration 0 onwards).
+        assert bulk.bounds["flag"][0] == pytest.approx(0.4, abs=1e-12)
+        # accumulated needs x0 (to arm the counter at t=0) and x1.
+        assert bulk.bounds["accumulated"][0] == pytest.approx(
+            0.4 * 0.7, abs=1e-12
+        )
+
+    def test_kmedoids_folded_matches_scalar_oracle(self):
+        from repro.data.datasets import sensor_dataset
+        from repro.mining.kmedoids import KMedoidsSpec, build_kmedoids_folded
+
+        dataset = sensor_dataset(6, scheme="independent", seed=4, group_size=2)
+        folded = build_kmedoids_folded(dataset, KMedoidsSpec(k=2, iterations=3))
+        bulk = bulk_naive_probabilities(folded, dataset.pool)
+        scalar = naive_probabilities_scalar(folded, dataset.pool)
+        for name in folded.targets:
+            assert bulk.bounds[name][0] == pytest.approx(
+                scalar.bounds[name][0], abs=1e-9
+            )
+        assert bulk.tree_nodes == scalar.tree_nodes
+
+    def test_world_signatures_over_folded(self):
+        pool = make_pool([0.5, 0.5])
+        folded = self._counter(2)
+        phi = NetworkBuilder(folded).build(var(0))
+        folded.bind_name("Phi", phi)
+        result = bulk_naive_probabilities(
+            folded, pool, world_key_nodes=lineage_nodes(folded, ["Phi"])
+        )
+        assert result.extra["distinct_worlds"] == 2.0
+
+    def test_timeout_reports_partial(self):
+        pool = make_pool([0.5] * 12)
+        folded = self._counter(2)
+        result = bulk_naive_probabilities(folded, pool, timeout=0.0)
+        assert result.extra["timed_out"] == 1.0
+        assert result.bounds["big"][1] == 1.0
+
+    def test_chunking_does_not_change_results(self):
+        pool = make_pool([0.5, 0.4, 0.7])
+        folded = self._counter(3)
+        whole = bulk_naive_probabilities(folded, pool)
+        chunked = bulk_naive_probabilities(folded, pool, chunk_size=3)
+        assert chunked.bounds["big"][0] == pytest.approx(
+            whole.bounds["big"][0], abs=1e-12
+        )
+
+    def test_subset_of_targets_on_multi_slot_network(self):
+        # Regression: slot state was seeded from *every* slot's init,
+        # crashing when the requested targets only reach some slots.
+        from repro.events.expressions import cond, literal
+        from repro.network.folded import FoldedBuilder, LoopCVal, LoopEvent
+
+        builder = FoldedBuilder(3)
+        seen = LoopEvent("seen")
+        total = LoopCVal("T")
+        seen_next = disj([seen, var(0)])
+        total_next = csum([total, cond(seen_next, guard(var(1), 1.0))])
+        builder.define_slot("seen", init=var(0), next_value=seen_next)
+        builder.define_slot("T", init=literal(0.0), next_value=total_next)
+        builder.add_target("flag", seen_next)
+        builder.add_target(
+            "accumulated", atom(">=", total_next, guard(TRUE, 3.0))
+        )
+        folded = builder.folded
+
+        pool = make_pool([0.4, 0.7])
+        partial = bulk_naive_probabilities(folded, pool, targets=["flag"])
+        assert set(partial.bounds) == {"flag"}
+        assert partial.bounds["flag"][0] == pytest.approx(0.4, abs=1e-12)
+
+    def test_loop_dependent_initialiser_matches_scalar(self):
+        # Regression: slot A initialised from slot B's value (a
+        # loop-dependent init) must evaluate like the scalar folded
+        # evaluator instead of being rejected.
+        from repro.events.expressions import literal
+        from repro.network.folded import FoldedBuilder, LoopCVal
+
+        builder = FoldedBuilder(2)
+        slot_a, slot_b = LoopCVal("A"), LoopCVal("B")
+        a_next = csum([slot_a, guard(var(0), 1.0)])
+        b_next = csum([slot_b, guard(var(1), 1.0)])
+        builder.define_slot("A", init=csum([slot_b, literal(0.5)]), next_value=a_next)
+        builder.define_slot("B", init=literal(0.0), next_value=b_next)
+        builder.add_target("a_big", atom(">=", a_next, guard(TRUE, 2.5)))
+        builder.add_target("b_big", atom(">=", b_next, guard(TRUE, 2.0)))
+        folded = builder.folded
+
+        pool = make_pool([0.6, 0.3])
+        bulk = bulk_naive_probabilities(folded, pool)
+        scalar = naive_probabilities_scalar(folded, pool)
+        for name in folded.targets:
+            assert bulk.bounds[name][0] == pytest.approx(
+                scalar.bounds[name][0], abs=1e-9
+            )
+
+    def test_rebound_slot_is_not_served_from_a_stale_ir(self):
+        # Regression: define_slot rebinding must invalidate the cached
+        # folded IR even though the network does not grow (the cache is
+        # keyed by node count).
+        pool = make_pool([0.3])
+        folded = self._counter(3)
+        first = bulk_naive_probabilities(folded, pool)
+        assert first.bounds["big"][0] == pytest.approx(0.3, abs=1e-12)
+        size_before = len(folded.nodes)
+        loop_in, _, next_node = folded.slots["S"]
+        # Rebind the init to a node that already exists (hash-consing
+        # dedups it), so the node count cannot betray the change.
+        existing_guard = NetworkBuilder(folded).build(guard(var(0), 1.0))
+        assert len(folded.nodes) == size_before
+        folded.define_slot("S", existing_guard, next_node)
+        rebound = bulk_naive_probabilities(folded, pool)
+        scalar = naive_probabilities_scalar(folded, pool)
+        assert rebound.bounds["big"] != first.bounds["big"]
+        assert rebound.bounds["big"][0] == pytest.approx(
+            scalar.bounds["big"][0], abs=1e-9
+        )
+
+    def test_network_growth_reclassifies_loop_dependence(self):
+        # Regression: loop_dependent() was cached without a size key, so
+        # targets added after a first evaluation were scheduled in the
+        # loop-independent prefix and crashed the next bulk run.
+        from repro.events.expressions import literal
+        from repro.network.folded import FoldedBuilder, LoopCVal
+
+        builder = FoldedBuilder(3)
+        slot = LoopCVal("S")
+        next_value = csum([slot, guard(var(0), 1.0)])
+        builder.define_slot("S", init=literal(0.0), next_value=next_value)
+        builder.add_target("big", atom(">=", next_value, guard(TRUE, 3.0)))
+        folded = builder.folded
+        pool = make_pool([0.3])
+        first = bulk_naive_probabilities(folded, pool)
+        assert first.bounds["big"][0] == pytest.approx(0.3, abs=1e-12)
+
+        # New loop-dependent target appended after the caches warmed up.
+        builder.add_target("small", atom("<", next_value, guard(TRUE, 2.0)))
+        second = bulk_naive_probabilities(folded, pool)
+        scalar = naive_probabilities_scalar(folded, pool)
+        for name in ("big", "small"):
+            assert second.bounds[name][0] == pytest.approx(
+                scalar.bounds[name][0], abs=1e-9
+            )
+
+    def test_monte_carlo_over_folded_deterministic(self):
+        pool = make_pool([0.3])
+        folded = self._counter(3)
+        first = bulk_monte_carlo_probabilities(folded, pool, samples=300, seed=7)
+        second = bulk_monte_carlo_probabilities(folded, pool, samples=300, seed=7)
+        assert first.bounds == second.bounds
+        assert first.extra["vectorized"] == 1.0
+        exact = bulk_naive_probabilities(folded, pool).bounds["big"][0]
+        assert abs(first.probability("big") - exact) < 0.15
 
 
 class TestBulkMonteCarlo:

@@ -8,10 +8,22 @@ from repro.engine.ir import (
     FlatNetwork,
     UnsupportedNetworkError,
     flatten,
+    flatten_folded,
     supports_bulk,
 )
-from repro.events.expressions import TRUE, atom, conj, csum, disj, guard, negate, var
-from repro.network.build import build_targets
+from repro.events.expressions import (
+    TRUE,
+    atom,
+    conj,
+    csum,
+    disj,
+    guard,
+    literal,
+    negate,
+    var,
+)
+from repro.network.build import NetworkBuilder, build_targets
+from repro.network.folded import FoldedBuilder, LoopCVal
 from repro.network.nodes import Kind
 
 
@@ -87,13 +99,97 @@ class TestSchedule:
         assert flat.schedule(roots) is flat.schedule(list(roots))
 
 
-class TestUnsupported:
-    def test_folded_networks_rejected(self):
-        from repro.data.datasets import sensor_dataset
-        from repro.mining.kmedoids import KMedoidsSpec, build_kmedoids_folded
+def _kmedoids_folded(iterations=2):
+    from repro.data.datasets import sensor_dataset
+    from repro.mining.kmedoids import KMedoidsSpec, build_kmedoids_folded
 
-        dataset = sensor_dataset(5, scheme="independent", seed=2, group_size=2)
-        folded = build_kmedoids_folded(dataset, KMedoidsSpec(k=2, iterations=2))
-        assert not supports_bulk(folded)
+    dataset = sensor_dataset(5, scheme="independent", seed=2, group_size=2)
+    return build_kmedoids_folded(dataset, KMedoidsSpec(k=2, iterations=iterations))
+
+
+class TestFoldedFlatIR:
+    def test_folded_networks_supported_through_folded_ir(self):
+        folded = _kmedoids_folded()
+        assert supports_bulk(folded)
+        # The *static* flattener still rejects loop inputs; the folded
+        # path is a separate IR with explicit iteration state.
         with pytest.raises(UnsupportedNetworkError):
             flatten(folded)
+        ir = flatten_folded(folded)
+        assert ir.iterations == folded.iterations
+        assert set(ir.slot_names) == set(folded.slots)
+
+    def test_slot_columns_bind_loop_inputs(self):
+        folded = _kmedoids_folded()
+        ir = flatten_folded(folded)
+        for slot, name in enumerate(ir.slot_names):
+            loop_in, init_node, next_node = folded.slots[name]
+            assert ir.loop_in_ids[slot] == loop_in
+            assert ir.init_ids[slot] == init_node
+            assert ir.next_ids[slot] == next_node
+            assert ir.loop_slot[loop_in] == slot
+        assert int((ir.loop_slot >= 0).sum()) == len(folded.slots)
+
+    def test_split_partitions_by_loop_dependence(self):
+        folded = _kmedoids_folded()
+        ir = flatten_folded(folded)
+        prefix, layer = ir.split(sorted(folded.targets.values()))
+        dependent = folded.loop_dependent()
+        assert all(int(n) not in dependent for n in prefix)
+        assert all(int(n) in dependent for n in layer)
+        # Schedules stay topological and the split is cached per root set.
+        assert list(prefix) == sorted(prefix)
+        assert list(layer) == sorted(layer)
+        again = ir.split(sorted(folded.targets.values()))
+        assert again[0] is prefix and again[1] is layer
+
+    def test_split_reaches_init_and_next_through_loop_edges(self):
+        folded = _kmedoids_folded()
+        ir = flatten_folded(folded)
+        prefix, layer = ir.split(sorted(folded.targets.values()))
+        scheduled = set(int(n) for n in prefix) | set(int(n) for n in layer)
+        for loop_in, init_node, next_node in folded.slots.values():
+            assert {loop_in, init_node, next_node} <= scheduled
+
+    def test_cached_per_network(self):
+        folded = _kmedoids_folded()
+        assert flatten_folded(folded) is flatten_folded(folded)
+
+    def test_incomplete_slots_rejected(self):
+        builder = FoldedBuilder(2)
+        builder.add_target("t", atom(">=", LoopCVal("S"), literal(1.0)))
+        with pytest.raises(ValueError):
+            flatten_folded(builder.folded)
+        # Regression: the predicate must answer, not leak the ValueError.
+        assert not supports_bulk(builder.folded)
+
+    def test_loop_dependent_initialiser_flagged(self):
+        # A cross-slot init chain (A starts from B's value) is legal —
+        # the IR flags it so evaluators use the demand-driven first
+        # iteration instead of the plain layer sweep.
+        builder = FoldedBuilder(2)
+        slot_a, slot_b = LoopCVal("A"), LoopCVal("B")
+        builder.add_target("t", atom(">=", slot_a, literal(1.0)))
+        builder.define_slot(
+            "A", init=csum([slot_b, literal(1.0)]), next_value=literal(1.0)
+        )
+        builder.define_slot("B", init=literal(0.0), next_value=literal(0.0))
+        ir = flatten_folded(builder.folded)
+        assert ir.has_loop_dependent_init
+        assert supports_bulk(builder.folded)
+
+    def test_cache_invalidated_when_slot_rebound(self):
+        # Regression: define_slot changes iteration semantics without
+        # growing the network; the size-keyed cache must not survive it.
+        builder = FoldedBuilder(2)
+        slot = LoopCVal("S")
+        builder.add_target("t", atom(">=", slot, literal(1.0)))
+        builder.define_slot("S", init=literal(0.0), next_value=literal(0.0))
+        folded = builder.folded
+        first = flatten_folded(folded)
+        loop_in, _, next_node = folded.slots["S"]
+        other_init = NetworkBuilder(folded).build(guard(TRUE, 2.0))
+        folded.define_slot("S", other_init, next_node)
+        second = flatten_folded(folded)
+        assert second is not first
+        assert second.init_ids[list(second.slot_names).index("S")] == other_init

@@ -9,10 +9,12 @@ from repro.engine.registry import (
     CAP_EPSILON,
     CAP_EXACT,
     CAP_STATISTICAL,
+    CAP_TIMEOUT,
     available_schemes,
     get_scheme,
     has_capability,
     register_scheme,
+    reset_registry,
     run_scheme,
     scheme_capabilities,
     unregister_scheme,
@@ -68,6 +70,32 @@ class TestRegistration:
     def test_unknown_capability_rejected(self):
         with pytest.raises(ValueError, match="unknown capabilities"):
             register_scheme("broken", lambda *a: None, capabilities={"warp"})
+
+    def test_available_schemes_rejects_unknown_capability(self):
+        # Regression: a misspelled capability silently returned ().
+        with pytest.raises(ValueError, match="unknown capability"):
+            available_schemes("buk")
+
+    def test_unregistered_builtin_recoverable_via_reset(self):
+        # Regression: unregistering a built-in lost it for the rest of
+        # the process because the lazy-load flag stayed set.
+        unregister_scheme("naive")
+        try:
+            with pytest.raises(ValueError, match="unknown scheme"):
+                get_scheme("naive")
+        finally:
+            reset_registry()
+        pool, network, events = _instance()
+        result = run_scheme("naive", network, pool)
+        assert result.bounds["t"][0] == pytest.approx(
+            event_probability(events["t"], pool)
+        )
+
+    def test_reset_registry_drops_plugins(self):
+        register_scheme("test-transient", lambda *a: None)
+        reset_registry()
+        assert "test-transient" not in available_schemes()
+        assert "montecarlo-scalar" in available_schemes()
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError, match="already registered"):
@@ -147,3 +175,41 @@ class TestDispatch:
         result = run_scheme("montecarlo", network, pool, samples=128, seed=5)
         assert result.extra["samples"] == 128.0
         assert result.tree_nodes == 128
+
+    def test_timeout_normalised_for_schemes_without_the_capability(self):
+        # Regression: the docstring promised normalisation but timeout
+        # was forwarded to every scheme regardless of capability.
+        seen = {}
+
+        @register_scheme("test-timeout-probe", capabilities={CAP_EXACT})
+        def run_probe(network, pool, targets, options):
+            seen["timeout"] = options.timeout
+            return CompilationResult(
+                bounds={"t": (0.0, 0.0)}, scheme="test-timeout-probe", epsilon=0.0
+            )
+
+        try:
+            pool, network, _ = _instance()
+            run_scheme("test-timeout-probe", network, pool, timeout=5.0)
+            assert seen["timeout"] is None
+        finally:
+            unregister_scheme("test-timeout-probe")
+
+    def test_timeout_forwarded_to_capable_schemes(self):
+        seen = {}
+
+        @register_scheme("test-timeout-capable", capabilities={CAP_TIMEOUT})
+        def run_probe(network, pool, targets, options):
+            seen["timeout"] = options.timeout
+            return CompilationResult(
+                bounds={"t": (0.0, 0.0)},
+                scheme="test-timeout-capable",
+                epsilon=0.0,
+            )
+
+        try:
+            pool, network, _ = _instance()
+            run_scheme("test-timeout-capable", network, pool, timeout=5.0)
+            assert seen["timeout"] == 5.0
+        finally:
+            unregister_scheme("test-timeout-capable")

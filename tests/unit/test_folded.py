@@ -70,6 +70,40 @@ class TestFoldedConstruction:
         assert LoopEvent("E") != LoopCVal("E")
         assert hash(LoopCVal("S")) == hash(LoopCVal("S"))
 
+    def test_loop_dependent_single_pass_matches_fixpoint(self):
+        # Regression: loop_dependent() used repeated full passes
+        # (quadratic); the single topological pass must compute the
+        # identical closure, including through deep dependency chains.
+        dataset = sensor_dataset(6, scheme="independent", seed=4, group_size=2)
+        spec = KMedoidsSpec(k=2, iterations=3)
+        network = build_kmedoids_folded(dataset, spec)
+        dependent = network.loop_dependent()
+
+        reference = {loop_in for loop_in, _, _ in network.slots.values()}
+        changed = True
+        while changed:
+            changed = False
+            for node in network.nodes:
+                if node.id not in reference and any(
+                    child in reference for child in node.children
+                ):
+                    reference.add(node.id)
+                    changed = True
+        assert dependent == reference
+        # The closure is non-trivial: it must propagate past the direct
+        # parents of the loop inputs.
+        loop_ins = {loop_in for loop_in, _, _ in network.slots.values()}
+        assert len(dependent) > 2 * len(loop_ins)
+
+    def test_loop_dependent_cached_and_invalidated_on_rebinding(self):
+        network = make_counter_network(2)
+        first = network.loop_dependent()
+        assert network.loop_dependent() is first
+        loop_in, init_node, next_node = network.slots["S"]
+        network.define_slot("S", init_node, next_node)
+        assert network.loop_dependent() is not first
+        assert network.loop_dependent() == first
+
 
 class TestFoldedEvaluation:
     def test_make_evaluator_dispatches(self):

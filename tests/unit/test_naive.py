@@ -72,6 +72,9 @@ class TestNaiveOverFoldedNetworks:
         folded = build_kmedoids_folded(dataset, KMedoidsSpec(k=2, iterations=2))
         compiled = compile_network(folded, dataset.pool)
         naive = naive_probabilities(folded, dataset.pool)
+        # Folded networks dispatch through the bulk engine — no scalar
+        # fallback remains.
+        assert naive.extra["vectorized"] == 1.0
         for name in compiled.bounds:
             assert naive.bounds[name][0] == pytest.approx(
                 compiled.bounds[name][0]
