@@ -14,11 +14,18 @@ once.  The same traversal implements all four schemes of the paper:
 
 All schemes return certified bounds: ``L <= P[target] <= U`` always holds
 and ``U - L <= 2ε`` on completion (``ε = 0`` for exact).
+
+Leaf evaluation dispatches through :func:`make_evaluator`: the default
+``masked`` engine keeps the partial-evaluation abstraction in columns
+over the flat IR with incremental recomputation per branch
+(:mod:`repro.engine.masked`); ``scalar`` selects the original recursive
+evaluators, kept as cross-validation oracles.  The decision tree itself
+is walked with an explicit frame stack, so arbitrarily deep networks
+compile without touching the interpreter recursion limit.
 """
 
 from __future__ import annotations
 
-import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -29,19 +36,63 @@ from .partial import B_FALSE, B_TRUE, B_UNKNOWN, PartialEvaluator
 from .result import CompilationResult
 
 SCHEMES = ("exact", "lazy", "eager", "hybrid")
+ENGINES = ("masked", "scalar")
 
-_MIN_RECURSION = 100_000
 
+def make_evaluator(network: EventNetwork, engine: str = "masked"):
+    """Evaluator matching the network flavour and the requested engine.
 
-def make_evaluator(network: EventNetwork) -> PartialEvaluator:
-    """Evaluator matching the network flavour (flat or folded)."""
+    ``masked`` (the default) is the columnar flat-IR evaluator with
+    incremental recomputation; ``scalar`` is the original recursive
+    :class:`PartialEvaluator` / :class:`~repro.compile.folded_eval.FoldedEvaluator`
+    pair, kept as the cross-validation oracles.  Networks without a flat
+    form (non-topological node order) silently fall back to the scalar
+    evaluators — the two are state-for-state equivalent.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if engine == "masked":
+        from ..engine.ir import UnsupportedNetworkError
+        from ..engine.masked import MaskedEvaluator
+
+        try:
+            return MaskedEvaluator(network)
+        except UnsupportedNetworkError:
+            pass
     from ..network.folded import FoldedNetwork
 
     if isinstance(network, FoldedNetwork):
         from .folded_eval import FoldedEvaluator
 
-        return FoldedEvaluator(network)  # type: ignore[return-value]
+        return FoldedEvaluator(network)
     return PartialEvaluator(network)
+
+
+class _Frame:
+    """One explicit-stack frame of the decision-tree DFS."""
+
+    __slots__ = (
+        "prob",
+        "active",
+        "budgets",
+        "phase",
+        "variable",
+        "prob_true",
+        "prob_false",
+        "still_active",
+        "pushed",
+    )
+
+    def __init__(self, prob: float, active: List[str], budgets: Dict[str, float]):
+        self.prob = prob
+        self.active = active
+        self.budgets = budgets
+        self.phase = 0
+        self.variable: Optional[int] = None
+        self.prob_true = 0.0
+        self.prob_false = 0.0
+        self.still_active: List[str] = []
+        self.pushed = False
 
 
 class ShannonCompiler:
@@ -53,6 +104,8 @@ class ShannonCompiler:
         pool: VariablePool,
         targets: Optional[Sequence[str]] = None,
         order: "str | Sequence[int]" = "frequency",
+        engine: str = "masked",
+        evaluator=None,
     ) -> None:
         self.network = network
         self.pool = pool
@@ -62,8 +115,15 @@ class ShannonCompiler:
         self.target_names = names
         self.target_ids = {name: network.targets[name] for name in names}
         self.order: VariableOrder = make_order(network, order)
-        # Run state (reset per run()).
-        self.evaluator = make_evaluator(network)
+        self.engine = engine
+        # Run state (reset per run()).  A caller may hand over a
+        # balanced evaluator for this network/engine (the distributed
+        # thread pool recycles them across jobs) — rebuilding a masked
+        # evaluator repeats its baseline sweep.
+        if evaluator is not None and evaluator.depth == 0:
+            self.evaluator = evaluator
+        else:
+            self.evaluator = make_evaluator(network, engine=engine)
         self._lower: Dict[str, float] = {}
         self._upper: Dict[str, float] = {}
         self._scheme = "exact"
@@ -83,10 +143,13 @@ class ShannonCompiler:
             raise ValueError("exact compilation requires epsilon == 0")
         if scheme != "exact" and epsilon <= 0.0:
             raise ValueError(f"scheme {scheme!r} requires a positive epsilon")
-        if sys.getrecursionlimit() < _MIN_RECURSION:
-            sys.setrecursionlimit(_MIN_RECURSION)
 
-        self.evaluator = make_evaluator(self.network)
+        # A balanced evaluator (every push popped) is back to its
+        # baseline state and can be reused — rebuilding the masked
+        # engine's columns would repeat the baseline sweep per run.
+        if self.evaluator is None or self.evaluator.depth != 0:
+            self.evaluator = make_evaluator(self.network, engine=self.engine)
+        evals_before = self.evaluator.evals
         self._lower = {name: 0.0 for name in self.target_names}
         self._upper = {name: 1.0 for name in self.target_names}
         self._scheme = scheme
@@ -113,24 +176,30 @@ class ShannonCompiler:
             epsilon=epsilon,
             seconds=elapsed,
             tree_nodes=self._tree_nodes,
-            evals=self.evaluator.evals,
+            evals=self.evaluator.evals - evals_before,
             max_depth=self._max_depth,
         )
 
     # ------------------------------------------------------------------
 
-    def _dfs(
-        self,
-        prob: float,
-        active: List[str],
-        budgets: Dict[str, float],
-    ) -> Dict[str, float]:
-        """Explore the subtree below the current assignment.
+    def _enter_node(
+        self, prob: float, active: List[str], budgets: Dict[str, float]
+    ) -> Optional[Dict[str, float]]:
+        """Hook called on entering a tree node, before any evaluation.
 
-        ``prob`` is the probability mass of the current branch, ``active``
-        the targets not yet masked above, ``budgets`` the per-target error
-        budget available to this subtree (hybrid scheme).  Returns the
-        residual budgets.
+        Returning a residual-budget dict short-circuits the subtree (the
+        distributed job compiler forks jobs this way); ``None`` explores
+        it normally.
+        """
+        return None
+
+    def _visit(self, frame: _Frame) -> Optional[Dict[str, float]]:
+        """Evaluate and maybe close a tree node.
+
+        Returns the subtree's residual budgets when the node is a leaf
+        (all targets masked) or is pruned by the approximation scheme;
+        returns ``None`` when the node must branch, leaving the chosen
+        variable and branch parameters on the frame.
         """
         self._tree_nodes += 1
         depth = self.evaluator.depth
@@ -139,11 +208,12 @@ class ShannonCompiler:
 
         # Mask propagation: evaluate the active targets under the current
         # assignment; record resolutions into the probability bounds.
+        prob, budgets = frame.prob, frame.budgets
         states = self.evaluator.target_states(
-            [self.target_ids[name] for name in active]
+            [self.target_ids[name] for name in frame.active]
         )
         still_active: List[str] = []
-        for name in active:
+        for name in frame.active:
             state = states[self.target_ids[name]]
             if state == B_TRUE:
                 self._lower[name] += prob
@@ -181,44 +251,100 @@ class ShannonCompiler:
             raise AssertionError(
                 "all variables assigned but targets remain unresolved"
             )
+        frame.variable = variable
+        frame.prob_true = self.pool.probability(variable, True)
+        frame.prob_false = 1.0 - frame.prob_true
+        frame.still_active = still_active
+        return None
 
-        prob_true = self.pool.probability(variable, True)
-        prob_false = 1.0 - prob_true
+    def _dfs(
+        self,
+        prob: float,
+        active: List[str],
+        budgets: Dict[str, float],
+    ) -> Dict[str, float]:
+        """Explore the subtree below the current assignment, iteratively.
 
-        if self._scheme == "hybrid":
-            left_budgets = {name: 0.5 * budgets[name] for name in budgets}
-        else:
-            left_budgets = budgets
-
-        residual_left = left_budgets
-        if prob_true > 0.0:
-            self.evaluator.push(variable, True)
-            residual_left = self._dfs(prob * prob_true, still_active, left_budgets)
-            self.evaluator.pop(variable)
-
-        if self._scheme == "hybrid":
-            right_budgets = {
-                name: 0.5 * budgets[name] + residual_left.get(name, 0.0)
-                for name in budgets
-            }
-        else:
-            right_budgets = budgets
-
-        # Skip the right branch when every target is already ε-approximate.
-        if self._scheme != "exact" and all(
-            self._upper[name] - self._lower[name] <= 2.0 * self._epsilon
-            for name in still_active
-        ):
-            return right_budgets
-
-        residual_right = right_budgets
-        if prob_false > 0.0:
-            self.evaluator.push(variable, False)
-            residual_right = self._dfs(
-                prob * prob_false, still_active, right_budgets
-            )
-            self.evaluator.pop(variable)
-        return residual_right
+        ``prob`` is the probability mass of the current branch, ``active``
+        the targets not yet masked above, ``budgets`` the per-target error
+        budget available to this subtree (hybrid scheme).  Returns the
+        residual budgets.  The traversal keeps its own frame stack — the
+        Python call stack stays flat no matter how deep the decision
+        tree grows.
+        """
+        stack = [_Frame(prob, list(active), budgets)]
+        ret: Dict[str, float] = budgets
+        while stack:
+            frame = stack[-1]
+            if frame.phase == 0:
+                closed = self._enter_node(frame.prob, frame.active, frame.budgets)
+                if closed is None:
+                    closed = self._visit(frame)
+                if closed is not None:
+                    ret = closed
+                    stack.pop()
+                    continue
+                if self._scheme == "hybrid":
+                    left_budgets = {
+                        name: 0.5 * frame.budgets[name] for name in frame.budgets
+                    }
+                else:
+                    left_budgets = frame.budgets
+                frame.phase = 1
+                if frame.prob_true > 0.0:
+                    self.evaluator.push(frame.variable, True)
+                    frame.pushed = True
+                    stack.append(
+                        _Frame(
+                            frame.prob * frame.prob_true,
+                            frame.still_active,
+                            left_budgets,
+                        )
+                    )
+                else:
+                    ret = left_budgets
+                continue
+            if frame.phase == 1:
+                if frame.pushed:
+                    self.evaluator.pop(frame.variable)
+                    frame.pushed = False
+                residual_left = ret
+                if self._scheme == "hybrid":
+                    right_budgets = {
+                        name: 0.5 * frame.budgets[name]
+                        + residual_left.get(name, 0.0)
+                        for name in frame.budgets
+                    }
+                else:
+                    right_budgets = frame.budgets
+                # Skip the right branch when every target is already
+                # ε-approximate.
+                if self._scheme != "exact" and all(
+                    self._upper[name] - self._lower[name] <= 2.0 * self._epsilon
+                    for name in frame.still_active
+                ):
+                    ret = right_budgets
+                    stack.pop()
+                    continue
+                frame.phase = 2
+                if frame.prob_false > 0.0:
+                    self.evaluator.push(frame.variable, False)
+                    frame.pushed = True
+                    stack.append(
+                        _Frame(
+                            frame.prob * frame.prob_false,
+                            frame.still_active,
+                            right_budgets,
+                        )
+                    )
+                else:
+                    ret = right_budgets
+                continue
+            # phase 2: the right branch (if any) has returned in ``ret``.
+            if frame.pushed:
+                self.evaluator.pop(frame.variable)
+            stack.pop()
+        return ret
 
 
 def compile_network(
@@ -228,7 +354,10 @@ def compile_network(
     epsilon: float = 0.0,
     targets: Optional[Sequence[str]] = None,
     order: "str | Sequence[int]" = "frequency",
+    engine: str = "masked",
 ) -> CompilationResult:
     """One-shot helper: build a compiler and run one scheme."""
-    compiler = ShannonCompiler(network, pool, targets=targets, order=order)
+    compiler = ShannonCompiler(
+        network, pool, targets=targets, order=order, engine=engine
+    )
     return compiler.run(scheme=scheme, epsilon=epsilon)

@@ -20,6 +20,7 @@ A real thread-pool mode is provided for functional parity
 from __future__ import annotations
 
 import heapq
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -28,7 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..network.nodes import EventNetwork
 from ..worlds.variables import VariablePool
-from .compiler import ShannonCompiler
+from .compiler import ShannonCompiler, make_evaluator
 from .result import CompilationResult
 
 
@@ -56,18 +57,20 @@ class _JobCompiler(ShannonCompiler):
         super().__init__(*args, **kwargs)
         self.job_size = 0
         self.forked: List[Tuple[Tuple[Tuple[int, bool], ...], float, Tuple[str, ...], Dict[str, float]]] = []
+        # Evaluator depth at the job root; set per job after the prefix
+        # replay (the local compiler path replays no prefix, so the root
+        # frame of run() sits at depth 1).
+        self._base_depth = 1
 
-    def _dfs(self, prob, active, budgets):
-        # Depth is counted in DFS frames within the current job: the job
-        # root sits at frame 1 (its prefix is installed in one frame).
-        relative_depth = self.evaluator.depth - 1
+    def _enter_node(self, prob, active, budgets):
+        relative_depth = self.evaluator.depth - self._base_depth
         if self.job_size > 0 and relative_depth >= self.job_size:
-            # Re-evaluate here would duplicate the child call's own entry
+            # Evaluating here would duplicate the child job's own entry
             # evaluation; fork the subtree as a fresh job instead.
             prefix = tuple(self.evaluator.assignment.items())
             self.forked.append((prefix, prob, tuple(active), dict(budgets)))
             return {name: 0.0 for name in budgets}
-        return super()._dfs(prob, active, budgets)
+        return None
 
 
 class DistributedCompiler:
@@ -82,6 +85,7 @@ class DistributedCompiler:
         workers: int = 4,
         job_size: int = 3,
         overhead: float = 0.0005,
+        engine: str = "masked",
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -92,7 +96,11 @@ class DistributedCompiler:
         self.workers = workers
         self.job_size = job_size
         self.overhead = overhead
-        self._compiler = _JobCompiler(network, pool, targets=targets, order=order)
+        self.engine = engine
+        self.order = order
+        self._compiler = _JobCompiler(
+            network, pool, targets=targets, order=order, engine=engine
+        )
         self.target_names = self._compiler.target_names
 
     # ------------------------------------------------------------------
@@ -129,7 +137,13 @@ class DistributedCompiler:
 
     def _prepare(self, scheme: str, epsilon: float) -> _JobCompiler:
         compiler = self._compiler
-        compiler.evaluator = compiler.evaluator.__class__(self.network)
+        # One dispatch point for the evaluator choice: the coordinator
+        # and every job go through make_evaluator with the compiler's
+        # engine, so masked/scalar selection can't diverge between them.
+        if compiler.evaluator is None or compiler.evaluator.depth != 0:
+            compiler.evaluator = make_evaluator(
+                self.network, engine=compiler.engine
+            )
         compiler._lower = {name: 0.0 for name in self.target_names}
         compiler._upper = {name: 1.0 for name in self.target_names}
         compiler._scheme = scheme
@@ -144,14 +158,26 @@ class DistributedCompiler:
 
     def _execute_job(self, compiler: _JobCompiler, job: Job) -> Tuple[Dict[str, float], List[Job], float, int]:
         """Run one job; returns (residual budgets, child jobs, cost, forks)."""
-        evaluator = compiler.evaluator.__class__(self.network)
-        compiler.evaluator = evaluator
+        # Jobs replay balanced push/pop sequences, so the previous job's
+        # evaluator is back at baseline and reusable; rebuild only when
+        # an aborted job left frames behind.
+        evaluator = compiler.evaluator
+        if evaluator is None or evaluator.depth != 0:
+            evaluator = make_evaluator(self.network, engine=compiler.engine)
+            compiler.evaluator = evaluator
         compiler.forked = []
         started = time.perf_counter()
+        # Replay the job prefix through push() so trail depth and pop()
+        # accounting agree with the local compiler path (writing into
+        # evaluator.assignment directly would skip the masking sweeps of
+        # the masked engine and the trail frames of the scalar one).
         evaluator.push()
         for variable, value in job.prefix:
-            evaluator.assignment[variable] = value
+            evaluator.push(variable, value)
+        compiler._base_depth = evaluator.depth
         residual = compiler._dfs(job.prob, list(job.active), dict(job.budgets))
+        for variable, _ in reversed(job.prefix):
+            evaluator.pop(variable)
         evaluator.pop()
         cost = time.perf_counter() - started
         children = [
@@ -237,13 +263,18 @@ class DistributedCompiler:
         lock = Lock()
         jobs_done = 0
         tree_nodes = 0
+        thread_state = threading.local()
 
         def run_job(job: Job) -> List[Job]:
             nonlocal jobs_done, tree_nodes
             # Each thread gets a private compiler seeded with a snapshot of
-            # the global bounds so the finished-check can fire early.
+            # the global bounds so the finished-check can fire early; the
+            # thread's evaluator is recycled across its jobs (a fresh
+            # masked evaluator would repeat the baseline sweep per job).
             compiler = _JobCompiler(
-                self.network, self.pool, targets=self.target_names
+                self.network, self.pool, targets=self.target_names,
+                order=self.order, engine=self.engine,
+                evaluator=getattr(thread_state, "evaluator", None),
             )
             compiler._scheme = scheme
             compiler._epsilon = epsilon
@@ -259,6 +290,7 @@ class DistributedCompiler:
             base_lower = dict(compiler._lower)
             base_upper = dict(compiler._upper)
             residual, children, _, _ = self._execute_job(compiler, job)
+            thread_state.evaluator = compiler.evaluator
             with lock:
                 jobs_done += 1
                 tree_nodes += compiler._tree_nodes
@@ -315,6 +347,7 @@ def compile_distributed(
     targets: Optional[Sequence[str]] = None,
     order: "str | Sequence[int]" = "frequency",
     execution: str = "simulate",
+    engine: str = "masked",
 ) -> CompilationResult:
     """One-shot helper mirroring :func:`repro.compile.compiler.compile_network`."""
     coordinator = DistributedCompiler(
@@ -324,5 +357,6 @@ def compile_distributed(
         order=order,
         workers=workers,
         job_size=job_size,
+        engine=engine,
     )
     return coordinator.run(scheme=scheme, epsilon=epsilon, execution=execution)

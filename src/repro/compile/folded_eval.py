@@ -202,6 +202,15 @@ class FoldedEvaluator:
         """State of an arbitrary node, read at the final iteration."""
         return self.state(self._key(self._final, node_id), memo)
 
+    def count_unresolved(self, node_ids: Sequence[int]) -> int:
+        """How many nodes are unresolved at the final iteration."""
+        resolved = self.resolved
+        return sum(
+            1
+            for node_id in node_ids
+            if self._key(self._final, node_id) not in resolved
+        )
+
     # -- convergence detection (Section 4.1, end) -------------------------
 
     def slot_trace(self, max_iterations: Optional[int] = None) -> Tuple[int, bool]:

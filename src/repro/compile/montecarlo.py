@@ -102,7 +102,9 @@ def monte_carlo_probabilities_scalar(
     z = z_score(confidence)
     names = list(targets) if targets is not None else list(network.targets)
     target_ids = [network.targets[name] for name in names]
-    evaluator = make_evaluator(network)
+    # The scalar oracle deliberately drives the original recursive
+    # evaluators (it swaps whole assignments in without push bookkeeping).
+    evaluator = make_evaluator(network, engine="scalar")
     rng = random.Random(seed)
     hits = {name: 0 for name in names}
 

@@ -55,6 +55,9 @@ class DynamicInfluenceOrder:
     Influence is recomputed at each branching point against the nodes that
     are not yet resolved under the current assignment; this follows the
     paper's description most closely but costs a network scan per choice.
+    The unresolved-node scan goes through the evaluator's
+    ``count_unresolved`` hook, so it reads the masked engine's resolved
+    column (or the scalar evaluators' resolved maps) uniformly.
     """
 
     def __init__(self, network: EventNetwork) -> None:
@@ -67,16 +70,13 @@ class DynamicInfluenceOrder:
 
     def next_variable(self, evaluator) -> Optional[int]:
         assignment = evaluator.assignment
-        resolved = evaluator.resolved
         parents = self._network.parents()
         best_index: Optional[int] = None
         best_score = -1
         for index, node_id in self._var_nodes.items():
             if index in assignment:
                 continue
-            score = sum(
-                1 for parent in parents[node_id] if parent not in resolved
-            )
+            score = evaluator.count_unresolved(parents[node_id])
             if score > best_score or (
                 score == best_score and best_index is not None and index < best_index
             ):

@@ -423,3 +423,8 @@ class PartialEvaluator:
     def node_state(self, node_id: int, memo: Dict[int, State]) -> State:
         """State of an arbitrary node (uniform across evaluator kinds)."""
         return self.state(node_id, memo)
+
+    def count_unresolved(self, node_ids: Sequence[int]) -> int:
+        """How many of the nodes are still unresolved (ordering hook)."""
+        resolved = self.resolved
+        return sum(1 for node_id in node_ids if node_id not in resolved)

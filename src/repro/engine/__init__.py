@@ -9,6 +9,9 @@ computation scheme:
 * :mod:`repro.engine.bulk` — evaluates every compilation target over
   *all* possible worlds (or all Monte Carlo samples) simultaneously as
   Boolean/float matrices, replacing per-valuation recursion;
+* :mod:`repro.engine.masked` — the Shannon compiler's partial-evaluation
+  abstraction as columns over the flat IR, with per-variable cone
+  recomputation on ``push`` and trailed column restores on ``pop``;
 * :mod:`repro.engine.registry` — the scheme registry through which the
   platform facade, the CLI, the distributed compiler, and the benchmark
   harness all dispatch; schemes declare capabilities (epsilon-aware,
@@ -31,6 +34,7 @@ from .ir import (
     flatten_folded,
     supports_bulk,
 )
+from .masked import MaskedEvaluator, MaskedProgram, masked_program
 from .registry import (
     CAP_BULK,
     CAP_DISTRIBUTED,
@@ -60,9 +64,12 @@ __all__ = [
     "CAP_STATISTICAL",
     "CAP_TIMEOUT",
     "FlatNetwork",
+    "MaskedEvaluator",
+    "MaskedProgram",
     "SchemeOptions",
     "SchemeSpec",
     "UnsupportedNetworkError",
+    "masked_program",
     "available_schemes",
     "bulk_monte_carlo_probabilities",
     "bulk_naive_probabilities",

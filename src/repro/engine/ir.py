@@ -60,6 +60,8 @@ class FlatNetwork:
     targets: Dict[str, int]
     _schedules: Dict[Tuple[int, ...], np.ndarray] = field(default_factory=dict)
     _use_counts: Dict[bytes, np.ndarray] = field(default_factory=dict)
+    _parents: "Tuple[np.ndarray, np.ndarray] | None" = None
+    _var_cones: Dict[int, np.ndarray] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.kinds)
@@ -92,6 +94,41 @@ class FlatNetwork:
         order = np.flatnonzero(seen)
         self._schedules[key] = order
         return order
+
+    def parents(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR parent adjacency ``(offsets, indices)`` (cached).
+
+        Parents of node ``i`` are ``indices[offsets[i]:offsets[i + 1]]``.
+        """
+        if self._parents is None:
+            count = len(self.kinds)
+            degrees = np.bincount(self.child_indices, minlength=count)
+            offsets = np.zeros(count + 1, dtype=np.int64)
+            np.cumsum(degrees, out=offsets[1:])
+            indices = np.empty(len(self.child_indices), dtype=np.int64)
+            cursor = offsets[:-1].copy()
+            for node_id in range(count):
+                for child in self.children(node_id):
+                    indices[cursor[child]] = node_id
+                    cursor[child] += 1
+            self._parents = (offsets, indices)
+        return self._parents
+
+    def var_cone(self, var_index: int) -> np.ndarray:
+        """Node ids downstream of variable ``var_index``, in topo order.
+
+        The *cone* is the set of nodes whose value can change when the
+        variable is assigned — the VAR node(s) carrying the index plus
+        everything reachable upwards through the parent adjacency.
+        Cached per variable: the masked evaluator re-sweeps exactly this
+        suffix of the topological order on every ``push``.
+        """
+        cached = self._var_cones.get(var_index)
+        if cached is not None:
+            return cached
+        cone = _upward_closure(self, var_index)
+        self._var_cones[var_index] = cone
+        return cone
 
     def use_counts(self, order: np.ndarray) -> np.ndarray:
         """How many scheduled parents consume each node (for freeing).
@@ -139,6 +176,31 @@ class FoldedFlatIR:
     _splits: Dict[Tuple[int, ...], Tuple[np.ndarray, np.ndarray]] = field(
         default_factory=dict
     )
+    _var_cones: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    def var_cone(self, var_index: int) -> np.ndarray:
+        """Node ids affected by variable ``var_index``, in topo order.
+
+        Like :meth:`FlatNetwork.var_cone`, but the closure also follows
+        the implicit loop edges: when a slot's *init* or *next* node is
+        in the cone, the slot's loop-input node (and hence its own
+        parents) joins it too.
+        """
+        cached = self._var_cones.get(var_index)
+        if cached is not None:
+            return cached
+        # Which loop inputs does each node feed (as an init/next node)?
+        feeds: Dict[int, List[int]] = {}
+        for slot in range(len(self.loop_in_ids)):
+            feeds.setdefault(int(self.init_ids[slot]), []).append(
+                int(self.loop_in_ids[slot])
+            )
+            feeds.setdefault(int(self.next_ids[slot]), []).append(
+                int(self.loop_in_ids[slot])
+            )
+        cone = _upward_closure(self.flat, var_index, extra_edges=feeds)
+        self._var_cones[var_index] = cone
+        return cone
 
     def split(self, roots: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
         """``(prefix, layer)`` schedules for evaluating ``roots``.
@@ -168,6 +230,32 @@ class FoldedFlatIR:
         prefix_layer = (reachable[~dependent], reachable[dependent])
         self._splits[key] = prefix_layer
         return prefix_layer
+
+
+def _upward_closure(
+    flat: FlatNetwork,
+    var_index: int,
+    extra_edges: "Dict[int, List[int]] | None" = None,
+) -> np.ndarray:
+    """Nodes reachable upwards from a variable's VAR node(s), sorted.
+
+    ``extra_edges`` adds implicit successors per node (the folded IR's
+    init/next → loop-input edges) on top of the CSR parent adjacency.
+    """
+    offsets, indices = flat.parents()
+    seen = np.zeros(len(flat.kinds), dtype=bool)
+    stack = [int(n) for n in np.flatnonzero(flat.var_index == var_index)]
+    while stack:
+        node_id = stack.pop()
+        if seen[node_id]:
+            continue
+        seen[node_id] = True
+        stack.extend(
+            int(p) for p in indices[offsets[node_id] : offsets[node_id + 1]]
+        )
+        if extra_edges is not None:
+            stack.extend(extra_edges.get(node_id, ()))
+    return np.flatnonzero(seen)
 
 
 def supports_bulk(network: EventNetwork) -> bool:

@@ -1,0 +1,1024 @@
+"""Masked flat-IR evaluation: columnar three-valued partial evaluation.
+
+The Shannon-expansion compiler (Algorithms 1-2) spends its life asking
+one question: *given the current partial assignment, what is the
+three-valued state of every target?*  The scalar evaluators
+(:class:`repro.compile.partial.PartialEvaluator` and its folded twin)
+answer it by recursive Python traversal with per-step dict memos — one
+interpreter dispatch per node per DFS step.
+
+This module answers it with columns over the flat IR instead:
+
+* Boolean nodes live in one ``int8`` column of three-valued states
+  (``B_FALSE`` / ``B_TRUE`` / ``B_UNKNOWN``);
+* numeric nodes live in ``float64`` ``lo``/``hi`` interval columns plus
+  ``may_u``/``may_def`` bit columns (vector-valued c-values keep exact
+  :class:`~repro.compile.partial.NumState` objects on a side map);
+* a ``resolved`` bit column marks states that can no longer change
+  under any extension of the assignment — the paper's mask ``M``.
+
+Evaluation is *incremental*: the IR precomputes, per random variable,
+the downstream **cone** — the topologically-ordered set of nodes whose
+state the variable can influence (:meth:`FlatNetwork.var_cone`).  A
+``push(var, value)`` walks only that suffix of the topological order,
+and within it recomputes only the vertices whose inputs actually
+changed (change-driven dirty propagation); a ``pop()`` restores the
+trailed column entries.  Resolved nodes are never recomputed, so work
+per DFS step shrinks as the mask tightens — exactly the access pattern
+Algorithm 2 describes, minus the per-step dicts.
+
+Folded networks are handled by *unrolling the mask, not the network*:
+each loop-dependent node owns one column row per iteration (the matrix
+``M[t][v]`` of Section 4.2), loop-input vertices copy from their slot's
+init/next vertex of the neighbouring row, and the loop-independent
+prefix is shared across rows.  The unrolled program is cached on the
+network, like the flat IR itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compile.partial import (
+    B_FALSE,
+    B_TRUE,
+    B_UNKNOWN,
+    NumState,
+    State,
+    atom_state,
+    num_add,
+    num_inv,
+    num_mul,
+    num_pow,
+)
+from ..network.folded import FoldedNetwork
+from ..network.nodes import EventNetwork, Kind
+from .ir import (
+    ATOM_OPS,
+    FlatNetwork,
+    FoldedFlatIR,
+    UnsupportedNetworkError,
+    flatten,
+    flatten_folded,
+)
+
+_K_TRUE = int(Kind.TRUE)
+_K_FALSE = int(Kind.FALSE)
+_K_VAR = int(Kind.VAR)
+_K_NOT = int(Kind.NOT)
+_K_AND = int(Kind.AND)
+_K_OR = int(Kind.OR)
+_K_ATOM = int(Kind.ATOM)
+_K_GUARD = int(Kind.GUARD)
+_K_COND = int(Kind.COND)
+_K_SUM = int(Kind.SUM)
+_K_PROD = int(Kind.PROD)
+_K_INV = int(Kind.INV)
+_K_POW = int(Kind.POW)
+_K_DIST = int(Kind.DIST)
+_K_LOOP_IN = int(Kind.LOOP_IN)
+
+_BOOL_KIND_CODES = frozenset(
+    {_K_TRUE, _K_FALSE, _K_VAR, _K_NOT, _K_AND, _K_OR, _K_ATOM}
+)
+
+# Trail entry tags: which columns an undo record restores.
+_TAG_BOOL = 0
+_TAG_NUM = 1
+_TAG_VEC = 2
+
+_NAN = math.nan
+_INF = math.inf
+# The certainly-undefined scalar state as a column tuple (lo, hi, mu, md).
+_UNDEFINED = (_NAN, _NAN, True, False)
+
+
+@dataclass
+class MaskedProgram:
+    """A network unrolled into the vertex space of the masked columns.
+
+    For flat networks this is the identity view of the
+    :class:`~repro.engine.ir.FlatNetwork` arrays (one vertex per node).
+    For folded networks, loop-independent nodes keep one vertex while
+    loop-dependent nodes get one vertex per iteration; loop-input
+    vertices carry a single operand — the init/next vertex they copy
+    from — so one topological sweep of the vertex space evaluates the
+    whole ``M[t][v]`` mask matrix.
+    """
+
+    kinds: np.ndarray  # (M,) int16 — Kind codes (LOOP_IN = copy)
+    child_offsets: np.ndarray  # (M + 1,) int64
+    child_indices: np.ndarray  # (E,) int64 — operand vertex ids
+    var_index: np.ndarray  # (M,) int64 — pool index for VAR vertices
+    atom_op: np.ndarray  # (M,) int8
+    pow_exponent: np.ndarray  # (M,) int64
+    dist_metric: np.ndarray  # (M,) int8
+    guard_values: Dict[int, object]  # vertex -> constant
+    is_bool: np.ndarray  # (M,) bool — Boolean-valued vertex
+    is_vec: np.ndarray  # (M,) bool — vector-valued c-value vertex
+    final_vertex: np.ndarray  # (N,) int64 — node's vertex at the last iteration
+    cone_source: object  # FlatNetwork or FoldedFlatIR (owns node-id cones)
+    _cones: Dict[int, np.ndarray] = field(default_factory=dict)
+    # Folded only: per original node, the vertex ids of its rows.
+    _node_rows: "List[np.ndarray] | None" = None
+
+    # Hot-loop views (plain Python containers: per-element indexing of
+    # NumPy arrays boxes a scalar per read, which dominates the sweep).
+    _py_children: "List[Tuple[int, ...]] | None" = None
+    _py_parents: "List[Tuple[int, ...]] | None" = None
+    _py_kinds: "List[int] | None" = None
+    _var_vertices: Dict[int, List[int]] = field(default_factory=dict)
+    _py_cones: Dict[int, List[int]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def children(self, vertex: int) -> np.ndarray:
+        return self.child_indices[
+            self.child_offsets[vertex] : self.child_offsets[vertex + 1]
+        ]
+
+    def py_children(self) -> List[Tuple[int, ...]]:
+        if self._py_children is None:
+            offsets = self.child_offsets.tolist()
+            indices = self.child_indices.tolist()
+            self._py_children = [
+                tuple(indices[offsets[v] : offsets[v + 1]])
+                for v in range(len(self.kinds))
+            ]
+        return self._py_children
+
+    def py_parents(self) -> List[Tuple[int, ...]]:
+        if self._py_parents is None:
+            lists: List[List[int]] = [[] for _ in range(len(self.kinds))]
+            for vertex, children in enumerate(self.py_children()):
+                for child in children:
+                    lists[child].append(vertex)
+            self._py_parents = [tuple(parents) for parents in lists]
+        return self._py_parents
+
+    def py_kinds(self) -> List[int]:
+        if self._py_kinds is None:
+            self._py_kinds = [int(k) for k in self.kinds]
+        return self._py_kinds
+
+    def var_vertices(self, var_index: int) -> List[int]:
+        """VAR vertices carrying ``var_index`` (sweep seeds)."""
+        cached = self._var_vertices.get(var_index)
+        if cached is None:
+            cached = [int(v) for v in np.flatnonzero(self.var_index == var_index)]
+            self._var_vertices[var_index] = cached
+        return cached
+
+    def var_cone(self, var_index: int) -> np.ndarray:
+        """Vertices to re-sweep when ``var_index`` is assigned (topo order)."""
+        cached = self._cones.get(var_index)
+        if cached is not None:
+            return cached
+        node_cone = self.cone_source.var_cone(var_index)
+        if self._node_rows is None:
+            cone = node_cone  # flat: vertices are node ids
+        else:
+            rows = self._node_rows
+            pieces = [rows[node_id] for node_id in node_cone]
+            cone = (
+                np.sort(np.concatenate(pieces))
+                if pieces
+                else np.empty(0, dtype=np.int64)
+            )
+        self._cones[var_index] = cone
+        return cone
+
+    def py_var_cone(self, var_index: int) -> List[int]:
+        """:meth:`var_cone` as a plain list (the sweep's iteration space)."""
+        cached = self._py_cones.get(var_index)
+        if cached is None:
+            cached = self.var_cone(var_index).tolist()
+            self._py_cones[var_index] = cached
+        return cached
+
+
+def _vector_flags(
+    kinds: np.ndarray,
+    child_lists: List[np.ndarray],
+    guard_values: Dict[int, object],
+    loop_pairs: Dict[int, Tuple[int, int]],
+) -> np.ndarray:
+    """Per-node vector-valuedness, by structural fixpoint.
+
+    A node is vector-valued when a vector guard constant can flow into
+    it; such nodes are evaluated through exact :class:`NumState` objects
+    on the side map instead of the scalar columns.  ``loop_pairs`` maps
+    loop-input node ids to their ``(init, next)`` nodes — vecness flows
+    through the loop edges, so a fixpoint is needed (a slot's *next*
+    node has a higher id than the loop input).
+    """
+    count = len(kinds)
+    vec = np.zeros(count, dtype=bool)
+    for node_id, value in guard_values.items():
+        if isinstance(value, np.ndarray):
+            vec[node_id] = True
+    changed = True
+    while changed:
+        changed = False
+        for node_id in range(count):
+            if vec[node_id]:
+                continue
+            kind = int(kinds[node_id])
+            if kind in (_K_SUM, _K_PROD, _K_COND, _K_INV, _K_POW):
+                if any(vec[int(c)] for c in child_lists[node_id]):
+                    vec[node_id] = True
+                    changed = True
+            elif kind == _K_LOOP_IN and node_id in loop_pairs:
+                init_node, next_node = loop_pairs[node_id]
+                if vec[init_node] or vec[next_node]:
+                    vec[node_id] = True
+                    changed = True
+    return vec
+
+
+def _bool_flags(network: EventNetwork, kinds: np.ndarray) -> np.ndarray:
+    is_bool = np.isin(kinds, np.asarray(sorted(_BOOL_KIND_CODES), dtype=kinds.dtype))
+    for node in network.nodes:
+        if node.kind is Kind.LOOP_IN:
+            is_bool[node.id] = bool(node.payload[1])
+    return is_bool
+
+
+def _flat_program(network: EventNetwork, flat: FlatNetwork) -> MaskedProgram:
+    child_lists = [flat.children(n) for n in range(len(flat))]
+    vec = _vector_flags(flat.kinds, child_lists, flat.guard_values, {})
+    return MaskedProgram(
+        kinds=flat.kinds,
+        child_offsets=flat.child_offsets,
+        child_indices=flat.child_indices,
+        var_index=flat.var_index,
+        atom_op=flat.atom_op,
+        pow_exponent=flat.pow_exponent,
+        dist_metric=flat.dist_metric,
+        guard_values=dict(flat.guard_values),
+        is_bool=_bool_flags(network, flat.kinds),
+        is_vec=vec,
+        final_vertex=np.arange(len(flat), dtype=np.int64),
+        cone_source=flat,
+    )
+
+
+def _layer_row_order(ir: FoldedFlatIR, layer_ids: np.ndarray) -> List[int]:
+    """Topological order of the loop layer for the iteration-0 row.
+
+    Within a row, a node depends on its loop-dependent children — except
+    loop inputs, which at iteration 0 depend on their slot's *init* node
+    (only an intra-row edge when the init is itself loop-dependent, i.e.
+    a cross-slot init chain).  Cycles mean the inits are mutually
+    recursive at iteration 0, which no evaluator can order.
+    """
+    flat, dependent = ir.flat, ir.loop_dependent
+    order: List[int] = []
+    status: Dict[int, int] = {}  # 0 = visiting, 1 = done
+
+    def intra_row_deps(node_id: int) -> List[int]:
+        slot = int(ir.loop_slot[node_id])
+        if slot >= 0:
+            init_node = int(ir.init_ids[slot])
+            return [init_node] if dependent[init_node] else []
+        return [int(c) for c in flat.children(node_id) if dependent[c]]
+
+    for root in layer_ids:
+        if int(root) in status:
+            continue
+        stack: List[Tuple[int, int]] = [(int(root), 0)]
+        while stack:
+            node_id, phase = stack.pop()
+            if phase == 0:
+                if node_id in status:
+                    continue
+                status[node_id] = 0
+                stack.append((node_id, 1))
+                for dep in intra_row_deps(node_id):
+                    if status.get(dep) == 0:
+                        raise UnsupportedNetworkError(
+                            "cyclic slot initialisation in folded network"
+                        )
+                    if dep not in status:
+                        stack.append((dep, 0))
+            else:
+                status[node_id] = 1
+                order.append(node_id)
+    return order
+
+
+def _folded_program(network: FoldedNetwork, ir: FoldedFlatIR) -> MaskedProgram:
+    flat = ir.flat
+    count = len(flat)
+    dependent = ir.loop_dependent
+    iterations = ir.iterations
+    indep_ids = np.flatnonzero(~dependent)
+    layer_ids = np.flatnonzero(dependent)
+    row_order = _layer_row_order(ir, layer_ids)
+    layer_size = len(row_order)
+    indep_count = len(indep_ids)
+    total = indep_count + iterations * layer_size
+
+    indep_pos = np.full(count, -1, dtype=np.int64)
+    indep_pos[indep_ids] = np.arange(indep_count, dtype=np.int64)
+    dep_pos = np.full(count, -1, dtype=np.int64)
+    dep_pos[row_order] = np.arange(layer_size, dtype=np.int64)
+
+    def vertex(iteration: int, node_id: int) -> int:
+        if not dependent[node_id]:
+            return int(indep_pos[node_id])
+        return indep_count + iteration * layer_size + int(dep_pos[node_id])
+
+    kinds = np.empty(total, dtype=flat.kinds.dtype)
+    var_index = np.full(total, -1, dtype=np.int64)
+    atom_op = np.full(total, -1, dtype=np.int8)
+    pow_exponent = np.zeros(total, dtype=np.int64)
+    dist_metric = np.full(total, -1, dtype=np.int8)
+    guard_values: Dict[int, object] = {}
+    child_lists: List[List[int]] = []
+    offsets = np.zeros(total + 1, dtype=np.int64)
+    node_of = np.empty(total, dtype=np.int64)
+
+    def emit(vid: int, node_id: int, children: List[int]) -> None:
+        kinds[vid] = flat.kinds[node_id]
+        var_index[vid] = flat.var_index[node_id]
+        atom_op[vid] = flat.atom_op[node_id]
+        pow_exponent[vid] = flat.pow_exponent[node_id]
+        dist_metric[vid] = flat.dist_metric[node_id]
+        if node_id in flat.guard_values:
+            guard_values[vid] = flat.guard_values[node_id]
+        node_of[vid] = node_id
+        child_lists.append(children)
+        offsets[vid + 1] = len(children)
+
+    for node_id in indep_ids:
+        emit(
+            int(indep_pos[node_id]),
+            int(node_id),
+            [vertex(0, int(c)) for c in flat.children(int(node_id))],
+        )
+    for iteration in range(iterations):
+        for node_id in row_order:
+            vid = vertex(iteration, node_id)
+            slot = int(ir.loop_slot[node_id])
+            if slot >= 0:
+                if iteration == 0:
+                    source = vertex(0, int(ir.init_ids[slot]))
+                else:
+                    source = vertex(iteration - 1, int(ir.next_ids[slot]))
+                emit(vid, node_id, [source])
+            else:
+                emit(
+                    vid,
+                    node_id,
+                    [
+                        vertex(iteration, int(c))
+                        for c in flat.children(node_id)
+                    ],
+                )
+    np.cumsum(offsets[1:], out=offsets[1:])
+    child_indices = np.fromiter(
+        (c for children in child_lists for c in children),
+        dtype=np.int64,
+        count=int(offsets[-1]),
+    )
+
+    # Per-node flags, broadcast to vertices via node_of.
+    node_children = [flat.children(n) for n in range(count)]
+    loop_pairs = {
+        int(ir.loop_in_ids[slot]): (
+            int(ir.init_ids[slot]),
+            int(ir.next_ids[slot]),
+        )
+        for slot in range(len(ir.loop_in_ids))
+    }
+    node_vec = _vector_flags(
+        flat.kinds, node_children, flat.guard_values, loop_pairs
+    )
+    node_bool = _bool_flags(network, flat.kinds)
+
+    final_vertex = np.empty(count, dtype=np.int64)
+    rows: List[np.ndarray] = []
+    for node_id in range(count):
+        final_vertex[node_id] = vertex(iterations - 1, node_id)
+        if dependent[node_id]:
+            base = indep_count + int(dep_pos[node_id])
+            rows.append(
+                base
+                + layer_size * np.arange(iterations, dtype=np.int64)
+            )
+        else:
+            rows.append(np.asarray([int(indep_pos[node_id])], dtype=np.int64))
+
+    return MaskedProgram(
+        kinds=kinds,
+        child_offsets=offsets,
+        child_indices=child_indices,
+        var_index=var_index,
+        atom_op=atom_op,
+        pow_exponent=pow_exponent,
+        dist_metric=dist_metric,
+        guard_values=guard_values,
+        is_bool=node_bool[node_of],
+        is_vec=node_vec[node_of],
+        final_vertex=final_vertex,
+        cone_source=ir,
+        _node_rows=rows,
+    )
+
+
+def masked_program(network: EventNetwork) -> MaskedProgram:
+    """The network's masked vertex program (cached like the flat IR)."""
+    if isinstance(network, FoldedNetwork):
+        ir = flatten_folded(network)
+        cached = getattr(network, "_masked_program", None)
+        if cached is not None and cached[0] is ir:
+            return cached[1]
+        program = _folded_program(network, ir)
+        key = ir
+    else:
+        flat = flatten(network)
+        cached = getattr(network, "_masked_program", None)
+        if cached is not None and cached[0] is flat:
+            return cached[1]
+        program = _flat_program(network, flat)
+        key = flat
+    try:
+        network._masked_program = (key, program)
+    except AttributeError:  # pragma: no cover - exotic network subclasses
+        pass
+    return program
+
+
+class MaskedEvaluator:
+    """Columnar three-valued evaluation with incremental recomputation.
+
+    Drop-in replacement for the scalar partial evaluators behind the
+    ``make_evaluator`` seam: the same ``push``/``pop``/``depth``/
+    ``assignment``/``evals`` protocol, the same ``target_states`` /
+    ``node_state`` queries, the same three-valued semantics (validated
+    state-for-state against the oracles by the property suite).  Flat
+    and folded networks share one code path — the folded mask matrix is
+    unrolled into the vertex space by :func:`masked_program`.
+
+    ``push(var, value)`` walks the variable's precomputed cone in
+    topological order, recomputing a vertex only when one of its inputs
+    actually changed value (change-driven dirty propagation), and trails
+    every accepted write; ``pop()`` restores the trailed column entries.
+    The hot columns are kept as plain Python lists — reading a scalar
+    out of a NumPy array boxes a fresh object per access, which would
+    dominate the sweep; the ``bstate``/``lo``/``hi``/``may_u``/
+    ``may_def``/``resolved_mask`` NumPy views are materialised on
+    demand.
+    """
+
+    def __init__(self, network: EventNetwork) -> None:
+        self.network = network
+        program = masked_program(network)
+        self._prog = program
+        size = len(program)
+        self._b: List[int] = [B_UNKNOWN] * size
+        self._lo: List[float] = [_NAN] * size
+        self._hi: List[float] = [_NAN] * size
+        self._mu: List[bool] = [False] * size
+        self._md: List[bool] = [False] * size
+        self._resolved: List[bool] = [False] * size
+        self._dirty: List[bool] = [False] * size
+        self._vec: Dict[int, NumState] = {}
+        self.assignment: Dict[int, bool] = {}
+        self._frames: List[List[tuple]] = []
+        self.evals = 0
+        self._kinds = program.py_kinds()
+        self._children = program.py_children()
+        self._parents = program.py_parents()
+        self._is_bool: List[bool] = [bool(b) for b in program.is_bool]
+        self._is_vec: List[bool] = [bool(v) for v in program.is_vec]
+        self._final: List[int] = program.final_vertex.tolist()
+        self._var: List[int] = program.var_index.tolist()
+        self._atom_op: List[int] = program.atom_op.tolist()
+        self._pow: List[int] = program.pow_exponent.tolist()
+        self._metric: List[int] = program.dist_metric.tolist()
+        self._guard: Dict[int, object] = program.guard_values
+        # Baseline sweep under the empty assignment; everything resolved
+        # here stays resolved for the whole compilation.
+        for vid in range(size):
+            self._recompute(vid, None)
+
+    # -- NumPy column views ---------------------------------------------
+
+    @property
+    def bstate(self) -> np.ndarray:
+        """Three-valued Boolean state column (int8)."""
+        return np.asarray(self._b, dtype=np.int8)
+
+    @property
+    def lo(self) -> np.ndarray:
+        return np.asarray(self._lo, dtype=np.float64)
+
+    @property
+    def hi(self) -> np.ndarray:
+        return np.asarray(self._hi, dtype=np.float64)
+
+    @property
+    def may_u(self) -> np.ndarray:
+        return np.asarray(self._mu, dtype=bool)
+
+    @property
+    def may_def(self) -> np.ndarray:
+        return np.asarray(self._md, dtype=bool)
+
+    @property
+    def resolved_mask(self) -> np.ndarray:
+        """Which vertices are final for every extension of the assignment."""
+        return np.asarray(self._resolved, dtype=bool)
+
+    # -- trail management (same protocol as the scalar evaluators) -----
+
+    def push(self, var_index: Optional[int] = None, value: bool = True) -> None:
+        """Open a DFS frame, optionally assigning one more variable.
+
+        Assigning a variable re-sweeps only its downstream cone, and
+        within the cone only the vertices whose inputs actually changed;
+        every accepted write is trailed so ``pop`` can restore it.
+        """
+        self._frames.append([])
+        if var_index is not None:
+            self.assignment[var_index] = value
+            self._sweep_cone(var_index)
+
+    def pop(self, var_index: Optional[int] = None) -> None:
+        """Close the current DFS frame, restoring the trailed entries."""
+        for entry in reversed(self._frames.pop()):
+            tag = entry[0]
+            vid = entry[1]
+            if tag == _TAG_BOOL:
+                self._b[vid] = entry[2]
+            elif tag == _TAG_NUM:
+                self._lo[vid] = entry[2]
+                self._hi[vid] = entry[3]
+                self._mu[vid] = entry[4]
+                self._md[vid] = entry[5]
+            else:
+                if entry[2] is None:
+                    self._vec.pop(vid, None)
+                else:
+                    self._vec[vid] = entry[2]
+            self._resolved[vid] = False
+        if var_index is not None:
+            del self.assignment[var_index]
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    # -- sweeping -------------------------------------------------------
+
+    def _sweep_cone(self, var_index: int) -> None:
+        prog = self._prog
+        dirty = self._dirty
+        resolved = self._resolved
+        parents = self._parents
+        frame = self._frames[-1] if self._frames else None
+        pending = 0
+        for vid in prog.var_vertices(var_index):
+            if not dirty[vid]:
+                dirty[vid] = True
+                pending += 1
+        for vid in prog.py_var_cone(var_index):
+            if not dirty[vid]:
+                continue
+            dirty[vid] = False
+            pending -= 1
+            if not resolved[vid] and self._recompute(vid, frame):
+                for parent in parents[vid]:
+                    if not dirty[parent]:
+                        dirty[parent] = True
+                        pending += 1
+            if pending == 0:
+                break
+
+    def _recompute(self, vid: int, frame: Optional[List[tuple]]) -> bool:
+        """Re-evaluate one vertex; returns whether its *value* changed."""
+        self.evals += 1
+        kind = self._kinds[vid]
+        if self._is_bool[vid]:
+            new = self._compute_bool(kind, vid)
+            old = self._b[vid]
+            if new == old:
+                if new != B_UNKNOWN and not self._resolved[vid]:
+                    # Same value, newly stable: resolve without propagating.
+                    if frame is not None:
+                        frame.append((_TAG_BOOL, vid, old))
+                    self._resolved[vid] = True
+                return False
+            if frame is not None:
+                frame.append((_TAG_BOOL, vid, old))
+            self._b[vid] = new
+            if new != B_UNKNOWN:
+                self._resolved[vid] = True
+            return True
+        if self._is_vec[vid]:
+            return self._write_num(vid, self._compute_num_obj(kind, vid), frame)
+        result = self._compute_num_scalar(kind, vid)
+        if result is None:
+            # Scalar value computed from vector operands (DIST): take the
+            # exact object path.
+            return self._write_num(vid, self._compute_num_obj(kind, vid), frame)
+        return self._write_num_scalar(vid, result, frame)
+
+    # -- Boolean kernel -------------------------------------------------
+
+    def _compute_bool(self, kind: int, vid: int) -> int:
+        bstate = self._b
+        children = self._children[vid]
+        if kind == _K_VAR:
+            assigned = self.assignment.get(self._var[vid])
+            if assigned is None:
+                return B_UNKNOWN
+            return B_TRUE if assigned else B_FALSE
+        if kind == _K_AND:
+            saw_unknown = False
+            for child in children:
+                value = bstate[child]
+                if value == B_FALSE:
+                    return B_FALSE
+                if value == B_UNKNOWN:
+                    saw_unknown = True
+            return B_UNKNOWN if saw_unknown else B_TRUE
+        if kind == _K_OR:
+            saw_unknown = False
+            for child in children:
+                value = bstate[child]
+                if value == B_TRUE:
+                    return B_TRUE
+                if value == B_UNKNOWN:
+                    saw_unknown = True
+            return B_UNKNOWN if saw_unknown else B_FALSE
+        if kind == _K_NOT:
+            value = bstate[children[0]]
+            if value == B_UNKNOWN:
+                return B_UNKNOWN
+            return B_TRUE if value == B_FALSE else B_FALSE
+        if kind == _K_ATOM:
+            return self._compute_atom(vid, children)
+        if kind == _K_TRUE:
+            return B_TRUE
+        if kind == _K_FALSE:
+            return B_FALSE
+        if kind == _K_LOOP_IN:
+            return bstate[children[0]]
+        raise TypeError(f"cannot mask-evaluate node kind {Kind(kind)!r}")
+
+    def _compute_atom(self, vid: int, children: Tuple[int, ...]) -> int:
+        left, right = children
+        if self._is_vec[left] or self._is_vec[right]:
+            return atom_state(
+                _OP_NAMES[self._atom_op[vid]],
+                self._read_num(left),
+                self._read_num(right),
+            )
+        if not self._md[left] or not self._md[right]:
+            return B_TRUE
+        op = self._atom_op[vid]
+        llo, lhi = self._lo[left], self._hi[left]
+        rlo, rhi = self._lo[right], self._hi[right]
+        if op == 0:  # <=
+            always, never = lhi <= rlo, rhi < llo
+        elif op == 1:  # <
+            always, never = lhi < rlo, rhi <= llo
+        elif op == 2:  # >=
+            always, never = rhi <= llo, lhi < rlo
+        elif op == 3:  # >
+            always, never = rhi < llo, lhi <= rlo
+        else:  # ==
+            always = (
+                not self._mu[left]
+                and not self._mu[right]
+                and llo == lhi
+                and rlo == rhi
+                and llo == rlo
+            )
+            never = lhi < rlo or rhi < llo
+        if always:
+            return B_TRUE
+        if never and not self._mu[left] and not self._mu[right]:
+            return B_FALSE
+        return B_UNKNOWN
+
+    # -- numeric kernel -------------------------------------------------
+
+    def _read_num(self, vid: int) -> NumState:
+        if self._is_vec[vid]:
+            return self._vec[vid]
+        if not self._md[vid]:
+            return NumState.undefined()
+        return NumState(self._lo[vid], self._hi[vid], self._mu[vid], True)
+
+    def _compute_num_obj(self, kind: int, vid: int) -> NumState:
+        """Exact-object evaluation, for vector-valued vertices."""
+        children = self._children[vid]
+        if kind == _K_GUARD:
+            event = self._b[children[0]]
+            value = self._guard[vid]
+            if event == B_TRUE:
+                return NumState.point(value)
+            if event == B_FALSE:
+                return NumState.undefined()
+            return NumState(value, value, True, True)
+        if kind == _K_COND:
+            event = self._b[children[0]]
+            if event == B_FALSE:
+                return NumState.undefined()
+            value = self._read_num(children[1])
+            if event == B_TRUE:
+                return value
+            if not value.may_def:
+                return NumState.undefined()
+            return NumState(value.lo, value.hi, True, True)
+        if kind == _K_SUM:
+            total = NumState.undefined()
+            for child in children:
+                total = num_add(total, self._read_num(child))
+            return total
+        if kind == _K_PROD:
+            product = NumState.point(1.0)
+            for child in children:
+                product = num_mul(product, self._read_num(child))
+            return product
+        if kind == _K_INV:
+            return num_inv(self._read_num(children[0]))
+        if kind == _K_POW:
+            return num_pow(self._read_num(children[0]), self._pow[vid])
+        if kind == _K_DIST:
+            return _dist_vec(
+                self._read_num(children[0]),
+                self._read_num(children[1]),
+                self._metric[vid],
+            )
+        if kind == _K_LOOP_IN:
+            return self._read_num(children[0])
+        raise TypeError(f"cannot mask-evaluate node kind {Kind(kind)!r}")
+
+    def _compute_num_scalar(
+        self, kind: int, vid: int
+    ) -> "Optional[Tuple[float, float, bool, bool]]":
+        """Inline interval arithmetic on the scalar columns.
+
+        Returns ``(lo, hi, may_u, may_def)`` — the undefined state is
+        ``(nan, nan, True, False)`` — or ``None`` when the vertex needs
+        the exact object path (vector operands feeding a scalar DIST).
+        Mirrors the :mod:`repro.compile.partial` operators case by case.
+        """
+        children = self._children[vid]
+        b, lo, hi, mu, md = self._b, self._lo, self._hi, self._mu, self._md
+        if kind == _K_GUARD:
+            event = b[children[0]]
+            value = self._guard[vid]
+            if event == B_TRUE:
+                return (value, value, False, True)
+            if event == B_FALSE:
+                return _UNDEFINED
+            return (value, value, True, True)
+        if kind == _K_COND:
+            event = b[children[0]]
+            if event == B_FALSE:
+                return _UNDEFINED
+            child = children[1]
+            if not md[child]:
+                return _UNDEFINED
+            if event == B_TRUE:
+                return (lo[child], hi[child], mu[child], True)
+            return (lo[child], hi[child], True, True)
+        if kind == _K_SUM:
+            # ``u`` is the identity: the accumulator starts undefined.
+            # Faithful fold of :func:`repro.compile.partial.num_add`.
+            a_lo = a_hi = _NAN
+            a_mu, a_md = True, False
+            for child in children:
+                c_md = md[child]
+                c_mu = mu[child]
+                c_lo, c_hi = lo[child], hi[child]
+                n_lo = n_hi = None
+                n_md = False
+                if a_md and c_md:
+                    n_lo, n_hi = a_lo + c_lo, a_hi + c_hi
+                    n_md = True
+                if a_md and c_mu:
+                    n_lo = a_lo if n_lo is None else min(n_lo, a_lo)
+                    n_hi = a_hi if n_hi is None else max(n_hi, a_hi)
+                    n_md = True
+                if c_md and a_mu:
+                    n_lo = c_lo if n_lo is None else min(n_lo, c_lo)
+                    n_hi = c_hi if n_hi is None else max(n_hi, c_hi)
+                    n_md = True
+                a_mu = a_mu and c_mu
+                if n_md:
+                    a_lo, a_hi, a_md = n_lo, n_hi, True
+                else:
+                    a_lo, a_hi, a_md = _NAN, _NAN, False
+                    a_mu = True  # fully undefined again
+            if not a_md:
+                return _UNDEFINED
+            return (a_lo, a_hi, a_mu, True)
+        if kind == _K_PROD:
+            a_lo = a_hi = 1.0
+            a_mu, a_md = False, True
+            for child in children:
+                a_mu = a_mu or mu[child]
+                if not md[child]:
+                    return _UNDEFINED  # u annihilates for good
+                c_lo, c_hi = lo[child], hi[child]
+                p1, p2, p3, p4 = (
+                    a_lo * c_lo,
+                    a_lo * c_hi,
+                    a_hi * c_lo,
+                    a_hi * c_hi,
+                )
+                a_lo = min(p1, p2, p3, p4)
+                a_hi = max(p1, p2, p3, p4)
+            return (a_lo, a_hi, a_mu, True)
+        if kind == _K_INV:
+            child = children[0]
+            if not md[child]:
+                return _UNDEFINED
+            c_lo, c_hi = lo[child], hi[child]
+            if c_lo > 0 or c_hi < 0:
+                return (1.0 / c_hi, 1.0 / c_lo, mu[child], True)
+            if c_lo == 0 and c_hi == 0:
+                return _UNDEFINED
+            if c_lo == 0:
+                return (1.0 / c_hi, _INF, True, True)
+            if c_hi == 0:
+                return (-_INF, 1.0 / c_lo, True, True)
+            return (-_INF, _INF, True, True)
+        if kind == _K_POW:
+            exponent = self._pow[vid]
+            if exponent < 0:
+                return None  # rare: exact object path handles the inversion
+            child = children[0]
+            if not md[child]:
+                return _UNDEFINED
+            c_lo, c_hi = lo[child], hi[child]
+            if exponent % 2 == 1 or c_lo >= 0:
+                return (c_lo**exponent, c_hi**exponent, mu[child], True)
+            abs_lo, abs_hi = abs(c_lo), abs(c_hi)
+            spans_zero = c_lo <= 0 <= c_hi
+            n_lo = 0.0 if spans_zero else min(abs_lo, abs_hi) ** exponent
+            return (n_lo, max(abs_lo, abs_hi) ** exponent, mu[child], True)
+        if kind == _K_DIST:
+            left, right = children
+            if self._is_vec[left] or self._is_vec[right]:
+                return None
+            n_mu = mu[left] or mu[right]
+            if not (md[left] and md[right]):
+                return _UNDEFINED
+            diff_lo = lo[left] - hi[right]
+            diff_hi = hi[left] - lo[right]
+            spans_zero = diff_lo <= 0 <= diff_hi
+            abs_lo = 0.0 if spans_zero else min(abs(diff_lo), abs(diff_hi))
+            abs_hi = max(abs(diff_lo), abs(diff_hi))
+            if self._metric[vid] == 1:  # sqeuclidean
+                return (abs_lo * abs_lo, abs_hi * abs_hi, n_mu, True)
+            # euclidean and manhattan coincide on scalars
+            return (abs_lo, abs_hi, n_mu, True)
+        if kind == _K_LOOP_IN:
+            child = children[0]
+            return (lo[child], hi[child], mu[child], md[child])
+        raise TypeError(f"cannot mask-evaluate node kind {Kind(kind)!r}")
+
+    def _write_num_scalar(
+        self,
+        vid: int,
+        state: Tuple[float, float, bool, bool],
+        frame: Optional[List[tuple]],
+    ) -> bool:
+        new_lo, new_hi, new_mu, new_md = state
+        old_md = self._md[vid]
+        old_mu = self._mu[vid]
+        old_lo = self._lo[vid]
+        old_hi = self._hi[vid]
+        resolved = (not new_md and new_mu) or (
+            new_md and not new_mu and new_lo == new_hi
+        )
+        unchanged = (
+            old_md == new_md
+            and old_mu == new_mu
+            and (not new_md or (old_lo == new_lo and old_hi == new_hi))
+        )
+        if unchanged:
+            if resolved and not self._resolved[vid]:
+                # Same value, newly stable: resolve without propagating.
+                if frame is not None:
+                    frame.append((_TAG_NUM, vid, old_lo, old_hi, old_mu, old_md))
+                self._resolved[vid] = True
+            return False
+        if frame is not None:
+            frame.append((_TAG_NUM, vid, old_lo, old_hi, old_mu, old_md))
+        self._lo[vid] = new_lo
+        self._hi[vid] = new_hi
+        self._mu[vid] = new_mu
+        self._md[vid] = new_md
+        if resolved:
+            self._resolved[vid] = True
+        return True
+
+    def _write_num(
+        self, vid: int, state: NumState, frame: Optional[List[tuple]]
+    ) -> bool:
+        if self._is_vec[vid]:
+            if frame is not None:
+                frame.append((_TAG_VEC, vid, self._vec.get(vid)))
+            self._vec[vid] = state
+            # state.is_resolved with an identity shortcut: vector point
+            # states usually share one array for both bounds, making the
+            # elementwise comparison redundant.
+            if state.may_u:
+                resolved = not state.may_def
+            else:
+                resolved = state.lo is state.hi or bool(
+                    np.array_equal(state.lo, state.hi)
+                )
+            if resolved:
+                self._resolved[vid] = True
+            return True
+        new_md = state.may_def
+        new_mu = state.may_u
+        new_lo = float(state.lo) if new_md else _NAN
+        new_hi = float(state.hi) if new_md else _NAN
+        return self._write_num_scalar(vid, (new_lo, new_hi, new_mu, new_md), frame)
+
+    # -- compiler interface ---------------------------------------------
+
+    def _state_of(self, node_id: int) -> State:
+        vid = self._final[node_id]
+        if self._is_bool[vid]:
+            return self._b[vid]
+        return self._read_num(vid)
+
+    def target_states(self, target_ids: Sequence[int]) -> Dict[int, State]:
+        """States of the targets (at the final iteration when folded)."""
+        return {
+            target_id: self._state_of(int(target_id))
+            for target_id in target_ids
+        }
+
+    def node_state(self, node_id: int, memo: Optional[dict] = None) -> State:
+        """State of an arbitrary node (uniform across evaluator kinds).
+
+        The columns *are* the memo, so ``memo`` is accepted and ignored.
+        """
+        return self._state_of(int(node_id))
+
+    def count_unresolved(self, node_ids: Sequence[int]) -> int:
+        """How many of the nodes are still unresolved (ordering hook)."""
+        final = self._final
+        resolved = self._resolved
+        return sum(1 for node_id in node_ids if not resolved[final[node_id]])
+
+
+# Operator strings by ATOM_OPS code, for the exact-object atom path.
+_OP_NAMES = tuple(
+    op for op, _ in sorted(ATOM_OPS.items(), key=lambda item: item[1])
+)
+
+
+def _dist_vec(left: NumState, right: NumState, metric: int) -> NumState:
+    """:func:`repro.compile.partial.num_dist`, specialised for the hot path.
+
+    Point states (``lo is hi``, the common case: guard constants and
+    sums of them) reduce to one exact distance; interval states follow
+    the general bound computation, minus the per-call array coercions
+    (vector states here always carry float64 arrays or floats).
+    """
+    may_u = left.may_u or right.may_u
+    if not (left.may_def and right.may_def):
+        return NumState.undefined()
+    if left.lo is left.hi and right.lo is right.hi:
+        diff = np.abs(left.lo - right.lo)
+        if metric == 0:  # euclidean
+            value = float(np.sqrt(np.sum(diff * diff)))
+        elif metric == 1:  # sqeuclidean
+            value = float(np.sum(diff * diff))
+        else:  # manhattan
+            value = float(np.sum(diff))
+        return NumState(value, value, may_u, True)
+    diff_lo = left.lo - right.hi
+    diff_hi = left.hi - right.lo
+    spans_zero = (diff_lo <= 0) & (diff_hi >= 0)
+    abs_lo = np.where(spans_zero, 0.0, np.minimum(np.abs(diff_lo), np.abs(diff_hi)))
+    abs_hi = np.maximum(np.abs(diff_lo), np.abs(diff_hi))
+    if metric == 0:
+        lo = float(np.sqrt(np.sum(abs_lo * abs_lo)))
+        hi = float(np.sqrt(np.sum(abs_hi * abs_hi)))
+    elif metric == 1:
+        lo = float(np.sum(abs_lo * abs_lo))
+        hi = float(np.sum(abs_hi * abs_hi))
+    else:
+        lo = float(np.sum(abs_lo))
+        hi = float(np.sum(abs_hi))
+    return NumState(lo, hi, may_u, True)

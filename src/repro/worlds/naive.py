@@ -73,7 +73,9 @@ def naive_probabilities_scalar(
     target_ids = [network.targets[name] for name in names]
     totals = {name: 0.0 for name in names}
     cache: Dict[Tuple[bool, ...], Tuple[bool, ...]] = {}
-    evaluator = make_evaluator(network)
+    # The scalar oracle deliberately drives the original recursive
+    # evaluators (it resets their resolved maps per world by hand).
+    evaluator = make_evaluator(network, engine="scalar")
     worlds = 0
     timed_out = False
 

@@ -7,8 +7,9 @@ import sys
 
 import pytest
 
-# The compiler raises the recursion limit for deep network traversals;
-# raising it up front keeps hypothesis from warning about mid-test changes.
+# The compiler's DFS is iterative, but the *scalar* oracle evaluators
+# still recurse over deep networks in the cross-validation suites;
+# raising the limit up front keeps them usable on large instances.
 sys.setrecursionlimit(100_000)
 
 from repro.events.expressions import (

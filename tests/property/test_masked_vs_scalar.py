@@ -1,0 +1,289 @@
+"""Property tests: the masked flat-IR evaluator against the scalar oracles.
+
+The masked engine (:mod:`repro.engine.masked`) must be *state-for-state*
+equivalent to the recursive partial evaluators — the same three-valued
+Boolean state and the same numeric abstraction for **every** node of the
+network, under **every** partial assignment reachable by a random
+push/pop walk, on flat and folded networks alike.  On top of that, the
+four Shannon schemes (and their distributed ``workers=`` runs) must
+produce bounds identical to 1e-9 whichever engine evaluates the leaves.
+
+This is the contract that lets the masked engine be the default: the
+recursive evaluators survive only as the cross-validation oracles
+behind ``make_evaluator(engine="scalar")``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compile.compiler import compile_network, make_evaluator
+from repro.compile.distributed import compile_distributed
+from repro.compile.partial import NumState
+from repro.engine.masked import MaskedEvaluator
+from repro.events.expressions import TRUE, atom, cdist, csum, guard
+from repro.network.build import build_targets
+from repro.worlds.variables import VariablePool
+
+from ..conftest import random_event
+from .test_folded_bulk_vs_scalar import _random_folded_instance
+
+MATCH_ABS = 1e-9
+
+
+def _states_equal(left, right) -> bool:
+    """Same three-valued state / numeric abstraction?"""
+    if isinstance(left, NumState) != isinstance(right, NumState):
+        return False
+    if not isinstance(left, NumState):
+        return int(left) == int(right)
+    if left.may_def != right.may_def or left.may_u != right.may_u:
+        return False
+    if not left.may_def:
+        return True
+    return bool(
+        np.array_equal(np.asarray(left.lo), np.asarray(right.lo))
+    ) and bool(np.array_equal(np.asarray(left.hi), np.asarray(right.hi)))
+
+
+def _random_instance(seed: int):
+    rng = random.Random(seed)
+    pool = VariablePool()
+    for _ in range(rng.randint(2, 6)):
+        pool.add(rng.uniform(0.05, 0.95))
+    events = {
+        f"t{index}": random_event(pool, rng, depth=rng.randint(1, 3))
+        for index in range(rng.randint(1, 3))
+    }
+    if rng.random() < 0.5:
+        # Vector c-values: a distance atom over guarded 2-d points, the
+        # k-means/k-medoids shape (exercises the object path).
+        points = [
+            [rng.uniform(-1, 1), rng.uniform(-1, 1)] for _ in range(3)
+        ]
+        centroid = csum(
+            [guard(random_event(pool, rng, depth=1), points[k]) for k in (0, 1)]
+        )
+        events["vec"] = atom(
+            "<=",
+            cdist(guard(TRUE, points[2]), centroid),
+            guard(TRUE, rng.uniform(0.0, 2.0)),
+        )
+    return pool, events
+
+
+def _random_walk(pool, scalar, masked, rng, checker, steps=10):
+    """Random push/pop walk applied to both evaluators in lockstep."""
+    scalar.push()
+    masked.push()
+    stack = []
+    for _ in range(steps):
+        if stack and rng.random() < 0.35:
+            variable = stack.pop()
+            scalar.pop(variable)
+            masked.pop(variable)
+        else:
+            free = [
+                index
+                for index in range(len(pool))
+                if index not in scalar.assignment
+            ]
+            if not free:
+                break
+            variable = rng.choice(free)
+            value = rng.random() < 0.5
+            scalar.push(variable, value)
+            masked.push(variable, value)
+            stack.append(variable)
+        checker()
+    while stack:
+        variable = stack.pop()
+        scalar.pop(variable)
+        masked.pop(variable)
+    checker()
+    scalar.pop()
+    masked.pop()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_masked_matches_scalar_states_flat(seed):
+    pool, events = _random_instance(seed)
+    network = build_targets(events)
+    scalar = make_evaluator(network, engine="scalar")
+    masked = make_evaluator(network, engine="masked")
+    assert isinstance(masked, MaskedEvaluator)
+    rng = random.Random(seed + 1)
+
+    def check():
+        memo = {}
+        for node_id in range(len(network.nodes)):
+            expected = scalar.node_state(node_id, memo)
+            actual = masked.node_state(node_id)
+            assert _states_equal(expected, actual), (
+                node_id,
+                network.nodes[node_id],
+                scalar.assignment,
+            )
+
+    _random_walk(pool, scalar, masked, rng, check)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_masked_matches_scalar_states_folded(seed):
+    pool, folded = _random_folded_instance(seed)
+    scalar = make_evaluator(folded, engine="scalar")
+    masked = make_evaluator(folded, engine="masked")
+    assert isinstance(masked, MaskedEvaluator)
+    rng = random.Random(seed + 1)
+
+    def check():
+        memo = {}
+        for node_id in range(len(folded.nodes)):
+            expected = scalar.node_state(node_id, memo)
+            actual = masked.node_state(node_id)
+            assert _states_equal(expected, actual), (
+                node_id,
+                folded.nodes[node_id],
+                scalar.assignment,
+            )
+
+    _random_walk(pool, scalar, masked, rng, check)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_masked_trail_restores_baseline(seed):
+    """After a balanced walk, every column equals the freshly-built state."""
+    pool, events = _random_instance(seed)
+    network = build_targets(events)
+    masked = make_evaluator(network, engine="masked")
+    baseline = (
+        list(masked._b),
+        list(masked._lo),
+        list(masked._hi),
+        list(masked._mu),
+        list(masked._md),
+        list(masked._resolved),
+    )
+    scalar = make_evaluator(network, engine="scalar")
+    rng = random.Random(seed + 2)
+    _random_walk(pool, scalar, masked, rng, lambda: None)
+    assert masked.depth == 0
+    assert masked.assignment == {}
+    assert (
+        list(masked._b),
+        list(masked._lo),
+        list(masked._hi),
+        list(masked._mu),
+        list(masked._md),
+        list(masked._resolved),
+    ) == baseline
+
+
+@pytest.mark.parametrize(
+    "scheme,epsilon",
+    [("exact", 0.0), ("lazy", 0.07), ("eager", 0.07), ("hybrid", 0.07)],
+)
+def test_schemes_agree_between_engines(scheme, epsilon):
+    for seed in range(8):
+        pool, events = _random_instance(seed)
+        network = build_targets(events)
+        results = {
+            engine: compile_network(
+                network, pool, scheme=scheme, epsilon=epsilon, engine=engine
+            )
+            for engine in ("masked", "scalar")
+        }
+        for name in network.targets:
+            masked_bounds = results["masked"].bounds[name]
+            scalar_bounds = results["scalar"].bounds[name]
+            assert masked_bounds[0] == pytest.approx(
+                scalar_bounds[0], abs=MATCH_ABS
+            )
+            assert masked_bounds[1] == pytest.approx(
+                scalar_bounds[1], abs=MATCH_ABS
+            )
+        # Identical leaf states must induce the identical decision tree.
+        assert results["masked"].tree_nodes == results["scalar"].tree_nodes
+
+
+def test_distributed_exact_agrees_between_engines():
+    for seed in range(5):
+        pool, events = _random_instance(seed)
+        network = build_targets(events)
+        results = {
+            engine: compile_distributed(
+                network,
+                pool,
+                scheme="exact",
+                workers=3,
+                job_size=2,
+                engine=engine,
+            )
+            for engine in ("masked", "scalar")
+        }
+        for name in network.targets:
+            masked_bounds = results["masked"].bounds[name]
+            scalar_bounds = results["scalar"].bounds[name]
+            assert masked_bounds[0] == pytest.approx(
+                scalar_bounds[0], abs=MATCH_ABS
+            )
+            assert masked_bounds[1] == pytest.approx(
+                scalar_bounds[1], abs=MATCH_ABS
+            )
+        assert results["masked"].jobs == results["scalar"].jobs
+
+
+def test_distributed_hybrid_guarantee_holds_per_engine():
+    # Approximate distributed runs pool budgets in measured-cost order,
+    # so the masked and scalar trees can legitimately differ; what every
+    # engine must deliver is the certified 2eps interval around the truth.
+    epsilon = 0.07
+    for seed in range(5):
+        pool, events = _random_instance(seed)
+        network = build_targets(events)
+        exact = compile_network(network, pool)
+        for engine in ("masked", "scalar"):
+            result = compile_distributed(
+                network,
+                pool,
+                scheme="hybrid",
+                epsilon=epsilon,
+                workers=3,
+                job_size=2,
+                engine=engine,
+            )
+            for name in network.targets:
+                truth = exact.bounds[name][0]
+                lower, upper = result.bounds[name]
+                assert lower - MATCH_ABS <= truth <= upper + MATCH_ABS
+                assert upper - lower <= 2 * epsilon + MATCH_ABS
+
+
+@pytest.mark.parametrize("scheme,epsilon", [("exact", 0.0), ("hybrid", 0.07)])
+def test_folded_schemes_agree_between_engines(scheme, epsilon):
+    for seed in range(5):
+        pool, folded = _random_folded_instance(seed)
+        results = {
+            engine: compile_network(
+                folded, pool, scheme=scheme, epsilon=epsilon, engine=engine
+            )
+            for engine in ("masked", "scalar")
+        }
+        for name in folded.targets:
+            masked_bounds = results["masked"].bounds[name]
+            scalar_bounds = results["scalar"].bounds[name]
+            assert masked_bounds[0] == pytest.approx(
+                scalar_bounds[0], abs=MATCH_ABS
+            )
+            assert masked_bounds[1] == pytest.approx(
+                scalar_bounds[1], abs=MATCH_ABS
+            )
+        assert results["masked"].tree_nodes == results["scalar"].tree_nodes

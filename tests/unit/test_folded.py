@@ -107,8 +107,15 @@ class TestFoldedConstruction:
 
 class TestFoldedEvaluation:
     def test_make_evaluator_dispatches(self):
+        from repro.engine.masked import MaskedEvaluator
+
         network = make_counter_network(2)
-        assert isinstance(make_evaluator(network), FoldedEvaluator)
+        assert isinstance(make_evaluator(network), MaskedEvaluator)
+        assert isinstance(
+            make_evaluator(network, engine="scalar"), FoldedEvaluator
+        )
+        with pytest.raises(ValueError):
+            make_evaluator(network, engine="turbo")
 
     def test_counter_semantics(self):
         # With x0 true, S after t iterations is t; the target needs
