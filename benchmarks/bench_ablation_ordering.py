@@ -2,9 +2,12 @@
 
 The paper's compiler "chooses a next variable x' such that it influences
 as many events as possible".  We compare the static frequency heuristic
-(our default proxy), the dynamic influence recomputation (closest to the
-paper's description), and a naive index order.  Better orders resolve
-targets earlier and explore fewer decision-tree nodes.
+(our default proxy), the dynamic influence recomputation closest to the
+paper's description (``dynamic`` = cone-aware scoring, ``dynamic-scan``
+= the reference network scan; identical trees by construction), and a
+naive index order.  Better orders resolve targets earlier and explore
+fewer decision-tree nodes; ``benchmarks/bench_ordering_cone.py``
+measures the scoring cost itself.
 
 Run the full sweep:  python -m benchmarks.bench_ablation_ordering
 """
@@ -17,7 +20,7 @@ from repro.compile.compiler import compile_network
 
 from .common import EPSILON, make_workload
 
-ORDERS = ("frequency", "dynamic", "index")
+ORDERS = ("frequency", "dynamic", "dynamic-scan", "index")
 
 
 def workload():

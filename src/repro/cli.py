@@ -16,6 +16,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .compile.ordering import ORDER_NAMES
 from .core.platform import ENFrame
 from .engine.registry import available_schemes
 from .mining.kmedoids import KMedoidsSpec
@@ -74,6 +75,7 @@ def _command_cluster(args: argparse.Namespace) -> int:
     result = platform.run(
         scheme=args.algorithm,
         epsilon=args.epsilon,
+        ordering=args.order,
         workers=args.workers,
         job_size=args.job_size,
     )
@@ -130,6 +132,9 @@ def build_parser() -> argparse.ArgumentParser:
                          default="hybrid", help="probability computation scheme")
     cluster.add_argument("--epsilon", type=float, default=0.1,
                          help="absolute error budget for approximations")
+    cluster.add_argument("--order", choices=ORDER_NAMES, default="frequency",
+                         help="Shannon variable-ordering strategy "
+                              "(dynamic = cone-aware influence)")
     cluster.add_argument("--workers", type=int, default=None,
                          help="enable distributed compilation with N workers")
     cluster.add_argument("--job-size", type=int, default=3,

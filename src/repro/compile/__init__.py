@@ -3,7 +3,13 @@
 from .compiler import SCHEMES, ShannonCompiler, compile_network, make_evaluator
 from .distributed import DistributedCompiler, Job, compile_distributed
 from .folded_eval import FoldedEvaluator
-from .ordering import DynamicInfluenceOrder, FrequencyOrder, GivenOrder, make_order
+from .ordering import (
+    ConeInfluenceOrder,
+    DynamicInfluenceOrder,
+    FrequencyOrder,
+    GivenOrder,
+    make_order,
+)
 from .partial import B_FALSE, B_TRUE, B_UNKNOWN, NumState, PartialEvaluator
 from .result import CompilationResult
 
@@ -12,6 +18,7 @@ __all__ = [
     "B_TRUE",
     "B_UNKNOWN",
     "CompilationResult",
+    "ConeInfluenceOrder",
     "DistributedCompiler",
     "DynamicInfluenceOrder",
     "FoldedEvaluator",

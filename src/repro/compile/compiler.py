@@ -116,11 +116,13 @@ class ShannonCompiler:
         self.target_ids = {name: network.targets[name] for name in names}
         self.order: VariableOrder = make_order(network, order)
         self.engine = engine
-        # Run state (reset per run()).  A caller may hand over a
-        # balanced evaluator for this network/engine (the distributed
-        # thread pool recycles them across jobs) — rebuilding a masked
-        # evaluator repeats its baseline sweep.
-        if evaluator is not None and evaluator.depth == 0:
+        # Run state (reset per run()).  A caller may hand over an
+        # evaluator for this network/engine (the distributed workers
+        # recycle persistent evaluators across jobs, possibly with a job
+        # prefix still pushed) — rebuilding a masked evaluator repeats
+        # its baseline sweep.  run() still insists on a balanced
+        # evaluator; the distributed job path manages depth itself.
+        if evaluator is not None:
             self.evaluator = evaluator
         else:
             self.evaluator = make_evaluator(network, engine=engine)

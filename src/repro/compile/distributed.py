@@ -9,12 +9,26 @@ budgets are synchronised with the coordinator at job start and end.
 
 Like the paper's own evaluation ("timings … were obtained by simulating
 distributed computation on a single machine"), the default execution mode
-is a deterministic discrete-event simulation: jobs are executed
-sequentially, their wall-clock cost is measured, and the *makespan* of a
-``w``-worker schedule (greedy assignment of ready jobs to the earliest
-available worker, plus a per-job communication overhead) is reported.
-A real thread-pool mode is provided for functional parity
-(``execution="threads"``), though CPython's GIL prevents actual speedups.
+is a deterministic discrete-event simulation: jobs are executed in
+creation (FIFO) order — a topological order of the job DAG that does not
+depend on measured cost, so two runs produce identical job sequences —
+their wall-clock cost is measured, and the *makespan* of a ``w``-worker
+schedule (greedy assignment of ready jobs to the earliest available
+worker, plus a per-job communication overhead) is replayed from the
+recorded costs afterwards.  A real thread-pool mode is provided for
+functional parity (``execution="threads"``), though CPython's GIL
+prevents actual speedups.
+
+Each worker owns a **persistent evaluator** wrapped in a
+:class:`_PrefixCursor`: instead of replaying every job's assignment
+prefix from the root (and unwinding it afterwards), the cursor keeps the
+previous job's prefix pushed and moves to the next one through their
+common ancestor — pop the frames past it, push the missing suffix.  With
+the masked engine this is the difference between re-sweeping every
+cone on the root-to-node path per job and re-sweeping only the changed
+suffix (``handoff="delta"``, the default; ``handoff="replay"`` restores
+the full-replay behaviour for comparison — see
+``benchmarks/bench_ordering_cone.py``).
 """
 
 from __future__ import annotations
@@ -22,8 +36,9 @@ from __future__ import annotations
 import heapq
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from threading import Lock
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -31,6 +46,8 @@ from ..network.nodes import EventNetwork
 from ..worlds.variables import VariablePool
 from .compiler import ShannonCompiler, make_evaluator
 from .result import CompilationResult
+
+HANDOFFS = ("delta", "replay")
 
 
 @dataclass
@@ -42,7 +59,6 @@ class Job:
     prob: float
     active: Tuple[str, ...]
     budgets: Dict[str, float]
-    ready_time: float = 0.0
     cost: float = 0.0
 
     @property
@@ -58,8 +74,8 @@ class _JobCompiler(ShannonCompiler):
         self.job_size = 0
         self.forked: List[Tuple[Tuple[Tuple[int, bool], ...], float, Tuple[str, ...], Dict[str, float]]] = []
         # Evaluator depth at the job root; set per job after the prefix
-        # replay (the local compiler path replays no prefix, so the root
-        # frame of run() sits at depth 1).
+        # is applied (the local compiler path applies no prefix, so the
+        # root frame of run() sits at depth 1).
         self._base_depth = 1
 
     def _enter_node(self, prob, active, budgets):
@@ -71,6 +87,57 @@ class _JobCompiler(ShannonCompiler):
             self.forked.append((prefix, prob, tuple(active), dict(budgets)))
             return {name: 0.0 for name in budgets}
         return None
+
+
+class _PrefixCursor:
+    """One worker's persistent evaluator plus its applied job prefix.
+
+    The evaluator keeps a root frame (depth 1) plus one trail frame per
+    assignment of the currently applied prefix.  :meth:`seek` moves
+    between prefixes through their common ancestor — rewind the frames
+    past it, push the missing suffix — which is the delta handoff:
+    state the two jobs share is never recomputed.  :meth:`release`
+    rewinds to the balanced baseline (depth 0) so the evaluator can be
+    handed back to ``ShannonCompiler.run`` or a later coordinator run.
+    """
+
+    def __init__(self, network: EventNetwork, engine: str) -> None:
+        self._network = network
+        self._engine = engine
+        self.evaluator = None
+        self.applied: Tuple[Tuple[int, bool], ...] = ()
+
+    def ensure(self):
+        """The worker's evaluator, rebuilt only if its trail is off."""
+        evaluator = self.evaluator
+        if evaluator is None or evaluator.depth != 1 + len(self.applied):
+            if evaluator is None or evaluator.depth != 0:
+                # Missing, or left unbalanced by an aborted job: the
+                # trail no longer describes ``applied``, start over.
+                evaluator = make_evaluator(self._network, engine=self._engine)
+                self.evaluator = evaluator
+            evaluator.push()
+            self.applied = ()
+        return evaluator
+
+    def seek(self, prefix: Tuple[Tuple[int, bool], ...]) -> None:
+        """Move the evaluator from the applied prefix to ``prefix``."""
+        evaluator = self.evaluator
+        common = 0
+        for ours, theirs in zip(self.applied, prefix):
+            if ours != theirs:
+                break
+            common += 1
+        evaluator.rewind_to(1 + common)
+        for variable, value in prefix[common:]:
+            evaluator.push(variable, value)
+        self.applied = tuple(prefix)
+
+    def release(self) -> None:
+        """Rewind to the balanced baseline state (depth 0)."""
+        if self.evaluator is not None:
+            self.evaluator.rewind_to(0)
+        self.applied = ()
 
 
 class DistributedCompiler:
@@ -86,17 +153,23 @@ class DistributedCompiler:
         job_size: int = 3,
         overhead: float = 0.0005,
         engine: str = "masked",
+        handoff: str = "delta",
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if job_size < 1:
             raise ValueError("job_size must be >= 1")
+        if handoff not in HANDOFFS:
+            raise ValueError(
+                f"unknown handoff {handoff!r}; expected one of {HANDOFFS}"
+            )
         self.network = network
         self.pool = pool
         self.workers = workers
         self.job_size = job_size
         self.overhead = overhead
         self.engine = engine
+        self.handoff = handoff
         self.order = order
         self._compiler = _JobCompiler(
             network, pool, targets=targets, order=order, engine=engine
@@ -156,29 +229,31 @@ class DistributedCompiler:
         compiler.forked = []
         return compiler
 
-    def _execute_job(self, compiler: _JobCompiler, job: Job) -> Tuple[Dict[str, float], List[Job], float, int]:
+    def _make_cursor(self, compiler: _JobCompiler) -> _PrefixCursor:
+        """A worker cursor seeded with the compiler's balanced evaluator."""
+        cursor = _PrefixCursor(self.network, compiler.engine)
+        if compiler.evaluator is not None and compiler.evaluator.depth == 0:
+            cursor.evaluator = compiler.evaluator
+        return cursor
+
+    def _execute_job(
+        self, compiler: _JobCompiler, job: Job, cursor: _PrefixCursor
+    ) -> Tuple[Dict[str, float], List[Job], float, int]:
         """Run one job; returns (residual budgets, child jobs, cost, forks)."""
-        # Jobs replay balanced push/pop sequences, so the previous job's
-        # evaluator is back at baseline and reusable; rebuild only when
-        # an aborted job left frames behind.
-        evaluator = compiler.evaluator
-        if evaluator is None or evaluator.depth != 0:
-            evaluator = make_evaluator(self.network, engine=compiler.engine)
-            compiler.evaluator = evaluator
+        evaluator = cursor.ensure()
+        compiler.evaluator = evaluator
         compiler.forked = []
         started = time.perf_counter()
-        # Replay the job prefix through push() so trail depth and pop()
-        # accounting agree with the local compiler path (writing into
-        # evaluator.assignment directly would skip the masking sweeps of
-        # the masked engine and the trail frames of the scalar one).
-        evaluator.push()
-        for variable, value in job.prefix:
-            evaluator.push(variable, value)
+        # Delta handoff: seek from the previous job's prefix to this
+        # one's through their common ancestor.  Under handoff="replay"
+        # the cursor is released after every job, so the seek degrades
+        # to the historical full replay from the root (and the unwind
+        # is billed to the job, as it used to be).
+        cursor.seek(job.prefix)
         compiler._base_depth = evaluator.depth
         residual = compiler._dfs(job.prob, list(job.active), dict(job.budgets))
-        for variable, _ in reversed(job.prefix):
-            evaluator.pop(variable)
-        evaluator.pop()
+        if self.handoff == "replay":
+            cursor.release()
         cost = time.perf_counter() - started
         children = [
             Job(
@@ -194,47 +269,46 @@ class DistributedCompiler:
 
     def _run_simulated(self, scheme: str, epsilon: float) -> CompilationResult:
         compiler = self._prepare(scheme, epsilon)
-        budgets = {name: 2.0 * epsilon for name in self.target_names}
+        cursor = self._make_cursor(compiler)
         root = Job(
             index=0,
             prefix=(),
             prob=1.0,
             active=tuple(self.target_names),
-            budgets=budgets,
+            budgets={name: 2.0 * epsilon for name in self.target_names},
         )
 
-        # Discrete-event simulation: ready jobs are processed in
-        # (ready_time, creation index) order on the earliest-free worker.
-        ready: List[Tuple[float, int, Job]] = [(0.0, 0, root)]
-        worker_free = [0.0] * self.workers
+        # Execute jobs in creation (FIFO) order — a topological order of
+        # the job DAG independent of measured cost, so the job sequence
+        # (and hence the budget synchronisation) is deterministic; the
+        # w-worker schedule is replayed from the recorded costs below.
+        pending = deque([root])
+        executed: List[Job] = []
+        parent_of: Dict[int, int] = {}
         residual_pool = {name: 0.0 for name in self.target_names}
         next_index = 1
-        jobs_done = 0
-        makespan = 0.0
         wall_started = time.perf_counter()
 
-        while ready:
-            ready_time, _, job = heapq.heappop(ready)
+        while pending:
+            job = pending.popleft()
             # Budget synchronisation at job start: grant pooled residuals.
             for name in job.budgets:
                 job.budgets[name] += residual_pool[name]
                 residual_pool[name] = 0.0
-            worker = min(range(self.workers), key=lambda w: worker_free[w])
-            start = max(ready_time, worker_free[worker])
-            residual, children, cost, _ = self._execute_job(compiler, job)
-            finish = start + cost + self.overhead
-            worker_free[worker] = finish
-            makespan = max(makespan, finish)
-            jobs_done += 1
+            residual, children, cost, _ = self._execute_job(compiler, job, cursor)
+            job.cost = cost
+            executed.append(job)
             # Budget synchronisation at job end: return residuals.
             for name, amount in residual.items():
                 residual_pool[name] += amount
             for child in children:
                 child.index = next_index
-                child.ready_time = finish
-                heapq.heappush(ready, (finish, next_index, child))
+                parent_of[child.index] = job.index
+                pending.append(child)
                 next_index += 1
+        cursor.release()
         wall = time.perf_counter() - wall_started
+        makespan = self._simulate_makespan(executed, parent_of)
 
         bounds = {
             name: (compiler._lower[name], compiler._upper[name])
@@ -248,12 +322,41 @@ class DistributedCompiler:
             tree_nodes=compiler._tree_nodes,
             evals=0,
             max_depth=compiler._max_depth,
-            jobs=jobs_done,
+            jobs=len(executed),
             workers=self.workers,
             makespan=makespan,
         )
         result.extra["job_size"] = float(self.job_size)
+        result.extra["delta_handoff"] = 1.0 if self.handoff == "delta" else 0.0
         return result
+
+    def _simulate_makespan(
+        self, executed: List[Job], parent_of: Dict[int, int]
+    ) -> float:
+        """Greedy w-worker schedule over the recorded job costs.
+
+        Ready jobs (parent finished) are assigned in (ready time,
+        creation index) order to the earliest-free worker; each job
+        occupies its worker for its measured cost plus the per-job
+        communication overhead.
+        """
+        costs = {job.index: job.cost for job in executed}
+        children_of: Dict[int, List[int]] = {}
+        for child, parent in parent_of.items():
+            children_of.setdefault(parent, []).append(child)
+        ready: List[Tuple[float, int]] = [(0.0, 0)]
+        worker_free = [0.0] * self.workers
+        makespan = 0.0
+        while ready:
+            ready_time, index = heapq.heappop(ready)
+            worker = min(range(self.workers), key=lambda w: worker_free[w])
+            start = max(ready_time, worker_free[worker])
+            finish = start + costs[index] + self.overhead
+            worker_free[worker] = finish
+            makespan = max(makespan, finish)
+            for child in sorted(children_of.get(index, ())):
+                heapq.heappush(ready, (finish, child))
+        return makespan
 
     def _run_threaded(self, scheme: str, epsilon: float) -> CompilationResult:
         """Thread-pool execution; bounds merged under a lock at job end."""
@@ -264,18 +367,29 @@ class DistributedCompiler:
         jobs_done = 0
         tree_nodes = 0
         thread_state = threading.local()
+        cursors: List[_PrefixCursor] = []
 
         def run_job(job: Job) -> List[Job]:
             nonlocal jobs_done, tree_nodes
-            # Each thread gets a private compiler seeded with a snapshot of
-            # the global bounds so the finished-check can fire early; the
-            # thread's evaluator is recycled across its jobs (a fresh
-            # masked evaluator would repeat the baseline sweep per job).
+            # Each thread owns a persistent cursor: its evaluator (and,
+            # under delta handoff, its applied prefix) is recycled
+            # across the thread's jobs — a fresh masked evaluator would
+            # repeat the baseline sweep per job.
+            cursor = getattr(thread_state, "cursor", None)
+            if cursor is None:
+                cursor = _PrefixCursor(self.network, self.engine)
+                thread_state.cursor = cursor
+                with lock:
+                    cursors.append(cursor)
+            # A private compiler seeded with a snapshot of the global
+            # bounds so the finished-check can fire early.
             compiler = _JobCompiler(
                 self.network, self.pool, targets=self.target_names,
                 order=self.order, engine=self.engine,
-                evaluator=getattr(thread_state, "evaluator", None),
+                evaluator=cursor.evaluator,
             )
+            if cursor.evaluator is None:
+                cursor.evaluator = compiler.evaluator
             compiler._scheme = scheme
             compiler._epsilon = epsilon
             compiler._finished = set()
@@ -289,8 +403,7 @@ class DistributedCompiler:
                     residual_pool[name] = 0.0
             base_lower = dict(compiler._lower)
             base_upper = dict(compiler._upper)
-            residual, children, _, _ = self._execute_job(compiler, job)
-            thread_state.evaluator = compiler.evaluator
+            residual, children, _, _ = self._execute_job(compiler, job, cursor)
             with lock:
                 jobs_done += 1
                 tree_nodes += compiler._tree_nodes
@@ -319,6 +432,8 @@ class DistributedCompiler:
                     child.index = next_index
                     next_index += 1
                     futures.append(executor.submit(run_job, child))
+        for cursor in cursors:
+            cursor.release()
         elapsed = time.perf_counter() - started
 
         bounds = {name: (lower[name], upper[name]) for name in self.target_names}
@@ -334,6 +449,7 @@ class DistributedCompiler:
         )
         result.extra["job_size"] = float(self.job_size)
         result.extra["execution"] = 1.0
+        result.extra["delta_handoff"] = 1.0 if self.handoff == "delta" else 0.0
         return result
 
 
@@ -348,6 +464,7 @@ def compile_distributed(
     order: "str | Sequence[int]" = "frequency",
     execution: str = "simulate",
     engine: str = "masked",
+    handoff: str = "delta",
 ) -> CompilationResult:
     """One-shot helper mirroring :func:`repro.compile.compiler.compile_network`."""
     coordinator = DistributedCompiler(
@@ -358,5 +475,6 @@ def compile_distributed(
         workers=workers,
         job_size=job_size,
         engine=engine,
+        handoff=handoff,
     )
     return coordinator.run(scheme=scheme, epsilon=epsilon, execution=execution)

@@ -43,6 +43,7 @@ class FoldedEvaluator:
         "network",
         "resolved",
         "_trail",
+        "_frame_vars",
         "assignment",
         "evals",
         "_loop_dependent",
@@ -54,6 +55,7 @@ class FoldedEvaluator:
         self.network = network
         self.resolved: Dict[Key, State] = {}
         self._trail: List[List[Key]] = []
+        self._frame_vars: List[Optional[int]] = []
         self.assignment: Dict[int, bool] = {}
         self.evals = 0
         self._loop_dependent = network.loop_dependent()
@@ -63,18 +65,35 @@ class FoldedEvaluator:
 
     def push(self, var_index: Optional[int] = None, value: bool = True) -> None:
         self._trail.append([])
+        self._frame_vars.append(var_index)
         if var_index is not None:
             self.assignment[var_index] = value
 
     def pop(self, var_index: Optional[int] = None) -> None:
+        recorded = self._frame_vars.pop()
+        if var_index is not None and var_index != recorded:
+            self._frame_vars.append(recorded)
+            raise ValueError(
+                f"pop({var_index}) does not match the frame's "
+                f"variable {recorded!r}"
+            )
         for key in self._trail.pop():
             del self.resolved[key]
-        if var_index is not None:
-            del self.assignment[var_index]
+        if recorded is not None:
+            del self.assignment[recorded]
 
     @property
     def depth(self) -> int:
         return len(self._trail)
+
+    def rewind_to(self, depth: int) -> None:
+        """Pop frames until the trail is ``depth`` frames deep."""
+        if depth < 0 or depth > len(self._trail):
+            raise ValueError(
+                f"cannot rewind to depth {depth} from depth {len(self._trail)}"
+            )
+        while len(self._trail) > depth:
+            self.pop()
 
     # -- evaluation -----------------------------------------------------
 

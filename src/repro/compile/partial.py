@@ -280,12 +280,20 @@ class PartialEvaluator:
       change (interval states, unknown booleans).
     """
 
-    __slots__ = ("network", "resolved", "_trail", "assignment", "evals")
+    __slots__ = (
+        "network",
+        "resolved",
+        "_trail",
+        "_frame_vars",
+        "assignment",
+        "evals",
+    )
 
     def __init__(self, network: EventNetwork) -> None:
         self.network = network
         self.resolved: Dict[int, State] = {}
         self._trail: List[List[int]] = []
+        self._frame_vars: List[Optional[int]] = []
         self.assignment: Dict[int, bool] = {}
         self.evals = 0
 
@@ -294,19 +302,40 @@ class PartialEvaluator:
     def push(self, var_index: Optional[int] = None, value: bool = True) -> None:
         """Open a DFS frame, optionally assigning one more variable."""
         self._trail.append([])
+        self._frame_vars.append(var_index)
         if var_index is not None:
             self.assignment[var_index] = value
 
     def pop(self, var_index: Optional[int] = None) -> None:
-        """Close the current DFS frame, undoing its resolutions."""
+        """Close the current DFS frame, undoing its resolutions.
+
+        The frame remembers its assigned variable; ``var_index`` is an
+        optional cross-check (mirrors the masked engine's trail).
+        """
+        recorded = self._frame_vars.pop()
+        if var_index is not None and var_index != recorded:
+            self._frame_vars.append(recorded)
+            raise ValueError(
+                f"pop({var_index}) does not match the frame's "
+                f"variable {recorded!r}"
+            )
         for node_id in self._trail.pop():
             del self.resolved[node_id]
-        if var_index is not None:
-            del self.assignment[var_index]
+        if recorded is not None:
+            del self.assignment[recorded]
 
     @property
     def depth(self) -> int:
         return len(self._trail)
+
+    def rewind_to(self, depth: int) -> None:
+        """Pop frames until the trail is ``depth`` frames deep."""
+        if depth < 0 or depth > len(self._trail):
+            raise ValueError(
+                f"cannot rewind to depth {depth} from depth {len(self._trail)}"
+            )
+        while len(self._trail) > depth:
+            self.pop()
 
     # -- evaluation -------------------------------------------------------
 

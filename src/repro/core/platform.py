@@ -201,6 +201,7 @@ class ENFrame:
         scheme: str = "exact",
         epsilon: float = 0.0,
         order: "str | Sequence[int]" = "frequency",
+        ordering: "str | Sequence[int] | None" = None,
         workers: Optional[int] = None,
         job_size: int = 3,
         timeout: Optional[float] = None,
@@ -218,6 +219,9 @@ class ENFrame:
         ``workers`` switches distributed-capable schemes to the
         distributed compiler (``hybrid-d`` & friends, Section 4.4);
         options irrelevant to the chosen scheme are ignored.
+        ``order``/``ordering`` (the latter wins when both are given)
+        select the Shannon schemes' variable-ordering strategy
+        (:func:`repro.compile.ordering.make_order`).
         """
         if self.network is None:
             raise RuntimeError("no program registered; call kmedoids()/kmeans()/...")
@@ -227,7 +231,7 @@ class ENFrame:
             self.dataset.pool,
             targets=self._target_names,
             epsilon=epsilon,
-            order=order,
+            order=order if ordering is None else ordering,
             workers=workers,
             job_size=job_size,
             timeout=timeout,

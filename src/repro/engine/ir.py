@@ -121,7 +121,10 @@ class FlatNetwork:
         variable is assigned — the VAR node(s) carrying the index plus
         everything reachable upwards through the parent adjacency.
         Cached per variable: the masked evaluator re-sweeps exactly this
-        suffix of the topological order on every ``push``.
+        suffix of the topological order on every ``push``, and the
+        cone-aware variable ordering scores each unassigned variable by
+        intersecting this set with the unresolved part of the mask
+        (:class:`repro.compile.ordering.ConeInfluenceOrder`).
         """
         cached = self._var_cones.get(var_index)
         if cached is not None:

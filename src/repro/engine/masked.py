@@ -123,6 +123,7 @@ class MaskedProgram:
     final_vertex: np.ndarray  # (N,) int64 — node's vertex at the last iteration
     cone_source: object  # FlatNetwork or FoldedFlatIR (owns node-id cones)
     _cones: Dict[int, np.ndarray] = field(default_factory=dict)
+    _final_cones: Dict[int, np.ndarray] = field(default_factory=dict)
     # Folded only: per original node, the vertex ids of its rows.
     _node_rows: "List[np.ndarray] | None" = None
 
@@ -199,6 +200,23 @@ class MaskedProgram:
         if cached is None:
             cached = self.var_cone(var_index).tolist()
             self._py_cones[var_index] = cached
+        return cached
+
+    def final_cone(self, var_index: int) -> np.ndarray:
+        """Final vertices of the *node-level* influence cone of a variable.
+
+        One vertex per original network node in the cone — its row at
+        the last iteration when folded — so counting unresolved entries
+        over this array matches the node-granular resolution the
+        ordering strategies and the scalar oracles reason about
+        (:meth:`MaskedEvaluator.count_unresolved_in_cone`).  Cached per
+        variable, shared by every evaluator of the same network.
+        """
+        cached = self._final_cones.get(var_index)
+        if cached is None:
+            node_cone = self.cone_source.var_cone(var_index)
+            cached = self.final_vertex[node_cone]
+            self._final_cones[var_index] = cached
         return cached
 
 
@@ -475,6 +493,44 @@ class MaskedEvaluator:
     dominate the sweep; the ``bstate``/``lo``/``hi``/``may_u``/
     ``may_def``/``resolved_mask`` NumPy views are materialised on
     demand.
+
+    **Trail semantics.**  Every ``push`` opens one trail frame and
+    records which variable (if any) it assigned; ``pop`` closes the
+    newest frame, restores its trailed writes, and retracts the
+    recorded assignment.  Frames therefore need no caller bookkeeping:
+    :meth:`rewind_to` pops frames down to an arbitrary *base depth*,
+    which is how a persistent distributed worker backs out of one job
+    prefix to the common ancestor of the next
+    (:mod:`repro.compile.distributed`).
+
+    >>> from repro.events.expressions import conj, var
+    >>> from repro.network.build import build_targets
+    >>> network = build_targets({"t": conj([var(0), var(1)])})
+    >>> evaluator = MaskedEvaluator(network)
+    >>> evaluator.push(0, True)
+    >>> evaluator.push(1, True)
+    >>> evaluator.target_states([network.targets["t"]])[network.targets["t"]]
+    1
+    >>> evaluator.rewind_to(0)
+    >>> (evaluator.depth, evaluator.assignment)
+    (0, {})
+
+    **Cone invalidation.**  A ``push(var, value)`` can only change
+    vertices downstream of ``var``, so the sweep is restricted to the
+    variable's precomputed cone and stops early once no dirty vertex
+    remains; resolved vertices are never recomputed, and a ``pop``
+    un-resolves exactly the vertices its frame trailed.  The
+    per-variable cones double as the ordering signal:
+    :meth:`count_unresolved_in_cone` intersects a cone with the
+    resolved column in one vectorized operation — the hook behind
+    :class:`~repro.compile.ordering.ConeInfluenceOrder`.
+
+    >>> evaluator.count_unresolved_in_cone(0)
+    2
+    >>> evaluator.push(0, False)  # resolves the AND and its target
+    >>> evaluator.count_unresolved_in_cone(1)
+    1
+    >>> evaluator.rewind_to(0)
     """
 
     def __init__(self, network: EventNetwork) -> None:
@@ -492,7 +548,15 @@ class MaskedEvaluator:
         self._vec: Dict[int, NumState] = {}
         self.assignment: Dict[int, bool] = {}
         self._frames: List[List[tuple]] = []
+        self._frame_vars: List[Optional[int]] = []
         self.evals = 0
+        # Resolved-column cache for the vectorized ordering hook: the
+        # column only changes inside push/pop, so those bump the version
+        # and the NumPy materialisation is shared by every cone query at
+        # one branching point.
+        self._resolved_version = 0
+        self._resolved_cache: Optional[np.ndarray] = None
+        self._resolved_cache_version = -1
         self._kinds = program.py_kinds()
         self._children = program.py_children()
         self._parents = program.py_parents()
@@ -544,15 +608,33 @@ class MaskedEvaluator:
 
         Assigning a variable re-sweeps only its downstream cone, and
         within the cone only the vertices whose inputs actually changed;
-        every accepted write is trailed so ``pop`` can restore it.
+        every accepted write is trailed so ``pop`` can restore it.  The
+        frame records the assigned variable, so ``pop`` needs no
+        argument to retract it.
         """
         self._frames.append([])
+        self._frame_vars.append(var_index)
+        self._resolved_version += 1
         if var_index is not None:
             self.assignment[var_index] = value
             self._sweep_cone(var_index)
 
     def pop(self, var_index: Optional[int] = None) -> None:
-        """Close the current DFS frame, restoring the trailed entries."""
+        """Close the current DFS frame, restoring the trailed entries.
+
+        ``var_index`` is optional: the frame remembers which variable
+        its ``push`` assigned.  Passing it anyway (the compiler does,
+        for readability) asserts the caller's idea of the stack against
+        the trail's.
+        """
+        recorded = self._frame_vars.pop()
+        if var_index is not None and var_index != recorded:
+            self._frame_vars.append(recorded)
+            raise ValueError(
+                f"pop({var_index}) does not match the frame's "
+                f"variable {recorded!r}"
+            )
+        self._resolved_version += 1
         for entry in reversed(self._frames.pop()):
             tag = entry[0]
             vid = entry[1]
@@ -569,12 +651,28 @@ class MaskedEvaluator:
                 else:
                     self._vec[vid] = entry[2]
             self._resolved[vid] = False
-        if var_index is not None:
-            del self.assignment[var_index]
+        if recorded is not None:
+            del self.assignment[recorded]
 
     @property
     def depth(self) -> int:
         return len(self._frames)
+
+    def rewind_to(self, depth: int) -> None:
+        """Pop frames until the trail is ``depth`` frames deep.
+
+        The base-depth rewind of the delta handoff: a persistent
+        distributed worker backs out of the previous job's assignment
+        prefix down to the common ancestor of the next one instead of
+        replaying from the root.  Rewinding to ``0`` restores the
+        baseline (empty-assignment) state exactly.
+        """
+        if depth < 0 or depth > len(self._frames):
+            raise ValueError(
+                f"cannot rewind to depth {depth} from depth {len(self._frames)}"
+            )
+        while len(self._frames) > depth:
+            self.pop()
 
     # -- sweeping -------------------------------------------------------
 
@@ -979,6 +1077,28 @@ class MaskedEvaluator:
         final = self._final
         resolved = self._resolved
         return sum(1 for node_id in node_ids if not resolved[final[node_id]])
+
+    def _resolved_column(self) -> np.ndarray:
+        """The resolved column as a NumPy array, cached per push/pop."""
+        if self._resolved_cache_version != self._resolved_version:
+            self._resolved_cache = np.asarray(self._resolved, dtype=bool)
+            self._resolved_cache_version = self._resolved_version
+        return self._resolved_cache
+
+    def count_unresolved_in_cone(self, var_index: int) -> int:
+        """Unresolved nodes in the variable's influence cone (vectorized).
+
+        Node-granular like :meth:`count_unresolved` — each network node
+        counts once, read at its final-iteration vertex — but the count
+        is one fancy-indexed NumPy reduction over the precomputed cone
+        (:meth:`MaskedProgram.final_cone`) instead of a Python scan.
+        This is the scoring hook behind
+        :class:`~repro.compile.ordering.ConeInfluenceOrder`; the column
+        materialisation is shared by all cone queries at one branching
+        point (nothing resolves between two ``push``/``pop`` calls).
+        """
+        cone = self._prog.final_cone(var_index)
+        return int(len(cone) - np.count_nonzero(self._resolved_column()[cone]))
 
 
 # Operator strings by ATOM_OPS code, for the exact-object atom path.

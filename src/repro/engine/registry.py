@@ -54,7 +54,13 @@ CAPABILITIES = frozenset(
 
 @dataclass
 class SchemeOptions:
-    """Normalised run options handed to every scheme runner."""
+    """Normalised run options handed to every scheme runner.
+
+    ``order`` names a variable-ordering strategy for the Shannon
+    schemes (``"frequency"``, ``"dynamic"`` — the cone-aware dynamic
+    order — ``"dynamic-scan"``, ``"cone"``, ``"index"``, or an explicit
+    index sequence; see :func:`repro.compile.ordering.make_order`).
+    """
 
     epsilon: float = 0.0
     order: "str | Sequence[int]" = "frequency"
@@ -209,6 +215,7 @@ def run_scheme(
     *,
     epsilon: float = 0.0,
     order: "str | Sequence[int]" = "frequency",
+    ordering: "str | Sequence[int] | None" = None,
     workers: Optional[int] = None,
     job_size: int = 3,
     timeout: Optional[float] = None,
@@ -223,12 +230,15 @@ def run_scheme(
     ``epsilon`` capability, ``workers`` is dropped for schemes that are
     not ``distributed``-capable, and ``timeout`` is dropped for schemes
     without the ``timeout`` capability (matching the historical facade
-    behaviour where e.g. ``naive`` ignored ``workers``).
+    behaviour where e.g. ``naive`` ignored ``workers``).  ``ordering``
+    is an explicit alias for ``order`` (it wins when both are given) so
+    callers can name the variable-ordering strategy without shadowing
+    more generic ``order`` keywords of their own.
     """
     spec = get_scheme(name)
     options = SchemeOptions(
         epsilon=epsilon if spec.has(CAP_EPSILON) else 0.0,
-        order=order,
+        order=order if ordering is None else ordering,
         workers=workers if spec.has(CAP_DISTRIBUTED) else None,
         job_size=job_size,
         timeout=timeout if spec.has(CAP_TIMEOUT) else None,

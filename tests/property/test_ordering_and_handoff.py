@@ -1,0 +1,175 @@
+"""Property tests: cone-aware ordering and delta job handoff.
+
+Two contracts introduced with the cone-aware fast paths:
+
+* :class:`~repro.compile.ordering.ConeInfluenceOrder` (precomputed IR
+  cones ∩ the masked engine's resolved column) must pick **the same
+  variable** as the reference
+  :class:`~repro.compile.ordering.DynamicInfluenceOrder` (per-choice
+  Python scan over the network adjacency) at every branching point, on
+  flat and folded networks alike, with identical tie-breaking;
+* distributed runs whose workers hand jobs over by **prefix delta**
+  (rewind to the common ancestor, push the suffix) must agree with
+  full-replay runs to 1e-9 on every bound, for all four schemes — the
+  handoff is a pure evaluator-state optimisation and must not leak into
+  the job DAG or the budgets.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compile.compiler import compile_network, make_evaluator
+from repro.compile.distributed import compile_distributed
+from repro.compile.ordering import ConeInfluenceOrder, DynamicInfluenceOrder
+from repro.engine.masked import MaskedEvaluator
+from repro.network.build import build_targets
+from repro.worlds.variables import VariablePool
+
+from ..conftest import random_event
+from .test_folded_bulk_vs_scalar import _random_folded_instance
+
+MATCH_ABS = 1e-9
+
+
+def _random_instance(seed: int):
+    rng = random.Random(seed)
+    pool = VariablePool()
+    for _ in range(rng.randint(3, 7)):
+        pool.add(rng.uniform(0.05, 0.95))
+    events = {
+        f"t{index}": random_event(pool, rng, depth=rng.randint(1, 3))
+        for index in range(rng.randint(1, 3))
+    }
+    return pool, events
+
+
+def _assert_same_picks(pool, network, evaluator, rng, steps=12):
+    """Walk random pushes/pops; the two orders must agree at every node."""
+    dynamic = DynamicInfluenceOrder(network)
+    cone = ConeInfluenceOrder(network)
+    evaluator.push()
+    stack = []
+    for _ in range(steps):
+        assert cone.next_variable(evaluator) == dynamic.next_variable(evaluator)
+        for index in sorted(network.variables()):
+            if index in evaluator.assignment:
+                continue
+            assert evaluator.count_unresolved_in_cone(index) == (
+                evaluator.count_unresolved(dynamic.influence_cone(index))
+            ), index
+        if stack and rng.random() < 0.4:
+            evaluator.pop(stack.pop())
+        else:
+            free = [
+                index
+                for index in range(len(pool))
+                if index not in evaluator.assignment
+            ]
+            if not free:
+                break
+            variable = rng.choice(free)
+            evaluator.push(variable, rng.random() < 0.5)
+            stack.append(variable)
+    while stack:
+        evaluator.pop(stack.pop())
+    evaluator.pop()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_cone_order_matches_dynamic_flat(seed):
+    pool, events = _random_instance(seed)
+    network = build_targets(events)
+    evaluator = make_evaluator(network, engine="masked")
+    assert isinstance(evaluator, MaskedEvaluator)
+    _assert_same_picks(pool, network, evaluator, random.Random(seed + 1))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_cone_order_matches_dynamic_folded(seed):
+    pool, folded = _random_folded_instance(seed)
+    evaluator = make_evaluator(folded, engine="masked")
+    assert isinstance(evaluator, MaskedEvaluator)
+    _assert_same_picks(pool, folded, evaluator, random.Random(seed + 1))
+
+
+@pytest.mark.parametrize(
+    "scheme,epsilon",
+    [("exact", 0.0), ("lazy", 0.07), ("eager", 0.07), ("hybrid", 0.07)],
+)
+def test_delta_handoff_matches_replay(scheme, epsilon):
+    for seed in range(6):
+        pool, events = _random_instance(seed)
+        network = build_targets(events)
+        results = {
+            handoff: compile_distributed(
+                network,
+                pool,
+                scheme=scheme,
+                epsilon=epsilon,
+                workers=3,
+                job_size=2,
+                handoff=handoff,
+            )
+            for handoff in ("delta", "replay")
+        }
+        for name in network.targets:
+            delta_bounds = results["delta"].bounds[name]
+            replay_bounds = results["replay"].bounds[name]
+            assert delta_bounds[0] == pytest.approx(
+                replay_bounds[0], abs=MATCH_ABS
+            )
+            assert delta_bounds[1] == pytest.approx(
+                replay_bounds[1], abs=MATCH_ABS
+            )
+        # Same job DAG, same decision trees: the handoff only moves
+        # evaluator state, never the exploration.
+        assert results["delta"].jobs == results["replay"].jobs
+        assert results["delta"].tree_nodes == results["replay"].tree_nodes
+
+
+def test_delta_handoff_matches_replay_folded():
+    for seed in range(4):
+        pool, folded = _random_folded_instance(seed)
+        results = {
+            handoff: compile_distributed(
+                folded,
+                pool,
+                scheme="exact",
+                workers=3,
+                job_size=2,
+                handoff=handoff,
+            )
+            for handoff in ("delta", "replay")
+        }
+        for name in folded.targets:
+            assert results["delta"].bounds[name][0] == pytest.approx(
+                results["replay"].bounds[name][0], abs=MATCH_ABS
+            )
+            assert results["delta"].bounds[name][1] == pytest.approx(
+                results["replay"].bounds[name][1], abs=MATCH_ABS
+            )
+        assert results["delta"].jobs == results["replay"].jobs
+
+
+def test_delta_handoff_matches_sequential_exact():
+    for seed in range(6):
+        pool, events = _random_instance(seed)
+        network = build_targets(events)
+        sequential = compile_network(network, pool)
+        distributed = compile_distributed(
+            network, pool, scheme="exact", workers=4, job_size=2
+        )
+        for name in network.targets:
+            assert distributed.bounds[name][0] == pytest.approx(
+                sequential.bounds[name][0], abs=MATCH_ABS
+            )
+            assert distributed.bounds[name][1] == pytest.approx(
+                sequential.bounds[name][1], abs=MATCH_ABS
+            )
