@@ -21,7 +21,7 @@ from repro.mining.kmedoids import KMedoidsSpec, build_kmedoids_program
 from repro.mining.targets import medoid_targets
 from repro.network.build import build_network
 
-from .common import EPSILON, Series, Workload, print_table, run_algorithm
+from .common import Series, Workload, print_table, run_algorithm
 
 DIMENSIONS = (2, 4, 8, 16)
 OBJECTS = 10

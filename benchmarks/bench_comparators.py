@@ -19,7 +19,6 @@ Run the full sweep:  python -m benchmarks.bench_comparators
 
 from __future__ import annotations
 
-import pytest
 
 from repro.compile.compiler import compile_network
 from repro.compile.montecarlo import monte_carlo_probabilities, samples_for_error

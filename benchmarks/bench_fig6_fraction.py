@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.data.sensors import fraction as take_fraction
 
 from .common import Series, Workload, make_workload, print_table, run_algorithm
 

@@ -18,7 +18,14 @@ from __future__ import annotations
 
 import pytest
 
-from .common import EPSILON, Series, Workload, make_workload, print_table, run_algorithm, speedup
+from .common import (
+    Series,
+    Workload,
+    make_workload,
+    print_table,
+    run_algorithm,
+    speedup,
+)
 
 FULL_OBJECTS = 12  # "f = 100%"
 HALF_OBJECTS = 6  # "f = 50%"

@@ -1,0 +1,300 @@
+"""Multi-process distributed compilation: wire format and wall clock.
+
+Three questions, answered on the paper's k-medoids workloads:
+
+* **Is process mode an exact replica?**  Every row first asserts that
+  ``execution="process"`` produces the same job DAG, the same decision
+  trees, and bounds within 1e-9 of the deterministic simulation and the
+  thread pool — the generation-barrier contract of
+  :mod:`repro.compile.distributed`.
+
+* **What does the column-patch handoff buy?**  Within process mode,
+  ``handoff="delta"`` ships each job as a prefix delta plus the column
+  patches recorded by the forking worker
+  (:meth:`~repro.engine.masked.MaskedEvaluator.export_patch`), so the
+  receiving worker re-applies writes instead of re-sweeping cones;
+  ``handoff="replay"`` re-pushes every prefix from the root.  The ratio
+  is hardware-independent (both sides run on the same pool) and is the
+  stable regression signal of this file.
+
+* **What is the wall-clock story?**  Threaded and process wall-clock
+  for a 4-worker exact run, plus pool spawn cost, cold vs warm runs,
+  and the CPU budget the numbers were measured under (``cpu_count`` /
+  ``cpu_affinity``).  On a multi-core machine the process pool is
+  expected to clear 1.5x over the GIL-bound thread pool — asserted
+  whenever >= 2 CPUs are actually available, recorded but not asserted
+  on single-CPU containers (there is no parallelism to win).
+
+An adaptive-sizing section runs ``job_size="adaptive"`` and records the
+depth the cost model settles on against the fixed default.
+
+Results are printed paper-style and written to ``BENCH_process.json``
+at the repository root (override with ``--output``; ``--smoke`` runs a
+seconds-scale subset for CI).
+
+Run the full sweep:  python -m benchmarks.bench_process_pool
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.compile.distributed import DistributedCompiler
+
+from .common import assert_identical_runs, make_workload
+
+OBJECT_SWEEP = (7, 8)
+SMOKE_SWEEP = (5,)
+WORKERS = 4
+JOB_SIZE = 3
+MATCH_ABS = 1e-9
+SPEEDUP_TARGET = 1.5
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_process.json"
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def sweep_modes(object_sweep) -> List[Dict[str, float]]:
+    """Simulated vs threaded vs process wall clock, agreement asserted."""
+    rows = []
+    for objects in object_sweep:
+        workload = make_workload(objects, "independent", seed=1)
+        pool = workload.dataset.pool
+        coordinator = DistributedCompiler(
+            workload.network, pool, targets=workload.targets,
+            workers=WORKERS, job_size=JOB_SIZE,
+        )
+        try:
+            simulated = coordinator.run(scheme="exact", execution="simulate")
+            coordinator.run(scheme="exact", execution="threads")  # warm-up
+            started = time.perf_counter()
+            threaded = coordinator.run(scheme="exact", execution="threads")
+            threads_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            cold = coordinator.run(scheme="exact", execution="process")
+            cold_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            process = coordinator.run(scheme="exact", execution="process")
+            process_seconds = time.perf_counter() - started
+            diff = max(
+                assert_identical_runs(process, simulated, f"n={objects} process"),
+                assert_identical_runs(threaded, simulated, f"n={objects} threads"),
+            )
+            rows.append(
+                {
+                    "objects": objects,
+                    "variables": workload.variables,
+                    "scheme": "exact-d",
+                    "workers": WORKERS,
+                    "job_size": JOB_SIZE,
+                    "jobs": process.jobs,
+                    "tree_nodes": process.tree_nodes,
+                    "simulate_seconds": simulated.seconds,
+                    "threads_seconds": threads_seconds,
+                    "process_seconds": process_seconds,
+                    "process_cold_seconds": cold_seconds,
+                    "spawn_seconds": cold.extra["spawn_seconds"],
+                    "speedup_process_vs_threads": (
+                        threads_seconds / max(process_seconds, 1e-9)
+                    ),
+                    "max_abs_diff": diff,
+                }
+            )
+        finally:
+            coordinator.close()
+    return rows
+
+
+def sweep_patch_handoff(object_sweep) -> List[Dict[str, float]]:
+    """Column-patch deltas vs full prefix replay, both in process mode."""
+    rows = []
+    for objects in object_sweep:
+        workload = make_workload(objects, "independent", seed=1)
+        pool = workload.dataset.pool
+        results = {}
+        seconds = {}
+        for handoff in ("replay", "delta"):
+            coordinator = DistributedCompiler(
+                workload.network, pool, targets=workload.targets,
+                workers=WORKERS, job_size=2, handoff=handoff,
+            )
+            try:
+                coordinator.run(scheme="exact", execution="process")  # warm
+                started = time.perf_counter()
+                results[handoff] = coordinator.run(
+                    scheme="exact", execution="process"
+                )
+                seconds[handoff] = time.perf_counter() - started
+            finally:
+                coordinator.close()
+        diff = assert_identical_runs(
+            results["delta"], results["replay"], f"n={objects} handoff"
+        )
+        rows.append(
+            {
+                "objects": objects,
+                "variables": workload.variables,
+                "scheme": "exact-d",
+                "workers": WORKERS,
+                "job_size": 2,
+                "jobs": results["delta"].jobs,
+                "replay_seconds": seconds["replay"],
+                "delta_seconds": seconds["delta"],
+                "speedup": seconds["replay"] / max(seconds["delta"], 1e-9),
+                "max_abs_diff": diff,
+            }
+        )
+    return rows
+
+
+def sweep_adaptive(object_sweep) -> List[Dict[str, float]]:
+    """The cost model's chosen depth vs the fixed default."""
+    rows = []
+    for objects in object_sweep:
+        workload = make_workload(objects, "independent", seed=1)
+        pool = workload.dataset.pool
+        fixed = DistributedCompiler(
+            workload.network, pool, targets=workload.targets,
+            workers=WORKERS, job_size=JOB_SIZE,
+        )
+        # A target well above the measured ~2-5 ms per default-depth job,
+        # so the cost model visibly coarsens the fork depth.
+        adaptive = DistributedCompiler(
+            workload.network, pool, targets=workload.targets,
+            workers=WORKERS, job_size="adaptive", target_job_cost=0.02,
+        )
+        try:
+            fixed_result = fixed.run(scheme="exact")
+            started = time.perf_counter()
+            adaptive_result = adaptive.run(scheme="exact")
+            adaptive_seconds = time.perf_counter() - started
+        finally:
+            fixed.close()
+            adaptive.close()
+        # Exact bounds are partition-independent: sizing must not move them.
+        max_diff = max(
+            max(
+                abs(fixed_result.bounds[name][0] - adaptive_result.bounds[name][0]),
+                abs(fixed_result.bounds[name][1] - adaptive_result.bounds[name][1]),
+            )
+            for name in fixed_result.bounds
+        )
+        assert max_diff <= MATCH_ABS, f"adaptive sizing moved bounds: {max_diff}"
+        rows.append(
+            {
+                "objects": objects,
+                "fixed_jobs": fixed_result.jobs,
+                "adaptive_jobs": adaptive_result.jobs,
+                "final_job_size": adaptive_result.extra["job_size"],
+                "adaptive_seconds": adaptive_seconds,
+                "max_abs_diff": max_diff,
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help="where to write the JSON results (default: repo root)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale subset (CI rot check, not a measurement)",
+    )
+    args = parser.parse_args(argv)
+
+    object_sweep = SMOKE_SWEEP if args.smoke else OBJECT_SWEEP
+    cpus = _available_cpus()
+
+    mode_rows = sweep_modes(object_sweep)
+    handoff_rows = sweep_patch_handoff(object_sweep)
+    adaptive_rows = sweep_adaptive(object_sweep)
+
+    print(f"\n== Execution modes (exact, {WORKERS} workers, {cpus} CPU(s)) ==")
+    print(
+        f"{'objects':>8}  {'jobs':>6}  {'simulate s':>11}  {'threads s':>10}"
+        f"  {'process s':>10}  {'spawn s':>8}  {'proc/thr':>9}"
+    )
+    for row in mode_rows:
+        print(
+            f"{row['objects']:>8}  {row['jobs']:>6}"
+            f"  {row['simulate_seconds']:>11.4f}"
+            f"  {row['threads_seconds']:>10.4f}"
+            f"  {row['process_seconds']:>10.4f}"
+            f"  {row['spawn_seconds']:>8.4f}"
+            f"  {row['speedup_process_vs_threads']:>8.2f}x"
+        )
+
+    print("\n== Column-patch handoff vs full replay (both process mode) ==")
+    print(
+        f"{'objects':>8}  {'jobs':>6}  {'replay s':>9}  {'delta s':>9}"
+        f"  {'speedup':>8}"
+    )
+    for row in handoff_rows:
+        print(
+            f"{row['objects']:>8}  {row['jobs']:>6}"
+            f"  {row['replay_seconds']:>9.4f}  {row['delta_seconds']:>9.4f}"
+            f"  {row['speedup']:>7.2f}x"
+        )
+
+    print("\n== Adaptive job sizing (exact, process-independent bounds) ==")
+    print(
+        f"{'objects':>8}  {'fixed jobs':>11}  {'adaptive jobs':>14}"
+        f"  {'final d':>8}"
+    )
+    for row in adaptive_rows:
+        print(
+            f"{row['objects']:>8}  {row['fixed_jobs']:>11}"
+            f"  {row['adaptive_jobs']:>14}  {row['final_job_size']:>8.0f}"
+        )
+
+    best_wall = max(r["speedup_process_vs_threads"] for r in mode_rows)
+    if cpus >= 2 and not args.smoke:
+        assert best_wall >= SPEEDUP_TARGET, (
+            f"process mode {best_wall:.2f}x over threads, expected "
+            f">= {SPEEDUP_TARGET}x with {cpus} CPUs"
+        )
+    elif cpus < 2:
+        print(
+            f"\nnote: only {cpus} CPU available — wall-clock parity is the "
+            f"ceiling here; the {SPEEDUP_TARGET}x process-vs-threads target "
+            "applies to multi-core machines (asserted when CPUs >= 2)."
+        )
+
+    payload = {
+        "benchmark": "process_pool",
+        "smoke": bool(args.smoke),
+        "epsilon_match": MATCH_ABS,
+        "cpu_count": os.cpu_count(),
+        "cpu_affinity": cpus,
+        "speedup_target_process_vs_threads": SPEEDUP_TARGET,
+        "modes": mode_rows,
+        "patch_handoff": handoff_rows,
+        "adaptive": adaptive_rows,
+        "min_speedup_patch_handoff": min(r["speedup"] for r in handoff_rows),
+        "max_speedup_patch_handoff": max(r["speedup"] for r in handoff_rows),
+        # Deliberately NOT named *speedup*: the cross-mode wall-clock
+        # ratio depends on the machine's CPU budget, so the regression
+        # gate must not auto-guard it (the patch-handoff ratios above
+        # are the stable signal — both sides share one pool).
+        "max_wallclock_ratio_process_vs_threads": best_wall,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,7 +19,6 @@ subset of the sweep runs through pytest-benchmark.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -114,6 +113,27 @@ def run_algorithm(
     else:
         row["max_gap"] = result.max_gap()
     return row
+
+
+def assert_identical_runs(left, right, context: str, abs_tol: float = 1e-9):
+    """Assert two distributed runs are exact replicas; returns max diff.
+
+    Same job DAG, same decision trees, bounds within ``abs_tol`` — the
+    generation-barrier contract of ``repro.compile.distributed`` (see
+    ``tests/property/test_process_mode.py`` for the property-test
+    counterpart of this check).
+    """
+    assert left.jobs == right.jobs, f"job DAG diverged ({context})"
+    assert left.tree_nodes == right.tree_nodes, f"trees diverged ({context})"
+    max_diff = max(
+        max(
+            abs(left.bounds[name][0] - right.bounds[name][0]),
+            abs(left.bounds[name][1] - right.bounds[name][1]),
+        )
+        for name in left.bounds
+    )
+    assert max_diff <= abs_tol, f"bounds diverged by {max_diff} ({context})"
+    return max_diff
 
 
 @dataclass

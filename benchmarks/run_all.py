@@ -1,10 +1,15 @@
 """Run every paper-figure sweep and print one consolidated report.
 
-Usage:  python -m benchmarks.run_all [--quick]
+Usage:  python -m benchmarks.run_all [--quick | --smoke]
 
-``--quick`` trims each sweep to its smallest sizes (a smoke pass in
-roughly a minute); the full report takes several minutes and regenerates
-all series recorded in EXPERIMENTS.md.
+``--quick`` (alias ``--smoke``, the spelling the engine benchmarks and
+CI use) trims each sweep to its smallest sizes (a smoke pass in roughly
+a minute); the full report takes several minutes and regenerates all
+series recorded in EXPERIMENTS.md.
+
+A sweep that raises does not silence the others: every failure is
+reported in a summary and the exit status is non-zero, so CI can gate
+on this module.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
 
 from . import (
     bench_ablation_dimensions,
@@ -66,17 +72,35 @@ def _apply_quick_trims() -> None:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--quick", action="store_true",
+    parser.add_argument("--quick", "--smoke", dest="quick",
+                        action="store_true",
                         help="trimmed sweeps (~1 minute)")
     args = parser.parse_args(argv)
     if args.quick:
         _apply_quick_trims()
 
     started = time.perf_counter()
+    failures = []
     for title, module in FIGURES:
         print(f"\n{'#' * 72}\n# {title}\n{'#' * 72}")
-        module.main()
+        try:
+            module.main()
+        except SystemExit as exc:
+            if exc.code not in (0, None):
+                traceback.print_exc()
+                failures.append(title)
+        except Exception:
+            # A failed sweep must fail the whole report (the CI
+            # bench-regression job gates on this), but only after every
+            # other sweep has had its chance to run.
+            traceback.print_exc()
+            failures.append(title)
     elapsed = time.perf_counter() - started
+    if failures:
+        print(f"\n{len(failures)} sweep(s) FAILED after {elapsed:.0f}s:")
+        for title in failures:
+            print(f"  - {title}")
+        return 1
     print(f"\nall sweeps completed in {elapsed:.0f}s")
     return 0
 

@@ -12,7 +12,7 @@ Run:  python examples/user_program.py
 
 import random
 
-from repro import ENFrame, KMedoidsSpec
+from repro import ENFrame
 from repro.events import values as V
 from repro.events.semantics import Evaluator
 from repro.lang import Externals, Interpreter, parse_program

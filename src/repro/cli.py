@@ -64,6 +64,18 @@ def _build_platform(args: argparse.Namespace) -> ENFrame:
     return platform
 
 
+def _parse_job_size(raw: str) -> "int | str":
+    """``--job-size`` accepts an integer depth or ``adaptive``."""
+    if raw == "adaptive":
+        return raw
+    try:
+        return int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"job size must be an integer or 'adaptive', got {raw!r}"
+        ) from None
+
+
 def _command_cluster(args: argparse.Namespace) -> int:
     platform = _build_platform(args)
     print(
@@ -78,6 +90,7 @@ def _command_cluster(args: argparse.Namespace) -> int:
         ordering=args.order,
         workers=args.workers,
         job_size=args.job_size,
+        execution=args.execution,
     )
     print(result.summary(limit=args.limit))
     return 0
@@ -137,8 +150,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "(dynamic = cone-aware influence)")
     cluster.add_argument("--workers", type=int, default=None,
                          help="enable distributed compilation with N workers")
-    cluster.add_argument("--job-size", type=int, default=3,
-                         help="distributed job size d (default 3)")
+    cluster.add_argument("--job-size", type=_parse_job_size, default=3,
+                         help="distributed job size d, or 'adaptive' to pick "
+                              "it from measured per-job costs (default 3)")
+    cluster.add_argument("--execution",
+                         choices=("simulate", "threads", "process"),
+                         default="simulate",
+                         help="distributed execution mode: deterministic "
+                              "simulation, a thread pool, or true "
+                              "multi-process workers (default simulate)")
     cluster.add_argument("--targets", choices=("medoids", "assignments",
                                                "is_medoid"), default="medoids")
     cluster.add_argument("--folded", action="store_true",

@@ -27,12 +27,12 @@ compile without touching the interpreter recursion limit.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..network.nodes import EventNetwork
 from ..worlds.variables import VariablePool
 from .ordering import VariableOrder, make_order
-from .partial import B_FALSE, B_TRUE, B_UNKNOWN, PartialEvaluator
+from .partial import B_FALSE, B_TRUE, PartialEvaluator
 from .result import CompilationResult
 
 SCHEMES = ("exact", "lazy", "eager", "hybrid")

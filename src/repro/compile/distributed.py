@@ -2,44 +2,73 @@
 
 The decision-tree exploration is split into *jobs*: a job explores a
 fragment of the tree of depth at most ``d`` below its root; whenever the
-exploration reaches relative depth ``d`` with unresolved targets, it forks
-a new job rooted at that node instead of recursing.  Workers process jobs
-concurrently; bounds contributions are merged at job end, and error
-budgets are synchronised with the coordinator at job start and end.
+exploration reaches relative depth ``d`` with unresolved targets, it
+forks a new job rooted at that node instead of recursing.  Jobs execute
+in **generations** (BFS levels of the job DAG): every job of a
+generation sees the same coordinator snapshot — global bounds, its share
+of the eager scheme's global budget, pooled hybrid residuals — and the
+results are merged at the generation barrier in creation order.  A job
+is therefore a *pure function of its creation-time inputs*, which makes
+the decision trees and bounds identical across all three execution
+modes, however jobs are scheduled:
 
-Like the paper's own evaluation ("timings … were obtained by simulating
-distributed computation on a single machine"), the default execution mode
-is a deterministic discrete-event simulation: jobs are executed in
-creation (FIFO) order — a topological order of the job DAG that does not
-depend on measured cost, so two runs produce identical job sequences —
-their wall-clock cost is measured, and the *makespan* of a ``w``-worker
-schedule (greedy assignment of ready jobs to the earliest available
-worker, plus a per-job communication overhead) is replayed from the
-recorded costs afterwards.  A real thread-pool mode is provided for
-functional parity (``execution="threads"``), though CPython's GIL
-prevents actual speedups.
+* ``execution="simulate"`` (default) — jobs run sequentially in creation
+  order, like the paper's own evaluation ("timings … were obtained by
+  simulating distributed computation on a single machine"); per-job
+  wall-clock cost is measured and the *makespan* of a ``w``-worker
+  schedule (greedy assignment of ready jobs to the earliest available
+  worker, plus a per-job communication overhead) is replayed from the
+  recorded costs.
+* ``execution="threads"`` — a thread pool; persistent per-thread
+  evaluators, shared memory.  CPython's GIL prevents actual speedups;
+  kept for functional parity.
+* ``execution="process"`` — true multi-process execution: persistent
+  worker processes (``multiprocessing``, spawn-safe) each deserialize
+  the network — and the :class:`~repro.engine.masked.MaskedProgram`,
+  shipped pickled — **once at startup**, then receive jobs as
+  *assignment-prefix deltas*: a ``rewind_to`` depth back to the common
+  ancestor of the worker's applied prefix and the job's, the missing
+  suffix of ``(variable, value)`` assignments, and (under
+  ``handoff="delta"`` with the masked engine) the matching **column
+  patches** — the trail slices recorded when the forking worker first
+  explored that prefix (:meth:`MaskedEvaluator.export_patch`).  Applying
+  a patch replays the forking worker's column writes verbatim instead of
+  re-sweeping variable cones, so evaluator state crosses the process
+  boundary as compact deltas, never whole columns.  Results stream back
+  as ``(bounds deltas, eval count, cost)`` records.
 
 Each worker owns a **persistent evaluator** wrapped in a
 :class:`_PrefixCursor`: instead of replaying every job's assignment
 prefix from the root (and unwinding it afterwards), the cursor keeps the
 previous job's prefix pushed and moves to the next one through their
-common ancestor — pop the frames past it, push the missing suffix.  With
-the masked engine this is the difference between re-sweeping every
-cone on the root-to-node path per job and re-sweeping only the changed
+common ancestor — pop the frames past it, push (or patch) the missing
 suffix (``handoff="delta"``, the default; ``handoff="replay"`` restores
 the full-replay behaviour for comparison — see
-``benchmarks/bench_ordering_cone.py``).
+``benchmarks/bench_ordering_cone.py`` and
+``benchmarks/bench_process_pool.py``).
+
+The measured per-job costs also feed an :class:`AdaptiveJobSizer`
+(``job_size="adaptive"``): an online cost model that raises the fork
+depth ``d`` when jobs run shorter than the target granularity (merging
+pending work into fewer, larger jobs) and lowers it when they overshoot
+(splitting pending work finer), one step per generation barrier.
+Because the model consumes wall-clock measurements, adaptive runs are
+the one case where the job partition (and, for the ε-schemes, the tree
+shape) is not bit-reproducible across runs or modes — bounds remain
+certified regardless.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+import pickle
 import threading
 import time
-from collections import deque
+import traceback
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from threading import Lock
+from multiprocessing.connection import wait as connection_wait
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..network.nodes import EventNetwork
@@ -48,11 +77,22 @@ from .compiler import ShannonCompiler, make_evaluator
 from .result import CompilationResult
 
 HANDOFFS = ("delta", "replay")
+EXECUTIONS = ("simulate", "threads", "process")
+# How result.extra["execution"] encodes the mode.
+_EXECUTION_CODES = {"simulate": 0.0, "threads": 1.0, "process": 2.0}
 
 
 @dataclass
 class Job:
-    """A unit of work: explore the subtree below ``prefix`` to depth ``d``."""
+    """A unit of work: explore the subtree below ``prefix`` to depth ``d``.
+
+    ``patch_chain`` (process mode, delta handoff, masked engine) holds
+    one column patch per prefix element — the writes the forking
+    worker's sweep performed for that assignment — so any worker can
+    reconstruct the evaluator state at the job root without
+    re-evaluating; ``None`` when patches are unavailable (scalar
+    engine, replay handoff, in-memory modes).
+    """
 
     index: int
     prefix: Tuple[Tuple[int, bool], ...]
@@ -60,10 +100,100 @@ class Job:
     active: Tuple[str, ...]
     budgets: Dict[str, float]
     cost: float = 0.0
+    patch_chain: Optional[Tuple[tuple, ...]] = None
+    excluded_workers: set = field(default_factory=set)
 
     @property
     def depth(self) -> int:
         return len(self.prefix)
+
+
+@dataclass
+class _Outcome:
+    """What one executed job reports back to the coordinator."""
+
+    lower_delta: Dict[str, float]
+    upper_delta: Dict[str, float]  # how much each upper bound shrank
+    residual: Dict[str, float]
+    global_left: Dict[str, float]  # unconsumed eager global-budget share
+    children: List[tuple]  # (prefix, prob, active, budgets, patch_suffix)
+    cost: float
+    tree_nodes: int
+    evals: int
+    max_depth: int
+
+
+@dataclass
+class _JobMessage:
+    """One job on the coordinator→worker wire (prefix delta form)."""
+
+    job_index: int
+    scheme: str
+    epsilon: float
+    job_size: int
+    rewind_depth: int  # evaluator trail depth to rewind to (common ancestor)
+    suffix: Tuple[Tuple[int, bool], ...]  # assignments past the ancestor
+    patches: Optional[Tuple[tuple, ...]]  # column patches for the suffix
+    prob: float
+    active: Tuple[str, ...]
+    budgets: Dict[str, float]
+    snap_lower: Dict[str, float]
+    snap_upper: Dict[str, float]
+    global_share: Dict[str, float]
+
+
+class AdaptiveJobSizer:
+    """Online cost model choosing the job fork depth ``d``.
+
+    Each unit of ``d`` roughly doubles the subtree a job explores, so
+    the sizer nudges ``d`` by one step per generation barrier: when the
+    (exponentially smoothed) mean measured job cost falls below half
+    the target it *merges* — raises ``d`` so pending jobs fork later
+    and coarser — and when it exceeds twice the target it *splits* —
+    lowers ``d`` so pending jobs fork sooner and finer.  The dead band
+    between the two thresholds keeps the depth stable once per-job cost
+    sits near the target granularity.
+    """
+
+    def __init__(
+        self,
+        initial: int = 3,
+        target_cost: float = 0.01,
+        min_size: int = 1,
+        max_size: int = 16,
+        smoothing: float = 0.5,
+    ) -> None:
+        if initial < min_size or initial > max_size:
+            raise ValueError("initial job size outside [min_size, max_size]")
+        if target_cost <= 0.0:
+            raise ValueError("target_cost must be positive")
+        self.job_size = initial
+        self.target_cost = target_cost
+        self.min_size = min_size
+        self.max_size = max_size
+        self.smoothing = smoothing
+        self._avg: Optional[float] = None
+
+    def observe_wave(self, costs: Sequence[float]) -> int:
+        """Fold one generation's measured job costs into the model.
+
+        Returns the fork depth to use for the next generation.
+        """
+        if costs:
+            mean = sum(costs) / len(costs)
+            if self._avg is None:
+                self._avg = mean
+            else:
+                self._avg = (
+                    self.smoothing * mean + (1.0 - self.smoothing) * self._avg
+                )
+            if self._avg < 0.5 * self.target_cost:
+                if self.job_size < self.max_size:
+                    self.job_size += 1  # merge: fewer, larger jobs
+            elif self._avg > 2.0 * self.target_cost:
+                if self.job_size > self.min_size:
+                    self.job_size -= 1  # split: more, smaller jobs
+        return self.job_size
 
 
 class _JobCompiler(ShannonCompiler):
@@ -72,7 +202,8 @@ class _JobCompiler(ShannonCompiler):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.job_size = 0
-        self.forked: List[Tuple[Tuple[Tuple[int, bool], ...], float, Tuple[str, ...], Dict[str, float]]] = []
+        self.forked: List[tuple] = []
+        self.capture_patches = False
         # Evaluator depth at the job root; set per job after the prefix
         # is applied (the local compiler path applies no prefix, so the
         # root frame of run() sits at depth 1).
@@ -84,7 +215,15 @@ class _JobCompiler(ShannonCompiler):
             # Evaluating here would duplicate the child job's own entry
             # evaluation; fork the subtree as a fresh job instead.
             prefix = tuple(self.evaluator.assignment.items())
-            self.forked.append((prefix, prob, tuple(active), dict(budgets)))
+            patch = None
+            if self.capture_patches:
+                # The column writes between the job root and this node:
+                # the child's suffix, ready to ship to whichever worker
+                # picks the child up.
+                patch = self.evaluator.export_patch(self._base_depth)
+            self.forked.append(
+                (prefix, prob, tuple(active), dict(budgets), patch)
+            )
             return {name: 0.0 for name in budgets}
         return None
 
@@ -96,9 +235,12 @@ class _PrefixCursor:
     assignment of the currently applied prefix.  :meth:`seek` moves
     between prefixes through their common ancestor — rewind the frames
     past it, push the missing suffix — which is the delta handoff:
-    state the two jobs share is never recomputed.  :meth:`release`
-    rewinds to the balanced baseline (depth 0) so the evaluator can be
-    handed back to ``ShannonCompiler.run`` or a later coordinator run.
+    state the two jobs share is never recomputed.  When the caller has
+    column patches for the suffix (process mode), they are applied
+    instead of pushing, skipping the cone re-sweeps entirely.
+    :meth:`release` rewinds to the balanced baseline (depth 0) so the
+    evaluator can be handed back to ``ShannonCompiler.run`` or a later
+    coordinator run.
     """
 
     def __init__(self, network: EventNetwork, engine: str) -> None:
@@ -120,8 +262,17 @@ class _PrefixCursor:
             self.applied = ()
         return evaluator
 
-    def seek(self, prefix: Tuple[Tuple[int, bool], ...]) -> None:
-        """Move the evaluator from the applied prefix to ``prefix``."""
+    def seek(
+        self,
+        prefix: Tuple[Tuple[int, bool], ...],
+        patches: Optional[Sequence[tuple]] = None,
+    ) -> None:
+        """Move the evaluator from the applied prefix to ``prefix``.
+
+        ``patches``, when given, is the job's full patch chain (one
+        column patch per prefix element); the suffix past the common
+        ancestor is applied verbatim instead of being re-swept.
+        """
         evaluator = self.evaluator
         common = 0
         for ours, theirs in zip(self.applied, prefix):
@@ -129,8 +280,11 @@ class _PrefixCursor:
                 break
             common += 1
         evaluator.rewind_to(1 + common)
-        for variable, value in prefix[common:]:
-            evaluator.push(variable, value)
+        if patches is not None and hasattr(evaluator, "apply_patch"):
+            evaluator.apply_patch(patches[common:])
+        else:
+            for variable, value in prefix[common:]:
+                evaluator.push(variable, value)
         self.applied = tuple(prefix)
 
     def release(self) -> None:
@@ -138,6 +292,265 @@ class _PrefixCursor:
         if self.evaluator is not None:
             self.evaluator.rewind_to(0)
         self.applied = ()
+
+
+def _run_job(
+    compiler: _JobCompiler,
+    cursor: _PrefixCursor,
+    message: _JobMessage,
+    handoff: str,
+    full_prefix: Optional[Tuple[Tuple[int, bool], ...]] = None,
+) -> _Outcome:
+    """Execute one job against a persistent cursor; pure in its inputs.
+
+    ``message`` carries the prefix as a delta against ``cursor.applied``
+    (process mode); in-memory callers pass ``full_prefix`` and the
+    cursor seeks by common ancestor itself.
+    """
+    evaluator = cursor.ensure()
+    compiler.evaluator = evaluator
+    compiler.forked = []
+    compiler._scheme = message.scheme
+    compiler._epsilon = message.epsilon
+    compiler._finished = set()
+    compiler._lower = dict(message.snap_lower)
+    compiler._upper = dict(message.snap_upper)
+    compiler._global_budget = dict(message.global_share)
+    compiler._tree_nodes = 0
+    compiler._max_depth = 0
+    compiler.job_size = message.job_size
+    evals_before = evaluator.evals
+    started = time.perf_counter()
+    if full_prefix is not None:
+        cursor.seek(full_prefix, patches=message.patches)
+    else:
+        if message.rewind_depth > 1 + len(cursor.applied):
+            raise RuntimeError(
+                "job delta references a deeper prefix than the worker holds"
+            )
+        evaluator.rewind_to(message.rewind_depth)
+        base = cursor.applied[: message.rewind_depth - 1]
+        if message.patches is not None and hasattr(evaluator, "apply_patch"):
+            evaluator.apply_patch(message.patches)
+        else:
+            for variable, value in message.suffix:
+                evaluator.push(variable, value)
+        cursor.applied = base + tuple(message.suffix)
+    compiler._base_depth = evaluator.depth
+    residual = compiler._dfs(
+        message.prob, list(message.active), dict(message.budgets)
+    )
+    if handoff == "replay":
+        # Full-replay mode: unwind after every job (billed to the job,
+        # as the historical behaviour did).
+        cursor.release()
+    cost = time.perf_counter() - started
+    return _Outcome(
+        lower_delta={
+            name: compiler._lower[name] - message.snap_lower[name]
+            for name in message.snap_lower
+        },
+        upper_delta={
+            name: message.snap_upper[name] - compiler._upper[name]
+            for name in message.snap_upper
+        },
+        residual=residual,
+        global_left=dict(compiler._global_budget),
+        children=compiler.forked,
+        cost=cost,
+        tree_nodes=compiler._tree_nodes,
+        evals=evaluator.evals - evals_before,
+        max_depth=compiler._max_depth,
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker process entry point (spawn-safe: importable at module level)
+# ----------------------------------------------------------------------
+
+
+def _worker_main(worker_id: int, payload: bytes, job_queue, result_conn) -> None:
+    """Run one persistent worker: deserialize once, then serve jobs.
+
+    ``payload`` pickles the network document, the variable-pool
+    document, and (masked engine) the prebuilt
+    :class:`~repro.engine.masked.MaskedProgram`; the program is attached
+    to the rebuilt network's IR caches so the worker's evaluator reuses
+    it instead of re-flattening.  Jobs arrive as :class:`_JobMessage`
+    prefix deltas; every result is a ``("done", ...)`` or
+    ``("error", ...)`` record on the worker's **private result pipe**.
+    One writer per pipe, no shared locks: a worker that dies mid-send
+    can corrupt only its own stream, which the coordinator observes as
+    EOF — with a shared queue, a crash inside the write-lock window
+    would wedge every surviving worker.
+    """
+    try:
+        from ..engine.ir import FoldedFlatIR
+        from ..network.serialize import network_from_dict, pool_from_dict
+
+        config = pickle.loads(payload)
+        network = network_from_dict(config["network"])
+        program = config.get("program")
+        if program is not None:
+            source = program.cone_source
+            if isinstance(source, FoldedFlatIR):
+                network._folded_flat_ir = (len(network.nodes), source)
+            else:
+                network._flat_ir = (len(network.nodes), source)
+            network._masked_program = (source, program)
+        pool = pool_from_dict(config["pool"])
+        compiler = _JobCompiler(
+            network,
+            pool,
+            targets=config["targets"],
+            order=config["order"],
+            engine=config["engine"],
+        )
+        compiler.capture_patches = config["capture_patches"]
+        cursor = _PrefixCursor(network, config["engine"])
+        cursor.evaluator = compiler.evaluator
+        handoff = config["handoff"]
+        fault = config.get("fault") or {}
+        jobs_seen = 0
+        while True:
+            message = job_queue.get()
+            if message is None:
+                break
+            jobs_seen += 1
+            if fault.get("worker") == worker_id:
+                if jobs_seen == fault.get("crash_on_job"):
+                    os._exit(17)  # simulate a hard worker crash (tests)
+                if jobs_seen == fault.get("stall_on_job"):
+                    time.sleep(fault.get("stall_seconds", 3600.0))
+            try:
+                outcome = _run_job(compiler, cursor, message, handoff)
+                result_conn.send(("done", worker_id, message.job_index, outcome))
+            except Exception:
+                result_conn.send(
+                    (
+                        "error",
+                        worker_id,
+                        message.job_index,
+                        traceback.format_exc(),
+                    )
+                )
+                break
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+
+
+class _WorkerHandle:
+    """Coordinator-side state for one worker process."""
+
+    def __init__(self, worker_id: int, process, job_queue, reader) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.job_queue = job_queue
+        self.reader = reader  # our end of the worker's result pipe
+        # The prefix the worker's evaluator will hold after draining its
+        # queue; every dispatched message advances it, so prefix deltas
+        # for queued jobs chain correctly under FIFO processing.
+        self.tail_prefix: Tuple[Tuple[int, bool], ...] = ()
+        self.assigned: Dict[int, Job] = {}
+
+    def alive(self) -> bool:
+        return self.reader is not None and self.process.is_alive()
+
+    def mark_dead(self) -> None:
+        if self.reader is not None:
+            try:
+                self.reader.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            self.reader = None
+
+
+class _ProcessPool:
+    """Persistent spawn-safe worker processes plus their queues."""
+
+    def __init__(
+        self,
+        network: EventNetwork,
+        pool: VariablePool,
+        target_names: Sequence[str],
+        order,
+        engine: str,
+        handoff: str,
+        workers: int,
+        capture_patches: bool,
+        program,
+        fault: Optional[dict] = None,
+    ) -> None:
+        import multiprocessing
+
+        from ..network.serialize import network_to_dict, pool_to_dict
+
+        self.capture_patches = capture_patches
+        context = multiprocessing.get_context("spawn")
+        payload = pickle.dumps(
+            {
+                "network": network_to_dict(network),
+                "pool": pool_to_dict(pool),
+                "program": program,
+                "targets": list(target_names),
+                "order": order,
+                "engine": engine,
+                "handoff": handoff,
+                "capture_patches": capture_patches,
+                "fault": fault,
+            }
+        )
+        started = time.perf_counter()
+        self.workers: List[_WorkerHandle] = []
+        try:
+            for worker_id in range(workers):
+                job_queue = context.Queue()
+                reader, writer = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_worker_main,
+                    args=(worker_id, payload, job_queue, writer),
+                    daemon=True,
+                )
+                process.start()
+                # Close our copy of the write end: the worker now holds
+                # the only one, so its death surfaces as EOF on
+                # ``reader``.
+                writer.close()
+                self.workers.append(
+                    _WorkerHandle(worker_id, process, job_queue, reader)
+                )
+        except BaseException:
+            # Partial spawn (e.g. the OS process limit): the caller
+            # never sees this pool object, so reap the workers that
+            # did start before re-raising.
+            self.shutdown(force=True)
+            raise
+        self.spawn_seconds = time.perf_counter() - started
+        self.worker_failures = 0
+
+    def alive_workers(self) -> List[_WorkerHandle]:
+        return [worker for worker in self.workers if worker.alive()]
+
+    def shutdown(self, force: bool = False, timeout: float = 5.0) -> None:
+        """Stop every worker; escalate to terminate() when needed."""
+        for worker in self.workers:
+            if not force and worker.alive():
+                try:
+                    worker.job_queue.put(None)
+                except (OSError, ValueError):  # pragma: no cover - torn queue
+                    pass
+        deadline = time.monotonic() + (0.0 if force else timeout)
+        for worker in self.workers:
+            remaining = max(0.0, deadline - time.monotonic())
+            worker.process.join(remaining)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout)
+        for worker in self.workers:
+            worker.job_queue.cancel_join_thread()
+            worker.job_queue.close()
+            worker.mark_dead()
+        self.workers = []
 
 
 class DistributedCompiler:
@@ -150,15 +563,27 @@ class DistributedCompiler:
         targets: Optional[Sequence[str]] = None,
         order: "str | Sequence[int]" = "frequency",
         workers: int = 4,
-        job_size: int = 3,
+        job_size: "int | str" = 3,
         overhead: float = 0.0005,
         engine: str = "masked",
         handoff: str = "delta",
+        target_job_cost: float = 0.01,
+        fault_injection: Optional[dict] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        if job_size < 1:
-            raise ValueError("job_size must be >= 1")
+        self.adaptive = job_size == "adaptive"
+        if self.adaptive:
+            self.job_size = 3  # the sizer's starting point
+        else:
+            if not isinstance(job_size, int) or isinstance(job_size, bool):
+                raise ValueError(
+                    f"job_size must be an int >= 1 or 'adaptive', "
+                    f"got {job_size!r}"
+                )
+            if job_size < 1:
+                raise ValueError("job_size must be >= 1")
+            self.job_size = job_size
         if handoff not in HANDOFFS:
             raise ValueError(
                 f"unknown handoff {handoff!r}; expected one of {HANDOFFS}"
@@ -166,15 +591,17 @@ class DistributedCompiler:
         self.network = network
         self.pool = pool
         self.workers = workers
-        self.job_size = job_size
         self.overhead = overhead
         self.engine = engine
         self.handoff = handoff
         self.order = order
+        self.target_job_cost = target_job_cost
+        self.fault_injection = fault_injection
         self._compiler = _JobCompiler(
             network, pool, targets=targets, order=order, engine=engine
         )
         self.target_names = self._compiler.target_names
+        self._process_pool: Optional[_ProcessPool] = None
 
     # ------------------------------------------------------------------
 
@@ -183,12 +610,28 @@ class DistributedCompiler:
         scheme: str = "hybrid",
         epsilon: float = 0.1,
         execution: str = "simulate",
+        timeout: Optional[float] = None,
     ) -> CompilationResult:
         """Compile with ``workers`` workers; returns merged bounds.
 
-        ``execution="simulate"`` (default) measures per-job cost and
-        reports the simulated makespan in ``result.makespan``;
-        ``execution="threads"`` runs jobs on a thread pool.
+        ``execution="simulate"`` (default; ``"simulated"`` is accepted
+        as an alias) measures per-job cost and reports the simulated
+        makespan in ``result.makespan``; ``execution="threads"`` runs
+        jobs on a thread pool; ``execution="process"`` runs them on
+        persistent worker processes.  ``timeout`` bounds the whole run
+        in every mode and raises ``TimeoutError`` on expiry — checked
+        continuously while collecting process results (the pool is
+        torn down, no orphans) and at job/generation boundaries in the
+        in-memory modes (a single in-flight job is never interrupted).
+        All three produce identical trees and bounds: a job is a pure
+        function of its creation-time inputs, merged at deterministic
+        generation barriers.  The one carve-out is
+        ``job_size="adaptive"``: the sizer consumes *measured* job
+        costs (that is its job), so the fork-depth trajectory — and
+        with it the job partition and, for the ε-schemes, the exact
+        tree shape — may differ run to run and mode to mode; bounds
+        stay certified either way, and exact-scheme probabilities are
+        partition-independent.
         """
         # The registry gate rejects schemes not marked distributed-capable;
         # the Shannon-set check guards against plugin schemes claiming the
@@ -200,135 +643,233 @@ class DistributedCompiler:
             raise ValueError(f"scheme {scheme!r} is not distributed-capable")
         if scheme == "exact":
             epsilon = 0.0
+        if execution == "simulated":
+            execution = "simulate"
+        if execution not in EXECUTIONS:
+            raise ValueError(
+                f"unknown execution mode {execution!r}; "
+                f"expected one of {EXECUTIONS}"
+            )
+        deadline = None if timeout is None else time.monotonic() + timeout
         if execution == "simulate":
-            return self._run_simulated(scheme, epsilon)
+            return self._run_simulated(scheme, epsilon, deadline)
         if execution == "threads":
-            return self._run_threaded(scheme, epsilon)
-        raise ValueError(f"unknown execution mode {execution!r}")
+            return self._run_threaded(scheme, epsilon, deadline)
+        return self._run_process(scheme, epsilon, deadline)
+
+    def close(self, force: bool = False) -> None:
+        """Tear down the persistent worker processes, if any.
+
+        ``force=True`` terminates instead of asking politely — the
+        interrupt/timeout path, where a worker may be wedged mid-job.
+        """
+        if self._process_pool is not None:
+            self._process_pool.shutdown(force=force)
+            self._process_pool = None
+
+    def __enter__(self) -> "DistributedCompiler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
+    # The deterministic generation engine shared by all execution modes
+    # ------------------------------------------------------------------
 
-    def _prepare(self, scheme: str, epsilon: float) -> _JobCompiler:
-        compiler = self._compiler
-        # One dispatch point for the evaluator choice: the coordinator
-        # and every job go through make_evaluator with the compiler's
-        # engine, so masked/scalar selection can't diverge between them.
-        if compiler.evaluator is None or compiler.evaluator.depth != 0:
-            compiler.evaluator = make_evaluator(
-                self.network, engine=compiler.engine
+    def _run_generations(
+        self, scheme, epsilon, execute_wave, with_patches, deadline=None
+    ):
+        """Run the job DAG in BFS generations; returns the merged state.
+
+        ``execute_wave(wave, messages)`` runs one generation and returns
+        its outcomes *in creation order*; everything order-dependent —
+        bound snapshots, eager budget shares, hybrid residual pooling,
+        adaptive sizing — happens here, at the barriers, so the result
+        is independent of how a wave's jobs are scheduled.
+        """
+        names = self.target_names
+        lower = {name: 0.0 for name in names}
+        upper = {name: 1.0 for name in names}
+        residual_pool = {name: 0.0 for name in names}
+        global_remaining = {name: 2.0 * epsilon for name in names}
+        sizer = (
+            AdaptiveJobSizer(
+                initial=self.job_size, target_cost=self.target_job_cost
             )
-        compiler._lower = {name: 0.0 for name in self.target_names}
-        compiler._upper = {name: 1.0 for name in self.target_names}
-        compiler._scheme = scheme
-        compiler._epsilon = epsilon
-        compiler._tree_nodes = 0
-        compiler._max_depth = 0
-        compiler._finished = set()
-        compiler._global_budget = {name: 2.0 * epsilon for name in self.target_names}
-        compiler.job_size = self.job_size
-        compiler.forked = []
-        return compiler
+            if self.adaptive
+            else None
+        )
+        job_size = sizer.job_size if sizer is not None else self.job_size
+        root = Job(
+            index=0,
+            prefix=(),
+            prob=1.0,
+            active=tuple(names),
+            budgets={name: 2.0 * epsilon for name in names},
+            patch_chain=() if with_patches else None,
+        )
+        wave = [root]
+        executed: List[Job] = []
+        parent_of: Dict[int, int] = {}
+        totals = {"tree_nodes": 0, "evals": 0, "max_depth": 0}
+        next_index = 1
+        while wave:
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError("distributed run exceeded its timeout")
+            # Barrier state: every job of the wave sees these snapshots.
+            first = wave[0]
+            for name in first.budgets:
+                first.budgets[name] += residual_pool[name]
+                residual_pool[name] = 0.0
+            share = {
+                name: global_remaining[name] / len(wave) for name in names
+            }
+            snap_lower = dict(lower)
+            snap_upper = dict(upper)
+            messages = [
+                _JobMessage(
+                    job_index=job.index,
+                    scheme=scheme,
+                    epsilon=epsilon,
+                    job_size=job_size,
+                    rewind_depth=1,  # per-worker deltas fill this in
+                    suffix=job.prefix,
+                    patches=job.patch_chain,
+                    prob=job.prob,
+                    active=job.active,
+                    budgets=dict(job.budgets),
+                    snap_lower=snap_lower,
+                    snap_upper=snap_upper,
+                    global_share=share,
+                )
+                for job in wave
+            ]
+            outcomes = execute_wave(wave, messages)
+            # Merge at the barrier, in creation order.
+            global_remaining = {name: 0.0 for name in names}
+            next_wave: List[Job] = []
+            for job, outcome in zip(wave, outcomes):
+                job.cost = outcome.cost
+                executed.append(job)
+                totals["tree_nodes"] += outcome.tree_nodes
+                totals["evals"] += outcome.evals
+                totals["max_depth"] = max(
+                    totals["max_depth"], outcome.max_depth
+                )
+                for name in names:
+                    lower[name] += outcome.lower_delta[name]
+                    upper[name] -= outcome.upper_delta[name]
+                    residual_pool[name] += outcome.residual.get(name, 0.0)
+                    global_remaining[name] += outcome.global_left[name]
+                for prefix, prob, active, budgets, patch in outcome.children:
+                    chain = None
+                    if job.patch_chain is not None and patch is not None:
+                        chain = job.patch_chain + tuple(patch)
+                    child = Job(
+                        index=next_index,
+                        prefix=prefix,
+                        prob=prob,
+                        active=active,
+                        budgets=budgets,
+                        patch_chain=chain,
+                    )
+                    parent_of[child.index] = job.index
+                    next_wave.append(child)
+                    next_index += 1
+            if sizer is not None:
+                job_size = sizer.observe_wave(
+                    [outcome.cost for outcome in outcomes]
+                )
+            wave = next_wave
+        bounds = {name: (lower[name], upper[name]) for name in names}
+        return bounds, executed, parent_of, totals, job_size
+
+    def _result(
+        self, scheme, epsilon, bounds, executed, totals, *,
+        seconds, makespan, job_size, execution,
+    ) -> CompilationResult:
+        result = CompilationResult(
+            bounds=bounds,
+            scheme=f"{scheme}-d",
+            epsilon=epsilon,
+            seconds=seconds,
+            tree_nodes=totals["tree_nodes"],
+            evals=totals["evals"],
+            max_depth=totals["max_depth"],
+            jobs=len(executed),
+            workers=self.workers,
+            makespan=makespan,
+        )
+        result.extra["job_size"] = float(job_size)
+        result.extra["adaptive_job_size"] = 1.0 if self.adaptive else 0.0
+        result.extra["delta_handoff"] = 1.0 if self.handoff == "delta" else 0.0
+        result.extra["execution"] = _EXECUTION_CODES[execution]
+        return result
+
+    # ------------------------------------------------------------------
+    # Execution modes
+    # ------------------------------------------------------------------
 
     def _make_cursor(self, compiler: _JobCompiler) -> _PrefixCursor:
         """A worker cursor seeded with the compiler's balanced evaluator."""
         cursor = _PrefixCursor(self.network, compiler.engine)
         if compiler.evaluator is not None and compiler.evaluator.depth == 0:
             cursor.evaluator = compiler.evaluator
+        else:
+            cursor.evaluator = make_evaluator(
+                self.network, engine=compiler.engine
+            )
+            compiler.evaluator = cursor.evaluator
         return cursor
 
-    def _execute_job(
-        self, compiler: _JobCompiler, job: Job, cursor: _PrefixCursor
-    ) -> Tuple[Dict[str, float], List[Job], float, int]:
-        """Run one job; returns (residual budgets, child jobs, cost, forks)."""
-        evaluator = cursor.ensure()
-        compiler.evaluator = evaluator
-        compiler.forked = []
-        started = time.perf_counter()
-        # Delta handoff: seek from the previous job's prefix to this
-        # one's through their common ancestor.  Under handoff="replay"
-        # the cursor is released after every job, so the seek degrades
-        # to the historical full replay from the root (and the unwind
-        # is billed to the job, as it used to be).
-        cursor.seek(job.prefix)
-        compiler._base_depth = evaluator.depth
-        residual = compiler._dfs(job.prob, list(job.active), dict(job.budgets))
-        if self.handoff == "replay":
-            cursor.release()
-        cost = time.perf_counter() - started
-        children = [
-            Job(
-                index=-1,  # assigned by the coordinator
-                prefix=prefix,
-                prob=prob,
-                active=active,
-                budgets=budgets,
-            )
-            for prefix, prob, active, budgets in compiler.forked
-        ]
-        return residual, children, cost, len(children)
-
-    def _run_simulated(self, scheme: str, epsilon: float) -> CompilationResult:
-        compiler = self._prepare(scheme, epsilon)
+    def _run_simulated(
+        self, scheme: str, epsilon: float, deadline: Optional[float] = None
+    ) -> CompilationResult:
+        compiler = self._compiler
         cursor = self._make_cursor(compiler)
-        root = Job(
-            index=0,
-            prefix=(),
-            prob=1.0,
-            active=tuple(self.target_names),
-            budgets={name: 2.0 * epsilon for name in self.target_names},
-        )
-
-        # Execute jobs in creation (FIFO) order — a topological order of
-        # the job DAG independent of measured cost, so the job sequence
-        # (and hence the budget synchronisation) is deterministic; the
-        # w-worker schedule is replayed from the recorded costs below.
-        pending = deque([root])
-        executed: List[Job] = []
-        parent_of: Dict[int, int] = {}
-        residual_pool = {name: 0.0 for name in self.target_names}
-        next_index = 1
         wall_started = time.perf_counter()
 
-        while pending:
-            job = pending.popleft()
-            # Budget synchronisation at job start: grant pooled residuals.
-            for name in job.budgets:
-                job.budgets[name] += residual_pool[name]
-                residual_pool[name] = 0.0
-            residual, children, cost, _ = self._execute_job(compiler, job, cursor)
-            job.cost = cost
-            executed.append(job)
-            # Budget synchronisation at job end: return residuals.
-            for name, amount in residual.items():
-                residual_pool[name] += amount
-            for child in children:
-                child.index = next_index
-                parent_of[child.index] = job.index
-                pending.append(child)
-                next_index += 1
-        cursor.release()
+        def execute_wave(wave, messages):
+            outcomes = []
+            for job, message in zip(wave, messages):
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(
+                        "distributed run exceeded its timeout"
+                    )
+                outcomes.append(
+                    _run_job(
+                        compiler, cursor, message, self.handoff,
+                        full_prefix=job.prefix,
+                    )
+                )
+            return outcomes
+
+        try:
+            bounds, executed, parent_of, totals, job_size = (
+                self._run_generations(
+                    scheme, epsilon, execute_wave, with_patches=False,
+                    deadline=deadline,
+                )
+            )
+        finally:
+            # Balance the shared persistent evaluator on every exit
+            # path (incl. a barrier-level timeout), so the next run
+            # reuses it instead of re-running the baseline sweep.
+            cursor.release()
         wall = time.perf_counter() - wall_started
         makespan = self._simulate_makespan(executed, parent_of)
-
-        bounds = {
-            name: (compiler._lower[name], compiler._upper[name])
-            for name in self.target_names
-        }
-        result = CompilationResult(
-            bounds=bounds,
-            scheme=f"{scheme}-d",
-            epsilon=epsilon,
-            seconds=wall,
-            tree_nodes=compiler._tree_nodes,
-            evals=0,
-            max_depth=compiler._max_depth,
-            jobs=len(executed),
-            workers=self.workers,
-            makespan=makespan,
+        return self._result(
+            scheme, epsilon, bounds, executed, totals,
+            seconds=wall, makespan=makespan, job_size=job_size,
+            execution="simulate",
         )
-        result.extra["job_size"] = float(self.job_size)
-        result.extra["delta_handoff"] = 1.0 if self.handoff == "delta" else 0.0
-        return result
 
     def _simulate_makespan(
         self, executed: List[Job], parent_of: Dict[int, int]
@@ -358,99 +899,252 @@ class DistributedCompiler:
                 heapq.heappush(ready, (finish, child))
         return makespan
 
-    def _run_threaded(self, scheme: str, epsilon: float) -> CompilationResult:
-        """Thread-pool execution; bounds merged under a lock at job end."""
-        lower = {name: 0.0 for name in self.target_names}
-        upper = {name: 1.0 for name in self.target_names}
-        residual_pool = {name: 0.0 for name in self.target_names}
-        lock = Lock()
-        jobs_done = 0
-        tree_nodes = 0
+    def _run_threaded(
+        self, scheme: str, epsilon: float, deadline: Optional[float] = None
+    ) -> CompilationResult:
+        """Thread-pool execution: same barriers, shared-memory workers."""
         thread_state = threading.local()
         cursors: List[_PrefixCursor] = []
+        registry_lock = threading.Lock()
 
-        def run_job(job: Job) -> List[Job]:
-            nonlocal jobs_done, tree_nodes
-            # Each thread owns a persistent cursor: its evaluator (and,
-            # under delta handoff, its applied prefix) is recycled
-            # across the thread's jobs — a fresh masked evaluator would
-            # repeat the baseline sweep per job.
-            cursor = getattr(thread_state, "cursor", None)
-            if cursor is None:
+        def worker_state():
+            state = getattr(thread_state, "state", None)
+            if state is None:
+                # Each thread owns a persistent compiler + cursor: the
+                # evaluator (and, under delta handoff, its applied
+                # prefix) is recycled across the thread's jobs — a
+                # fresh masked evaluator would repeat the baseline
+                # sweep per job.
+                compiler = _JobCompiler(
+                    self.network, self.pool, targets=self.target_names,
+                    order=self.order, engine=self.engine,
+                )
                 cursor = _PrefixCursor(self.network, self.engine)
-                thread_state.cursor = cursor
-                with lock:
-                    cursors.append(cursor)
-            # A private compiler seeded with a snapshot of the global
-            # bounds so the finished-check can fire early.
-            compiler = _JobCompiler(
-                self.network, self.pool, targets=self.target_names,
-                order=self.order, engine=self.engine,
-                evaluator=cursor.evaluator,
-            )
-            if cursor.evaluator is None:
                 cursor.evaluator = compiler.evaluator
-            compiler._scheme = scheme
-            compiler._epsilon = epsilon
-            compiler._finished = set()
-            compiler._global_budget = dict(job.budgets)
-            compiler.job_size = self.job_size
-            with lock:
-                compiler._lower = dict(lower)
-                compiler._upper = dict(upper)
-                for name in job.budgets:
-                    job.budgets[name] += residual_pool[name]
-                    residual_pool[name] = 0.0
-            base_lower = dict(compiler._lower)
-            base_upper = dict(compiler._upper)
-            residual, children, _, _ = self._execute_job(compiler, job, cursor)
-            with lock:
-                jobs_done += 1
-                tree_nodes += compiler._tree_nodes
-                for name in self.target_names:
-                    lower[name] += compiler._lower[name] - base_lower[name]
-                    upper[name] -= base_upper[name] - compiler._upper[name]
-                for name, amount in residual.items():
-                    residual_pool[name] += amount
-            return children
+                state = (compiler, cursor)
+                thread_state.state = state
+                with registry_lock:
+                    cursors.append(cursor)
+            return state
+
+        def run_one(job, message):
+            compiler, cursor = worker_state()
+            return _run_job(
+                compiler, cursor, message, self.handoff,
+                full_prefix=job.prefix,
+            )
 
         started = time.perf_counter()
-        root = Job(
-            index=0,
-            prefix=(),
-            prob=1.0,
-            active=tuple(self.target_names),
-            budgets={name: 2.0 * epsilon for name in self.target_names},
-        )
-        pending = [root]
-        next_index = 1
-        with ThreadPoolExecutor(max_workers=self.workers) as executor:
-            futures = [executor.submit(run_job, root)]
-            while futures:
-                future = futures.pop(0)
-                for child in future.result():
-                    child.index = next_index
-                    next_index += 1
-                    futures.append(executor.submit(run_job, child))
-        for cursor in cursors:
-            cursor.release()
-        elapsed = time.perf_counter() - started
+        try:
+            with ThreadPoolExecutor(max_workers=self.workers) as executor:
 
-        bounds = {name: (lower[name], upper[name]) for name in self.target_names}
-        result = CompilationResult(
-            bounds=bounds,
-            scheme=f"{scheme}-d",
-            epsilon=epsilon,
-            seconds=elapsed,
-            tree_nodes=tree_nodes,
-            jobs=jobs_done,
-            workers=self.workers,
-            makespan=elapsed,
+                def execute_wave(wave, messages):
+                    futures = [
+                        executor.submit(run_one, job, message)
+                        for job, message in zip(wave, messages)
+                    ]
+                    return [future.result() for future in futures]
+
+                bounds, executed, parent_of, totals, job_size = (
+                    self._run_generations(
+                        scheme, epsilon, execute_wave, with_patches=False,
+                        deadline=deadline,
+                    )
+                )
+        finally:
+            for cursor in cursors:
+                cursor.release()
+        elapsed = time.perf_counter() - started
+        return self._result(
+            scheme, epsilon, bounds, executed, totals,
+            seconds=elapsed, makespan=elapsed, job_size=job_size,
+            execution="threads",
         )
-        result.extra["job_size"] = float(self.job_size)
-        result.extra["execution"] = 1.0
-        result.extra["delta_handoff"] = 1.0 if self.handoff == "delta" else 0.0
+
+    # -- process mode ---------------------------------------------------
+
+    def _ensure_process_pool(self) -> _ProcessPool:
+        if self._process_pool is not None:
+            if self._process_pool.alive_workers():
+                return self._process_pool
+            self._process_pool.shutdown(force=True)
+            self._process_pool = None
+        from ..engine.masked import MaskedEvaluator, masked_program
+
+        program = None
+        if isinstance(self._compiler.evaluator, MaskedEvaluator):
+            program = masked_program(self.network)
+        capture = self.handoff == "delta" and program is not None
+        self._process_pool = _ProcessPool(
+            self.network,
+            self.pool,
+            self.target_names,
+            self.order,
+            self.engine,
+            self.handoff,
+            self.workers,
+            capture,
+            program,
+            fault=self.fault_injection,
+        )
+        return self._process_pool
+
+    def _dispatch_to_worker(
+        self, worker: _WorkerHandle, job: Job, message: _JobMessage
+    ) -> None:
+        """Queue one job as a prefix delta against the worker's tail."""
+        common = 0
+        if self.handoff == "delta":
+            for ours, theirs in zip(worker.tail_prefix, job.prefix):
+                if ours != theirs:
+                    break
+                common += 1
+        message.rewind_depth = 1 + common
+        message.suffix = job.prefix[common:]
+        if job.patch_chain is not None:
+            message.patches = job.patch_chain[common:]
+        worker.tail_prefix = job.prefix
+        worker.assigned[job.index] = job
+        worker.job_queue.put(message)
+
+    def _run_process(
+        self, scheme: str, epsilon: float, deadline: Optional[float]
+    ) -> CompilationResult:
+        pool = self._ensure_process_pool()
+        started = time.perf_counter()
+        try:
+
+            def execute_wave(wave, messages):
+                return self._execute_process_wave(
+                    pool, wave, messages, deadline
+                )
+
+            bounds, executed, parent_of, totals, job_size = (
+                self._run_generations(
+                    scheme, epsilon, execute_wave,
+                    with_patches=pool.capture_patches,
+                    deadline=deadline,
+                )
+            )
+        except BaseException:
+            # Interrupt, timeout, worker error: never leave orphans —
+            # and never wait on a wedged worker, so terminate outright.
+            self.close(force=True)
+            raise
+        elapsed = time.perf_counter() - started
+        result = self._result(
+            scheme, epsilon, bounds, executed, totals,
+            seconds=elapsed, makespan=elapsed, job_size=job_size,
+            execution="process",
+        )
+        result.extra["spawn_seconds"] = pool.spawn_seconds
+        result.extra["worker_failures"] = float(pool.worker_failures)
         return result
+
+    def _execute_process_wave(self, pool, wave, messages, deadline):
+        """Dispatch one generation to the worker processes and collect.
+
+        Jobs are partitioned into contiguous creation-order blocks (one
+        per worker) so sibling jobs — which share long prefixes — land
+        on the same worker and the prefix deltas stay short.  A worker
+        that dies mid-wave has its unfinished jobs requeued on the
+        surviving workers, with the dead worker recorded in each job's
+        ``excluded_workers``.
+        """
+        alive = pool.alive_workers()
+        if not alive:
+            raise RuntimeError("no alive workers in the process pool")
+        by_index = {
+            job.index: (job, message) for job, message in zip(wave, messages)
+        }
+        # Contiguous block partition across the alive workers.
+        for position, job in enumerate(wave):
+            worker = alive[position * len(alive) // len(wave)]
+            self._dispatch_to_worker(worker, job, by_index[job.index][1])
+        outcomes: Dict[int, _Outcome] = {}
+        while len(outcomes) < len(wave):
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    "distributed process run exceeded its timeout"
+                )
+            readers = {
+                worker.reader: worker
+                for worker in pool.workers
+                if worker.reader is not None
+            }
+            if not readers:
+                raise RuntimeError(
+                    "all distributed workers died; cannot recover"
+                )
+            ready = connection_wait(list(readers), timeout=0.05)
+            if not ready:
+                # No pipe traffic: poll liveness the slow way too, for
+                # workers wedged without closing their pipe.
+                self._recover_dead_workers(pool, outcomes, by_index)
+                continue
+            for reader in ready:
+                worker = readers[reader]
+                try:
+                    record = reader.recv()
+                except (EOFError, OSError):
+                    # The worker died (possibly mid-send: only its own
+                    # stream is affected).  Requeue its unfinished jobs.
+                    worker.mark_dead()
+                    self._recover_dead_workers(pool, outcomes, by_index)
+                    continue
+                kind, worker_id, job_index = record[0], record[1], record[2]
+                if kind == "error":
+                    raise RuntimeError(
+                        f"distributed worker {worker_id} failed on job "
+                        f"{job_index}:\n{record[3]}"
+                    )
+                if job_index not in by_index or job_index in outcomes:
+                    # A duplicate: the job was requeued while its
+                    # original result was still in flight (or a stale
+                    # duplicate buffered past its own wave).  Jobs are
+                    # pure functions of their message, so the copies
+                    # are identical — keep the first, drop the rest.
+                    continue
+                outcomes[job_index] = record[3]
+                for other in pool.workers:
+                    other.assigned.pop(job_index, None)
+        return [outcomes[job.index] for job in wave]
+
+    def _recover_dead_workers(self, pool, outcomes, by_index) -> None:
+        """Requeue the unfinished jobs of any worker that died.
+
+        The dead worker is recorded in each requeued job's
+        ``excluded_workers`` so reassignment avoids it; the wire message
+        is reused with its prefix delta recomputed against the new
+        worker's queue tail.
+        """
+        for worker in pool.workers:
+            if worker.alive() or not worker.assigned:
+                continue
+            orphaned = [
+                index
+                for index in sorted(worker.assigned)
+                if index not in outcomes
+            ]
+            worker.assigned.clear()
+            if not orphaned:
+                continue
+            pool.worker_failures += 1
+            survivors = pool.alive_workers()
+            if not survivors:
+                raise RuntimeError(
+                    "all distributed workers died; cannot recover"
+                )
+            for position, index in enumerate(orphaned):
+                job, message = by_index[index]
+                job.excluded_workers.add(worker.worker_id)
+                candidates = [
+                    survivor
+                    for survivor in survivors
+                    if survivor.worker_id not in job.excluded_workers
+                ] or survivors
+                target = candidates[position % len(candidates)]
+                self._dispatch_to_worker(target, job, message)
 
 
 def compile_distributed(
@@ -459,12 +1153,14 @@ def compile_distributed(
     scheme: str = "hybrid",
     epsilon: float = 0.1,
     workers: int = 4,
-    job_size: int = 3,
+    job_size: "int | str" = 3,
     targets: Optional[Sequence[str]] = None,
     order: "str | Sequence[int]" = "frequency",
     execution: str = "simulate",
     engine: str = "masked",
     handoff: str = "delta",
+    timeout: Optional[float] = None,
+    target_job_cost: float = 0.01,
 ) -> CompilationResult:
     """One-shot helper mirroring :func:`repro.compile.compiler.compile_network`."""
     coordinator = DistributedCompiler(
@@ -476,5 +1172,12 @@ def compile_distributed(
         job_size=job_size,
         engine=engine,
         handoff=handoff,
+        target_job_cost=target_job_cost,
     )
-    return coordinator.run(scheme=scheme, epsilon=epsilon, execution=execution)
+    try:
+        return coordinator.run(
+            scheme=scheme, epsilon=epsilon, execution=execution,
+            timeout=timeout,
+        )
+    finally:
+        coordinator.close()

@@ -27,7 +27,7 @@ import math
 import random
 import statistics
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..network.nodes import EventNetwork
 from ..worlds.variables import VariablePool

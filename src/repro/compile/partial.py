@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..network.nodes import EventNetwork, Kind, Node
+from ..network.nodes import EventNetwork, Kind
 
 # Three-valued Boolean states.
 B_FALSE = 0

@@ -19,21 +19,15 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..compile.result import CompilationResult
 from ..data.datasets import ProbabilisticDataset, certain_dataset, sensor_dataset
 from ..engine.registry import run_scheme
 from ..events.expressions import Event
-from ..events.program import EventProgram, eid
-from ..lang.translate import (
-    TranslationExternals,
-    Translator,
-    dataset_externals,
-    translate_source,
-)
+from ..events.program import EventProgram
+from ..lang.translate import Translator, dataset_externals, translate_source
 from ..mining import targets as target_factories
 from ..mining.kmeans import KMeansSpec, build_kmeans_program, kmeans_assignment_targets
 from ..mining.kmedoids import (
@@ -203,7 +197,8 @@ class ENFrame:
         order: "str | Sequence[int]" = "frequency",
         ordering: "str | Sequence[int] | None" = None,
         workers: Optional[int] = None,
-        job_size: int = 3,
+        job_size: "int | str" = 3,
+        execution: str = "simulate",
         timeout: Optional[float] = None,
         samples: int = 1000,
         seed: int = 0,
@@ -217,10 +212,14 @@ class ENFrame:
         MCDB-style statistical baseline) are built in, alongside the
         ``naive-scalar``/``montecarlo-scalar`` oracles.  Passing
         ``workers`` switches distributed-capable schemes to the
-        distributed compiler (``hybrid-d`` & friends, Section 4.4);
-        options irrelevant to the chosen scheme are ignored.
-        ``order``/``ordering`` (the latter wins when both are given)
-        select the Shannon schemes' variable-ordering strategy
+        distributed compiler (``hybrid-d`` & friends, Section 4.4),
+        where ``execution`` picks the mode (``"simulate"``,
+        ``"threads"``, or ``"process"`` — true multi-process workers)
+        and ``job_size`` is the fork depth (an ``int`` or
+        ``"adaptive"`` for the measured-cost model); options irrelevant
+        to the chosen scheme are ignored.  ``order``/``ordering`` (the
+        latter wins when both are given) select the Shannon schemes'
+        variable-ordering strategy
         (:func:`repro.compile.ordering.make_order`).
         """
         if self.network is None:
@@ -234,6 +233,7 @@ class ENFrame:
             order=order if ordering is None else ordering,
             workers=workers,
             job_size=job_size,
+            execution=execution,
             timeout=timeout,
             samples=samples,
             seed=seed,

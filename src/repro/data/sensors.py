@@ -18,10 +18,9 @@ experimental behaviour.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -18,7 +18,7 @@ of no terms), matching Section 3.2.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..events.expressions import (
     CVal,

@@ -12,7 +12,7 @@ interval is a certified enclosure of the conditional probability.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Tuple
 
 from ..compile.compiler import compile_network
 from ..events.expressions import Event, conj

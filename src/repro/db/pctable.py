@@ -14,10 +14,10 @@ aggregate c-values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..events.expressions import TRUE, Event, conj, disj, var
+from ..events.expressions import TRUE, Event, conj, var
 from ..worlds.variables import VariablePool, Valuation
 from ..events.semantics import Evaluator
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 import time
 from collections import ChainMap
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -674,6 +674,124 @@ class MaskedEvaluator:
         while len(self._frames) > depth:
             self.pop()
 
+    # -- column patches (the cross-process wire format) -----------------
+
+    def export_patch(self, base_depth: int) -> Tuple[tuple, ...]:
+        """The frames above ``base_depth`` as a portable column patch.
+
+        A *patch* is the post-state of a trail slice: one record per
+        frame — ``(variable, value, entries)`` — where each entry names
+        a vertex and the column values the frame's sweep left it with.
+        Applied on top of the *same* base state by
+        :meth:`apply_patch`, it reproduces the sender's columns exactly,
+        write for write, without re-evaluating anything: this is how the
+        multi-process distributed coordinator ships assignment-prefix
+        state between workers (:mod:`repro.compile.distributed`) instead
+        of having every worker re-sweep the cones along the prefix.
+
+        The trail records *old* values (for undo), so the per-frame new
+        values are reconstructed by walking the slice newest to oldest:
+        the value a frame wrote is whatever the next-newer frame
+        trailing the same vertex saw as "old" (the current column value
+        when no newer frame touched it).  Everything in a patch is
+        plain Python scalars plus :class:`NumState` objects, so it
+        pickles across process boundaries.
+        """
+        if base_depth < 0 or base_depth > len(self._frames):
+            raise ValueError(
+                f"cannot export from depth {base_depth} "
+                f"at depth {len(self._frames)}"
+            )
+        frames = self._frames[base_depth:]
+        variables = self._frame_vars[base_depth:]
+        tracking: Dict[Tuple[int, int], tuple] = {}
+        newest_first: List[tuple] = []
+        for frame, variable in zip(reversed(frames), reversed(variables)):
+            entries: List[tuple] = []
+            for entry in frame:
+                tag, vid = entry[0], entry[1]
+                key = (tag, vid)
+                new = tracking.get(key)
+                if new is None:
+                    if tag == _TAG_BOOL:
+                        new = (self._b[vid],)
+                    elif tag == _TAG_NUM:
+                        new = (
+                            self._lo[vid],
+                            self._hi[vid],
+                            self._mu[vid],
+                            self._md[vid],
+                        )
+                    else:
+                        new = (self._vec.get(vid),)
+                entries.append((tag, vid) + new)
+                tracking[key] = tuple(entry[2:])
+            value = None if variable is None else self.assignment[variable]
+            newest_first.append((variable, value, tuple(entries)))
+        return tuple(reversed(newest_first))
+
+    def apply_patch(self, frames: Sequence[tuple]) -> None:
+        """Re-apply an exported column patch on top of its base state.
+
+        Opens one trail frame per patch record and writes the recorded
+        column values directly — no cone sweep, no evaluation counted —
+        trailing the overwritten values so ``pop``/``rewind_to`` undo a
+        patched frame exactly like a swept one.  The caller must have
+        the evaluator in the same state the patch was exported against
+        (same program, same base prefix); the distributed coordinator
+        guarantees this by construction.
+        """
+        for variable, value, entries in frames:
+            trail: List[tuple] = []
+            self._frames.append(trail)
+            self._frame_vars.append(variable)
+            self._resolved_version += 1
+            if variable is not None:
+                self.assignment[variable] = value
+            for entry in entries:
+                tag, vid = entry[0], entry[1]
+                if tag == _TAG_BOOL:
+                    new = entry[2]
+                    trail.append((_TAG_BOOL, vid, self._b[vid]))
+                    self._b[vid] = new
+                    if new != B_UNKNOWN:
+                        self._resolved[vid] = True
+                elif tag == _TAG_NUM:
+                    new_lo, new_hi, new_mu, new_md = entry[2:6]
+                    trail.append(
+                        (
+                            _TAG_NUM,
+                            vid,
+                            self._lo[vid],
+                            self._hi[vid],
+                            self._mu[vid],
+                            self._md[vid],
+                        )
+                    )
+                    self._lo[vid] = new_lo
+                    self._hi[vid] = new_hi
+                    self._mu[vid] = new_mu
+                    self._md[vid] = new_md
+                    if (not new_md and new_mu) or (
+                        new_md and not new_mu and new_lo == new_hi
+                    ):
+                        self._resolved[vid] = True
+                else:
+                    state = entry[2]
+                    trail.append((_TAG_VEC, vid, self._vec.get(vid)))
+                    if state is None:
+                        self._vec.pop(vid, None)
+                    else:
+                        self._vec[vid] = state
+                        if state.may_u:
+                            resolved = not state.may_def
+                        else:
+                            resolved = state.lo is state.hi or bool(
+                                np.array_equal(state.lo, state.hi)
+                            )
+                        if resolved:
+                            self._resolved[vid] = True
+
     # -- sweeping -------------------------------------------------------
 
     def _sweep_cone(self, var_index: int) -> None:

@@ -60,12 +60,19 @@ class SchemeOptions:
     schemes (``"frequency"``, ``"dynamic"`` — the cone-aware dynamic
     order — ``"dynamic-scan"``, ``"cone"``, ``"index"``, or an explicit
     index sequence; see :func:`repro.compile.ordering.make_order`).
+
+    ``execution`` selects how a ``distributed``-capable scheme runs its
+    workers (``"simulate"``, ``"threads"``, or ``"process"`` — see
+    :mod:`repro.compile.distributed`); ``job_size`` is the distributed
+    fork depth, either an explicit ``int`` or ``"adaptive"`` for the
+    online cost model.
     """
 
     epsilon: float = 0.0
     order: "str | Sequence[int]" = "frequency"
     workers: Optional[int] = None
-    job_size: int = 3
+    job_size: "int | str" = 3
+    execution: str = "simulate"
     timeout: Optional[float] = None
     samples: int = 1000
     seed: int = 0
@@ -217,7 +224,8 @@ def run_scheme(
     order: "str | Sequence[int]" = "frequency",
     ordering: "str | Sequence[int] | None" = None,
     workers: Optional[int] = None,
-    job_size: int = 3,
+    job_size: "int | str" = 3,
+    execution: str = "simulate",
     timeout: Optional[float] = None,
     samples: int = 1000,
     seed: int = 0,
@@ -228,20 +236,25 @@ def run_scheme(
     Options irrelevant to the chosen scheme are normalised away rather
     than rejected: ``epsilon`` is zeroed for schemes without the
     ``epsilon`` capability, ``workers`` is dropped for schemes that are
-    not ``distributed``-capable, and ``timeout`` is dropped for schemes
+    not ``distributed``-capable — and with it ``execution``, which
+    reverts to ``"simulate"`` — and ``timeout`` is dropped for schemes
     without the ``timeout`` capability (matching the historical facade
-    behaviour where e.g. ``naive`` ignored ``workers``).  ``ordering``
-    is an explicit alias for ``order`` (it wins when both are given) so
+    behaviour where e.g. ``naive`` ignored ``workers``), *except* for
+    distributed runs, where it bounds the whole run in process mode (a
+    wedged worker must not hang the caller).  ``ordering`` is an
+    explicit alias for ``order`` (it wins when both are given) so
     callers can name the variable-ordering strategy without shadowing
     more generic ``order`` keywords of their own.
     """
     spec = get_scheme(name)
+    distributed = spec.has(CAP_DISTRIBUTED) and workers is not None
     options = SchemeOptions(
         epsilon=epsilon if spec.has(CAP_EPSILON) else 0.0,
         order=order if ordering is None else ordering,
         workers=workers if spec.has(CAP_DISTRIBUTED) else None,
         job_size=job_size,
-        timeout=timeout if spec.has(CAP_TIMEOUT) else None,
+        execution=execution if distributed else "simulate",
+        timeout=timeout if spec.has(CAP_TIMEOUT) or distributed else None,
         samples=samples,
         seed=seed,
         confidence=confidence,

@@ -52,7 +52,18 @@ def _run_shannon(
             workers=options.workers,
             job_size=options.job_size,
         )
-        return coordinator.run(scheme=scheme, epsilon=options.epsilon)
+        try:
+            return coordinator.run(
+                scheme=scheme,
+                epsilon=options.epsilon,
+                execution=options.execution,
+                timeout=options.timeout,
+            )
+        finally:
+            # Process-mode pools are persistent per coordinator; the
+            # registry path builds one coordinator per call, so tear
+            # the workers down with it (no-op for in-memory modes).
+            coordinator.close()
     from ..compile.compiler import compile_network
 
     return compile_network(

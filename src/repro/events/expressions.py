@@ -18,7 +18,7 @@ builders can generate large programs without blowing up the structure.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Set, Tuple, Union
+from typing import Iterable, Sequence, Set, Tuple
 
 import numpy as np
 

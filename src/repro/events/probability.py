@@ -10,7 +10,7 @@ are validated, and as the reference implementation of Definition 1.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..worlds.variables import VariablePool
 from .expressions import CVal, Event

@@ -12,8 +12,8 @@ EXT of Figure 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
 
 REDUCE_KINDS = ("reduce_and", "reduce_or", "reduce_sum", "reduce_mult", "reduce_count")
 COMPARISONS = ("<", ">", "==", "<=", ">=")

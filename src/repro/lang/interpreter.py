@@ -14,10 +14,9 @@ semantics == compiled probabilities).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Sequence, Tuple
 
-import numpy as np
 
 from ..events import values as V
 from ..mining.ties import break_ties, break_ties_1, break_ties_2

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import ast
 import textwrap
-from typing import List, Optional, Tuple, Union
+from typing import List, Tuple, Union
 
 from .grammar import (
     BREAK_TIES,

@@ -29,7 +29,6 @@ from .grammar import (
     Lit,
     Name,
     Reduce,
-    Stmt,
     TupleAssign,
     UserProgram,
 )

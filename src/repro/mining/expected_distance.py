@@ -19,7 +19,7 @@ exclusive readings that no possible world ever sees together.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -27,7 +27,7 @@ from ..data.datasets import ProbabilisticDataset
 from ..events.probability import event_probability
 from .distance import pairwise_distances
 from .kmedoids import KMedoidsSpec
-from .ties import break_ties_1, break_ties_2
+from .ties import break_ties_2
 
 
 def marginal_presence(dataset: ProbabilisticDataset) -> np.ndarray:

@@ -26,9 +26,9 @@ import numpy as np
 
 from ..data.datasets import ProbabilisticDataset
 from ..events import values as V
-from ..events.expressions import Event, atom, cdist, cond, conj, cref, csum, guard, ref
+from ..events.expressions import atom, cdist, cond, conj, csum, guard
 from ..events.program import EventProgram, eid
-from .distance import pairwise_distances, point_distance
+from .distance import pairwise_distances
 from .ties import break_ties_1, break_ties_2, tie_break_events
 
 

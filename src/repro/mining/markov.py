@@ -17,14 +17,13 @@ persist?", which determines cluster membership in MCL.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..events import values as V
 from ..events.expressions import Event, atom, cinv, conj, cpow, cprod, csum, guard, literal
 from ..events.program import EventProgram, eid
-from ..worlds.variables import VariablePool
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,7 @@ that unfolding "can lead to prohibitively large event networks".
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from ..events.expressions import CVal, Event, Expression
 from .build import NetworkBuilder

@@ -15,9 +15,7 @@ from __future__ import annotations
 from enum import IntEnum
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-import numpy as np
 
-from ..events.values import Value
 
 
 class Kind(IntEnum):

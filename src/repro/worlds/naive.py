@@ -17,7 +17,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..compile.partial import B_TRUE
 from ..compile.result import CompilationResult
-from ..network.nodes import EventNetwork, Kind
+from ..network.nodes import EventNetwork
 from .variables import VariablePool
 
 

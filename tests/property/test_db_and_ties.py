@@ -9,7 +9,7 @@ from repro.db.aggregates import sum_aggregate
 from repro.db.pctable import PCTable
 from repro.events import values as V
 from repro.events.expressions import var
-from repro.events.semantics import Evaluator, evaluate_cval, evaluate_event
+from repro.events.semantics import evaluate_cval, evaluate_event
 from repro.mining.ties import break_ties, break_ties_1, break_ties_2, tie_break_events
 from repro.worlds.variables import VariablePool
 

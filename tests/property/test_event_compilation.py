@@ -12,7 +12,6 @@ from hypothesis import given, settings
 from repro.compile.compiler import compile_network
 from repro.compile.distributed import compile_distributed
 from repro.events.expressions import (
-    TRUE,
     atom,
     conj,
     csum,

@@ -10,13 +10,11 @@ concrete value in any extension).
 """
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import given, settings
 
 from repro.compile.partial import (
     B_FALSE,
     B_TRUE,
-    B_UNKNOWN,
     NumState,
     PartialEvaluator,
     atom_state,
@@ -28,9 +26,8 @@ from repro.compile.partial import (
 from repro.events import values as V
 from repro.events.semantics import evaluate_event
 from repro.network.build import build_targets
-from repro.worlds.variables import VariablePool
 
-from .test_event_compilation import events, instances
+from .test_event_compilation import instances
 
 finite = st.floats(min_value=-100, max_value=100, allow_nan=False)
 

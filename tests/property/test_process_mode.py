@@ -1,0 +1,111 @@
+"""Property tests: multi-process execution is an exact replica.
+
+The contract behind ``execution="process"``: a job is a pure function
+of its creation-time inputs and the generation barriers merge results
+in creation order, so however the OS schedules the worker processes —
+and whichever workers end up executing which jobs — the decision trees,
+job DAG, and probability bounds must be *identical* (to 1e-9) to the
+deterministic single-process simulation, for all four schemes and both
+handoff modes.  The column-patch wire format
+(:meth:`~repro.engine.masked.MaskedEvaluator.export_patch`) rides the
+same assertions: a patch that diverged from a local re-sweep by one
+write would shift some bound.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.compile.compiler import compile_network
+from repro.compile.distributed import DistributedCompiler
+from repro.network.build import build_targets
+
+from ..conftest import make_pool, random_event
+from .test_folded_bulk_vs_scalar import _random_folded_instance
+
+MATCH_ABS = 1e-9
+SCHEMES = [("exact", 0.0), ("lazy", 0.07), ("eager", 0.07), ("hybrid", 0.07)]
+
+
+def _random_instance(seed: int):
+    rng = random.Random(seed)
+    pool = make_pool([rng.uniform(0.05, 0.95) for _ in range(rng.randint(4, 6))])
+    events = {
+        f"t{index}": random_event(pool, rng, depth=rng.randint(1, 3))
+        for index in range(rng.randint(1, 3))
+    }
+    return pool, build_targets(events)
+
+
+def _assert_identical(left, right, context: str) -> None:
+    assert left.jobs == right.jobs, context
+    assert left.tree_nodes == right.tree_nodes, context
+    for name in left.bounds:
+        assert left.bounds[name][0] == pytest.approx(
+            right.bounds[name][0], abs=MATCH_ABS
+        ), (context, name)
+        assert left.bounds[name][1] == pytest.approx(
+            right.bounds[name][1], abs=MATCH_ABS
+        ), (context, name)
+
+
+@pytest.mark.parametrize("handoff", ["delta", "replay"])
+def test_process_matches_simulated_all_schemes(handoff):
+    # One coordinator per handoff: the persistent worker pool is reused
+    # across all schemes and seeds, keeping spawn cost out of the loop.
+    pool, network = _random_instance(11)
+    coordinator = DistributedCompiler(
+        network, pool, workers=2, job_size=2, handoff=handoff
+    )
+    try:
+        for scheme, epsilon in SCHEMES:
+            simulated = coordinator.run(
+                scheme=scheme, epsilon=epsilon, execution="simulate"
+            )
+            process = coordinator.run(
+                scheme=scheme, epsilon=epsilon, execution="process"
+            )
+            _assert_identical(
+                process, simulated, f"{scheme}/{handoff} process vs simulated"
+            )
+    finally:
+        coordinator.close()
+
+
+def test_process_matches_simulated_random_instances():
+    for seed in range(3):
+        pool, network = _random_instance(seed)
+        coordinator = DistributedCompiler(network, pool, workers=2, job_size=1)
+        try:
+            simulated = coordinator.run(scheme="hybrid", epsilon=0.05)
+            process = coordinator.run(
+                scheme="hybrid", epsilon=0.05, execution="process"
+            )
+            threaded = coordinator.run(
+                scheme="hybrid", epsilon=0.05, execution="threads"
+            )
+            _assert_identical(process, simulated, f"seed {seed}")
+            _assert_identical(threaded, simulated, f"seed {seed} (threads)")
+        finally:
+            coordinator.close()
+
+
+def test_process_matches_sequential_exact_folded():
+    pool, folded = _random_folded_instance(2)
+    sequential = compile_network(folded, pool)
+    coordinator = DistributedCompiler(folded, pool, workers=2, job_size=2)
+    try:
+        process = coordinator.run(scheme="exact", execution="process")
+        simulated = coordinator.run(scheme="exact", execution="simulate")
+    finally:
+        coordinator.close()
+    _assert_identical(process, simulated, "folded exact")
+    for name in folded.targets:
+        assert process.bounds[name][0] == pytest.approx(
+            sequential.bounds[name][0], abs=MATCH_ABS
+        )
+        assert process.bounds[name][1] == pytest.approx(
+            sequential.bounds[name][1], abs=MATCH_ABS
+        )

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import hypothesis.strategies as st
 import numpy as np
-import pytest
 from hypothesis import given, settings
 
 from repro.compile.compiler import compile_network

@@ -7,7 +7,7 @@ point) pin the implementation to the paper's semantics.
 
 import hypothesis.strategies as st
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 
 from repro.events import values as V
 from repro.events.values import UNDEFINED

@@ -9,7 +9,7 @@ import pytest
 
 from repro.db import algebra
 from repro.db.pctable import PCTable
-from repro.events.expressions import conj, disj, var
+from repro.events.expressions import disj, var
 from repro.events.semantics import evaluate_event
 from repro.worlds.variables import VariablePool
 

@@ -11,12 +11,7 @@ from repro.data.datasets import (
     from_lineage,
     sensor_dataset,
 )
-from repro.data.sensors import (
-    DEFAULT_REGIMES,
-    fraction,
-    generate_sensor_readings,
-    normalise,
-)
+from repro.data.sensors import fraction, generate_sensor_readings, normalise
 from repro.events.expressions import TRUE
 from repro.mining.distance import pairwise_distances, point_distance
 

@@ -141,3 +141,178 @@ class TestValidation:
             coordinator.run(scheme="bogus")
         with pytest.raises(ValueError):
             coordinator.run(execution="mpi")
+
+
+class TestProcessExecution:
+    def test_process_exact_matches_sequential(self):
+        pool, network, events = make_instance()
+        sequential = compile_network(network, pool)
+        result = compile_distributed(
+            network, pool, scheme="exact", workers=2, job_size=2,
+            execution="process",
+        )
+        for name in events:
+            assert result.bounds[name][0] == pytest.approx(
+                sequential.bounds[name][0]
+            )
+            assert result.bounds[name][1] == pytest.approx(
+                sequential.bounds[name][1]
+            )
+        assert result.extra["execution"] == 2.0
+
+    def test_worker_crash_requeues_with_dead_worker_excluded(self):
+        import multiprocessing
+
+        pool, network, _ = make_instance()
+        reference = compile_distributed(
+            network, pool, scheme="exact", workers=2, job_size=1
+        )
+        coordinator = DistributedCompiler(
+            network, pool, workers=2, job_size=1,
+            fault_injection={"worker": 1, "crash_on_job": 2},
+        )
+        try:
+            result = coordinator.run(scheme="exact", execution="process")
+            # The crashed worker's jobs were requeued on the survivor:
+            # the run completes with identical trees and bounds.
+            assert result.tree_nodes == reference.tree_nodes
+            assert result.jobs == reference.jobs
+            for name in reference.bounds:
+                assert result.bounds[name][0] == pytest.approx(
+                    reference.bounds[name][0]
+                )
+            assert result.extra["worker_failures"] >= 1.0
+            # The dead worker is out of the pool; the survivor carried it.
+            process_pool = coordinator._process_pool
+            alive = process_pool.alive_workers()
+            assert len(alive) == 1
+            assert alive[0].worker_id == 0
+        finally:
+            coordinator.close(force=True)
+        assert not multiprocessing.active_children()
+
+    def test_timeout_tears_down_pool_without_orphans(self):
+        import multiprocessing
+
+        pool, network, _ = make_instance()
+        coordinator = DistributedCompiler(
+            network, pool, workers=2, job_size=1,
+            fault_injection={"worker": 0, "stall_on_job": 1},
+        )
+        try:
+            with pytest.raises(TimeoutError):
+                coordinator.run(
+                    scheme="exact", execution="process", timeout=1.5
+                )
+            assert coordinator._process_pool is None
+        finally:
+            coordinator.close(force=True)
+        assert not multiprocessing.active_children()
+
+    def test_interrupt_tears_down_pool_without_orphans(self, monkeypatch):
+        import multiprocessing
+
+        pool, network, _ = make_instance()
+        coordinator = DistributedCompiler(network, pool, workers=2, job_size=2)
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            DistributedCompiler, "_execute_process_wave", interrupted
+        )
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                coordinator.run(scheme="exact", execution="process")
+            # The exception path must have force-closed the pool.
+            assert coordinator._process_pool is None
+        finally:
+            coordinator.close(force=True)
+        assert not multiprocessing.active_children()
+
+    def test_pool_persists_across_runs(self):
+        pool, network, _ = make_instance()
+        coordinator = DistributedCompiler(network, pool, workers=2, job_size=2)
+        try:
+            coordinator.run(scheme="exact", execution="process")
+            first_pool = coordinator._process_pool
+            coordinator.run(scheme="hybrid", epsilon=0.1, execution="process")
+            assert coordinator._process_pool is first_pool
+        finally:
+            coordinator.close()
+
+
+class TestAdaptiveJobSizer:
+    def test_converges_on_synthetic_exponential_costs(self):
+        # Per-job cost doubles with the fork depth: cost(d) = c0 * 2^d.
+        # The sizer must settle at a depth whose cost sits inside the
+        # [target/2, 2*target] dead band and stay there.
+        from repro.compile.distributed import AdaptiveJobSizer
+
+        base_cost = 0.0005
+        sizer = AdaptiveJobSizer(initial=1, target_cost=0.01)
+        history = []
+        for _ in range(30):
+            depth = sizer.job_size
+            history.append(depth)
+            sizer.observe_wave([base_cost * (2.0 ** depth)] * 8)
+        settled = history[-5:]
+        assert len(set(settled)) == 1  # no oscillation once converged
+        final_cost = base_cost * (2.0 ** settled[0])
+        assert 0.5 * sizer.target_cost <= final_cost <= 2.0 * sizer.target_cost
+
+    def test_splits_when_jobs_run_long(self):
+        from repro.compile.distributed import AdaptiveJobSizer
+
+        sizer = AdaptiveJobSizer(initial=6, target_cost=0.01)
+        sizer.observe_wave([1.0, 1.0])
+        assert sizer.job_size == 5
+
+    def test_merges_when_jobs_run_short(self):
+        from repro.compile.distributed import AdaptiveJobSizer
+
+        sizer = AdaptiveJobSizer(initial=2, target_cost=0.01)
+        sizer.observe_wave([1e-6, 1e-6])
+        assert sizer.job_size == 3
+
+    def test_respects_bounds_and_validation(self):
+        from repro.compile.distributed import AdaptiveJobSizer
+
+        sizer = AdaptiveJobSizer(initial=1, target_cost=0.01, max_size=2)
+        for _ in range(10):
+            sizer.observe_wave([1e-9])
+        assert sizer.job_size == 2
+        with pytest.raises(ValueError):
+            AdaptiveJobSizer(initial=0)
+        with pytest.raises(ValueError):
+            AdaptiveJobSizer(target_cost=0.0)
+
+    def test_adaptive_job_size_through_all_entry_points(self):
+        pool, network, _ = make_instance()
+        sequential = compile_network(network, pool)
+        result = compile_distributed(
+            network, pool, scheme="exact", workers=3, job_size="adaptive"
+        )
+        # Exact bounds are partition-independent: any job sizing must
+        # reproduce the sequential probabilities exactly.
+        for name in sequential.bounds:
+            assert result.bounds[name][0] == pytest.approx(
+                sequential.bounds[name][0]
+            )
+        assert result.extra["adaptive_job_size"] == 1.0
+        from repro.engine.registry import run_scheme
+
+        via_registry = run_scheme(
+            "exact", network, pool, workers=2, job_size="adaptive"
+        )
+        for name in sequential.bounds:
+            assert via_registry.bounds[name][0] == pytest.approx(
+                sequential.bounds[name][0]
+            )
+
+    def test_bad_job_size_rejected(self):
+        pool, network, _ = make_instance()
+        with pytest.raises(ValueError):
+            DistributedCompiler(network, pool, job_size="bogus")
+        with pytest.raises(ValueError):
+            DistributedCompiler(network, pool, job_size=2.5)

@@ -5,7 +5,6 @@ import pytest
 
 from repro.engine.ir import (
     ATOM_OPS,
-    FlatNetwork,
     UnsupportedNetworkError,
     flatten,
     flatten_folded,

@@ -213,3 +213,36 @@ class TestDispatch:
             assert seen["timeout"] == 5.0
         finally:
             unregister_scheme("test-timeout-capable")
+
+    def test_timeout_kept_for_distributed_runs(self):
+        # Shannon schemes have no CAP_TIMEOUT, but a distributed run
+        # (workers set) keeps the caller's timeout: it bounds the whole
+        # run in process mode, where a wedged worker must not hang the
+        # caller.  Without workers, the historical normalisation stands.
+        seen = {}
+
+        @register_scheme(
+            "test-distributed-timeout", capabilities={CAP_DISTRIBUTED}
+        )
+        def run_probe(network, pool, targets, options):
+            seen["timeout"] = options.timeout
+            seen["execution"] = options.execution
+            return CompilationResult(
+                bounds={"t": (0.0, 0.0)},
+                scheme="test-distributed-timeout",
+                epsilon=0.0,
+            )
+
+        try:
+            pool, network, _ = _instance()
+            run_scheme(
+                "test-distributed-timeout", network, pool,
+                workers=2, timeout=30.0, execution="process",
+            )
+            assert seen["timeout"] == 30.0
+            assert seen["execution"] == "process"
+            run_scheme("test-distributed-timeout", network, pool, timeout=30.0)
+            assert seen["timeout"] is None
+            assert seen["execution"] == "simulate"
+        finally:
+            unregister_scheme("test-distributed-timeout")

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data.datasets import ProbabilisticDataset, certain_dataset, sensor_dataset
-from repro.events.expressions import conj, negate, var
+from repro.events.expressions import negate, var
 from repro.mining.expected_distance import (
     HardClustering,
     correlation_violations,

@@ -7,10 +7,7 @@ from repro.events.expressions import (
     FALSE,
     TRUE,
     And,
-    Atom,
     CSum,
-    Guard,
-    Not,
     Or,
     atom,
     cdist,

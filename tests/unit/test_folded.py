@@ -5,7 +5,7 @@ import pytest
 from repro.compile.compiler import compile_network, make_evaluator
 from repro.compile.folded_eval import FoldedEvaluator
 from repro.data.datasets import sensor_dataset
-from repro.events.expressions import atom, cond, csum, disj, guard, literal, var
+from repro.events.expressions import atom, csum, guard, literal, var
 from repro.mining.kmedoids import (
     KMedoidsSpec,
     build_kmedoids_folded,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.events.values import UNDEFINED
-from repro.lang.interpreter import Externals, Interpreter, InterpreterError, run_program
+from repro.lang.interpreter import Externals, InterpreterError, run_program
 from repro.lang.parser import parse_program
 
 

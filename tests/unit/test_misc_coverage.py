@@ -2,12 +2,11 @@
 
 import random
 
-import numpy as np
 import pytest
 
 from repro.compile.montecarlo import _z_score
 from repro.data.sensors import Regime, generate_sensor_readings
-from repro.events.expressions import conj, disj, guard, literal, var
+from repro.events.expressions import conj, disj, literal, var
 from repro.network.build import build_targets
 from repro.network.dot import to_dot
 from repro.worlds.variables import VariablePool

@@ -7,7 +7,6 @@ from repro.events.expressions import (
     atom,
     cdist,
     conj,
-    cref,
     csum,
     disj,
     guard,

@@ -20,16 +20,11 @@ from repro.compile.partial import (
 )
 from repro.events.expressions import (
     atom,
-    cdist,
-    cinv,
-    cond,
     conj,
-    cpow,
     csum,
     disj,
     guard,
     literal,
-    negate,
     var,
 )
 from repro.network.build import build_targets

@@ -8,7 +8,7 @@ from repro.db.pctable import (
     block_independent_disjoint,
     tuple_independent,
 )
-from repro.events.expressions import TRUE, conj, var
+from repro.events.expressions import TRUE, var
 from repro.events.probability import event_probability
 from repro.events.semantics import evaluate_event
 from repro.worlds.variables import VariablePool

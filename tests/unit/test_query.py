@@ -4,7 +4,6 @@ import pytest
 
 from repro.db.pctable import PCTable, tuple_independent
 from repro.db.query import Query
-from repro.events.expressions import var
 from repro.worlds.variables import VariablePool
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the correlation schemes of the evaluation (§5)."""
 
-import itertools
 import random
 
 import pytest

@@ -3,17 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.events.expressions import TRUE, CSum, Guard, Or
 from repro.events.probability import event_probability
-from repro.events.semantics import evaluate_cval, evaluate_event
-from repro.events.values import UNDEFINED
+from repro.events.semantics import evaluate_cval
 from repro.lang.labels import LabelGenerator, example3_trace
 from repro.lang.translate import (
     TranslationError,
     TranslationExternals,
     translate_source,
 )
-from repro.worlds.variables import VariablePool
 
 from ..conftest import make_pool
 
