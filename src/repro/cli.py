@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from .compile.ordering import ORDER_NAMES
 from .core.platform import ENFrame
+from .engine.kernels import KERNEL_NAMES
 from .engine.registry import available_schemes
 from .mining.kmedoids import KMedoidsSpec
 
@@ -84,14 +85,19 @@ def _command_cluster(args: argparse.Namespace) -> int:
     )
     # The registry normalises options per scheme (epsilon is zeroed for
     # exact schemes, workers dropped for non-distributed ones).
-    result = platform.run(
-        scheme=args.algorithm,
-        epsilon=args.epsilon,
-        ordering=args.order,
-        workers=args.workers,
-        job_size=args.job_size,
-        execution=args.execution,
-    )
+    try:
+        result = platform.run(
+            scheme=args.algorithm,
+            epsilon=args.epsilon,
+            ordering=args.order,
+            workers=args.workers,
+            job_size=args.job_size,
+            execution=args.execution,
+            kernel=args.kernel,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     print(result.summary(limit=args.limit))
     return 0
 
@@ -159,6 +165,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="distributed execution mode: deterministic "
                               "simulation, a thread pool, or true "
                               "multi-process workers (default simulate)")
+    cluster.add_argument("--kernel", choices=KERNEL_NAMES, default=None,
+                         help="evaluator kernel tier for kernel-capable "
+                              "schemes: auto (default; numba, then native "
+                              "C, then python), or an explicit tier")
     cluster.add_argument("--targets", choices=("medoids", "assignments",
                                                "is_medoid"), default="medoids")
     cluster.add_argument("--folded", action="store_true",

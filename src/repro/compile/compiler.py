@@ -39,7 +39,9 @@ SCHEMES = ("exact", "lazy", "eager", "hybrid")
 ENGINES = ("masked", "scalar")
 
 
-def make_evaluator(network: EventNetwork, engine: str = "masked"):
+def make_evaluator(
+    network: EventNetwork, engine: str = "masked", kernel: Optional[str] = None
+):
     """Evaluator matching the network flavour and the requested engine.
 
     ``masked`` (the default) is the columnar flat-IR evaluator with
@@ -48,15 +50,25 @@ def make_evaluator(network: EventNetwork, engine: str = "masked"):
     pair, kept as the cross-validation oracles.  Networks without a flat
     form (non-topological node order) silently fall back to the scalar
     evaluators — the two are state-for-state equivalent.
+
+    ``kernel`` picks the tier driving the masked engine's cone sweeps
+    (:mod:`repro.engine.kernels`); ``None`` defers to the process
+    default (``REPRO_KERNEL`` or ``auto``).  The tier also travels
+    inside the engine string as ``"masked:<kernel>"`` — the form the
+    distributed coordinator ships to its workers — with an explicit
+    ``kernel=`` argument taking precedence.
     """
-    if engine not in ENGINES:
+    base, _, suffix = engine.partition(":")
+    if kernel is None and suffix:
+        kernel = suffix
+    if base not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-    if engine == "masked":
+    if base == "masked":
         from ..engine.ir import UnsupportedNetworkError
-        from ..engine.masked import MaskedEvaluator
+        from ..engine.kernels import make_masked_evaluator
 
         try:
-            return MaskedEvaluator(network)
+            return make_masked_evaluator(network, kernel=kernel)
         except UnsupportedNetworkError:
             pass
     from ..network.folded import FoldedNetwork
@@ -105,6 +117,7 @@ class ShannonCompiler:
         targets: Optional[Sequence[str]] = None,
         order: "str | Sequence[int]" = "frequency",
         engine: str = "masked",
+        kernel: Optional[str] = None,
         evaluator=None,
     ) -> None:
         self.network = network
@@ -115,6 +128,11 @@ class ShannonCompiler:
         self.target_names = names
         self.target_ids = {name: network.targets[name] for name in names}
         self.order: VariableOrder = make_order(network, order)
+        if kernel is not None and ":" not in engine:
+            # Fold the tier into the engine string so it survives every
+            # place the engine travels as a plain string (distributed
+            # worker configs, job pickles, evaluator rebuilds).
+            engine = f"{engine}:{kernel}"
         self.engine = engine
         # Run state (reset per run()).  A caller may hand over an
         # evaluator for this network/engine (the distributed workers
@@ -172,7 +190,7 @@ class ShannonCompiler:
             name: (self._lower[name], self._upper[name])
             for name in self.target_names
         }
-        return CompilationResult(
+        result = CompilationResult(
             bounds=bounds,
             scheme=scheme,
             epsilon=epsilon,
@@ -181,6 +199,12 @@ class ShannonCompiler:
             evals=self.evaluator.evals - evals_before,
             max_depth=self._max_depth,
         )
+        tier = getattr(self.evaluator, "kernel", None)
+        if tier is not None:
+            from ..engine.kernels import KERNEL_TIER_CODES
+
+            result.extra["kernel_tier"] = KERNEL_TIER_CODES.get(tier, -1.0)
+        return result
 
     # ------------------------------------------------------------------
 
@@ -357,9 +381,10 @@ def compile_network(
     targets: Optional[Sequence[str]] = None,
     order: "str | Sequence[int]" = "frequency",
     engine: str = "masked",
+    kernel: Optional[str] = None,
 ) -> CompilationResult:
     """One-shot helper: build a compiler and run one scheme."""
     compiler = ShannonCompiler(
-        network, pool, targets=targets, order=order, engine=engine
+        network, pool, targets=targets, order=order, engine=engine, kernel=kernel
     )
     return compiler.run(scheme=scheme, epsilon=epsilon)

@@ -566,12 +566,18 @@ class DistributedCompiler:
         job_size: "int | str" = 3,
         overhead: float = 0.0005,
         engine: str = "masked",
+        kernel: Optional[str] = None,
         handoff: str = "delta",
         target_job_cost: float = 0.01,
         fault_injection: Optional[dict] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if kernel is not None and ":" not in engine:
+            # The tier travels inside the engine string: worker configs
+            # and job pickles ship it unchanged, and make_evaluator
+            # parses it back out on the other side.
+            engine = f"{engine}:{kernel}"
         self.adaptive = job_size == "adaptive"
         if self.adaptive:
             self.job_size = 3  # the sizer's starting point
@@ -1158,6 +1164,7 @@ def compile_distributed(
     order: "str | Sequence[int]" = "frequency",
     execution: str = "simulate",
     engine: str = "masked",
+    kernel: Optional[str] = None,
     handoff: str = "delta",
     timeout: Optional[float] = None,
     target_job_cost: float = 0.01,
@@ -1171,6 +1178,7 @@ def compile_distributed(
         workers=workers,
         job_size=job_size,
         engine=engine,
+        kernel=kernel,
         handoff=handoff,
         target_job_cost=target_job_cost,
     )

@@ -57,6 +57,8 @@ def monte_carlo_probabilities(
     samples: int = 1000,
     seed: int = 0,
     confidence: float = 0.95,
+    packed: Optional[bool] = None,
+    kernel: Optional[str] = None,
 ) -> CompilationResult:
     """Estimate target probabilities from ``samples`` sampled worlds.
 
@@ -81,6 +83,8 @@ def monte_carlo_probabilities(
         samples=samples,
         seed=seed,
         confidence=confidence,
+        packed=packed,
+        kernel=kernel,
     )
 
 

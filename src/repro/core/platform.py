@@ -203,6 +203,7 @@ class ENFrame:
         samples: int = 1000,
         seed: int = 0,
         confidence: float = 0.95,
+        kernel: Optional[str] = None,
     ) -> ProbabilisticResult:
         """Compute target probabilities.
 
@@ -220,7 +221,10 @@ class ENFrame:
         to the chosen scheme are ignored.  ``order``/``ordering`` (the
         latter wins when both are given) select the Shannon schemes'
         variable-ordering strategy
-        (:func:`repro.compile.ordering.make_order`).
+        (:func:`repro.compile.ordering.make_order`).  ``kernel`` picks
+        the evaluator tier for kernel-capable schemes
+        (:data:`repro.engine.kernels.KERNEL_NAMES`; ``None`` = process
+        default).
         """
         if self.network is None:
             raise RuntimeError("no program registered; call kmedoids()/kmeans()/...")
@@ -238,5 +242,6 @@ class ENFrame:
             samples=samples,
             seed=seed,
             confidence=confidence,
+            kernel=kernel,
         )
         return ProbabilisticResult(raw, list(self._target_names))

@@ -349,48 +349,82 @@ class FoldedBulkEvaluator(BulkEvaluator):
         assignments: np.ndarray,
         worlds: int,
     ) -> None:
-        """Iteration 0 with loop inputs resolving through their inits."""
+        """Iteration 0 with loop inputs resolving through their inits.
+
+        Demand order is kept with an explicit two-phase stack (visit
+        children, then compute) — cross-slot init chains can be as deep
+        as the slot count, so the recursion limit must not bound them.
+        """
         flat = self.flat
         ir = self.ir
         in_progress: set = set()
 
-        def value_of(node_id: int):
-            existing = values.get(node_id)
-            if existing is not None:
-                return existing
-            if node_id in in_progress:
-                raise UnsupportedNetworkError(
-                    "cyclic slot initialisation in folded network"
-                )
-            in_progress.add(node_id)
-            slot = int(ir.loop_slot[node_id])
-            if slot >= 0:
-                result = value_of(int(ir.init_ids[slot]))
-            else:
-                children = flat.children(node_id)
-                for child in children:
-                    value_of(int(child))
-                result = self._compute(
-                    int(flat.kinds[node_id]),
-                    node_id,
-                    children,
-                    values,
-                    assignments,
-                    worlds,
-                )
-            in_progress.discard(node_id)
-            layer_values[node_id] = result
-            return result
-
         layer_values.clear()
-        for node_id in layer_ids:
-            value_of(node_id)
+        for root in layer_ids:
+            stack: List[Tuple[int, int]] = [(int(root), 0)]
+            while stack:
+                node_id, phase = stack.pop()
+                if phase == 0:
+                    if values.get(node_id) is not None:
+                        continue
+                    if node_id in in_progress:
+                        raise UnsupportedNetworkError(
+                            "cyclic slot initialisation in folded network"
+                        )
+                    in_progress.add(node_id)
+                    stack.append((node_id, 1))
+                    slot = int(ir.loop_slot[node_id])
+                    if slot >= 0:
+                        stack.append((int(ir.init_ids[slot]), 0))
+                    else:
+                        for child in flat.children(node_id):
+                            stack.append((int(child), 0))
+                    continue
+                slot = int(ir.loop_slot[node_id])
+                if slot >= 0:
+                    result = values[int(ir.init_ids[slot])]
+                else:
+                    result = self._compute(
+                        int(flat.kinds[node_id]),
+                        node_id,
+                        flat.children(node_id),
+                        values,
+                        assignments,
+                        worlds,
+                    )
+                in_progress.discard(node_id)
+                layer_values[node_id] = result
 
 
-def make_bulk_evaluator(network: EventNetwork) -> BulkEvaluator:
-    """Evaluator matching the network flavour (flat or folded)."""
+def make_bulk_evaluator(
+    network: EventNetwork,
+    packed: Optional[bool] = None,
+    kernel: Optional[str] = None,
+) -> BulkEvaluator:
+    """Evaluator matching the network flavour (flat or folded).
+
+    ``packed`` selects the bit-packed Boolean world columns
+    (:mod:`repro.engine.packed`): 64 worlds per ``uint64`` word, with
+    pack/unpack only at the numeric boundary.  The default (``None``)
+    enables packing — the packed evaluators are drop-in equal on
+    Boolean outputs and share the numeric path bit-for-bit; pass
+    ``packed=False`` to force the original one-bool-per-world columns.
+    ``kernel`` names the segment-kernel tier for the flat packed
+    evaluator (``"auto"``/``"numba"``/``"native"``/``"python"``, see
+    :mod:`repro.engine.kernels`).
+    """
+    if packed is None:
+        packed = True
     if isinstance(network, FoldedNetwork):
+        if packed:
+            from .packed import PackedFoldedBulkEvaluator
+
+            return PackedFoldedBulkEvaluator(network)
         return FoldedBulkEvaluator(network)
+    if packed:
+        from .packed import PackedBulkEvaluator
+
+        return PackedBulkEvaluator(network, kernel=kernel)
     return BulkEvaluator(network)
 
 
@@ -408,13 +442,53 @@ def enumerate_worlds(
     :meth:`repro.worlds.variables.VariablePool.iter_valuations`:
     world 0 assigns every variable true and the last variable flips
     fastest.
+
+    World indices are arbitrary-precision Python integers — networks
+    with 64+ variables index worlds far past the int64 range — so the
+    bit extraction is chunked: within a run between two multiples of
+    ``2**62`` the high bits are one constant Python int (broadcast per
+    column) while the low 62 bits vary and are extracted vectorized.
     """
-    indices = np.arange(start, stop, dtype=np.int64)
+    start, stop = int(start), int(stop)
+    count = max(stop - start, 0)
     if variable_count == 0:
-        return np.zeros((len(indices), 0), dtype=bool)
-    shifts = np.arange(variable_count - 1, -1, -1, dtype=np.int64)
-    bits = (indices[:, None] >> shifts[None, :]) & 1
-    return bits == 0
+        return np.zeros((count, 0), dtype=bool)
+    low_bits = 62
+    if stop <= (1 << low_bits):
+        # Fast path: every index fits in int64.  Columns whose shift
+        # would reach past the index range read bit 0, i.e. "true" —
+        # shifting an int64 by >= 64 is undefined, not zero.
+        indices = np.arange(start, stop, dtype=np.int64)
+        effective = min(variable_count, low_bits)
+        shifts = np.arange(effective - 1, -1, -1, dtype=np.int64)
+        bits = (indices[:, None] >> shifts[None, :]) & 1
+        if effective == variable_count:
+            return bits == 0
+        result = np.ones((count, variable_count), dtype=bool)
+        result[:, variable_count - effective :] = bits == 0
+        return result
+    result = np.empty((count, variable_count), dtype=bool)
+    low_mask = (1 << low_bits) - 1
+    row = 0
+    cursor = start
+    while cursor < stop:
+        high = cursor >> low_bits
+        run_stop = min(stop, (high + 1) << low_bits)
+        low = np.arange(
+            cursor & low_mask,
+            (cursor & low_mask) + (run_stop - cursor),
+            dtype=np.int64,
+        )
+        block = result[row : row + len(low)]
+        for column in range(variable_count):
+            shift = variable_count - 1 - column
+            if shift >= low_bits:
+                block[:, column] = ((high >> (shift - low_bits)) & 1) == 0
+            else:
+                block[:, column] = ((low >> np.int64(shift)) & 1) == 0
+        row += len(low)
+        cursor = run_stop
+    return result
 
 
 def world_masses(assignments: np.ndarray, probabilities: np.ndarray) -> np.ndarray:
@@ -441,6 +515,8 @@ def bulk_naive_probabilities(
     world_key_nodes: Optional[Sequence[int]] = None,
     timeout: Optional[float] = None,
     chunk_size: int = DEFAULT_CHUNK,
+    packed: Optional[bool] = None,
+    kernel: Optional[str] = None,
 ) -> CompilationResult:
     """Exact target probabilities by vectorized world enumeration.
 
@@ -448,12 +524,14 @@ def bulk_naive_probabilities(
     :func:`repro.worlds.naive.naive_probabilities_scalar`: same bounds,
     counters, ``world_key_nodes`` world accounting, and timeout
     semantics (partial sums with ``extra['timed_out'] = 1``), but whole
-    chunks of worlds are evaluated per network sweep.
+    chunks of worlds are evaluated per network sweep.  ``packed`` /
+    ``kernel`` select the column representation and kernel tier (see
+    :func:`make_bulk_evaluator`).
     """
     names = list(targets) if targets is not None else list(network.targets)
     target_ids = [network.targets[name] for name in names]
     key_ids = list(world_key_nodes) if world_key_nodes is not None else []
-    evaluator = make_bulk_evaluator(network)
+    evaluator = make_bulk_evaluator(network, packed=packed, kernel=kernel)
     probabilities = np.asarray(pool.probabilities, dtype=float)
     variable_count = len(pool)
     world_count = 1 << variable_count
@@ -500,6 +578,7 @@ def bulk_naive_probabilities(
     )
     result.extra["timed_out"] = 1.0 if timed_out else 0.0
     result.extra["vectorized"] = 1.0
+    result.extra["packed"] = 1.0 if getattr(evaluator, "packed", False) else 0.0
     return result
 
 
@@ -511,6 +590,8 @@ def bulk_monte_carlo_probabilities(
     seed: int = 0,
     confidence: float = 0.95,
     chunk_size: int = DEFAULT_CHUNK,
+    packed: Optional[bool] = None,
+    kernel: Optional[str] = None,
 ) -> CompilationResult:
     """Vectorized MCDB-style estimation: sample worlds in whole batches.
 
@@ -525,7 +606,7 @@ def bulk_monte_carlo_probabilities(
     z = z_score(confidence)  # validates the confidence level
     names = list(targets) if targets is not None else list(network.targets)
     target_ids = [network.targets[name] for name in names]
-    evaluator = make_bulk_evaluator(network)
+    evaluator = make_bulk_evaluator(network, packed=packed, kernel=kernel)
     probabilities = np.asarray(pool.probabilities, dtype=float)
     rng = np.random.default_rng(seed)
     hits = {name: 0 for name in names}
@@ -559,4 +640,5 @@ def bulk_monte_carlo_probabilities(
     result.extra["samples"] = float(samples)
     result.extra["confidence"] = confidence
     result.extra["vectorized"] = 1.0
+    result.extra["packed"] = 1.0 if getattr(evaluator, "packed", False) else 0.0
     return result

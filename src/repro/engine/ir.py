@@ -32,6 +32,22 @@ from ..network.nodes import EventNetwork, Kind
 ATOM_OPS: Dict[str, int] = {"<=": 0, "<": 1, ">=": 2, ">": 3, "==": 4}
 DIST_METRICS: Dict[str, int] = {"euclidean": 0, "sqeuclidean": 1, "manhattan": 2}
 
+# Kind codes whose nodes are Boolean-valued.  Shared by the masked
+# engine, the packed bulk columns, and the kernel tier — one
+# classification, three consumers.
+BOOL_KIND_CODES = frozenset(
+    int(kind)
+    for kind in (
+        Kind.TRUE,
+        Kind.FALSE,
+        Kind.VAR,
+        Kind.NOT,
+        Kind.AND,
+        Kind.OR,
+        Kind.ATOM,
+    )
+)
+
 
 class UnsupportedNetworkError(TypeError):
     """The network has no static flat form (e.g. folded loop inputs)."""

@@ -1,0 +1,1521 @@
+"""Compiled kernel tiers for the masked engine and the packed bulk engine.
+
+The masked evaluator's hot loop — ``push(var, value)`` walking the
+variable's cone and recomputing dirty vertices — is pure per-vertex
+dispatch over flat arrays (:class:`repro.engine.masked.MaskedEvaluator`).
+This module compiles that loop out of Python:
+
+* :func:`_masked_sweep` is the single-source kernel: one plain-Python
+  function over NumPy arrays that is *numba-jittable as is* and also
+  runs interpreted (the ``"interpreted"`` tier, used by tests when no
+  compiler is available);
+* the same algorithm is mirrored statement-for-statement in C
+  (:data:`_C_TEMPLATE`), built once per process with the system C
+  compiler into a shared library cached on disk (the ``"native"``
+  tier);
+* :class:`KernelMaskedEvaluator` swaps the evaluator's columns to
+  shared NumPy buffers the kernel mutates in place, with trail frames
+  kept as arrays and restored vectorized on ``pop()``.
+
+Every tier must be *bit-identical* to the Python evaluator: the same
+three-valued states, the same interval arithmetic (Python ``min``/
+``max`` fold order, IEEE division, ``pow``), the same trail entries in
+the same order — the property suite drives random walks against the
+Python oracle, and :func:`get_backend` self-validates each backend on a
+canned network before handing it out (falling back on any mismatch).
+
+Tier selection (:func:`make_masked_evaluator`, reachable from every
+scheme via ``make_evaluator(..., kernel=...)`` and ``repro cluster
+--kernel``): ``"auto"`` prefers numba, then native, then pure Python;
+naming an unavailable tier falls back down the same ladder.  The
+``REPRO_KERNEL`` environment variable overrides the default (CI uses
+``REPRO_KERNEL=python`` for the fallback leg).  Networks the kernels
+cannot express (vector-valued c-values, negative ``POW`` exponents)
+raise :class:`KernelUnsupportedError` and silently get the Python
+evaluator.
+
+The shared library also carries ``packed_eval``, the word-wise segment
+kernel behind the bit-packed bulk evaluator (:mod:`repro.engine.packed`).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..compile.partial import B_FALSE, B_TRUE, B_UNKNOWN, NumState
+from ..network.nodes import EventNetwork, Kind
+from .masked import (
+    _TAG_BOOL,
+    _TAG_NUM,
+    MaskedEvaluator,
+    MaskedProgram,
+    masked_program,
+)
+
+_K_TRUE = int(Kind.TRUE)
+_K_FALSE = int(Kind.FALSE)
+_K_VAR = int(Kind.VAR)
+_K_NOT = int(Kind.NOT)
+_K_AND = int(Kind.AND)
+_K_OR = int(Kind.OR)
+_K_ATOM = int(Kind.ATOM)
+_K_GUARD = int(Kind.GUARD)
+_K_COND = int(Kind.COND)
+_K_SUM = int(Kind.SUM)
+_K_PROD = int(Kind.PROD)
+_K_INV = int(Kind.INV)
+_K_POW = int(Kind.POW)
+_K_DIST = int(Kind.DIST)
+_K_LOOP_IN = int(Kind.LOOP_IN)
+
+_NAN = float("nan")
+_INF = float("inf")
+
+#: Public kernel tier names, in fallback order (``auto`` resolves to
+#: the first available compiled tier; ``interpreted`` runs the jittable
+#: kernel source in plain Python — slow, exists so the kernel algorithm
+#: is exercised even where neither numba nor a C compiler is present;
+#: ``python`` is the original :class:`MaskedEvaluator`).
+KERNEL_NAMES = ("auto", "numba", "native", "interpreted", "python")
+
+#: Why a backend was rejected, by name (introspection/debugging only).
+BACKEND_ERRORS: Dict[str, str] = {}
+
+#: How ``result.extra["kernel_tier"]`` encodes the tier that ran
+#: (``extra`` is a float dict; mirrors ``_EXECUTION_CODES``).  "numpy"
+#: is the packed bulk evaluator's vectorized no-compiler fallback.
+KERNEL_TIER_CODES: Dict[str, float] = {
+    "python": 0.0,
+    "interpreted": 1.0,
+    "native": 2.0,
+    "numba": 3.0,
+    "numpy": 4.0,
+}
+
+
+class KernelUnsupportedError(Exception):
+    """The network uses features the compiled kernels cannot express."""
+
+
+# ----------------------------------------------------------------------
+# The single-source sweep kernel (plain Python over NumPy arrays).
+#
+# This function is BOTH executed interpreted and handed to numba.njit
+# verbatim, and the C translation below mirrors it statement for
+# statement — when editing, change all three in lockstep and mind the
+# exact Python semantics being reproduced (min/max fold order, NaN
+# comparisons, pow): repro.engine.masked is the oracle.
+# ----------------------------------------------------------------------
+
+
+def _masked_sweep(
+    seeds,
+    cone,
+    assign,
+    kinds,
+    var_index,
+    atom_op,
+    pow_exp,
+    metric,
+    child_off,
+    child_idx,
+    par_off,
+    par_idx,
+    is_bool,
+    guard_val,
+    b,
+    lo,
+    hi,
+    mu,
+    md,
+    resolved,
+    dirty,
+    t_tag,
+    t_vid,
+    t_b,
+    t_lo,
+    t_hi,
+    t_mu,
+    t_md,
+):
+    """One cone sweep; returns ``(trail entries written, evals)``."""
+    pending = 0
+    for i in range(seeds.shape[0]):
+        s = seeds[i]
+        if dirty[s] == 0:
+            dirty[s] = 1
+            pending += 1
+    n_trail = 0
+    evals = 0
+    for ci in range(cone.shape[0]):
+        vid = cone[ci]
+        if dirty[vid] == 0:
+            continue
+        dirty[vid] = 0
+        pending -= 1
+        if resolved[vid] == 0:
+            evals += 1
+            changed = False
+            kind = kinds[vid]
+            c0 = child_off[vid]
+            c1 = child_off[vid + 1]
+            if is_bool[vid] != 0:
+                # ---- Boolean vertex (MaskedEvaluator._compute_bool) --
+                new = B_UNKNOWN
+                if kind == _K_VAR:
+                    a = assign[var_index[vid]]
+                    if a < 0:
+                        new = B_UNKNOWN
+                    elif a == 0:
+                        new = B_FALSE
+                    else:
+                        new = B_TRUE
+                elif kind == _K_AND:
+                    new = B_TRUE
+                    for e in range(c0, c1):
+                        v = b[child_idx[e]]
+                        if v == B_FALSE:
+                            new = B_FALSE
+                            break
+                        if v == B_UNKNOWN:
+                            new = B_UNKNOWN
+                elif kind == _K_OR:
+                    new = B_FALSE
+                    for e in range(c0, c1):
+                        v = b[child_idx[e]]
+                        if v == B_TRUE:
+                            new = B_TRUE
+                            break
+                        if v == B_UNKNOWN:
+                            new = B_UNKNOWN
+                elif kind == _K_NOT:
+                    v = b[child_idx[c0]]
+                    if v == B_UNKNOWN:
+                        new = B_UNKNOWN
+                    elif v == B_FALSE:
+                        new = B_TRUE
+                    else:
+                        new = B_FALSE
+                elif kind == _K_ATOM:
+                    lft = child_idx[c0]
+                    rgt = child_idx[c0 + 1]
+                    if md[lft] == 0 or md[rgt] == 0:
+                        new = B_TRUE
+                    else:
+                        op = atom_op[vid]
+                        llo = lo[lft]
+                        lhi = hi[lft]
+                        rlo = lo[rgt]
+                        rhi = hi[rgt]
+                        always = False
+                        never = False
+                        if op == 0:  # <=
+                            always = lhi <= rlo
+                            never = rhi < llo
+                        elif op == 1:  # <
+                            always = lhi < rlo
+                            never = rhi <= llo
+                        elif op == 2:  # >=
+                            always = rhi <= llo
+                            never = lhi < rlo
+                        elif op == 3:  # >
+                            always = rhi < llo
+                            never = lhi <= rlo
+                        else:  # ==
+                            always = (
+                                mu[lft] == 0
+                                and mu[rgt] == 0
+                                and llo == lhi
+                                and rlo == rhi
+                                and llo == rlo
+                            )
+                            never = lhi < rlo or rhi < llo
+                        if always:
+                            new = B_TRUE
+                        elif never and mu[lft] == 0 and mu[rgt] == 0:
+                            new = B_FALSE
+                        else:
+                            new = B_UNKNOWN
+                elif kind == _K_TRUE:
+                    new = B_TRUE
+                elif kind == _K_FALSE:
+                    new = B_FALSE
+                else:  # LOOP_IN copy
+                    new = b[child_idx[c0]]
+                old = b[vid]
+                if new == old:
+                    if new != B_UNKNOWN:
+                        # Same value, newly stable: resolve, don't propagate.
+                        t_tag[n_trail] = 0
+                        t_vid[n_trail] = vid
+                        t_b[n_trail] = old
+                        n_trail += 1
+                        resolved[vid] = 1
+                else:
+                    t_tag[n_trail] = 0
+                    t_vid[n_trail] = vid
+                    t_b[n_trail] = old
+                    n_trail += 1
+                    b[vid] = new
+                    if new != B_UNKNOWN:
+                        resolved[vid] = 1
+                    changed = True
+            else:
+                # ---- scalar numeric vertex (_compute_num_scalar) ----
+                nlo = _NAN
+                nhi = _NAN
+                nmu = 1
+                nmd = 0
+                if kind == _K_GUARD:
+                    ev = b[child_idx[c0]]
+                    g = guard_val[vid]
+                    if ev == B_TRUE:
+                        nlo = g
+                        nhi = g
+                        nmu = 0
+                        nmd = 1
+                    elif ev == B_FALSE:
+                        pass  # undefined
+                    else:
+                        nlo = g
+                        nhi = g
+                        nmu = 1
+                        nmd = 1
+                elif kind == _K_COND:
+                    ev = b[child_idx[c0]]
+                    ch = child_idx[c0 + 1]
+                    if ev == B_FALSE or md[ch] == 0:
+                        pass  # undefined
+                    elif ev == B_TRUE:
+                        nlo = lo[ch]
+                        nhi = hi[ch]
+                        nmu = mu[ch]
+                        nmd = 1
+                    else:
+                        nlo = lo[ch]
+                        nhi = hi[ch]
+                        nmu = 1
+                        nmd = 1
+                elif kind == _K_SUM:
+                    # ``u`` is the identity: accumulator starts undefined.
+                    a_lo = _NAN
+                    a_hi = _NAN
+                    a_mu = 1
+                    a_md = 0
+                    for e in range(c0, c1):
+                        ch = child_idx[e]
+                        c_md = md[ch]
+                        c_mu = mu[ch]
+                        c_lo = lo[ch]
+                        c_hi = hi[ch]
+                        x_lo = 0.0
+                        x_hi = 0.0
+                        has = 0
+                        x_md = 0
+                        if a_md != 0 and c_md != 0:
+                            x_lo = a_lo + c_lo
+                            x_hi = a_hi + c_hi
+                            has = 1
+                            x_md = 1
+                        if a_md != 0 and c_mu != 0:
+                            if has == 0:
+                                x_lo = a_lo
+                                x_hi = a_hi
+                                has = 1
+                            else:
+                                if a_lo < x_lo:
+                                    x_lo = a_lo
+                                if a_hi > x_hi:
+                                    x_hi = a_hi
+                            x_md = 1
+                        if c_md != 0 and a_mu != 0:
+                            if has == 0:
+                                x_lo = c_lo
+                                x_hi = c_hi
+                                has = 1
+                            else:
+                                if c_lo < x_lo:
+                                    x_lo = c_lo
+                                if c_hi > x_hi:
+                                    x_hi = c_hi
+                            x_md = 1
+                        if a_mu != 0 and c_mu != 0:
+                            a_mu = 1
+                        else:
+                            a_mu = 0
+                        if x_md != 0:
+                            a_lo = x_lo
+                            a_hi = x_hi
+                            a_md = 1
+                        else:
+                            a_lo = _NAN
+                            a_hi = _NAN
+                            a_md = 0
+                            a_mu = 1  # fully undefined again
+                    if a_md != 0:
+                        nlo = a_lo
+                        nhi = a_hi
+                        nmu = a_mu
+                        nmd = 1
+                elif kind == _K_PROD:
+                    a_lo = 1.0
+                    a_hi = 1.0
+                    a_mu = 0
+                    a_md = 1
+                    for e in range(c0, c1):
+                        ch = child_idx[e]
+                        if mu[ch] != 0:
+                            a_mu = 1
+                        if md[ch] == 0:
+                            a_md = 0  # u annihilates for good
+                            break
+                        c_lo = lo[ch]
+                        c_hi = hi[ch]
+                        p1 = a_lo * c_lo
+                        p2 = a_lo * c_hi
+                        p3 = a_hi * c_lo
+                        p4 = a_hi * c_hi
+                        m = p1
+                        if p2 < m:
+                            m = p2
+                        if p3 < m:
+                            m = p3
+                        if p4 < m:
+                            m = p4
+                        q = p1
+                        if p2 > q:
+                            q = p2
+                        if p3 > q:
+                            q = p3
+                        if p4 > q:
+                            q = p4
+                        a_lo = m
+                        a_hi = q
+                    if a_md != 0:
+                        nlo = a_lo
+                        nhi = a_hi
+                        nmu = a_mu
+                        nmd = 1
+                elif kind == _K_INV:
+                    ch = child_idx[c0]
+                    if md[ch] != 0:
+                        c_lo = lo[ch]
+                        c_hi = hi[ch]
+                        if c_lo > 0 or c_hi < 0:
+                            nlo = 1.0 / c_hi
+                            nhi = 1.0 / c_lo
+                            nmu = mu[ch]
+                            nmd = 1
+                        elif c_lo == 0 and c_hi == 0:
+                            pass  # undefined
+                        elif c_lo == 0:
+                            nlo = 1.0 / c_hi
+                            nhi = _INF
+                            nmu = 1
+                            nmd = 1
+                        elif c_hi == 0:
+                            nlo = -_INF
+                            nhi = 1.0 / c_lo
+                            nmu = 1
+                            nmd = 1
+                        else:
+                            nlo = -_INF
+                            nhi = _INF
+                            nmu = 1
+                            nmd = 1
+                elif kind == _K_POW:
+                    exp = pow_exp[vid]  # >= 0: negative gated at build
+                    ch = child_idx[c0]
+                    if md[ch] != 0:
+                        c_lo = lo[ch]
+                        c_hi = hi[ch]
+                        if exp % 2 == 1 or c_lo >= 0.0:
+                            nlo = c_lo**exp
+                            nhi = c_hi**exp
+                        else:
+                            abs_lo = -c_lo if c_lo < 0.0 else c_lo
+                            abs_hi = -c_hi if c_hi < 0.0 else c_hi
+                            mn = abs_lo if abs_lo <= abs_hi else abs_hi
+                            mx = abs_lo if abs_lo >= abs_hi else abs_hi
+                            if c_lo <= 0.0 and 0.0 <= c_hi:
+                                nlo = 0.0
+                            else:
+                                nlo = mn**exp
+                            nhi = mx**exp
+                        nmu = mu[ch]
+                        nmd = 1
+                elif kind == _K_DIST:
+                    lft = child_idx[c0]
+                    rgt = child_idx[c0 + 1]
+                    if mu[lft] != 0 or mu[rgt] != 0:
+                        d_mu = 1
+                    else:
+                        d_mu = 0
+                    if md[lft] != 0 and md[rgt] != 0:
+                        diff_lo = lo[lft] - hi[rgt]
+                        diff_hi = hi[lft] - lo[rgt]
+                        a1 = -diff_lo if diff_lo < 0.0 else diff_lo
+                        a2 = -diff_hi if diff_hi < 0.0 else diff_hi
+                        if diff_lo <= 0.0 and 0.0 <= diff_hi:
+                            abs_lo = 0.0
+                        else:
+                            abs_lo = a1 if a1 <= a2 else a2
+                        abs_hi = a1 if a1 >= a2 else a2
+                        if metric[vid] == 1:  # sqeuclidean
+                            nlo = abs_lo * abs_lo
+                            nhi = abs_hi * abs_hi
+                        else:  # euclidean == manhattan on scalars
+                            nlo = abs_lo
+                            nhi = abs_hi
+                        nmu = d_mu
+                        nmd = 1
+                else:  # LOOP_IN copy
+                    ch = child_idx[c0]
+                    nlo = lo[ch]
+                    nhi = hi[ch]
+                    nmu = mu[ch]
+                    nmd = md[ch]
+                # ---- write-back (_write_num_scalar) -----------------
+                res = (nmd == 0 and nmu != 0) or (
+                    nmd != 0 and nmu == 0 and nlo == nhi
+                )
+                o_lo = lo[vid]
+                o_hi = hi[vid]
+                o_mu = mu[vid]
+                o_md = md[vid]
+                unchanged = (
+                    (o_md != 0) == (nmd != 0)
+                    and (o_mu != 0) == (nmu != 0)
+                    and (nmd == 0 or (o_lo == nlo and o_hi == nhi))
+                )
+                if unchanged:
+                    if res:
+                        t_tag[n_trail] = 1
+                        t_vid[n_trail] = vid
+                        t_lo[n_trail] = o_lo
+                        t_hi[n_trail] = o_hi
+                        t_mu[n_trail] = o_mu
+                        t_md[n_trail] = o_md
+                        n_trail += 1
+                        resolved[vid] = 1
+                else:
+                    t_tag[n_trail] = 1
+                    t_vid[n_trail] = vid
+                    t_lo[n_trail] = o_lo
+                    t_hi[n_trail] = o_hi
+                    t_mu[n_trail] = o_mu
+                    t_md[n_trail] = o_md
+                    n_trail += 1
+                    lo[vid] = nlo
+                    hi[vid] = nhi
+                    mu[vid] = nmu
+                    md[vid] = nmd
+                    if res:
+                        resolved[vid] = 1
+                    changed = True
+            if changed:
+                for e in range(par_off[vid], par_off[vid + 1]):
+                    p = par_idx[e]
+                    if dirty[p] == 0:
+                        dirty[p] = 1
+                        pending += 1
+        if pending == 0:
+            break
+    return n_trail, evals
+
+
+def _packed_segments(ops, out, arg_off, arg_idx, matrix, tail):
+    """Evaluate one run of packed AND/OR/NOT ops over the word matrix.
+
+    ``matrix`` is ``(slots, words)`` uint64; ``tail`` masks bits past
+    the world count in the last word (the packed-column invariant:
+    those bits are always zero).  Op codes: 0 = AND, 1 = OR, 2 = NOT.
+    """
+    n_words = matrix.shape[1]
+    if n_words == 0:
+        return 0
+    last = n_words - 1
+    for i in range(ops.shape[0]):
+        op = ops[i]
+        o = out[i]
+        a0 = arg_off[i]
+        a1 = arg_off[i + 1]
+        if op == 2:
+            src = arg_idx[a0]
+            for w in range(n_words):
+                matrix[o, w] = ~matrix[src, w]
+            matrix[o, last] = matrix[o, last] & tail
+        elif op == 0:
+            for w in range(n_words):
+                acc = ~np.uint64(0)
+                for e in range(a0, a1):
+                    acc = acc & matrix[arg_idx[e], w]
+                matrix[o, w] = acc
+            matrix[o, last] = matrix[o, last] & tail
+        else:
+            for w in range(n_words):
+                acc = np.uint64(0)
+                for e in range(a0, a1):
+                    acc = acc | matrix[arg_idx[e], w]
+                matrix[o, w] = acc
+    return 0
+
+
+# ----------------------------------------------------------------------
+# The native (C) twin, built with the system compiler and loaded via
+# ctypes.  The source is generic over programs (all structure arrives
+# as runtime arrays), so one shared library serves the whole process;
+# it is cached on disk keyed by a hash of the generated source.
+# ----------------------------------------------------------------------
+
+_C_TEMPLATE = r"""
+#include <math.h>
+#include <stdint.h>
+
+#define K_TRUE {K_TRUE}
+#define K_FALSE {K_FALSE}
+#define K_VAR {K_VAR}
+#define K_NOT {K_NOT}
+#define K_AND {K_AND}
+#define K_OR {K_OR}
+#define K_ATOM {K_ATOM}
+#define K_GUARD {K_GUARD}
+#define K_COND {K_COND}
+#define K_SUM {K_SUM}
+#define K_PROD {K_PROD}
+#define K_INV {K_INV}
+#define K_POW {K_POW}
+#define K_DIST {K_DIST}
+#define K_LOOP_IN {K_LOOP_IN}
+
+#define B_F {B_FALSE}
+#define B_T {B_TRUE}
+#define B_U {B_UNKNOWN}
+
+int64_t masked_sweep(
+    const int64_t *seeds, int64_t n_seeds,
+    const int64_t *cone, int64_t n_cone,
+    const int8_t *assign,
+    const int64_t *kinds, const int64_t *var_index, const int64_t *atom_op,
+    const int64_t *pow_exp, const int64_t *metric,
+    const int64_t *child_off, const int64_t *child_idx,
+    const int64_t *par_off, const int64_t *par_idx,
+    const uint8_t *is_bool, const double *guard_val,
+    int8_t *b, double *lo, double *hi,
+    uint8_t *mu, uint8_t *md, uint8_t *resolved, uint8_t *dirty,
+    uint8_t *t_tag, int64_t *t_vid, int8_t *t_b,
+    double *t_lo, double *t_hi, uint8_t *t_mu, uint8_t *t_md,
+    int64_t *evals_out)
+{{
+    int64_t pending = 0;
+    for (int64_t i = 0; i < n_seeds; i++) {{
+        int64_t s = seeds[i];
+        if (!dirty[s]) {{ dirty[s] = 1; pending++; }}
+    }}
+    int64_t n_trail = 0;
+    int64_t evals = 0;
+    for (int64_t ci = 0; ci < n_cone; ci++) {{
+        int64_t vid = cone[ci];
+        if (!dirty[vid]) continue;
+        dirty[vid] = 0;
+        pending--;
+        if (!resolved[vid]) {{
+            evals++;
+            int changed = 0;
+            int64_t kind = kinds[vid];
+            int64_t c0 = child_off[vid];
+            int64_t c1 = child_off[vid + 1];
+            if (is_bool[vid]) {{
+                int8_t nw = B_U;
+                if (kind == K_VAR) {{
+                    int8_t a = assign[var_index[vid]];
+                    nw = (a < 0) ? B_U : (a == 0 ? B_F : B_T);
+                }} else if (kind == K_AND) {{
+                    nw = B_T;
+                    for (int64_t e = c0; e < c1; e++) {{
+                        int8_t v = b[child_idx[e]];
+                        if (v == B_F) {{ nw = B_F; break; }}
+                        if (v == B_U) nw = B_U;
+                    }}
+                }} else if (kind == K_OR) {{
+                    nw = B_F;
+                    for (int64_t e = c0; e < c1; e++) {{
+                        int8_t v = b[child_idx[e]];
+                        if (v == B_T) {{ nw = B_T; break; }}
+                        if (v == B_U) nw = B_U;
+                    }}
+                }} else if (kind == K_NOT) {{
+                    int8_t v = b[child_idx[c0]];
+                    nw = (v == B_U) ? B_U : (v == B_F ? B_T : B_F);
+                }} else if (kind == K_ATOM) {{
+                    int64_t lft = child_idx[c0];
+                    int64_t rgt = child_idx[c0 + 1];
+                    if (!md[lft] || !md[rgt]) {{
+                        nw = B_T;
+                    }} else {{
+                        int64_t op = atom_op[vid];
+                        double llo = lo[lft], lhi = hi[lft];
+                        double rlo = lo[rgt], rhi = hi[rgt];
+                        int always = 0, never = 0;
+                        if (op == 0) {{ always = lhi <= rlo; never = rhi < llo; }}
+                        else if (op == 1) {{ always = lhi < rlo; never = rhi <= llo; }}
+                        else if (op == 2) {{ always = rhi <= llo; never = lhi < rlo; }}
+                        else if (op == 3) {{ always = rhi < llo; never = lhi <= rlo; }}
+                        else {{
+                            always = !mu[lft] && !mu[rgt] && llo == lhi
+                                && rlo == rhi && llo == rlo;
+                            never = lhi < rlo || rhi < llo;
+                        }}
+                        if (always) nw = B_T;
+                        else if (never && !mu[lft] && !mu[rgt]) nw = B_F;
+                        else nw = B_U;
+                    }}
+                }} else if (kind == K_TRUE) {{
+                    nw = B_T;
+                }} else if (kind == K_FALSE) {{
+                    nw = B_F;
+                }} else {{
+                    nw = b[child_idx[c0]];
+                }}
+                int8_t old = b[vid];
+                if (nw == old) {{
+                    if (nw != B_U) {{
+                        t_tag[n_trail] = 0; t_vid[n_trail] = vid;
+                        t_b[n_trail] = old; n_trail++;
+                        resolved[vid] = 1;
+                    }}
+                }} else {{
+                    t_tag[n_trail] = 0; t_vid[n_trail] = vid;
+                    t_b[n_trail] = old; n_trail++;
+                    b[vid] = nw;
+                    if (nw != B_U) resolved[vid] = 1;
+                    changed = 1;
+                }}
+            }} else {{
+                double nlo = NAN, nhi = NAN;
+                int nmu = 1, nmd = 0;
+                if (kind == K_GUARD) {{
+                    int8_t ev = b[child_idx[c0]];
+                    double g = guard_val[vid];
+                    if (ev == B_T) {{ nlo = g; nhi = g; nmu = 0; nmd = 1; }}
+                    else if (ev == B_F) {{ }}
+                    else {{ nlo = g; nhi = g; nmu = 1; nmd = 1; }}
+                }} else if (kind == K_COND) {{
+                    int8_t ev = b[child_idx[c0]];
+                    int64_t ch = child_idx[c0 + 1];
+                    if (ev == B_F || !md[ch]) {{ }}
+                    else if (ev == B_T) {{
+                        nlo = lo[ch]; nhi = hi[ch]; nmu = mu[ch]; nmd = 1;
+                    }} else {{
+                        nlo = lo[ch]; nhi = hi[ch]; nmu = 1; nmd = 1;
+                    }}
+                }} else if (kind == K_SUM) {{
+                    double a_lo = NAN, a_hi = NAN;
+                    int a_mu = 1, a_md = 0;
+                    for (int64_t e = c0; e < c1; e++) {{
+                        int64_t ch = child_idx[e];
+                        int c_md = md[ch], c_mu = mu[ch];
+                        double c_lo = lo[ch], c_hi = hi[ch];
+                        double x_lo = 0.0, x_hi = 0.0;
+                        int has = 0, x_md = 0;
+                        if (a_md && c_md) {{
+                            x_lo = a_lo + c_lo; x_hi = a_hi + c_hi;
+                            has = 1; x_md = 1;
+                        }}
+                        if (a_md && c_mu) {{
+                            if (!has) {{ x_lo = a_lo; x_hi = a_hi; has = 1; }}
+                            else {{
+                                if (a_lo < x_lo) x_lo = a_lo;
+                                if (a_hi > x_hi) x_hi = a_hi;
+                            }}
+                            x_md = 1;
+                        }}
+                        if (c_md && a_mu) {{
+                            if (!has) {{ x_lo = c_lo; x_hi = c_hi; has = 1; }}
+                            else {{
+                                if (c_lo < x_lo) x_lo = c_lo;
+                                if (c_hi > x_hi) x_hi = c_hi;
+                            }}
+                            x_md = 1;
+                        }}
+                        a_mu = a_mu && c_mu;
+                        if (x_md) {{ a_lo = x_lo; a_hi = x_hi; a_md = 1; }}
+                        else {{ a_lo = NAN; a_hi = NAN; a_md = 0; a_mu = 1; }}
+                    }}
+                    if (a_md) {{ nlo = a_lo; nhi = a_hi; nmu = a_mu; nmd = 1; }}
+                }} else if (kind == K_PROD) {{
+                    double a_lo = 1.0, a_hi = 1.0;
+                    int a_mu = 0, a_md = 1;
+                    for (int64_t e = c0; e < c1; e++) {{
+                        int64_t ch = child_idx[e];
+                        if (mu[ch]) a_mu = 1;
+                        if (!md[ch]) {{ a_md = 0; break; }}
+                        double c_lo = lo[ch], c_hi = hi[ch];
+                        double p1 = a_lo * c_lo, p2 = a_lo * c_hi;
+                        double p3 = a_hi * c_lo, p4 = a_hi * c_hi;
+                        double m = p1;
+                        if (p2 < m) m = p2;
+                        if (p3 < m) m = p3;
+                        if (p4 < m) m = p4;
+                        double q = p1;
+                        if (p2 > q) q = p2;
+                        if (p3 > q) q = p3;
+                        if (p4 > q) q = p4;
+                        a_lo = m; a_hi = q;
+                    }}
+                    if (a_md) {{ nlo = a_lo; nhi = a_hi; nmu = a_mu; nmd = 1; }}
+                }} else if (kind == K_INV) {{
+                    int64_t ch = child_idx[c0];
+                    if (md[ch]) {{
+                        double c_lo = lo[ch], c_hi = hi[ch];
+                        if (c_lo > 0 || c_hi < 0) {{
+                            nlo = 1.0 / c_hi; nhi = 1.0 / c_lo;
+                            nmu = mu[ch]; nmd = 1;
+                        }} else if (c_lo == 0 && c_hi == 0) {{ }}
+                        else if (c_lo == 0) {{
+                            nlo = 1.0 / c_hi; nhi = INFINITY; nmu = 1; nmd = 1;
+                        }} else if (c_hi == 0) {{
+                            nlo = -INFINITY; nhi = 1.0 / c_lo; nmu = 1; nmd = 1;
+                        }} else {{
+                            nlo = -INFINITY; nhi = INFINITY; nmu = 1; nmd = 1;
+                        }}
+                    }}
+                }} else if (kind == K_POW) {{
+                    int64_t exp = pow_exp[vid];
+                    int64_t ch = child_idx[c0];
+                    if (md[ch]) {{
+                        double c_lo = lo[ch], c_hi = hi[ch];
+                        if (exp % 2 == 1 || c_lo >= 0.0) {{
+                            nlo = pow(c_lo, (double)exp);
+                            nhi = pow(c_hi, (double)exp);
+                        }} else {{
+                            double abs_lo = c_lo < 0.0 ? -c_lo : c_lo;
+                            double abs_hi = c_hi < 0.0 ? -c_hi : c_hi;
+                            double mn = abs_lo <= abs_hi ? abs_lo : abs_hi;
+                            double mx = abs_lo >= abs_hi ? abs_lo : abs_hi;
+                            if (c_lo <= 0.0 && 0.0 <= c_hi) nlo = 0.0;
+                            else nlo = pow(mn, (double)exp);
+                            nhi = pow(mx, (double)exp);
+                        }}
+                        nmu = mu[ch]; nmd = 1;
+                    }}
+                }} else if (kind == K_DIST) {{
+                    int64_t lft = child_idx[c0];
+                    int64_t rgt = child_idx[c0 + 1];
+                    int d_mu = (mu[lft] || mu[rgt]) ? 1 : 0;
+                    if (md[lft] && md[rgt]) {{
+                        double diff_lo = lo[lft] - hi[rgt];
+                        double diff_hi = hi[lft] - lo[rgt];
+                        double a1 = diff_lo < 0.0 ? -diff_lo : diff_lo;
+                        double a2 = diff_hi < 0.0 ? -diff_hi : diff_hi;
+                        double abs_lo;
+                        if (diff_lo <= 0.0 && 0.0 <= diff_hi) abs_lo = 0.0;
+                        else abs_lo = a1 <= a2 ? a1 : a2;
+                        double abs_hi = a1 >= a2 ? a1 : a2;
+                        if (metric[vid] == 1) {{
+                            nlo = abs_lo * abs_lo; nhi = abs_hi * abs_hi;
+                        }} else {{
+                            nlo = abs_lo; nhi = abs_hi;
+                        }}
+                        nmu = d_mu; nmd = 1;
+                    }}
+                }} else {{
+                    int64_t ch = child_idx[c0];
+                    nlo = lo[ch]; nhi = hi[ch]; nmu = mu[ch]; nmd = md[ch];
+                }}
+                int res = (!nmd && nmu) || (nmd && !nmu && nlo == nhi);
+                double o_lo = lo[vid], o_hi = hi[vid];
+                uint8_t o_mu = mu[vid], o_md = md[vid];
+                int unchanged = ((o_md != 0) == (nmd != 0))
+                    && ((o_mu != 0) == (nmu != 0))
+                    && (!nmd || (o_lo == nlo && o_hi == nhi));
+                if (unchanged) {{
+                    if (res) {{
+                        t_tag[n_trail] = 1; t_vid[n_trail] = vid;
+                        t_lo[n_trail] = o_lo; t_hi[n_trail] = o_hi;
+                        t_mu[n_trail] = o_mu; t_md[n_trail] = o_md;
+                        n_trail++;
+                        resolved[vid] = 1;
+                    }}
+                }} else {{
+                    t_tag[n_trail] = 1; t_vid[n_trail] = vid;
+                    t_lo[n_trail] = o_lo; t_hi[n_trail] = o_hi;
+                    t_mu[n_trail] = o_mu; t_md[n_trail] = o_md;
+                    n_trail++;
+                    lo[vid] = nlo; hi[vid] = nhi;
+                    mu[vid] = (uint8_t)nmu; md[vid] = (uint8_t)nmd;
+                    if (res) resolved[vid] = 1;
+                    changed = 1;
+                }}
+            }}
+            if (changed) {{
+                for (int64_t e = par_off[vid]; e < par_off[vid + 1]; e++) {{
+                    int64_t p = par_idx[e];
+                    if (!dirty[p]) {{ dirty[p] = 1; pending++; }}
+                }}
+            }}
+        }}
+        if (pending == 0) break;
+    }}
+    *evals_out = evals;
+    return n_trail;
+}}
+
+void packed_eval(
+    int64_t n_ops, const int64_t *ops, const int64_t *out,
+    const int64_t *arg_off, const int64_t *arg_idx,
+    uint64_t *matrix, int64_t n_words, uint64_t tail)
+{{
+    if (n_words <= 0) return;
+    for (int64_t i = 0; i < n_ops; i++) {{
+        int64_t op = ops[i];
+        uint64_t *dst = matrix + out[i] * n_words;
+        int64_t a0 = arg_off[i], a1 = arg_off[i + 1];
+        if (op == 2) {{
+            const uint64_t *src = matrix + arg_idx[a0] * n_words;
+            for (int64_t w = 0; w < n_words; w++) dst[w] = ~src[w];
+            dst[n_words - 1] &= tail;
+        }} else if (op == 0) {{
+            for (int64_t w = 0; w < n_words; w++) {{
+                uint64_t acc = ~(uint64_t)0;
+                for (int64_t e = a0; e < a1; e++)
+                    acc &= matrix[arg_idx[e] * n_words + w];
+                dst[w] = acc;
+            }}
+            dst[n_words - 1] &= tail;
+        }} else {{
+            for (int64_t w = 0; w < n_words; w++) {{
+                uint64_t acc = 0;
+                for (int64_t e = a0; e < a1; e++)
+                    acc |= matrix[arg_idx[e] * n_words + w];
+                dst[w] = acc;
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def _c_source() -> str:
+    return _C_TEMPLATE.format(
+        K_TRUE=_K_TRUE,
+        K_FALSE=_K_FALSE,
+        K_VAR=_K_VAR,
+        K_NOT=_K_NOT,
+        K_AND=_K_AND,
+        K_OR=_K_OR,
+        K_ATOM=_K_ATOM,
+        K_GUARD=_K_GUARD,
+        K_COND=_K_COND,
+        K_SUM=_K_SUM,
+        K_PROD=_K_PROD,
+        K_INV=_K_INV,
+        K_POW=_K_POW,
+        K_DIST=_K_DIST,
+        K_LOOP_IN=_K_LOOP_IN,
+        B_FALSE=B_FALSE,
+        B_TRUE=B_TRUE,
+        B_UNKNOWN=B_UNKNOWN,
+    )
+
+
+def _native_cache_dir() -> str:
+    configured = os.environ.get("REPRO_KERNEL_CACHE")
+    if configured:
+        return configured
+    return os.path.join(
+        tempfile.gettempdir(), f"repro-kernels-{os.getuid()}"
+    )
+
+
+def _build_native_library() -> ctypes.CDLL:
+    """Compile (or reuse) the shared library and load it."""
+    source = _c_source()
+    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    cache_dir = _native_cache_dir()
+    os.makedirs(cache_dir, exist_ok=True)
+    so_path = os.path.join(cache_dir, f"masked_sweep_{digest}.so")
+    if not os.path.exists(so_path):
+        c_path = os.path.join(cache_dir, f"masked_sweep_{digest}_{os.getpid()}.c")
+        tmp_so = so_path + f".{os.getpid()}.tmp"
+        with open(c_path, "w") as handle:
+            handle.write(source)
+        try:
+            compiler = os.environ.get("CC", "cc")
+            try:
+                subprocess.run(
+                    [compiler, "-O2", "-shared", "-fPIC", "-o", tmp_so,
+                     c_path, "-lm"],
+                    check=True,
+                    capture_output=True,
+                    timeout=120,
+                )
+            except (FileNotFoundError, PermissionError):
+                subprocess.run(
+                    ["gcc", "-O2", "-shared", "-fPIC", "-o", tmp_so,
+                     c_path, "-lm"],
+                    check=True,
+                    capture_output=True,
+                    timeout=120,
+                )
+            os.replace(tmp_so, so_path)
+        finally:
+            for stale in (c_path, tmp_so):
+                try:
+                    os.unlink(stale)
+                except OSError:
+                    pass
+    return ctypes.CDLL(so_path)
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+
+
+class _Backend:
+    """One compiled (or interpreted) kernel tier.
+
+    ``sweep_py`` is a callable taking the full array argument list of
+    :func:`_masked_sweep` (numba / interpreted tiers); ``sweep_c`` is a
+    raw ctypes function for the native tier (the evaluator precomputes
+    its pointer arguments).  Either may be ``None``.
+    """
+
+    def __init__(self, name, sweep_py=None, packed_py=None, lib=None):
+        self.name = name
+        self.sweep_py = sweep_py
+        self.packed_py = packed_py
+        self.lib = lib
+        self.sweep_c = None
+        self.packed_c = None
+        if lib is not None:
+            self.sweep_c = lib.masked_sweep
+            self.sweep_c.restype = ctypes.c_int64
+            # 27 trailing pointers: assign + 11 program arrays + 7 state
+            # columns + 7 trail buffers + evals_out.
+            self.sweep_c.argtypes = (
+                [ctypes.c_void_p, ctypes.c_int64, ctypes.c_void_p,
+                 ctypes.c_int64]
+                + [ctypes.c_void_p] * 27
+            )
+            self.packed_c = lib.packed_eval
+            self.packed_c.restype = None
+            self.packed_c.argtypes = [
+                ctypes.c_int64, ctypes.c_void_p, ctypes.c_void_p,
+                ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+                ctypes.c_int64, ctypes.c_uint64,
+            ]
+
+    def run_packed(self, ops, out, arg_off, arg_idx, matrix, tail) -> None:
+        """Dispatch one packed segment through this tier."""
+        if self.packed_c is not None:
+            self.packed_c(
+                len(ops),
+                ops.ctypes.data,
+                out.ctypes.data,
+                arg_off.ctypes.data,
+                arg_idx.ctypes.data,
+                matrix.ctypes.data,
+                matrix.shape[1],
+                int(tail),
+            )
+        else:
+            self.packed_py(ops, out, arg_off, arg_idx, matrix, np.uint64(tail))
+
+
+def _make_numba_backend() -> _Backend:
+    import numba
+
+    sweep = numba.njit(cache=False)(_masked_sweep)
+    packed = numba.njit(cache=False)(_packed_segments)
+    return _Backend("numba", sweep_py=sweep, packed_py=packed)
+
+
+def _make_native_backend() -> _Backend:
+    return _Backend("native", lib=_build_native_library())
+
+
+def _make_interpreted_backend() -> _Backend:
+    return _Backend(
+        "interpreted", sweep_py=_masked_sweep, packed_py=_packed_segments
+    )
+
+
+_BACKEND_CACHE: Dict[str, Optional[_Backend]] = {}
+
+
+def _validate_backend(backend: _Backend) -> bool:
+    """Drive a canned walk against the Python evaluator; True on parity."""
+    # Deferred: building networks pulls in packages that import this one.
+    from ..events.expressions import atom, conj, disj, guard, negate, var
+    from ..network.build import build_targets
+
+    try:
+        events = {
+            "b": disj([conj([var(0), var(1)]), negate(var(2))]),
+            "n": atom(
+                "<=",
+                guard(var(0), 1.0) + guard(var(1), 2.0),
+                guard(disj([var(1), var(2)]), 2.5),
+            ),
+        }
+        network = build_targets(events)
+        oracle = MaskedEvaluator(network)
+        candidate = KernelMaskedEvaluator(network, backend)
+
+        def _norm(state):
+            if isinstance(state, NumState):
+                if not state.may_def:
+                    return ("num", None, None, bool(state.may_u), False)
+                return (
+                    "num",
+                    float(state.lo),
+                    float(state.hi),
+                    bool(state.may_u),
+                    True,
+                )
+            return ("bool", int(state))
+
+        nodes = range(len(network.nodes))
+        baseline = [_norm(candidate._state_of(n)) for n in nodes]
+        walk = [
+            (0, True), (1, False), (None, None), (2, True), (1, True),
+        ]
+        for variable, value in walk:
+            if variable is None:
+                oracle.pop()
+                candidate.pop()
+            else:
+                oracle.push(variable, value)
+                candidate.push(variable, value)
+            for node_id in range(len(network.nodes)):
+                left = oracle.node_state(node_id)
+                right = candidate.node_state(node_id)
+                if isinstance(left, NumState) != isinstance(right, NumState):
+                    return False
+                if isinstance(left, NumState):
+                    same = (
+                        bool(left.may_def) == bool(right.may_def)
+                        and bool(left.may_u) == bool(right.may_u)
+                        and (
+                            not left.may_def
+                            or (left.lo == right.lo and left.hi == right.hi)
+                        )
+                    )
+                else:
+                    same = int(left) == int(right)
+                if not same:
+                    return False
+        candidate.rewind_to(0)
+        if [_norm(candidate._state_of(n)) for n in nodes] != baseline:
+            return False
+        # Packed twin: NOT/AND/OR over three slots vs plain numpy.
+        ops = np.asarray([2, 0, 1], dtype=np.int64)
+        out = np.asarray([2, 3, 4], dtype=np.int64)
+        arg_off = np.asarray([0, 1, 3, 5], dtype=np.int64)
+        arg_idx = np.asarray([0, 0, 1, 2, 3], dtype=np.int64)
+        rng = np.random.default_rng(0)
+        base = rng.integers(0, 1 << 63, size=(5, 3), dtype=np.int64).astype(
+            np.uint64
+        )
+        tail = np.uint64((1 << 40) - 1)
+        base[:, -1] &= tail
+        expected = base.copy()
+        expected[2] = ~expected[0]
+        expected[2, -1] &= tail
+        expected[3] = expected[0] & expected[1]
+        expected[4] = expected[2] | expected[3]
+        backend.run_packed(ops, out, arg_off, arg_idx, base, tail)
+        return bool(np.array_equal(base, expected))
+    except KernelUnsupportedError:
+        return False
+    except Exception:
+        return False
+
+
+def get_backend(name: str = "auto") -> Optional[_Backend]:
+    """Resolve a kernel tier; ``None`` means: use the Python evaluator.
+
+    Backends are built once per process and self-validated against the
+    Python evaluator before first use; an unavailable or non-validating
+    tier falls back down the ladder (numba → native → python), with the
+    reason recorded in :data:`BACKEND_ERRORS`.
+    """
+    if name == "python":
+        return None
+    if name == "auto":
+        return get_backend("numba") or get_backend("native")
+    if name not in ("numba", "native", "interpreted"):
+        raise ValueError(
+            f"unknown kernel {name!r}; expected one of {KERNEL_NAMES}"
+        )
+    if name in _BACKEND_CACHE:
+        return _BACKEND_CACHE[name]
+    backend: Optional[_Backend] = None
+    try:
+        if name == "numba":
+            backend = _make_numba_backend()
+        elif name == "native":
+            backend = _make_native_backend()
+        else:
+            backend = _make_interpreted_backend()
+    except Exception as exc:  # unavailable tier: record and fall back
+        BACKEND_ERRORS[name] = f"{type(exc).__name__}: {exc}"
+        backend = None
+    if backend is not None and not _validate_backend(backend):
+        BACKEND_ERRORS[name] = "failed self-validation against the oracle"
+        backend = None
+    _BACKEND_CACHE[name] = backend
+    if backend is None and name == "numba":
+        return get_backend("native")
+    return backend
+
+
+def available_kernels() -> Tuple[str, ...]:
+    """Kernel names that resolve to a working tier in this process."""
+    names: List[str] = ["auto", "python", "interpreted"]
+    for name in ("numba", "native"):
+        if get_backend(name) is not None and name not in BACKEND_ERRORS:
+            names.append(name)
+    return tuple(sorted(names))
+
+
+# ----------------------------------------------------------------------
+# Kernel-program arrays (cached per MaskedProgram)
+# ----------------------------------------------------------------------
+
+
+def _kernel_program(program: MaskedProgram) -> Dict[str, np.ndarray]:
+    cached = getattr(program, "_kernel_cache", None)
+    if cached is not None:
+        return cached
+    par_off, par_idx = program.parents_csr()
+    guard_val = np.zeros(len(program), dtype=np.float64)
+    for vid, value in program.guard_values.items():
+        guard_val[vid] = float(value)
+    cached = {
+        "kinds": np.ascontiguousarray(program.kinds, dtype=np.int64),
+        "var_index": np.ascontiguousarray(program.var_index, dtype=np.int64),
+        "atom_op": np.ascontiguousarray(program.atom_op, dtype=np.int64),
+        "pow_exp": np.ascontiguousarray(program.pow_exponent, dtype=np.int64),
+        "metric": np.ascontiguousarray(program.dist_metric, dtype=np.int64),
+        "child_off": np.ascontiguousarray(program.child_offsets, dtype=np.int64),
+        "child_idx": np.ascontiguousarray(program.child_indices, dtype=np.int64),
+        "par_off": np.ascontiguousarray(par_off, dtype=np.int64),
+        "par_idx": np.ascontiguousarray(par_idx, dtype=np.int64),
+        "is_bool": np.ascontiguousarray(program.is_bool, dtype=np.uint8),
+        "guard_val": guard_val,
+    }
+    program._kernel_cache = cached
+    return cached
+
+
+def _check_supported(program: MaskedProgram) -> None:
+    if bool(program.is_vec.any()):
+        raise KernelUnsupportedError(
+            "vector-valued c-values need the exact-object path"
+        )
+    pow_vertices = program.kinds == _K_POW
+    if bool(np.any(program.pow_exponent[pow_vertices] < 0)):
+        raise KernelUnsupportedError(
+            "negative POW exponents need the exact-object path"
+        )
+
+
+# ----------------------------------------------------------------------
+# The kernel-backed evaluator
+# ----------------------------------------------------------------------
+
+
+class _KFrame:
+    """One trail frame as column slices (restored vectorized on pop).
+
+    A cone sweep trails each vertex at most once (the cone visits every
+    vertex at most once per push), so the restore is order-independent
+    and can be one fancy-indexed write per column.  Iterating yields
+    plain-Python trail tuples in emission order — the representation
+    :meth:`MaskedEvaluator.export_patch` walks, keeping kernel frames
+    wire-compatible with Python ones.
+    """
+
+    __slots__ = ("tag", "vid", "b", "lo", "hi", "mu", "md")
+
+    def __init__(self, tag, vid, b, lo, hi, mu, md):
+        self.tag = tag
+        self.vid = vid
+        self.b = b
+        self.lo = lo
+        self.hi = hi
+        self.mu = mu
+        self.md = md
+
+    def __len__(self) -> int:
+        return len(self.vid)
+
+    def __iter__(self):
+        for i in range(len(self.vid)):
+            if self.tag[i] == _TAG_BOOL:
+                yield (_TAG_BOOL, int(self.vid[i]), int(self.b[i]))
+            else:
+                yield (
+                    _TAG_NUM,
+                    int(self.vid[i]),
+                    float(self.lo[i]),
+                    float(self.hi[i]),
+                    bool(self.mu[i]),
+                    bool(self.md[i]),
+                )
+
+    def __reversed__(self):
+        return reversed(list(self))
+
+    def restore(self, evaluator: "KernelMaskedEvaluator") -> None:
+        vids = self.vid
+        if len(vids) == 0:
+            return
+        is_b = self.tag == _TAG_BOOL
+        bool_vids = vids[is_b]
+        evaluator._b[bool_vids] = self.b[is_b]
+        num = ~is_b
+        num_vids = vids[num]
+        evaluator._lo[num_vids] = self.lo[num]
+        evaluator._hi[num_vids] = self.hi[num]
+        evaluator._mu[num_vids] = self.mu[num]
+        evaluator._md[num_vids] = self.md[num]
+        evaluator._resolved[vids] = 0
+
+
+class KernelMaskedEvaluator(MaskedEvaluator):
+    """:class:`MaskedEvaluator` with compiled cone sweeps.
+
+    The observable protocol — ``push``/``pop``/``rewind_to``, states,
+    trails, ``export_patch``/``apply_patch`` wire format, ``evals``
+    accounting — is identical to the Python evaluator; only the sweep
+    executes in the backend.  Columns are promoted from Python lists to
+    shared NumPy buffers the kernel mutates in place; every inherited
+    query method keeps working because the arrays support the same
+    per-element indexing.
+    """
+
+    def __init__(self, network: EventNetwork, backend: _Backend) -> None:
+        program = masked_program(network)
+        _check_supported(program)
+        super().__init__(network)
+        self._backend = backend
+        self.kernel = backend.name
+        size = len(program)
+        # Promote the columns: same attribute names, array storage.
+        self._b = np.asarray(self._b, dtype=np.int8)
+        self._lo = np.asarray(self._lo, dtype=np.float64)
+        self._hi = np.asarray(self._hi, dtype=np.float64)
+        self._mu = np.asarray(self._mu, dtype=np.uint8)
+        self._md = np.asarray(self._md, dtype=np.uint8)
+        self._resolved = np.asarray(self._resolved, dtype=np.uint8)
+        self._dirty = np.zeros(size, dtype=np.uint8)
+        max_var = (
+            int(program.var_index.max()) if program.var_index.size else -1
+        )
+        self._assign = np.full(max(max_var + 1, 1), -1, dtype=np.int8)
+        self._karrays = _kernel_program(program)
+        self._t_tag = np.zeros(size, dtype=np.uint8)
+        self._t_vid = np.zeros(size, dtype=np.int64)
+        self._t_b = np.zeros(size, dtype=np.int8)
+        self._t_lo = np.zeros(size, dtype=np.float64)
+        self._t_hi = np.zeros(size, dtype=np.float64)
+        self._t_mu = np.zeros(size, dtype=np.uint8)
+        self._t_md = np.zeros(size, dtype=np.uint8)
+        self._evals_out = np.zeros(1, dtype=np.int64)
+        k = self._karrays
+        self._py_args = (
+            self._assign,
+            k["kinds"], k["var_index"], k["atom_op"], k["pow_exp"],
+            k["metric"], k["child_off"], k["child_idx"], k["par_off"],
+            k["par_idx"], k["is_bool"], k["guard_val"],
+            self._b, self._lo, self._hi, self._mu, self._md,
+            self._resolved, self._dirty,
+            self._t_tag, self._t_vid, self._t_b, self._t_lo, self._t_hi,
+            self._t_mu, self._t_md,
+        )
+        if backend.sweep_c is not None:
+            self._c_args = tuple(arr.ctypes.data for arr in self._py_args) + (
+                self._evals_out.ctypes.data,
+            )
+        else:
+            self._c_args = None
+        # Per-variable (seeds, cone) arrays — and their raw pointers for
+        # the native tier — cached across pushes.
+        self._var_cache: Dict[int, tuple] = {}
+
+    # -- sweeping through the backend -----------------------------------
+
+    def _var_arrays(self, var_index: int) -> tuple:
+        cached = self._var_cache.get(var_index)
+        if cached is None:
+            seeds = np.asarray(
+                self._prog.var_vertices(var_index), dtype=np.int64
+            )
+            cone = np.ascontiguousarray(
+                self._prog.var_cone(var_index), dtype=np.int64
+            )
+            cached = (
+                seeds, cone, seeds.ctypes.data, len(seeds),
+                cone.ctypes.data, len(cone),
+            )
+            self._var_cache[var_index] = cached
+        return cached
+
+    def _sweep_kernel(self, var_index: int) -> _KFrame:
+        seeds, cone, seeds_ptr, n_seeds, cone_ptr, n_cone = self._var_arrays(
+            var_index
+        )
+        backend = self._backend
+        if backend.sweep_c is not None:
+            n = int(
+                backend.sweep_c(
+                    seeds_ptr, n_seeds, cone_ptr, n_cone, *self._c_args
+                )
+            )
+            self.evals += int(self._evals_out[0])
+        else:
+            n, evals = backend.sweep_py(seeds, cone, *self._py_args)
+            n = int(n)
+            self.evals += int(evals)
+        return _KFrame(
+            self._t_tag[:n].copy(),
+            self._t_vid[:n].copy(),
+            self._t_b[:n].copy(),
+            self._t_lo[:n].copy(),
+            self._t_hi[:n].copy(),
+            self._t_mu[:n].copy(),
+            self._t_md[:n].copy(),
+        )
+
+    # -- trail protocol overrides ---------------------------------------
+
+    def push(self, var_index: Optional[int] = None, value: bool = True) -> None:
+        self._resolved_version += 1
+        if var_index is None:
+            self._frames.append([])
+            self._frame_vars.append(None)
+            return
+        self.assignment[var_index] = value
+        if 0 <= var_index < self._assign.shape[0]:
+            # Variables without VAR vertices never reach the kernel.
+            self._assign[var_index] = 1 if value else 0
+        self._frame_vars.append(var_index)
+        self._frames.append(self._sweep_kernel(var_index))
+
+    def pop(self, var_index: Optional[int] = None) -> None:
+        recorded = self._frame_vars.pop()
+        if var_index is not None and var_index != recorded:
+            self._frame_vars.append(recorded)
+            raise ValueError(
+                f"pop({var_index}) does not match the frame's "
+                f"variable {recorded!r}"
+            )
+        self._resolved_version += 1
+        frame = self._frames.pop()
+        if isinstance(frame, _KFrame):
+            frame.restore(self)
+        else:
+            # Frames written by apply_patch use the list representation.
+            for entry in reversed(frame):
+                tag = entry[0]
+                vid = entry[1]
+                if tag == _TAG_BOOL:
+                    self._b[vid] = entry[2]
+                else:
+                    self._lo[vid] = entry[2]
+                    self._hi[vid] = entry[3]
+                    self._mu[vid] = entry[4]
+                    self._md[vid] = entry[5]
+                self._resolved[vid] = 0
+        if recorded is not None:
+            del self.assignment[recorded]
+            if 0 <= recorded < self._assign.shape[0]:
+                self._assign[recorded] = -1
+
+    def apply_patch(self, frames) -> None:
+        super().apply_patch(frames)
+        for variable, value, _entries in frames:
+            if variable is not None and 0 <= variable < self._assign.shape[0]:
+                self._assign[variable] = 1 if value else 0
+
+    def export_patch(self, base_depth: int):
+        # The inherited walk reads current column values, which are
+        # NumPy scalars here; normalise to the plain-Python wire format
+        # so patches interchange with Python evaluators byte-for-byte.
+        def _plain(entry: tuple) -> tuple:
+            if entry[0] == _TAG_BOOL:
+                return (_TAG_BOOL, int(entry[1]), int(entry[2]))
+            return (
+                _TAG_NUM,
+                int(entry[1]),
+                float(entry[2]),
+                float(entry[3]),
+                bool(entry[4]),
+                bool(entry[5]),
+            )
+
+        return tuple(
+            (
+                variable,
+                None if value is None else bool(value),
+                tuple(_plain(entry) for entry in entries),
+            )
+            for variable, value, entries in super().export_patch(base_depth)
+        )
+
+    # -- compiler interface ---------------------------------------------
+
+    def _state_of(self, node_id: int):
+        vid = self._final[node_id]
+        if self._is_bool[vid]:
+            return int(self._b[vid])
+        if not self._md[vid]:
+            return NumState.undefined()
+        return NumState(
+            float(self._lo[vid]),
+            float(self._hi[vid]),
+            bool(self._mu[vid]),
+            True,
+        )
+
+
+def default_kernel() -> str:
+    """The process-wide default tier (``REPRO_KERNEL`` or ``auto``)."""
+    name = os.environ.get("REPRO_KERNEL", "auto")
+    return name if name in KERNEL_NAMES else "auto"
+
+
+def make_masked_evaluator(
+    network: EventNetwork, kernel: Optional[str] = None
+) -> MaskedEvaluator:
+    """A masked evaluator driven by the requested kernel tier.
+
+    ``kernel=None`` uses :func:`default_kernel`; unavailable tiers and
+    unsupported networks fall back to the Python evaluator, so this
+    always succeeds whenever :class:`MaskedEvaluator` itself would.
+    """
+    name = kernel if kernel is not None else default_kernel()
+    if name not in KERNEL_NAMES:
+        raise ValueError(
+            f"unknown kernel {name!r}; expected one of {KERNEL_NAMES}"
+        )
+    if name == "python":
+        return MaskedEvaluator(network)
+    backend = get_backend(name)
+    if backend is None:
+        return MaskedEvaluator(network)
+    try:
+        return KernelMaskedEvaluator(network, backend)
+    except KernelUnsupportedError:
+        return MaskedEvaluator(network)

@@ -59,6 +59,7 @@ from ..network.folded import FoldedNetwork
 from ..network.nodes import EventNetwork, Kind
 from .ir import (
     ATOM_OPS,
+    BOOL_KIND_CODES,
     FlatNetwork,
     FoldedFlatIR,
     UnsupportedNetworkError,
@@ -82,9 +83,7 @@ _K_POW = int(Kind.POW)
 _K_DIST = int(Kind.DIST)
 _K_LOOP_IN = int(Kind.LOOP_IN)
 
-_BOOL_KIND_CODES = frozenset(
-    {_K_TRUE, _K_FALSE, _K_VAR, _K_NOT, _K_AND, _K_OR, _K_ATOM}
-)
+_BOOL_KIND_CODES = BOOL_KIND_CODES
 
 # Trail entry tags: which columns an undo record restores.
 _TAG_BOOL = 0
@@ -131,6 +130,7 @@ class MaskedProgram:
     # NumPy arrays boxes a scalar per read, which dominates the sweep).
     _py_children: "List[Tuple[int, ...]] | None" = None
     _py_parents: "List[Tuple[int, ...]] | None" = None
+    _parents_csr: "Tuple[np.ndarray, np.ndarray] | None" = None
     _py_kinds: "List[int] | None" = None
     _var_vertices: Dict[int, List[int]] = field(default_factory=dict)
     _py_cones: Dict[int, List[int]] = field(default_factory=dict)
@@ -161,6 +161,27 @@ class MaskedProgram:
                     lists[child].append(vertex)
             self._py_parents = [tuple(parents) for parents in lists]
         return self._py_parents
+
+    def parents_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR parent adjacency over the vertex space (cached).
+
+        The dense twin of :meth:`py_parents`, consumed by the kernel
+        tier (:mod:`repro.engine.kernels`): parents of vertex ``v`` are
+        ``indices[offsets[v]:offsets[v + 1]]``.
+        """
+        if self._parents_csr is None:
+            count = len(self.kinds)
+            degrees = np.bincount(self.child_indices, minlength=count)
+            offsets = np.zeros(count + 1, dtype=np.int64)
+            np.cumsum(degrees, out=offsets[1:])
+            indices = np.empty(len(self.child_indices), dtype=np.int64)
+            cursor = offsets[:-1].copy()
+            for vertex, children in enumerate(self.py_children()):
+                for child in children:
+                    indices[cursor[child]] = vertex
+                    cursor[child] += 1
+            self._parents_csr = (offsets, indices)
+        return self._parents_csr
 
     def py_kinds(self) -> List[int]:
         if self._py_kinds is None:
@@ -532,6 +553,11 @@ class MaskedEvaluator:
     1
     >>> evaluator.rewind_to(0)
     """
+
+    #: Which kernel tier drives the cone sweeps.  ``"python"`` here; the
+    #: compiled subclasses (:mod:`repro.engine.kernels`) override it with
+    #: the backend that actually ran (``"native"``/``"numba"``).
+    kernel = "python"
 
     def __init__(self, network: EventNetwork) -> None:
         self.network = network

@@ -21,7 +21,13 @@ Capabilities drive dispatch-time normalisation:
   compiler (``workers=`` is honoured; otherwise it is ignored);
 * ``exact`` — bounds collapse to the exact probability;
 * ``timeout`` — the scheme honours a wall-clock budget;
-* ``bulk`` — the scheme evaluates through the vectorized bulk engine.
+* ``bulk`` — the scheme evaluates through the vectorized bulk engine;
+* ``kernel`` — the scheme's evaluator honours ``kernel=`` tier
+  selection (:mod:`repro.engine.kernels`: jitted/native cone sweeps for
+  the masked engine, compiled segment dispatch for the packed bulk
+  engine); for schemes without it, ``kernel`` is dropped;
+* ``packed`` — the scheme's bulk evaluation runs over bit-packed
+  Boolean world columns (:mod:`repro.engine.packed`).
 """
 
 from __future__ import annotations
@@ -39,6 +45,8 @@ CAP_DISTRIBUTED = "distributed"
 CAP_EXACT = "exact"
 CAP_TIMEOUT = "timeout"
 CAP_BULK = "bulk"
+CAP_KERNEL = "kernel"
+CAP_PACKED = "packed"
 
 CAPABILITIES = frozenset(
     {
@@ -48,6 +56,8 @@ CAPABILITIES = frozenset(
         CAP_EXACT,
         CAP_TIMEOUT,
         CAP_BULK,
+        CAP_KERNEL,
+        CAP_PACKED,
     }
 )
 
@@ -66,6 +76,10 @@ class SchemeOptions:
     :mod:`repro.compile.distributed`); ``job_size`` is the distributed
     fork depth, either an explicit ``int`` or ``"adaptive"`` for the
     online cost model.
+
+    ``kernel`` names the evaluator tier for ``kernel``-capable schemes
+    (one of :data:`repro.engine.kernels.KERNEL_NAMES`); ``None`` defers
+    to the process default (``REPRO_KERNEL`` or ``auto``).
     """
 
     epsilon: float = 0.0
@@ -77,6 +91,7 @@ class SchemeOptions:
     samples: int = 1000
     seed: int = 0
     confidence: float = 0.95
+    kernel: Optional[str] = None
 
 
 Runner = Callable[
@@ -230,6 +245,7 @@ def run_scheme(
     samples: int = 1000,
     seed: int = 0,
     confidence: float = 0.95,
+    kernel: Optional[str] = None,
 ) -> CompilationResult:
     """Dispatch one probability computation through the registry.
 
@@ -244,9 +260,19 @@ def run_scheme(
     wedged worker must not hang the caller).  ``ordering`` is an
     explicit alias for ``order`` (it wins when both are given) so
     callers can name the variable-ordering strategy without shadowing
-    more generic ``order`` keywords of their own.
+    more generic ``order`` keywords of their own.  ``kernel`` (an
+    evaluator tier name) is validated against
+    :data:`repro.engine.kernels.KERNEL_NAMES` and dropped for schemes
+    without the ``kernel`` capability.
     """
     spec = get_scheme(name)
+    if kernel is not None:
+        from .kernels import KERNEL_NAMES
+
+        if kernel not in KERNEL_NAMES:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of {KERNEL_NAMES}"
+            )
     distributed = spec.has(CAP_DISTRIBUTED) and workers is not None
     options = SchemeOptions(
         epsilon=epsilon if spec.has(CAP_EPSILON) else 0.0,
@@ -258,5 +284,6 @@ def run_scheme(
         samples=samples,
         seed=seed,
         confidence=confidence,
+        kernel=kernel if spec.has(CAP_KERNEL) else None,
     )
     return spec.runner(network, pool, targets, options)

@@ -27,6 +27,8 @@ from .registry import (
     CAP_DISTRIBUTED,
     CAP_EPSILON,
     CAP_EXACT,
+    CAP_KERNEL,
+    CAP_PACKED,
     CAP_STATISTICAL,
     CAP_TIMEOUT,
     SchemeOptions,
@@ -51,6 +53,7 @@ def _run_shannon(
             order=options.order,
             workers=options.workers,
             job_size=options.job_size,
+            kernel=options.kernel,
         )
         try:
             return coordinator.run(
@@ -73,6 +76,7 @@ def _run_shannon(
         epsilon=options.epsilon,
         targets=targets,
         order=options.order,
+        kernel=options.kernel,
     )
 
 
@@ -88,7 +92,11 @@ def _run_naive(network, pool, targets, options):
     from ..worlds.naive import naive_probabilities
 
     return naive_probabilities(
-        network, pool, targets=targets, timeout=options.timeout
+        network,
+        pool,
+        targets=targets,
+        timeout=options.timeout,
+        kernel=options.kernel,
     )
 
 
@@ -112,6 +120,7 @@ def _run_montecarlo(network, pool, targets, options):
         samples=options.samples,
         seed=options.seed,
         confidence=options.confidence,
+        kernel=options.kernel,
     )
 
 
@@ -135,7 +144,7 @@ def register_builtins() -> None:
     register_scheme(
         "exact",
         _make_shannon_runner("exact"),
-        capabilities={CAP_EXACT, CAP_DISTRIBUTED},
+        capabilities={CAP_EXACT, CAP_DISTRIBUTED, CAP_KERNEL},
         description=(
             "Shannon expansion until every target is resolved on every branch"
         ),
@@ -149,14 +158,14 @@ def register_builtins() -> None:
         register_scheme(
             scheme,
             _make_shannon_runner(scheme),
-            capabilities={CAP_EPSILON, CAP_DISTRIBUTED},
+            capabilities={CAP_EPSILON, CAP_DISTRIBUTED, CAP_KERNEL},
             description=description,
             replace=True,
         )
     register_scheme(
         "naive",
         _run_naive,
-        capabilities={CAP_EXACT, CAP_TIMEOUT, CAP_BULK},
+        capabilities={CAP_EXACT, CAP_TIMEOUT, CAP_BULK, CAP_KERNEL, CAP_PACKED},
         description="vectorized brute-force enumeration of all possible worlds",
         replace=True,
     )
@@ -170,7 +179,7 @@ def register_builtins() -> None:
     register_scheme(
         "montecarlo",
         _run_montecarlo,
-        capabilities={CAP_STATISTICAL, CAP_BULK},
+        capabilities={CAP_STATISTICAL, CAP_BULK, CAP_KERNEL, CAP_PACKED},
         description="vectorized MCDB-style Monte Carlo estimation",
         replace=True,
     )

@@ -27,6 +27,8 @@ def naive_probabilities(
     targets: Optional[Sequence[str]] = None,
     world_key_nodes: Optional[Sequence[int]] = None,
     timeout: Optional[float] = None,
+    packed: Optional[bool] = None,
+    kernel: Optional[str] = None,
 ) -> CompilationResult:
     """Exact target probabilities by brute-force world enumeration.
 
@@ -47,6 +49,8 @@ def naive_probabilities(
         targets=targets,
         world_key_nodes=world_key_nodes,
         timeout=timeout,
+        packed=packed,
+        kernel=kernel,
     )
 
 

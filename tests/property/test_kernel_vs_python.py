@@ -1,0 +1,276 @@
+"""Property tests: the kernel-tier masked sweeps against the Python tier.
+
+The kernel tiers (:mod:`repro.engine.kernels`: the numba-jitted sweep,
+its statement-for-statement C twin, and the interpreted single-source
+loop) must be *state-for-state* equivalent to the pure-Python
+:class:`~repro.engine.masked.MaskedEvaluator` — the same three-valued
+Boolean state and the same numeric abstraction for every node, under
+every partial assignment reachable by a random push/pop walk, on flat
+and folded networks alike.  The four Shannon schemes (plus their
+``workers=`` runs) must produce identical bounds whichever tier sweeps
+the cones.
+
+Tiers are exercised unconditionally: the ``interpreted`` tier (the
+same Python function numba would jit, minus the jit) always runs, so
+CI covers the kernel code path even where numba is absent; ``numba``
+and ``native`` join in automatically whenever they import/compile and
+pass self-validation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compile.compiler import compile_network
+from repro.compile.distributed import compile_distributed
+from repro.engine.kernels import (
+    KernelMaskedEvaluator,
+    available_kernels,
+    get_backend,
+    make_masked_evaluator,
+)
+from repro.engine.masked import MaskedEvaluator
+from repro.network.build import build_targets
+
+from .test_folded_bulk_vs_scalar import _random_folded_instance
+from .test_masked_vs_scalar import (
+    MATCH_ABS,
+    _random_instance,
+    _random_walk,
+    _states_equal,
+)
+
+# Every tier that built and self-validated in this process, plus the
+# pure-Python reference.  "interpreted" is always present, so the
+# kernel path is covered even without numba or a C compiler.
+TIERS = tuple(
+    name for name in available_kernels() if name not in ("auto", "python")
+)
+
+
+def _walk_pair(pool, oracle, candidate, rng, checker, steps=10):
+    """Reuse the scalar-vs-masked walk driver for a tier pair."""
+    _random_walk(pool, oracle, candidate, rng, checker, steps=steps)
+
+
+@pytest.mark.parametrize("tier", TIERS)
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_kernel_matches_python_states_flat(tier, seed):
+    pool, events = _random_instance(seed)
+    network = build_targets(events)
+    oracle = make_masked_evaluator(network, kernel="python")
+    candidate = make_masked_evaluator(network, kernel=tier)
+    assert type(oracle) is MaskedEvaluator
+    if isinstance(candidate, KernelMaskedEvaluator):
+        assert candidate.kernel == tier
+    else:
+        # Vector c-values fall back to the Python tier by design.
+        assert candidate._prog.is_vec.any()
+    rng = random.Random(seed + 1)
+    target_ids = list(network.targets.values())
+
+    def check():
+        for node_id in range(len(network.nodes)):
+            expected = oracle.node_state(node_id)
+            actual = candidate.node_state(node_id)
+            assert _states_equal(expected, actual), (
+                tier,
+                node_id,
+                network.nodes[node_id],
+                oracle.assignment,
+            )
+        assert candidate.count_unresolved(
+            target_ids
+        ) == oracle.count_unresolved(target_ids)
+
+    _walk_pair(pool, oracle, candidate, rng, check)
+
+
+@pytest.mark.parametrize("tier", TIERS)
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_kernel_matches_python_states_folded(tier, seed):
+    pool, folded = _random_folded_instance(seed)
+    oracle = make_masked_evaluator(folded, kernel="python")
+    candidate = make_masked_evaluator(folded, kernel=tier)
+    rng = random.Random(seed + 1)
+
+    def check():
+        for node_id in range(len(folded.nodes)):
+            expected = oracle.node_state(node_id)
+            actual = candidate.node_state(node_id)
+            assert _states_equal(expected, actual), (
+                tier,
+                node_id,
+                folded.nodes[node_id],
+                oracle.assignment,
+            )
+
+    _walk_pair(pool, oracle, candidate, rng, check)
+
+
+@pytest.mark.parametrize("tier", TIERS)
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_kernel_patch_wire_format_interoperates(tier, seed):
+    """Patches exported by one tier apply cleanly on the other.
+
+    This is the distributed handoff contract: a worker may run a
+    jitted evaluator while the leader replays its column deltas on a
+    pure-Python one (or vice versa), so ``export_patch`` must speak
+    plain Python scalars regardless of tier.
+    """
+    pool, events = _random_instance(seed)
+    network = build_targets(events)
+    sender = make_masked_evaluator(network, kernel=tier)
+    receiver = make_masked_evaluator(network, kernel="python")
+    rng = random.Random(seed + 3)
+
+    sender.push()
+    assigned = []
+    for _ in range(rng.randint(1, min(3, len(pool)))):
+        free = [i for i in range(len(pool)) if i not in sender.assignment]
+        if not free:
+            break
+        variable = rng.choice(free)
+        sender.push(variable, rng.random() < 0.5)
+        assigned.append(variable)
+    patch = sender.export_patch(0)
+    if isinstance(sender, KernelMaskedEvaluator):
+        # Wire format: plain Python scalars only (no numpy scalars),
+        # so patches pickle identically to the pure-Python tier's.
+        for _variable, _value, entries in patch:
+            for entry in entries:
+                assert all(
+                    value is None
+                    or type(value) in (bool, int, float, list)
+                    for value in entry
+                ), entry
+    receiver.apply_patch(patch)
+    for node_id in range(len(network.nodes)):
+        assert _states_equal(
+            sender.node_state(node_id), receiver.node_state(node_id)
+        ), (tier, node_id)
+    for variable in reversed(assigned):
+        sender.pop(variable)
+        receiver.pop(variable)
+    sender.pop()
+    receiver.pop()
+
+
+@pytest.mark.parametrize("tier", TIERS)
+@pytest.mark.parametrize(
+    "scheme,epsilon",
+    [("exact", 0.0), ("lazy", 0.07), ("eager", 0.07), ("hybrid", 0.07)],
+)
+def test_schemes_agree_between_tiers(tier, scheme, epsilon):
+    for seed in range(5):
+        pool, events = _random_instance(seed)
+        network = build_targets(events)
+        results = {
+            kernel: compile_network(
+                network,
+                pool,
+                scheme=scheme,
+                epsilon=epsilon,
+                engine="masked",
+                kernel=kernel,
+            )
+            for kernel in ("python", tier)
+        }
+        for name in network.targets:
+            tier_bounds = results[tier].bounds[name]
+            python_bounds = results["python"].bounds[name]
+            assert tier_bounds[0] == pytest.approx(
+                python_bounds[0], abs=MATCH_ABS
+            )
+            assert tier_bounds[1] == pytest.approx(
+                python_bounds[1], abs=MATCH_ABS
+            )
+        # Identical leaf states must induce the identical decision tree.
+        assert results[tier].tree_nodes == results["python"].tree_nodes
+
+
+@pytest.mark.parametrize("tier", TIERS)
+def test_distributed_agrees_between_tiers(tier):
+    for seed in range(3):
+        pool, events = _random_instance(seed)
+        network = build_targets(events)
+        results = {
+            kernel: compile_distributed(
+                network,
+                pool,
+                scheme="exact",
+                workers=3,
+                job_size=2,
+                engine="masked",
+                kernel=kernel,
+            )
+            for kernel in ("python", tier)
+        }
+        for name in network.targets:
+            assert results[tier].bounds[name][0] == pytest.approx(
+                results["python"].bounds[name][0], abs=MATCH_ABS
+            )
+            assert results[tier].bounds[name][1] == pytest.approx(
+                results["python"].bounds[name][1], abs=MATCH_ABS
+            )
+        assert results[tier].jobs == results["python"].jobs
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_kernel_trail_restores_baseline(seed):
+    """Vectorized pop restore returns every column to the built state."""
+    tier = TIERS[0]
+    pool, events = _random_instance(seed)
+    network = build_targets(events)
+    candidate = make_masked_evaluator(network, kernel=tier)
+    if not isinstance(candidate, KernelMaskedEvaluator):
+        return  # vector network fell back to the Python tier
+    baseline = (
+        candidate._b.copy(),
+        candidate._lo.copy(),
+        candidate._hi.copy(),
+        candidate._mu.copy(),
+        candidate._md.copy(),
+        candidate._resolved.copy(),
+        candidate._assign.copy(),
+    )
+    oracle = make_masked_evaluator(network, kernel="python")
+    rng = random.Random(seed + 2)
+    _walk_pair(pool, oracle, candidate, rng, lambda: None)
+    assert candidate.depth == 0
+    assert candidate.assignment == {}
+    current = (
+        candidate._b,
+        candidate._lo,
+        candidate._hi,
+        candidate._mu,
+        candidate._md,
+        candidate._resolved,
+        candidate._assign,
+    )
+    for column, expected in zip(current, baseline):
+        np.testing.assert_array_equal(np.asarray(column), expected)
+
+
+def test_native_tier_covered_where_compiler_exists():
+    """On hosts with a C toolchain the native tier must be in the matrix."""
+    import shutil
+
+    if shutil.which("cc") is None and shutil.which("gcc") is None:
+        pytest.skip("no C compiler on this host")
+    assert get_backend("native") is not None
+    assert "native" in TIERS
+
+
+def test_interpreted_tier_always_covered():
+    # The single-source sweep loop runs everywhere, numba or not.
+    assert "interpreted" in TIERS

@@ -1,0 +1,182 @@
+"""Property tests: bit-packed bulk evaluation against the dense engine.
+
+The packed evaluators (:mod:`repro.engine.packed`) carry Boolean world
+columns as uint64 words — 64 worlds per word — and must be *bit-for-bit*
+equivalent to the dense boolean-array engine they wrap: exact Boolean
+equality per world for every target, on flat and folded networks alike,
+and probability bounds identical to 1e-9 through the ``naive`` and
+``montecarlo`` registry schemes.  The word-wise segment kernels (numpy
+fallback and every compiled tier that self-validated) must agree among
+themselves too, including at awkward world counts around the 64-world
+word boundary where tail-bit handling lives.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.bulk import (
+    BulkEvaluator,
+    FoldedBulkEvaluator,
+    enumerate_worlds,
+    make_bulk_evaluator,
+)
+from repro.engine.kernels import available_kernels
+from repro.engine.packed import PackedBulkEvaluator, PackedFoldedBulkEvaluator
+from repro.network.build import build_targets
+from repro.worlds.naive import naive_probabilities
+from repro.compile.montecarlo import monte_carlo_probabilities
+
+from .test_folded_bulk_vs_scalar import _random_folded_instance
+from .test_masked_vs_scalar import MATCH_ABS, _random_instance
+
+PACKED_KERNELS = ("python",) + tuple(
+    name for name in available_kernels() if name not in ("auto", "python")
+)
+
+# World counts straddling word boundaries: 1 word exactly, 1 word + 1
+# bit, just under 2 words, and a partial tail deep into a batch.
+BOUNDARY_WORLDS = (1, 63, 64, 65, 127, 128, 200)
+
+
+def _world_matrix(rng, worlds, variables):
+    return np.array(
+        [[rng.random() < 0.5 for _ in range(variables)] for _ in range(worlds)],
+        dtype=bool,
+    )
+
+
+@pytest.mark.parametrize("kernel", PACKED_KERNELS)
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_packed_matches_dense_flat(kernel, seed):
+    pool, events = _random_instance(seed)
+    network = build_targets(events)
+    dense = make_bulk_evaluator(network, packed=False)
+    packed = make_bulk_evaluator(network, packed=True, kernel=kernel)
+    assert type(dense) is BulkEvaluator
+    assert isinstance(packed, PackedBulkEvaluator)
+    rng = random.Random(seed + 1)
+    worlds = rng.choice(BOUNDARY_WORLDS)
+    assignments = _world_matrix(rng, worlds, len(pool))
+    targets = list(network.targets.values())
+    expected = dense.evaluate(assignments, targets)
+    actual = packed.evaluate(assignments, targets)
+    for node_id in targets:
+        # Exact Boolean equality, world for world — not approximate.
+        np.testing.assert_array_equal(
+            np.asarray(actual[node_id], dtype=bool),
+            np.asarray(expected[node_id], dtype=bool),
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_packed_matches_dense_folded(seed):
+    pool, folded = _random_folded_instance(seed)
+    dense = make_bulk_evaluator(folded, packed=False)
+    packed = make_bulk_evaluator(folded, packed=True)
+    assert type(dense) is FoldedBulkEvaluator
+    assert isinstance(packed, PackedFoldedBulkEvaluator)
+    rng = random.Random(seed + 1)
+    worlds = rng.choice(BOUNDARY_WORLDS)
+    assignments = _world_matrix(rng, worlds, len(pool))
+    targets = list(folded.targets.values())
+    expected = dense.evaluate(assignments, targets)
+    actual = packed.evaluate(assignments, targets)
+    for node_id in targets:
+        np.testing.assert_array_equal(
+            np.asarray(actual[node_id], dtype=bool),
+            np.asarray(expected[node_id], dtype=bool),
+        )
+
+
+@pytest.mark.parametrize("kernel", PACKED_KERNELS)
+def test_naive_probabilities_packed_matches_unpacked(kernel):
+    for seed in range(6):
+        pool, events = _random_instance(seed)
+        network = build_targets(events)
+        unpacked = naive_probabilities(network, pool, packed=False)
+        packed = naive_probabilities(network, pool, packed=True, kernel=kernel)
+        assert packed.extra["packed"] == 1.0
+        assert unpacked.extra["packed"] == 0.0
+        for name in network.targets:
+            assert packed.bounds[name][0] == pytest.approx(
+                unpacked.bounds[name][0], abs=MATCH_ABS
+            )
+            assert packed.bounds[name][1] == pytest.approx(
+                unpacked.bounds[name][1], abs=MATCH_ABS
+            )
+
+
+def test_naive_probabilities_packed_matches_unpacked_folded():
+    for seed in range(4):
+        pool, folded = _random_folded_instance(seed)
+        unpacked = naive_probabilities(folded, pool, packed=False)
+        packed = naive_probabilities(folded, pool, packed=True)
+        for name in folded.targets:
+            assert packed.bounds[name][0] == pytest.approx(
+                unpacked.bounds[name][0], abs=MATCH_ABS
+            )
+            assert packed.bounds[name][1] == pytest.approx(
+                unpacked.bounds[name][1], abs=MATCH_ABS
+            )
+
+
+def test_monte_carlo_packed_matches_unpacked_per_seed():
+    # Same seed → same sampled worlds → bit-identical frequencies.
+    for seed in range(4):
+        pool, events = _random_instance(seed)
+        network = build_targets(events)
+        unpacked = monte_carlo_probabilities(
+            network, pool, samples=257, seed=seed, packed=False
+        )
+        packed = monte_carlo_probabilities(
+            network, pool, samples=257, seed=seed, packed=True
+        )
+        for name in network.targets:
+            assert packed.bounds[name] == unpacked.bounds[name]
+
+
+@pytest.mark.parametrize("worlds", BOUNDARY_WORLDS)
+def test_word_boundary_worlds_exact(worlds):
+    # A pure-Boolean network evaluated at every awkward batch size:
+    # the tail-mask invariant must hold at 1 bit, full words, and
+    # word + 1.
+    pool, events = _random_instance(3)
+    network = build_targets(events)
+    dense = make_bulk_evaluator(network, packed=False)
+    packed = make_bulk_evaluator(network, packed=True)
+    rng = random.Random(worlds)
+    assignments = _world_matrix(rng, worlds, len(pool))
+    targets = list(network.targets.values())
+    expected = dense.evaluate(assignments, targets)
+    actual = packed.evaluate(assignments, targets)
+    for node_id in targets:
+        np.testing.assert_array_equal(
+            np.asarray(actual[node_id], dtype=bool),
+            np.asarray(expected[node_id], dtype=bool),
+        )
+
+
+def test_enumerate_worlds_batches_agree_with_packed_eval():
+    # enumerate_worlds chunks feed the packed evaluator during naive
+    # runs; spot-check a chunk boundary explicitly.
+    pool, events = _random_instance(7)
+    network = build_targets(events)
+    worlds = enumerate_worlds(len(pool), 0, 1 << len(pool))
+    dense = make_bulk_evaluator(network, packed=False)
+    packed = make_bulk_evaluator(network, packed=True)
+    targets = list(network.targets.values())
+    expected = dense.evaluate(worlds, targets)
+    actual = packed.evaluate(worlds, targets)
+    for node_id in targets:
+        np.testing.assert_array_equal(
+            np.asarray(actual[node_id], dtype=bool),
+            np.asarray(expected[node_id], dtype=bool),
+        )

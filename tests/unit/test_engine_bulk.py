@@ -50,6 +50,39 @@ class TestWorldEnumeration:
         assert assignments.shape == (1, 0)
         assert world_masses(assignments, np.zeros(0)) == pytest.approx([1.0])
 
+    def test_64_plus_variables_past_int64(self):
+        # Regression: with 64+ variables, world indices overflow int64
+        # and the naive `index >> shift` bit extraction is undefined
+        # (a shift by >= 64).  The chunked path must agree with plain
+        # Python big-int arithmetic at arbitrary offsets.
+        variable_count = 70
+
+        def oracle(index):
+            return [
+                ((index >> (variable_count - 1 - column)) & 1) == 0
+                for column in range(variable_count)
+            ]
+
+        for start in (0, 5, (1 << 62) - 3, (1 << 65) + 1, (1 << 69) + 7):
+            stop = start + 6
+            block = enumerate_worlds(variable_count, start, stop)
+            assert block.shape == (6, variable_count)
+            for row, index in enumerate(range(start, stop)):
+                assert list(block[row]) == oracle(index), (start, row)
+
+    def test_64_variable_boundary_crossing_chunk(self):
+        # A slice straddling a multiple of 2**62 exercises the run
+        # split inside the chunked path.
+        variable_count = 64
+        boundary = 1 << 62
+        block = enumerate_worlds(variable_count, boundary - 2, boundary + 2)
+        for row, index in enumerate(range(boundary - 2, boundary + 2)):
+            expected = [
+                ((index >> (variable_count - 1 - column)) & 1) == 0
+                for column in range(variable_count)
+            ]
+            assert list(block[row]) == expected
+
 
 class TestBulkEvaluator:
     def _check_against_oracle(self, events, pool):
@@ -321,6 +354,47 @@ class TestFoldedBulk:
             assert bulk.bounds[name][0] == pytest.approx(
                 scalar.bounds[name][0], abs=1e-9
             )
+
+    def test_deep_init_chain_is_recursion_free(self):
+        # Regression: the demand-driven first sweep used Python
+        # recursion, so a cross-slot init chain as deep as the slot
+        # count hit the recursion limit.  The explicit-stack version
+        # must walk a chain far deeper than the remaining headroom.
+        import sys
+
+        from repro.events.expressions import literal
+        from repro.network.folded import FoldedBuilder, LoopCVal
+
+        depth = 200
+        builder = FoldedBuilder(2)
+        slots = [LoopCVal(f"s{i}") for i in range(depth)]
+        builder.define_slot(
+            "s0", init=literal(1.0), next_value=csum([slots[0], literal(0.0)])
+        )
+        for i in range(1, depth):
+            # Slot i initialises from slot i-1's loop value: the first
+            # sweep must resolve inits transitively through the chain.
+            builder.define_slot(
+                f"s{i}",
+                init=csum([slots[i - 1], literal(1.0)]),
+                next_value=csum([slots[i], guard(var(0), 1.0)]),
+            )
+        tail = csum([slots[depth - 1], literal(0.0)])
+        builder.add_target(
+            "deep", atom(">=", tail, guard(TRUE, float(depth - 1)))
+        )
+        folded = builder.folded
+        pool = make_pool([0.5])
+
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(120)
+        try:
+            result = bulk_naive_probabilities(folded, pool)
+        finally:
+            sys.setrecursionlimit(limit)
+        # Init chain leaves slot depth-1 at depth-1; one +1.0 guard per
+        # iteration on the p=0.5 variable keeps it >= depth-1 always.
+        assert result.bounds["deep"][0] == pytest.approx(1.0)
 
     def test_rebound_slot_is_not_served_from_a_stale_ir(self):
         # Regression: define_slot rebinding must invalidate the cached

@@ -1,0 +1,218 @@
+"""Unit tests for the masked-sweep kernel tiers (:mod:`repro.engine.kernels`)."""
+
+import numpy as np
+import pytest
+
+from repro.compile.compiler import compile_network, make_evaluator
+from repro.engine.kernels import (
+    BACKEND_ERRORS,
+    KERNEL_NAMES,
+    KERNEL_TIER_CODES,
+    KernelMaskedEvaluator,
+    available_kernels,
+    default_kernel,
+    get_backend,
+    make_masked_evaluator,
+)
+from repro.engine.masked import MaskedEvaluator
+from repro.engine.registry import available_schemes, run_scheme
+from repro.events.expressions import (
+    TRUE,
+    atom,
+    cdist,
+    conj,
+    cpow,
+    csum,
+    disj,
+    guard,
+    negate,
+    var,
+)
+from repro.network.build import build_targets
+
+from ..conftest import make_pool
+
+
+def _scalar_network():
+    return build_targets(
+        {
+            "b": disj([conj([var(0), var(1)]), negate(var(2))]),
+            "n": atom(
+                "<=",
+                csum([guard(var(0), 1.0), guard(var(1), 2.0)]),
+                guard(disj([var(1), var(2)]), 2.5),
+            ),
+        }
+    )
+
+
+def _vector_network():
+    # A distance atom over 2-d points: vector c-values are Python-tier
+    # only, so kernel construction must fall back.
+    centroid = csum([guard(var(0), [1.0, 0.0]), guard(var(1), [0.0, 1.0])])
+    return build_targets(
+        {"v": atom("<=", cdist(guard(TRUE, [0.5, 0.5]), centroid), guard(TRUE, 1.0))}
+    )
+
+
+class TestBackendSelection:
+    def test_always_available_tiers(self):
+        kernels = available_kernels()
+        assert "auto" in kernels
+        assert "python" in kernels
+        # The single-source sweep loop needs no toolchain at all.
+        assert "interpreted" in kernels
+
+    def test_python_tier_has_no_backend(self):
+        assert get_backend("python") is None
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            get_backend("fortran")
+        with pytest.raises(ValueError, match="unknown kernel"):
+            make_masked_evaluator(_scalar_network(), kernel="fortran")
+
+    def test_unavailable_tiers_record_their_reason(self):
+        # Whichever compiled tier is missing on this host must say why
+        # instead of silently degrading.
+        for name in ("numba", "native"):
+            if get_backend(name) is None:
+                assert name in BACKEND_ERRORS, BACKEND_ERRORS
+
+    def test_auto_resolves_to_a_concrete_tier(self):
+        backend = get_backend("auto")
+        if backend is not None:
+            assert backend.name in ("numba", "native")
+
+    def test_default_kernel_honours_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "interpreted")
+        assert default_kernel() == "interpreted"
+        monkeypatch.setenv("REPRO_KERNEL", "not-a-tier")
+        assert default_kernel() == "auto"
+        monkeypatch.delenv("REPRO_KERNEL")
+        assert default_kernel() == "auto"
+
+    def test_tier_codes_cover_every_concrete_tier(self):
+        # result.extra carries floats, so tiers are coded; every name a
+        # KernelMaskedEvaluator (or packed evaluator) can report must
+        # have a code.
+        for name in KERNEL_NAMES:
+            if name != "auto":
+                assert name in KERNEL_TIER_CODES
+        assert "numpy" in KERNEL_TIER_CODES  # packed fallback tier
+
+
+class TestEvaluatorConstruction:
+    def test_python_kernel_returns_plain_evaluator(self):
+        evaluator = make_masked_evaluator(_scalar_network(), kernel="python")
+        assert type(evaluator) is MaskedEvaluator
+        assert evaluator.kernel == "python"
+
+    def test_interpreted_kernel_returns_kernel_evaluator(self):
+        evaluator = make_masked_evaluator(
+            _scalar_network(), kernel="interpreted"
+        )
+        assert isinstance(evaluator, KernelMaskedEvaluator)
+        assert evaluator.kernel == "interpreted"
+
+    def test_vector_networks_fall_back_to_python(self):
+        evaluator = make_masked_evaluator(
+            _vector_network(), kernel="interpreted"
+        )
+        assert type(evaluator) is MaskedEvaluator
+
+    def test_negative_exponent_falls_back_to_python(self):
+        network = build_targets(
+            {
+                "p": atom(
+                    "<=",
+                    cpow(csum([guard(TRUE, 2.0), guard(var(0), 1.0)]), -1),
+                    guard(TRUE, 0.5),
+                )
+            }
+        )
+        evaluator = make_masked_evaluator(network, kernel="interpreted")
+        assert type(evaluator) is MaskedEvaluator
+        # ... and still evaluates correctly through the Python tier.
+        pool = make_pool([0.5])
+        result = compile_network(network, pool, kernel="interpreted")
+        expected = compile_network(network, pool, kernel="python")
+        assert result.bounds["p"] == pytest.approx(expected.bounds["p"])
+
+    def test_engine_string_carries_the_tier(self):
+        network = _scalar_network()
+        evaluator = make_evaluator(network, engine="masked:interpreted")
+        assert isinstance(evaluator, KernelMaskedEvaluator)
+        assert evaluator.kernel == "interpreted"
+        plain = make_evaluator(network, engine="masked:python")
+        assert type(plain) is MaskedEvaluator
+
+    def test_explicit_kernel_argument_matches_suffix(self):
+        network = _scalar_network()
+        by_arg = make_evaluator(network, engine="masked", kernel="interpreted")
+        assert isinstance(by_arg, KernelMaskedEvaluator)
+
+    def test_columns_are_arrays(self):
+        evaluator = make_masked_evaluator(
+            _scalar_network(), kernel="interpreted"
+        )
+        assert isinstance(evaluator, KernelMaskedEvaluator)
+        assert isinstance(evaluator._b, np.ndarray)
+        assert evaluator._b.dtype == np.int8
+        assert evaluator._lo.dtype == np.float64
+        assert evaluator._resolved.dtype == np.uint8
+
+
+class TestResultReporting:
+    def test_compile_records_kernel_tier(self):
+        network = _scalar_network()
+        pool = make_pool([0.5, 0.4, 0.6])
+        result = compile_network(network, pool, kernel="interpreted")
+        assert result.extra["kernel_tier"] == KERNEL_TIER_CODES["interpreted"]
+        python = compile_network(network, pool, kernel="python")
+        assert python.extra["kernel_tier"] == KERNEL_TIER_CODES["python"]
+
+    def test_tiers_agree_on_bounds(self):
+        network = _scalar_network()
+        pool = make_pool([0.5, 0.4, 0.6])
+        results = [
+            compile_network(network, pool, kernel=kernel)
+            for kernel in ("python", "interpreted")
+        ]
+        for name in network.targets:
+            assert results[0].bounds[name] == pytest.approx(
+                results[1].bounds[name], abs=1e-12
+            )
+
+
+class TestRegistryIntegration:
+    def test_kernel_capable_schemes(self):
+        schemes = available_schemes("kernel")
+        for name in ("exact", "lazy", "eager", "hybrid", "naive", "montecarlo"):
+            assert name in schemes
+        # The scalar oracles predate (and bypass) the kernel seam.
+        assert "naive-scalar" not in schemes
+
+    def test_packed_capable_schemes(self):
+        schemes = available_schemes("packed")
+        assert "naive" in schemes
+        assert "montecarlo" in schemes
+        assert "exact" not in schemes
+
+    def test_run_scheme_validates_kernel(self):
+        network = _scalar_network()
+        pool = make_pool([0.5, 0.4, 0.6])
+        with pytest.raises(ValueError, match="unknown kernel"):
+            run_scheme("exact", network, pool, kernel="fortran")
+
+    def test_run_scheme_drops_kernel_for_non_capable_schemes(self):
+        network = _scalar_network()
+        pool = make_pool([0.5, 0.4, 0.6])
+        # The scalar oracle has no kernel seam; the option must be
+        # normalised away, not rejected.
+        result = run_scheme("naive-scalar", network, pool, kernel="interpreted")
+        exact = run_scheme("exact", network, pool, kernel="interpreted")
+        for name in network.targets:
+            assert result.bounds[name][0] == pytest.approx(
+                exact.bounds[name][0], abs=1e-9
+            )
