@@ -1,0 +1,33 @@
+"""Static analysis for the repro codebase: ``repro check``.
+
+AST-walking lint rules that enforce the repository's standing
+invariants — trail discipline in the masked evaluators, registry-only
+scheme dispatch, deterministic distributed barriers, plain-scalar patch
+wire format, kernel-tier import hygiene, and Python↔C kernel twin
+correspondence.  See ``docs/ARCHITECTURE.md``, section "Enforced
+invariants".
+"""
+
+from .core import (
+    Finding,
+    ProjectRule,
+    Rule,
+    SourceFile,
+    load_rules,
+    register_rule,
+    run_check,
+    source_from_text,
+)
+from .runner import main
+
+__all__ = [
+    "Finding",
+    "ProjectRule",
+    "Rule",
+    "SourceFile",
+    "load_rules",
+    "main",
+    "register_rule",
+    "run_check",
+    "source_from_text",
+]

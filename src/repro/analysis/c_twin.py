@@ -1,0 +1,661 @@
+"""c-twin-drift: the Python kernel and its C twin move in lockstep.
+
+``engine/kernels.py`` keeps ONE sweep algorithm in three executable
+forms: :func:`_masked_sweep` (run interpreted and handed to
+``numba.njit`` verbatim) and a statement-for-statement C translation
+inside ``_C_TEMPLATE`` (compiled with the system compiler, driven via
+ctypes).  The runtime guard — per-process self-validation on a canned
+walk — only samples behaviour; an edit to one side that the canned walk
+does not reach ships silently.  This rule makes the correspondence a
+static invariant: both sides are normalised into a stream of
+*observable events* and the streams must be identical.
+
+Event vocabulary (shared by both extractors):
+
+* ``FOR`` / ``BREAK`` / ``CONTINUE`` / ``RETURN`` — control structure;
+* ``R:name`` / ``W:name`` — subscripted reads/writes of the kernel's
+  array parameters (the Python function's parameter names; C pointer
+  aliases like ``dst = matrix + ...`` are mapped back to the array);
+* ``OP:+ - * / % pow neg ~ & | ^`` — arithmetic/bitwise operators
+  (``x++``/``x += 1`` both normalise to ``OP:+``; ``pow(a, b)`` and
+  ``a ** b`` both to ``OP:pow``);
+* ``L:and`` / ``L:or`` — short-circuit connectives (``and``/``&&``,
+  ``or``/``||``);
+* ``CMP:== != < <= > >=`` — comparisons, EXCEPT equality against a
+  literal zero.
+
+The zero-equality exception is the normalisation workhorse: Python
+spells emptiness/falseness ``x == 0`` where C spells it ``!x`` or bare
+truthiness, so all three forms erase to just the operand's events.
+Ordering comparisons (``<``/``<=``/``>``/``>=``) have no bang-spelling
+and stay strict even against zero.
+Symmetrically erased: ``if``/``else``/ternary structure (Python
+``if``/``elif`` chains correspond to C ternaries), ``not``/``!``,
+local-variable reads and writes, C type names and casts, and both
+loop headers (``range(...)`` arguments and C ``for (...;...;...)``).
+
+``_masked_sweep`` ↔ ``masked_sweep`` are compared strictly, event for
+event.  ``_packed_segments`` ↔ ``packed_eval`` differ structurally (the
+C side uses pointer-stride aliases), so they are compared on a coarse
+fingerprint: per-array read/write counts, loop count, and bitwise
+operator counts.
+
+Documented blind spots: an ``==`` flipped to ``!=`` against a literal
+zero, edits confined to a loop header, and renames among local
+variables do not move either stream; the property suite and the
+per-process self-validation remain the oracle for those.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections import Counter
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .core import Finding, ProjectRule, SourceFile, register_rule
+
+KERNELS_PATH = "src/repro/engine/kernels.py"
+
+Event = Tuple[str, int]  # (event, source line)
+
+_BINOP_SYMBOLS = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.Div: "/",
+    ast.Mod: "%",
+    ast.Pow: "pow",
+    ast.BitAnd: "&",
+    ast.BitOr: "|",
+    ast.BitXor: "^",
+    ast.FloorDiv: "//",
+    ast.LShift: "<<",
+    ast.RShift: ">>",
+}
+
+_CMP_SYMBOLS = {
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+}
+
+
+def _is_zero(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+        and node.value == 0
+    )
+
+
+class _PyStream:
+    """Normalised event stream of one Python kernel function."""
+
+    def __init__(self, arrays: Iterable[str]) -> None:
+        self.arrays = set(arrays)
+        self.events: List[Event] = []
+
+    def emit(self, event: str, line: int) -> None:
+        self.events.append((event, line))
+
+    # -- statements -----------------------------------------------------
+
+    def body(self, statements: Sequence[ast.stmt]) -> None:
+        for statement in statements:
+            self.stmt(statement)
+
+    def stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            # Loop headers are erased on both sides: range(...) bounds
+            # have no statement-level C counterpart (init/test/step).
+            self.emit("FOR", node.lineno)
+            self.body(node.body)
+            self.body(node.orelse)
+        elif isinstance(node, ast.While):
+            self.emit("WHILE", node.lineno)
+            self.expr(node.test)
+            self.body(node.body)
+        elif isinstance(node, ast.If):
+            self.expr(node.test)
+            self.body(node.body)
+            self.body(node.orelse)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                self.store(target)
+            self.expr(node.value)
+        elif isinstance(node, ast.AnnAssign):
+            self.store(node.target)
+            if node.value is not None:
+                self.expr(node.value)
+        elif isinstance(node, ast.AugAssign):
+            symbol = _BINOP_SYMBOLS.get(type(node.op), "?")
+            if isinstance(node.target, ast.Subscript):
+                self.store(node.target)
+                self.load_subscript(node.target)
+                self.emit(f"OP:{symbol}", node.lineno)
+                self.expr(node.value)
+            else:
+                # Local compound assign: C spells it x++ / x op= v.
+                self.emit(f"OP:{symbol}", node.lineno)
+                self.expr(node.value)
+        elif isinstance(node, ast.Expr):
+            if not isinstance(node.value, ast.Constant):  # skip docstrings
+                self.expr(node.value)
+        elif isinstance(node, ast.Return):
+            self.emit("RETURN", node.lineno)
+            if node.value is not None:
+                self.expr(node.value)
+        elif isinstance(node, ast.Break):
+            self.emit("BREAK", node.lineno)
+        elif isinstance(node, ast.Continue):
+            self.emit("CONTINUE", node.lineno)
+        elif isinstance(node, ast.Pass):
+            pass
+        else:
+            self.emit(f"STMT:{type(node).__name__}", node.lineno)
+
+    # -- expressions ----------------------------------------------------
+
+    def store(self, node: ast.expr) -> None:
+        if isinstance(node, ast.Subscript):
+            value = node.value
+            if isinstance(value, ast.Name) and value.id in self.arrays:
+                self.emit(f"W:{value.id}", node.lineno)
+            self.expr(node.slice)
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                self.store(element)
+        # Name targets are locals: erased.
+
+    def load_subscript(self, node: ast.Subscript) -> None:
+        value = node.value
+        if isinstance(value, ast.Name) and value.id in self.arrays:
+            self.emit(f"R:{value.id}", node.lineno)
+        self.expr(node.slice)
+
+    def expr(self, node: Optional[ast.expr]) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.BoolOp):
+            connective = "and" if isinstance(node.op, ast.And) else "or"
+            self.expr(node.values[0])
+            for value in node.values[1:]:
+                self.emit(f"L:{connective}", node.lineno)
+                self.expr(value)
+        elif isinstance(node, ast.BinOp):
+            self.expr(node.left)
+            self.emit(f"OP:{_BINOP_SYMBOLS.get(type(node.op), '?')}", node.lineno)
+            self.expr(node.right)
+        elif isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.USub):
+                self.emit("OP:neg", node.lineno)
+            elif isinstance(node.op, ast.Invert):
+                self.emit("OP:~", node.lineno)
+            # `not` and unary + are erased.
+            self.expr(node.operand)
+        elif isinstance(node, ast.Compare):
+            self.expr(node.left)
+            previous: ast.expr = node.left
+            for op, comparator in zip(node.ops, node.comparators):
+                erased = isinstance(op, (ast.Eq, ast.NotEq)) and (
+                    _is_zero(previous) or _is_zero(comparator)
+                )
+                if not erased:
+                    symbol = _CMP_SYMBOLS.get(type(op))
+                    if symbol is not None:
+                        self.emit(f"CMP:{symbol}", node.lineno)
+                self.expr(comparator)
+                previous = comparator
+        elif isinstance(node, ast.IfExp):
+            # Emitted in C ternary order: test, then, else.
+            self.expr(node.test)
+            self.expr(node.body)
+            self.expr(node.orelse)
+        elif isinstance(node, ast.Subscript):
+            self.load_subscript(node)
+        elif isinstance(node, ast.Call):
+            # Calls in kernel code are constructors/casts (np.uint64):
+            # the callee is erased, arguments keep their events.
+            for argument in node.args:
+                self.expr(argument)
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                self.expr(element)
+        elif isinstance(node, (ast.Name, ast.Constant, ast.Attribute)):
+            pass  # locals / literals / attribute reads: erased
+        else:
+            self.emit(f"EXPR:{type(node).__name__}", node.lineno)
+
+
+def python_events(function: ast.FunctionDef) -> List[Event]:
+    arrays = [argument.arg for argument in function.args.args]
+    stream = _PyStream(arrays)
+    stream.body(function.body)
+    return stream.events
+
+
+# ----------------------------------------------------------------------
+# The C side: a line-oriented tokenizer plus a linear event scanner.
+# ----------------------------------------------------------------------
+
+_C_TOKEN = re.compile(
+    r"[A-Za-z_][A-Za-z0-9_]*"
+    r"|\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+|\d+"
+    r"|&&|\|\||==|!=|<=|>=|\+\+|--|\+=|-=|\*=|/=|%=|&=|\|=|\^=|<<|>>|->"
+    r"|[-+*/%<>=!~&|^?:;,.(){}\[\]]"
+)
+
+_C_TYPE_WORDS = frozenset(
+    {
+        "void", "int", "char", "short", "long", "float", "double",
+        "signed", "unsigned", "const", "static", "inline",
+        "int8_t", "int16_t", "int32_t", "int64_t",
+        "uint8_t", "uint16_t", "uint32_t", "uint64_t", "size_t",
+    }
+)
+
+_C_COMPARISONS = frozenset({"==", "!=", "<", "<=", ">", ">="})
+_C_COMPOUND_ASSIGN = {
+    "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+    "&=": "&", "|=": "|", "^=": "^",
+}
+#: Tokens after which an operator must be unary (no left operand).
+_C_OPERAND_END = frozenset({")", "]", "++", "--"})
+
+
+def _is_zero_token(token: Optional[str]) -> bool:
+    if token is None:
+        return False
+    try:
+        return float(token) == 0.0
+    except ValueError:
+        return False
+
+
+def c_tokenize(text: str, start_line: int = 1) -> List[Tuple[str, int]]:
+    """Tokenize C source, erasing preprocessor lines and comments.
+
+    The template's ``str.format`` escapes are resolved first: ``{{``/
+    ``}}`` become braces and ``{NAME}`` placeholders become the bare
+    identifier ``NAME`` (so kind-code comparisons keep an identifier
+    operand on both sides, exactly like the Python constants).
+    """
+    tokens: List[Tuple[str, int]] = []
+    in_block_comment = False
+    for offset, raw_line in enumerate(text.split("\n")):
+        line_number = start_line + offset
+        line = raw_line
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + " " + line[end + 2:]
+        cut = line.find("//")
+        if cut >= 0:
+            line = line[:cut]
+        line = re.sub(r"\{([A-Za-z_][A-Za-z0-9_]*)\}", r"\1", line)
+        line = line.replace("{{", "{ ").replace("}}", " }")
+        if line.lstrip().startswith("#"):
+            continue
+        for match in _C_TOKEN.finditer(line):
+            tokens.append((match.group(0), line_number))
+    return tokens
+
+
+def _matching(tokens: Sequence[Tuple[str, int]], start: int, open_token: str,
+              close_token: str) -> int:
+    """Index of the token closing the bracket opened at ``start``."""
+    depth = 0
+    for index in range(start, len(tokens)):
+        token = tokens[index][0]
+        if token == open_token:
+            depth += 1
+        elif token == close_token:
+            depth -= 1
+            if depth == 0:
+                return index
+    raise ValueError(f"unbalanced {open_token!r} at token {start}")
+
+
+def extract_c_function(
+    tokens: Sequence[Tuple[str, int]], name: str
+) -> List[Tuple[str, int]]:
+    """The body tokens (inside the outer braces) of one C function."""
+    for index in range(len(tokens) - 1):
+        if tokens[index][0] == name and tokens[index + 1][0] == "(":
+            close = _matching(tokens, index + 1, "(", ")")
+            if close + 1 >= len(tokens) or tokens[close + 1][0] != "{":
+                continue  # a call, not a definition
+            end = _matching(tokens, close + 1, "{", "}")
+            return list(tokens[close + 2:end])
+    raise ValueError(f"C function {name!r} not found")
+
+
+def c_pointer_aliases(text: str, arrays: Iterable[str]) -> Dict[str, str]:
+    """``{alias: array}`` for pointer-stride declarations in C text."""
+    aliases: Dict[str, str] = {}
+    wanted = set(arrays)
+    for match in re.finditer(r"\*\s*(\w+)\s*=\s*(\w+)\s*\+", text):
+        alias, base = match.group(1), match.group(2)
+        if base in wanted:
+            aliases[alias] = base
+    return aliases
+
+
+class _CStream:
+    """Normalised event stream of one C function body."""
+
+    def __init__(self, arrays: Iterable[str], aliases: Mapping[str, str]) -> None:
+        self.arrays = set(arrays)
+        self.aliases = dict(aliases)
+        self.events: List[Event] = []
+
+    def emit(self, event: str, line: int) -> None:
+        self.events.append((event, line))
+
+    def _array_name(self, token: str) -> Optional[str]:
+        if token in self.arrays:
+            return token
+        return self.aliases.get(token)
+
+    def scan(self, tokens: Sequence[Tuple[str, int]]) -> None:
+        index = 0
+        previous: Optional[str] = None
+        while index < len(tokens):
+            token, line = tokens[index]
+            if token == "for":
+                self.emit("FOR", line)
+                if index + 1 < len(tokens) and tokens[index + 1][0] == "(":
+                    index = _matching(tokens, index + 1, "(", ")") + 1
+                    previous = ")"
+                    continue
+            elif token == "while":
+                self.emit("WHILE", line)
+            elif token == "return":
+                self.emit("RETURN", line)
+            elif token == "break":
+                self.emit("BREAK", line)
+            elif token == "continue":
+                self.emit("CONTINUE", line)
+            elif token in ("if", "else", "do"):
+                pass
+            elif token in _C_TYPE_WORDS:
+                pass
+            elif re.match(r"[A-Za-z_]", token):
+                array = self._array_name(token)
+                if (
+                    array is not None
+                    and index + 1 < len(tokens)
+                    and tokens[index + 1][0] == "["
+                ):
+                    close = _matching(tokens, index + 1, "[", "]")
+                    following = (
+                        tokens[close + 1][0] if close + 1 < len(tokens) else None
+                    )
+                    if following == "=":
+                        self.emit(f"W:{array}", line)
+                    elif following in _C_COMPOUND_ASSIGN:
+                        self.emit(f"W:{array}", line)
+                        self.emit(f"R:{array}", line)
+                    elif following in ("++", "--"):
+                        self.emit(f"W:{array}", line)
+                        self.emit(f"R:{array}", line)
+                    else:
+                        self.emit(f"R:{array}", line)
+                    self.scan(tokens[index + 2:close])
+                    index = close + 1
+                    previous = "]"
+                    continue
+                if token == "pow" and index + 1 < len(tokens) \
+                        and tokens[index + 1][0] == "(":
+                    self.emit("OP:pow", line)
+            elif token == "&&":
+                self.emit("L:and", line)
+            elif token == "||":
+                self.emit("L:or", line)
+            elif token in _C_COMPARISONS:
+                before = tokens[index - 1][0] if index > 0 else None
+                after = tokens[index + 1][0] if index + 1 < len(tokens) else None
+                erased = token in ("==", "!=") and (
+                    _is_zero_token(before) or _is_zero_token(after)
+                )
+                if not erased:
+                    self.emit(f"CMP:{token}", line)
+            elif token in ("++", "--"):
+                self.emit(f"OP:{token[0]}", line)
+            elif token in _C_COMPOUND_ASSIGN:
+                self.emit(f"OP:{_C_COMPOUND_ASSIGN[token]}", line)
+            elif token == "~":
+                self.emit("OP:~", line)
+            elif token in ("+", "-", "*", "/", "%", "&", "|", "^"):
+                unary = not (
+                    previous is not None
+                    and (
+                        re.match(r"[A-Za-z_0-9.]", previous)
+                        and previous not in ("return",)
+                        or previous in _C_OPERAND_END
+                    )
+                )
+                if unary:
+                    if token == "-":
+                        self.emit("OP:neg", line)
+                    # unary +, * (deref), & (address-of): erased
+                elif token in ("/",) or token in ("+", "-", "*", "%", "&", "|", "^"):
+                    self.emit(f"OP:{token}", line)
+            # =, !, ?, :, ;, ,, (, ), {, }, ., numbers: erased
+            previous = token
+            index += 1
+
+
+def c_events(
+    tokens: Sequence[Tuple[str, int]],
+    arrays: Iterable[str],
+    aliases: Optional[Mapping[str, str]] = None,
+) -> List[Event]:
+    stream = _CStream(arrays, aliases or {})
+    stream.scan(tokens)
+    return stream.events
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+
+COARSE_OPS = ("OP:~", "OP:&", "OP:|")
+
+
+def coarse_fingerprint(events: Iterable[Event]) -> Counter:
+    """Order-insensitive counts: loops, array R/W, bitwise operators."""
+    counts: Counter = Counter()
+    for event, _line in events:
+        if (
+            event == "FOR"
+            or event.startswith("R:")
+            or event.startswith("W:")
+            or event in COARSE_OPS
+        ):
+            counts[event] += 1
+    return counts
+
+
+def compare_strict(
+    py: Sequence[Event], c: Sequence[Event], label: str
+) -> List[Tuple[int, str]]:
+    """First divergence between two event streams, with both anchors."""
+    for index in range(min(len(py), len(c))):
+        if py[index][0] != c[index][0]:
+            py_event, py_line = py[index]
+            c_event, c_line = c[index]
+            context = " ".join(event for event, _ in py[max(0, index - 3):index])
+            return [
+                (
+                    py_line,
+                    f"{label}: event #{index + 1} diverges — Python has "
+                    f"{py_event!r} (line {py_line}) where C has {c_event!r} "
+                    f"(line {c_line}); preceding events: [{context}]. "
+                    "One side was edited without the other.",
+                )
+            ]
+    if len(py) != len(c):
+        if len(py) > len(c):
+            extra_event, extra_line = py[len(c)]
+            side = "Python"
+        else:
+            extra_event, extra_line = c[len(py)]
+            side = "C"
+        return [
+            (
+                extra_line,
+                f"{label}: streams agree for {min(len(py), len(c))} events, "
+                f"then the {side} side continues with {extra_event!r} "
+                f"(line {extra_line}) — a statement exists on one side only.",
+            )
+        ]
+    return []
+
+
+def compare_coarse(
+    py: Sequence[Event], c: Sequence[Event], label: str, anchor_line: int
+) -> List[Tuple[int, str]]:
+    py_counts = coarse_fingerprint(py)
+    c_counts = coarse_fingerprint(c)
+    if py_counts == c_counts:
+        return []
+    differences = []
+    for key in sorted(set(py_counts) | set(c_counts)):
+        if py_counts[key] != c_counts[key]:
+            differences.append(
+                f"{key}: Python×{py_counts[key]} vs C×{c_counts[key]}"
+            )
+    return [
+        (
+            anchor_line,
+            f"{label}: coarse fingerprints differ ({'; '.join(differences)}). "
+            "One side was edited without the other.",
+        )
+    ]
+
+
+def check_kernel_twins(source_text: str) -> List[Tuple[int, str]]:
+    """All drift diagnostics for one ``engine/kernels.py`` source text."""
+    try:
+        tree = ast.parse(source_text)
+    except SyntaxError as exc:
+        return [(exc.lineno or 1, f"kernels module does not parse: {exc.msg}")]
+
+    functions: Dict[str, ast.FunctionDef] = {}
+    template: Optional[ast.Constant] = None
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            functions[node.name] = node
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "_C_TEMPLATE"
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)
+                ):
+                    template = node.value
+
+    problems: List[Tuple[int, str]] = []
+    if "_masked_sweep" not in functions:
+        problems.append((1, "Python kernel _masked_sweep not found"))
+    if "_packed_segments" not in functions:
+        problems.append((1, "Python kernel _packed_segments not found"))
+    if template is None:
+        problems.append((1, "C template _C_TEMPLATE not found"))
+    if problems:
+        return [
+            (line, message + " — the drift detector needs updating "
+             "alongside structural kernel changes")
+            for line, message in problems
+        ]
+
+    c_text = template.value
+    tokens = c_tokenize(c_text, start_line=template.lineno)
+
+    sweep_fn = functions["_masked_sweep"]
+    sweep_arrays = [argument.arg for argument in sweep_fn.args.args]
+    try:
+        sweep_body = extract_c_function(tokens, "masked_sweep")
+    except ValueError as exc:
+        return [(template.lineno, f"{exc} in _C_TEMPLATE")]
+    problems.extend(
+        compare_strict(
+            python_events(sweep_fn),
+            c_events(sweep_body, sweep_arrays),
+            "_masked_sweep vs C masked_sweep",
+        )
+    )
+
+    packed_fn = functions["_packed_segments"]
+    packed_arrays = [argument.arg for argument in packed_fn.args.args]
+    try:
+        packed_body = extract_c_function(tokens, "packed_eval")
+    except ValueError as exc:
+        return problems + [(template.lineno, f"{exc} in _C_TEMPLATE")]
+    aliases = c_pointer_aliases(c_text, packed_arrays)
+    problems.extend(
+        compare_coarse(
+            python_events(packed_fn),
+            c_events(packed_body, packed_arrays, aliases),
+            "_packed_segments vs C packed_eval",
+            packed_fn.lineno,
+        )
+    )
+    return problems
+
+
+class CTwinRule(ProjectRule):
+    name = "c-twin-drift"
+    description = (
+        "the Python kernel (_masked_sweep/_packed_segments) and its C "
+        "twin (_C_TEMPLATE) correspond statement for statement"
+    )
+    hint = (
+        "engine/kernels.py keeps one algorithm in three forms (python/"
+        "numba source and the C template); apply the same edit to both "
+        "sides, then re-run `repro check` and the kernel property suite"
+    )
+
+    def applies(self, relpath: str) -> bool:
+        return relpath == KERNELS_PATH
+
+    def check_project(
+        self, root: str, files: Mapping[str, SourceFile]
+    ) -> Iterable[Finding]:
+        source = files.get(KERNELS_PATH)
+        if source is None:
+            return [
+                Finding(
+                    rule=self.name,
+                    path=KERNELS_PATH,
+                    line=1,
+                    message="engine/kernels.py is missing from the checked tree",
+                    hint=self.hint,
+                )
+            ]
+        return [
+            self.finding(source, line, message)
+            for line, message in check_kernel_twins(source.text)
+        ]
+
+
+RULE = register_rule(CTwinRule())

@@ -122,6 +122,34 @@ def _command_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_kernels(args: argparse.Namespace) -> int:
+    from .engine.kernels import kernel_status
+
+    status = kernel_status()
+    env = status["env"]
+    print("kernel tiers (this process):")
+    for name, tier in sorted(status["tiers"].items()):
+        state = "live" if tier["live"] else "unavailable"
+        line = f"  {name:<12} {state}"
+        if tier["error"]:
+            line += f"  ({tier['error']})"
+        print(line)
+    print(f"default: {status['default']}  (auto resolves to {status['auto']})")
+    if env is None:
+        print("REPRO_KERNEL: unset")
+    elif status["env_valid"]:
+        print(f"REPRO_KERNEL: {env}")
+    else:
+        print(f"REPRO_KERNEL: {env!r} is not a known tier; 'auto' is used")
+    return 0
+
+
+def _command_check(args: argparse.Namespace) -> int:
+    from .analysis import runner
+
+    return runner.handle(args)
+
+
 def _command_network(args: argparse.Namespace) -> int:
     platform = _build_platform(args)
     stats = platform.network.stats()
@@ -194,6 +222,19 @@ def build_parser() -> argparse.ArgumentParser:
     network.add_argument("--dot", action="store_true",
                          help="emit Graphviz instead of statistics")
     network.set_defaults(handler=_command_network)
+
+    kernels = subparsers.add_parser(
+        "kernels", help="report kernel tier availability and the default"
+    )
+    kernels.set_defaults(handler=_command_kernels)
+
+    check = subparsers.add_parser(
+        "check", help="run the repository's invariant lints (static analysis)"
+    )
+    from .analysis import runner as _check_runner
+
+    _check_runner.add_arguments(check)
+    check.set_defaults(handler=_command_check)
 
     return parser
 

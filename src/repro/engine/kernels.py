@@ -43,8 +43,10 @@ from __future__ import annotations
 import ctypes
 import hashlib
 import os
+import shlex
 import subprocess
 import tempfile
+import warnings
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -936,9 +938,17 @@ def _native_cache_dir() -> str:
 
 
 def _build_native_library() -> ctypes.CDLL:
-    """Compile (or reuse) the shared library and load it."""
+    """Compile (or reuse) the shared library and load it.
+
+    ``REPRO_KERNEL_CFLAGS`` appends extra compiler flags (the ASan/UBSan
+    CI leg passes ``-fsanitize=address,undefined``); the flags are part
+    of the cache key so sanitized and plain builds never collide.
+    """
     source = _c_source()
-    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    extra_flags = shlex.split(os.environ.get("REPRO_KERNEL_CFLAGS", ""))
+    digest = hashlib.sha256(
+        ("\x00".join([source] + extra_flags)).encode()
+    ).hexdigest()[:16]
     cache_dir = _native_cache_dir()
     os.makedirs(cache_dir, exist_ok=True)
     so_path = os.path.join(cache_dir, f"masked_sweep_{digest}.so")
@@ -949,18 +959,17 @@ def _build_native_library() -> ctypes.CDLL:
             handle.write(source)
         try:
             compiler = os.environ.get("CC", "cc")
+            flags = ["-O2", "-shared", "-fPIC"] + extra_flags
             try:
                 subprocess.run(
-                    [compiler, "-O2", "-shared", "-fPIC", "-o", tmp_so,
-                     c_path, "-lm"],
+                    [compiler] + flags + ["-o", tmp_so, c_path, "-lm"],
                     check=True,
                     capture_output=True,
                     timeout=120,
                 )
             except (FileNotFoundError, PermissionError):
                 subprocess.run(
-                    ["gcc", "-O2", "-shared", "-fPIC", "-o", tmp_so,
-                     c_path, "-lm"],
+                    ["gcc"] + flags + ["-o", tmp_so, c_path, "-lm"],
                     check=True,
                     capture_output=True,
                     timeout=120,
@@ -1449,30 +1458,9 @@ class KernelMaskedEvaluator(MaskedEvaluator):
             if variable is not None and 0 <= variable < self._assign.shape[0]:
                 self._assign[variable] = 1 if value else 0
 
-    def export_patch(self, base_depth: int):
-        # The inherited walk reads current column values, which are
-        # NumPy scalars here; normalise to the plain-Python wire format
-        # so patches interchange with Python evaluators byte-for-byte.
-        def _plain(entry: tuple) -> tuple:
-            if entry[0] == _TAG_BOOL:
-                return (_TAG_BOOL, int(entry[1]), int(entry[2]))
-            return (
-                _TAG_NUM,
-                int(entry[1]),
-                float(entry[2]),
-                float(entry[3]),
-                bool(entry[4]),
-                bool(entry[5]),
-            )
-
-        return tuple(
-            (
-                variable,
-                None if value is None else bool(value),
-                tuple(_plain(entry) for entry in entries),
-            )
-            for variable, value, entries in super().export_patch(base_depth)
-        )
+    # ``export_patch`` is inherited: the base walk normalises everything
+    # through ``_plain_values``, so NumPy columns never leak into the wire
+    # format.
 
     # -- compiler interface ---------------------------------------------
 
@@ -1490,10 +1478,66 @@ class KernelMaskedEvaluator(MaskedEvaluator):
         )
 
 
+_warned_unknown_kernel = False
+
+
 def default_kernel() -> str:
-    """The process-wide default tier (``REPRO_KERNEL`` or ``auto``)."""
+    """The process-wide default tier (``REPRO_KERNEL`` or ``auto``).
+
+    An unrecognised ``REPRO_KERNEL`` value falls back to ``auto`` but
+    warns once per process — a typo like ``REPRO_KERNEL=numa`` should
+    not silently benchmark the wrong tier.
+    """
+    global _warned_unknown_kernel
     name = os.environ.get("REPRO_KERNEL", "auto")
-    return name if name in KERNEL_NAMES else "auto"
+    if name in KERNEL_NAMES:
+        return name
+    if not _warned_unknown_kernel:
+        _warned_unknown_kernel = True
+        warnings.warn(
+            f"REPRO_KERNEL={name!r} is not a known kernel tier "
+            f"(expected one of {', '.join(KERNEL_NAMES)}); "
+            "falling back to 'auto'",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return "auto"
+
+
+def kernel_status() -> Dict[str, object]:
+    """A report of every kernel tier's availability in this process.
+
+    Returns a dict with:
+
+    * ``tiers`` — ``{name: {"live": bool, "error": str | None}}`` for
+      each concrete tier (``numba``/``native``/``interpreted``/
+      ``python``), probing each backend (which self-validates against
+      the Python oracle on first use);
+    * ``default`` — what :func:`default_kernel` returns;
+    * ``auto`` — the concrete tier ``auto`` resolves to right now;
+    * ``env`` / ``env_valid`` — the raw ``REPRO_KERNEL`` value and
+      whether it names a known tier.
+    """
+    tiers: Dict[str, Dict[str, object]] = {}
+    for name in ("numba", "native", "interpreted"):
+        backend = get_backend(name)
+        live = backend is not None and name not in BACKEND_ERRORS
+        tiers[name] = {"live": live, "error": BACKEND_ERRORS.get(name)}
+    tiers["python"] = {"live": True, "error": None}
+    if get_backend("numba") is not None and "numba" not in BACKEND_ERRORS:
+        auto_resolves_to = "numba"
+    elif get_backend("native") is not None and "native" not in BACKEND_ERRORS:
+        auto_resolves_to = "native"
+    else:
+        auto_resolves_to = "python"
+    env = os.environ.get("REPRO_KERNEL")
+    return {
+        "tiers": tiers,
+        "default": default_kernel(),
+        "auto": auto_resolves_to,
+        "env": env,
+        "env_valid": env is None or env in KERNEL_NAMES,
+    }
 
 
 def make_masked_evaluator(

@@ -96,6 +96,27 @@ _INF = math.inf
 _UNDEFINED = (_NAN, _NAN, True, False)
 
 
+def _plain_values(tag: int, values: tuple) -> tuple:
+    """A trail payload as plain Python scalars (the patch wire format).
+
+    Kernel evaluators store columns as NumPy arrays, so trail entries can
+    carry NumPy scalars; everything :meth:`MaskedEvaluator.export_patch`
+    emits is normalised through here so patches pickle identically across
+    tiers (VEC payloads are :class:`NumState` objects by design and pass
+    through unchanged).
+    """
+    if tag == _TAG_BOOL:
+        return (int(values[0]),)
+    if tag == _TAG_NUM:
+        return (
+            float(values[0]),
+            float(values[1]),
+            bool(values[2]),
+            bool(values[3]),
+        )
+    return values
+
+
 @dataclass
 class MaskedProgram:
     """A network unrolled into the vertex space of the masked columns.
@@ -740,19 +761,19 @@ class MaskedEvaluator:
                 new = tracking.get(key)
                 if new is None:
                     if tag == _TAG_BOOL:
-                        new = (self._b[vid],)
+                        new = (int(self._b[vid]),)
                     elif tag == _TAG_NUM:
                         new = (
-                            self._lo[vid],
-                            self._hi[vid],
-                            self._mu[vid],
-                            self._md[vid],
+                            float(self._lo[vid]),
+                            float(self._hi[vid]),
+                            bool(self._mu[vid]),
+                            bool(self._md[vid]),
                         )
                     else:
                         new = (self._vec.get(vid),)
-                entries.append((tag, vid) + new)
-                tracking[key] = tuple(entry[2:])
-            value = None if variable is None else self.assignment[variable]
+                entries.append((int(tag), int(vid)) + new)
+                tracking[key] = _plain_values(tag, tuple(entry[2:]))
+            value = None if variable is None else bool(self.assignment[variable])
             newest_first.append((variable, value, tuple(entries)))
         return tuple(reversed(newest_first))
 

@@ -1,0 +1,401 @@
+"""Tests for ``repro check``: the invariant lint framework and rules.
+
+Each rule gets a good fixture (no findings) and a bad fixture (at least
+one finding, the right rule name, the right line); the C-twin drift
+detector additionally gets deliberately drifted kernel sources built by
+string-mutating the real ``engine/kernels.py``.  The final class runs
+the whole checker over the repository itself — the gate CI enforces.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import load_rules, run_check, source_from_text
+from repro.analysis.barrier_determinism import RULE as BARRIER_RULE
+from repro.analysis.c_twin import check_kernel_twins
+from repro.analysis.core import parse_allow, resolve_import, suppressed
+from repro.analysis.kernel_hygiene import RULE as HYGIENE_RULE
+from repro.analysis.registry_dispatch import RULE as REGISTRY_RULE
+from repro.analysis.runner import injected_findings, main as check_main
+from repro.analysis.trail_discipline import RULE as TRAIL_RULE
+from repro.analysis.wire_format import RULE as WIRE_RULE
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+KERNELS = REPO_ROOT / "src" / "repro" / "engine" / "kernels.py"
+
+
+def findings_for(rule, relpath, text):
+    source = source_from_text(relpath, text)
+    return [f for f in rule.check(source) if not suppressed(source, f)]
+
+
+# ----------------------------------------------------------------------
+# Framework
+# ----------------------------------------------------------------------
+
+
+class TestFramework:
+    def test_load_rules_names(self):
+        names = {rule.name for rule in load_rules()}
+        assert names == {
+            "trail-discipline",
+            "registry-dispatch",
+            "barrier-determinism",
+            "wire-format",
+            "kernel-hygiene",
+            "c-twin-drift",
+        }
+
+    def test_parse_allow(self):
+        allow = parse_allow(
+            "x = 1\n"
+            "y = 2  # repro: allow[trail-discipline]\n"
+            "# repro: allow[wire-format, kernel-hygiene]\n"
+            "z = 3\n"
+        )
+        assert allow == {
+            2: frozenset({"trail-discipline"}),
+            3: frozenset({"wire-format", "kernel-hygiene"}),
+        }
+
+    def test_suppression_same_line_and_line_above(self):
+        bad = "class E:\n    def poke(self, v):\n        self._b[v] = 1"
+        assert findings_for(TRAIL_RULE, "src/repro/engine/x.py", bad)
+        same_line = bad + "  # repro: allow[trail-discipline]"
+        assert not findings_for(TRAIL_RULE, "src/repro/engine/x.py", same_line)
+        above = (
+            "class E:\n    def poke(self, v):\n"
+            "        # repro: allow[trail-discipline]\n"
+            "        self._b[v] = 1"
+        )
+        assert not findings_for(TRAIL_RULE, "src/repro/engine/x.py", above)
+        wildcard = bad + "  # repro: allow[*]"
+        assert not findings_for(TRAIL_RULE, "src/repro/engine/x.py", wildcard)
+
+    def test_resolve_import_relative(self):
+        import ast
+
+        node = ast.parse("from ..engine import schemes").body[0]
+        modules = [m for m, _ in resolve_import("src/repro/core/platform.py", node)]
+        assert "repro.engine.schemes" in modules
+
+    def test_finding_format_has_location_and_hint(self):
+        bad = "class E:\n    def poke(self, v):\n        self._b[v] = 1"
+        finding = findings_for(TRAIL_RULE, "src/repro/engine/x.py", bad)[0]
+        text = finding.format()
+        assert "src/repro/engine/x.py:3" in text
+        assert "[trail-discipline]" in text
+        assert "hint:" in text
+
+
+# ----------------------------------------------------------------------
+# Per-rule fixtures
+# ----------------------------------------------------------------------
+
+
+class TestTrailDiscipline:
+    PATH = "src/repro/compile/replay.py"
+
+    def test_bad_direct_column_write(self):
+        bad = (
+            "def replay(ev, prefix):\n"
+            "    for vid, val in prefix:\n"
+            "        ev._b[vid] = 1 if val else 0\n"
+        )
+        found = findings_for(TRAIL_RULE, self.PATH, bad)
+        assert [f.line for f in found] == [3]
+        assert found[0].rule == "trail-discipline"
+
+    def test_bad_assignment_dict_write(self):
+        bad = "def seed(ev, var):\n    ev.assignment[var] = True\n"
+        assert findings_for(TRAIL_RULE, self.PATH, bad)
+
+    def test_bad_delete(self):
+        bad = "def wipe(ev, var):\n    del ev._vec[var]\n"
+        assert findings_for(TRAIL_RULE, self.PATH, bad)
+
+    def test_good_protocol_functions(self):
+        good = (
+            "class Ev:\n"
+            "    def __init__(self):\n"
+            "        self._b = []\n"
+            "    def push(self, var, val):\n"
+            "        self.assignment[var] = val\n"
+            "    def pop(self):\n"
+            "        self._b[0] = 0\n"
+            "    def apply_patch(self, patch):\n"
+            "        self._lo[1] = 0.5\n"
+            "    def rewind_to(self, mark):\n"
+            "        self._mu[2] = True\n"
+        )
+        assert not findings_for(TRAIL_RULE, self.PATH, good)
+
+    def test_good_push_call(self):
+        good = "def replay(ev, prefix):\n    ev.push(0, True)\n"
+        assert not findings_for(TRAIL_RULE, self.PATH, good)
+
+    def test_implementation_extra_scoped_to_module(self):
+        text = "class Ev:\n    def _sweep_cone(self):\n        self._dirty[0] = 1\n"
+        assert not findings_for(TRAIL_RULE, "src/repro/engine/masked.py", text)
+        assert findings_for(TRAIL_RULE, "src/repro/compile/other.py", text)
+
+
+class TestRegistryDispatch:
+    def test_bad_schemes_import_outside_registry(self):
+        bad = "from repro.engine import schemes\n"
+        found = findings_for(REGISTRY_RULE, "src/repro/compile/extra.py", bad)
+        assert found and found[0].rule == "registry-dispatch"
+
+    def test_bad_relative_schemes_import(self):
+        bad = "from . import schemes\n"
+        assert findings_for(REGISTRY_RULE, "src/repro/engine/bulk.py", bad)
+
+    def test_good_schemes_import_in_registry(self):
+        good = "from . import schemes\n"
+        assert not findings_for(
+            REGISTRY_RULE, "src/repro/engine/registry.py", good
+        )
+
+    def test_bad_entry_point_imports_implementation(self):
+        bad = "from .compile.compiler import compile_network\n"
+        found = findings_for(REGISTRY_RULE, "src/repro/cli.py", bad)
+        assert found and "entry point" in found[0].message
+
+    def test_good_entry_point_uses_registry_and_constants(self):
+        good = (
+            "from .engine.registry import run_scheme\n"
+            "from .engine.kernels import KERNEL_NAMES\n"
+            "from .compile.ordering import ORDER_NAMES\n"
+        )
+        assert not findings_for(REGISTRY_RULE, "src/repro/cli.py", good)
+
+    def test_implementation_import_fine_outside_entry_points(self):
+        good = "from repro.compile.compiler import compile_network\n"
+        assert not findings_for(
+            REGISTRY_RULE, "benchmarks/bench_orders.py", good
+        )
+
+
+class TestBarrierDeterminism:
+    PATH = "src/repro/compile/distributed.py"
+
+    def test_bad_import_random(self):
+        assert findings_for(BARRIER_RULE, self.PATH, "import random\n")
+
+    def test_bad_wall_clock(self):
+        bad = "import time\n\ndef stamp(job):\n    job.t = time.time()\n"
+        found = findings_for(BARRIER_RULE, self.PATH, bad)
+        assert [f.line for f in found] == [4]
+
+    def test_bad_set_iteration(self):
+        bad = "def merge(jobs):\n    for j in set(jobs):\n        j.run()\n"
+        assert findings_for(BARRIER_RULE, self.PATH, bad)
+
+    def test_bad_set_comprehension_source(self):
+        bad = "def ids(jobs):\n    return [j.id for j in {j for j in jobs}]\n"
+        assert findings_for(BARRIER_RULE, self.PATH, bad)
+
+    def test_good_perf_counter_and_sorted(self):
+        good = (
+            "import time\n"
+            "def run(jobs):\n"
+            "    t0 = time.perf_counter()\n"
+            "    for j in sorted(jobs):\n"
+            "        j.run()\n"
+            "    return time.perf_counter() - t0\n"
+        )
+        assert not findings_for(BARRIER_RULE, self.PATH, good)
+
+    def test_out_of_scope_file_ignored(self):
+        assert not BARRIER_RULE.applies("src/repro/compile/compiler.py")
+
+
+class TestWireFormat:
+    PATH = "src/repro/engine/custom.py"
+
+    def test_bad_raw_column_in_export_patch(self):
+        bad = (
+            "class Ev:\n"
+            "    def export_patch(self, base):\n"
+            "        return [(0, 7, self._b[7])]\n"
+        )
+        found = findings_for(WIRE_RULE, self.PATH, bad)
+        assert found and found[0].rule == "wire-format"
+
+    def test_bad_frame_iter(self):
+        bad = (
+            "class KFrame:\n"
+            "    def __iter__(self):\n"
+            "        yield (0, 1, self.b[0])\n"
+        )
+        assert findings_for(WIRE_RULE, self.PATH, bad)
+
+    def test_good_cast_reads(self):
+        good = (
+            "class Ev:\n"
+            "    def export_patch(self, base):\n"
+            "        return [(0, 7, int(self._b[7]), float(self._lo[7]))]\n"
+        )
+        assert not findings_for(WIRE_RULE, self.PATH, good)
+
+    def test_vec_column_exempt(self):
+        good = (
+            "class Ev:\n"
+            "    def export_patch(self, base):\n"
+            "        return [(2, 3, self._vec.get(3))]\n"
+        )
+        assert not findings_for(WIRE_RULE, self.PATH, good)
+
+    def test_raw_read_outside_wire_functions_fine(self):
+        good = (
+            "class Ev:\n"
+            "    def peek(self, vid):\n"
+            "        return (self._b[vid], self._lo[vid])\n"
+        )
+        assert not findings_for(WIRE_RULE, self.PATH, good)
+
+
+class TestKernelHygiene:
+    def test_bad_numba_import(self):
+        found = findings_for(
+            HYGIENE_RULE, "src/repro/compile/fastpath.py", "import numba\n"
+        )
+        assert found and found[0].rule == "kernel-hygiene"
+
+    def test_bad_ctypes_from_import(self):
+        bad = "from ctypes import CDLL\n"
+        assert findings_for(HYGIENE_RULE, "src/repro/engine/packed.py", bad)
+
+    def test_kernels_module_exempt(self):
+        assert not HYGIENE_RULE.applies("src/repro/engine/kernels.py")
+
+    def test_tests_and_benchmarks_exempt(self):
+        assert not HYGIENE_RULE.applies("benchmarks/bench_kernels.py")
+
+    def test_good_backend_ladder_import(self):
+        good = "from repro.engine.kernels import get_backend\n"
+        assert not findings_for(
+            HYGIENE_RULE, "src/repro/compile/fastpath.py", good
+        )
+
+
+# ----------------------------------------------------------------------
+# C-twin drift
+# ----------------------------------------------------------------------
+
+
+class TestCTwinDrift:
+    @pytest.fixture(scope="class")
+    def kernels_text(self):
+        return KERNELS.read_text(encoding="utf-8")
+
+    def test_real_kernels_are_in_sync(self, kernels_text):
+        assert check_kernel_twins(kernels_text) == []
+
+    @pytest.mark.parametrize(
+        "label,old,new",
+        [
+            (
+                "python loses a statement",
+                "                        resolved[vid] = 1\n",
+                "\n",
+            ),
+            (
+                "python operator edited",
+                "nlo = abs_lo * abs_lo",
+                "nlo = abs_lo + abs_lo",
+            ),
+            (
+                "c loses a statement",
+                "{{ dirty[p] = 1; pending++; }}",
+                "{{ pending++; }}",
+            ),
+            (
+                "c comparison edited",
+                "(a < 0)",
+                "(a <= 0)",
+            ),
+            (
+                "c reads the wrong column",
+                "int8_t old = b[vid];",
+                "int8_t old = resolved[vid];",
+            ),
+            (
+                "packed python loses a bitwise op",
+                "acc = ~np.uint64(0)",
+                "acc = np.uint64(0)",
+            ),
+            (
+                "packed c gains a write",
+                "dst[n_words - 1] &= tail;",
+                "dst[n_words - 1] &= tail; dst[0] |= (uint64_t)1;",
+            ),
+        ],
+    )
+    def test_one_sided_edit_is_caught(self, kernels_text, label, old, new):
+        assert old in kernels_text, f"fixture anchor missing: {label}"
+        drifted = kernels_text.replace(old, new, 1)
+        problems = check_kernel_twins(drifted)
+        assert problems, f"drift not caught: {label}"
+        line, message = problems[0]
+        assert line > 0
+        assert "edited without the other" in message
+
+    def test_same_edit_on_both_sides_stays_clean(self, kernels_text):
+        # A legitimate two-sided change: swap the write-back order of
+        # lo/hi in BOTH the Python kernel and the C template.
+        both = kernels_text.replace(
+            "                    lo[vid] = nlo\n                    hi[vid] = nhi",
+            "                    hi[vid] = nhi\n                    lo[vid] = nlo",
+        ).replace(
+            "lo[vid] = nlo; hi[vid] = nhi;",
+            "hi[vid] = nhi; lo[vid] = nlo;",
+        )
+        assert both != kernels_text
+        assert check_kernel_twins(both) == []
+
+    def test_missing_template_reported(self):
+        assert check_kernel_twins("def _masked_sweep():\n    pass\n")
+
+    def test_diagnostic_carries_both_line_numbers(self, kernels_text):
+        drifted = kernels_text.replace(
+            "int8_t old = b[vid];", "int8_t old = resolved[vid];", 1
+        )
+        _line, message = check_kernel_twins(drifted)[0]
+        assert "Python has" in message and "where C has" in message
+
+
+# ----------------------------------------------------------------------
+# The repository itself, and the runner
+# ----------------------------------------------------------------------
+
+
+class TestRepositoryIsClean:
+    def test_repro_check_passes_on_this_repo(self):
+        findings = run_check(str(REPO_ROOT))
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_injected_violation_produces_findings(self):
+        found = injected_findings(load_rules())
+        rules_hit = {f.rule for f in found}
+        assert {"kernel-hygiene", "wire-format", "trail-discipline"} <= rules_hit
+
+    def test_runner_exit_codes(self, capsys):
+        assert check_main(["--root", str(REPO_ROOT)]) == 0
+        assert check_main(["--root", str(REPO_ROOT), "--inject-violation"]) == 1
+        out = capsys.readouterr().out
+        assert "finding(s)" in out
+
+    def test_cli_check_subcommand(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "check", "--root", str(REPO_ROOT)],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "clean" in result.stdout

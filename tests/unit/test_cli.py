@@ -74,3 +74,28 @@ class TestCommands:
         code = main(["explain", "--objects", "6", "--group-size", "2",
                      "--target", "NoSuchEvent"])
         assert code == 2
+
+    def test_kernels_reports_tiers(self, capsys):
+        code = main(["kernels"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kernel tiers" in out
+        for tier in ("numba", "native", "interpreted", "python"):
+            assert tier in out
+        assert "default:" in out
+
+    def test_check_runs_clean_on_this_repo(self, capsys):
+        code = main(["check"])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_check_list_rules(self, capsys):
+        code = main(["check", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "c-twin-drift" in out and "trail-discipline" in out
+
+    def test_check_inject_violation_fails(self, capsys):
+        code = main(["check", "--inject-violation"])
+        assert code == 1
+        assert "finding(s)" in capsys.readouterr().out

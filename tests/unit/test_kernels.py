@@ -1,9 +1,12 @@
 """Unit tests for the masked-sweep kernel tiers (:mod:`repro.engine.kernels`)."""
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.compile.compiler import compile_network, make_evaluator
+import repro.engine.kernels as kernels_module
 from repro.engine.kernels import (
     BACKEND_ERRORS,
     KERNEL_NAMES,
@@ -12,6 +15,7 @@ from repro.engine.kernels import (
     available_kernels,
     default_kernel,
     get_backend,
+    kernel_status,
     make_masked_evaluator,
 )
 from repro.engine.masked import MaskedEvaluator
@@ -87,10 +91,58 @@ class TestBackendSelection:
     def test_default_kernel_honours_environment(self, monkeypatch):
         monkeypatch.setenv("REPRO_KERNEL", "interpreted")
         assert default_kernel() == "interpreted"
-        monkeypatch.setenv("REPRO_KERNEL", "not-a-tier")
-        assert default_kernel() == "auto"
         monkeypatch.delenv("REPRO_KERNEL")
         assert default_kernel() == "auto"
+
+    def test_default_kernel_warns_on_unknown_name(self, monkeypatch):
+        # A typo'd REPRO_KERNEL falls back to auto but must say so once
+        # instead of silently benchmarking the wrong tier.
+        monkeypatch.setenv("REPRO_KERNEL", "not-a-tier")
+        monkeypatch.setattr(kernels_module, "_warned_unknown_kernel", False)
+        with pytest.warns(RuntimeWarning, match="not-a-tier"):
+            assert default_kernel() == "auto"
+        # Warned once per process: the second call stays quiet.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert default_kernel() == "auto"
+
+    def test_kernel_status_reports_every_tier(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        status = kernel_status()
+        assert set(status["tiers"]) == {
+            "numba", "native", "interpreted", "python"
+        }
+        assert status["tiers"]["python"]["live"] is True
+        for name, tier in status["tiers"].items():
+            if not tier["live"] and name != "python":
+                assert tier["error"], f"dead tier {name} must carry a reason"
+        assert status["default"] == "auto"
+        assert status["auto"] in ("numba", "native", "python")
+        assert status["env"] is None and status["env_valid"] is True
+        live = {n for n, t in status["tiers"].items() if t["live"]}
+        assert live | {"auto"} >= set(available_kernels())
+
+    def test_kernel_status_flags_invalid_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "numa")
+        monkeypatch.setattr(kernels_module, "_warned_unknown_kernel", True)
+        status = kernel_status()
+        assert status["env"] == "numa"
+        assert status["env_valid"] is False
+        assert status["default"] == "auto"
+
+    def test_kernel_cflags_key_the_native_build_cache(self, monkeypatch,
+                                                      tmp_path):
+        # The ASan/UBSan CI leg injects flags via REPRO_KERNEL_CFLAGS;
+        # sanitized and plain builds must land in distinct cache slots.
+        if get_backend("native") is None:
+            pytest.skip("no C compiler on this host")
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path))
+        monkeypatch.setenv("REPRO_KERNEL_CFLAGS", "-O1 -g")
+        assert kernels_module._build_native_library() is not None
+        assert len(list(tmp_path.glob("*.so"))) == 1
+        monkeypatch.setenv("REPRO_KERNEL_CFLAGS", "")
+        assert kernels_module._build_native_library() is not None
+        assert len(list(tmp_path.glob("*.so"))) == 2
 
     def test_tier_codes_cover_every_concrete_tier(self):
         # result.extra carries floats, so tiers are coded; every name a
