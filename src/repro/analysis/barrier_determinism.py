@@ -3,10 +3,17 @@
 The PR 5 design: every distributed job is a pure function of its
 creation message, and all scheduling decisions happen at generation
 barriers in creation order, so ``simulate``/``threads``/``process``
-execution produces identical trees and bounds.  That guarantee dies the
-moment job creation or result merging consults a nondeterministic
-source.  This rule scans ``compile/distributed.py`` for the syntactic
-forms that smuggle nondeterminism in:
+execution produces identical trees and bounds.  PR 8 adds the socket
+transport and in-generation work stealing: steal decisions (victim
+selection, queue ordering) and the framed wire protocol live in
+``compile/transport.py`` and must obey the same discipline — a steal
+policy that consults wall clocks or set order would assign jobs
+nondeterministically, and although merges stay creation-ordered, the
+property tests could no longer pin down *which* worker computed what.
+That guarantee dies the moment job creation, stealing, or result
+merging consults a nondeterministic source.  This rule scans
+``compile/distributed.py`` and ``compile/transport.py`` for the
+syntactic forms that smuggle nondeterminism in:
 
 * unseeded randomness: ``import random``, ``uuid`` imports,
   ``os.urandom(...)``;
@@ -29,7 +36,12 @@ from typing import Iterable, List
 
 from .core import Finding, Rule, SourceFile, register_rule
 
-TARGET_FILE = "src/repro/compile/distributed.py"
+TARGET_FILES = frozenset(
+    {
+        "src/repro/compile/distributed.py",
+        "src/repro/compile/transport.py",
+    }
+)
 
 BANNED_IMPORTS = ("random", "uuid")
 BANNED_CALLS = {
@@ -52,17 +64,18 @@ class BarrierDeterminismRule(Rule):
     name = "barrier-determinism"
     description = (
         "no unseeded randomness, wall-clock ordering, or set-order "
-        "iteration in the distributed job-creation/merge paths"
+        "iteration in the distributed job-creation/steal/merge paths"
     )
     hint = (
-        "job creation and result merges must be pure functions of the "
-        "creation messages: sort before iterating, use perf_counter/"
-        "monotonic for costs and deadlines, never wall-clock or random "
-        "sources; see docs/ARCHITECTURE.md, 'Enforced invariants'"
+        "job creation, steal decisions, and result merges must be pure "
+        "functions of the creation messages: sort before iterating, use "
+        "perf_counter/monotonic for costs and deadlines, never "
+        "wall-clock or random sources; see docs/ARCHITECTURE.md, "
+        "'Enforced invariants'"
     )
 
     def applies(self, relpath: str) -> bool:
-        return relpath == TARGET_FILE
+        return relpath in TARGET_FILES
 
     def check(self, source: SourceFile) -> Iterable[Finding]:
         findings: List[Finding] = []

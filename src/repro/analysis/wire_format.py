@@ -12,13 +12,22 @@ normalising override; the normalisation now lives in the base walk
 (``_plain_values``), and this rule keeps raw column reads out of the
 emitted tuples for good.
 
-Checked functions: any ``export_patch``, ``_plain_values``, and
-``__iter__`` of ``*Frame`` classes (kernel trail frames yield
-wire-compatible tuples).  Inside them, a tuple/list element that reads a
-state column (``_b``/``_lo``/``_hi``/``_mu``/``_md`` attributes, or the
-bare ``b``/``lo``/``hi``/``mu``/``md`` slots of a frame) must be wrapped
-in ``int()``/``float()``/``bool()``.  ``_vec`` payloads are
-:class:`NumState` objects by design and are exempt.
+PR 8 extends the same wire format across machines: the socket
+transport (``compile/transport.py``) pickles job messages and patch
+frames onto TCP streams, so the plain-scalar invariant is now a
+cross-machine compatibility contract, not just a cross-process one.
+The rule therefore also covers ``compile/transport.py`` and
+``compile/distributed.py``, and additionally checks any function whose
+name starts with ``_wire`` (the transport's payload builders).
+
+Checked functions: any ``export_patch``, ``_plain_values``, functions
+named ``_wire*``, and ``__iter__`` of ``*Frame`` classes (kernel trail
+frames yield wire-compatible tuples).  Inside them, a tuple/list
+element that reads a state column (``_b``/``_lo``/``_hi``/``_mu``/
+``_md`` attributes, or the bare ``b``/``lo``/``hi``/``mu``/``md`` slots
+of a frame) must be wrapped in ``int()``/``float()``/``bool()``.
+``_vec`` payloads are :class:`NumState` objects by design and are
+exempt.
 """
 
 from __future__ import annotations
@@ -61,6 +70,8 @@ class _Visitor(FunctionStackVisitor):
         name = self.function
         if name in ("export_patch", "_plain_values"):
             return True
+        if name.startswith("_wire"):
+            return True
         return name == "__iter__" and "Frame" in self.class_name
 
     def _check_elements(self, elements: Iterable[ast.expr]) -> None:
@@ -99,7 +110,12 @@ class WireFormatRule(Rule):
     )
 
     def applies(self, relpath: str) -> bool:
-        return relpath.startswith("src/repro/engine/")
+        if relpath.startswith("src/repro/engine/"):
+            return True
+        return relpath in (
+            "src/repro/compile/transport.py",
+            "src/repro/compile/distributed.py",
+        )
 
     def check(self, source: SourceFile) -> Iterable[Finding]:
         visitor = _Visitor(self, source)

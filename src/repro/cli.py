@@ -77,12 +77,79 @@ def _parse_job_size(raw: str) -> "int | str":
         ) from None
 
 
+def _cluster_details(extra: dict) -> str:
+    """The ``--verbose`` report: stealing, pipelining, job sizing."""
+    lines = ["distributed run details:"]
+    if "steals" in extra:
+        lines.append(
+            f"  steals: {extra['steals']:.0f}  "
+            f"pipeline depth: {extra.get('pipeline_depth', 1.0):.0f}  "
+            f"recv wait: {extra.get('recv_wait_seconds', 0.0):.4f}s"
+        )
+    if "worker_failures" in extra:
+        lines.append(
+            f"  worker failures: {extra['worker_failures']:.0f}  "
+            f"workers killed: {extra.get('workers_killed', 0.0):.0f}  "
+            f"spawn: {extra.get('spawn_seconds', 0.0):.3f}s"
+        )
+    if "wire_bytes_sent" in extra:
+        lines.append(
+            f"  wire bytes: {extra['wire_bytes_sent']:.0f} sent, "
+            f"{extra['wire_bytes_received']:.0f} received"
+        )
+    sizing = extra.get("job_sizing")
+    if isinstance(sizing, dict):
+        lines.append(
+            f"  adaptive job sizing: final depth "
+            f"{sizing['final_depth']:.0f}, EWMA cost "
+            f"{sizing['ewma_cost']:.5f}s (target "
+            f"{sizing['target_cost']:.5f}s), "
+            f"{sizing['merges']:.0f} merges / {sizing['splits']:.0f} splits"
+        )
+        for number, wave in enumerate(sizing.get("waves", [])):
+            lines.append(
+                f"    wave {number}: depth {wave['depth']:.0f}, "
+                f"{wave['jobs']:.0f} jobs, mean {wave['mean_cost']:.5f}s, "
+                f"EWMA {wave['ewma_cost']:.5f}s -> depth "
+                f"{wave['next_depth']:.0f}"
+            )
+    return "\n".join(lines)
+
+
 def _command_cluster(args: argparse.Namespace) -> int:
+    if args.connect is not None:
+        # Worker mode: no dataset, no platform — join the coordinator
+        # and serve jobs until its stop record (or disappearance).
+        from .compile.transport import serve_worker
+
+        print(f"joining cluster coordinator at {args.connect}")
+        try:
+            status = serve_worker(args.connect, retry_seconds=args.join_timeout)
+        except (OSError, ValueError) as exc:
+            print(f"could not join {args.connect}: {exc}", file=sys.stderr)
+            return 2
+        print("coordinator finished; worker exiting")
+        return status
+    execution = args.execution
+    if args.listen is not None:
+        execution = "socket"
+        if args.workers is None:
+            print(
+                "--listen requires --workers N (the number of --connect "
+                "workers to wait for)",
+                file=sys.stderr,
+            )
+            return 2
     platform = _build_platform(args)
     print(
         f"dataset: {args.objects} objects, "
         f"{platform.dataset.variable_count} variables ({args.scheme})"
     )
+    if args.listen is not None:
+        print(
+            f"listening on {args.listen}; waiting for {args.workers} "
+            "worker(s) to connect"
+        )
     # The registry normalises options per scheme (epsilon is zeroed for
     # exact schemes, workers dropped for non-distributed ones).
     try:
@@ -92,13 +159,16 @@ def _command_cluster(args: argparse.Namespace) -> int:
             ordering=args.order,
             workers=args.workers,
             job_size=args.job_size,
-            execution=args.execution,
+            execution=execution,
             kernel=args.kernel,
+            listen=args.listen,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
     print(result.summary(limit=args.limit))
+    if args.verbose:
+        print(_cluster_details(result.raw.extra))
     return 0
 
 
@@ -188,11 +258,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="distributed job size d, or 'adaptive' to pick "
                               "it from measured per-job costs (default 3)")
     cluster.add_argument("--execution",
-                         choices=("simulate", "threads", "process"),
+                         choices=("simulate", "threads", "process", "socket"),
                          default="simulate",
                          help="distributed execution mode: deterministic "
-                              "simulation, a thread pool, or true "
-                              "multi-process workers (default simulate)")
+                              "simulation, a thread pool, true "
+                              "multi-process workers, or workers joined "
+                              "over TCP (default simulate)")
+    cluster.add_argument("--listen", metavar="HOST:PORT", default=None,
+                         help="coordinate a socket cluster: wait for "
+                              "--workers N remote '--connect' workers on "
+                              "this address (implies --execution socket)")
+    cluster.add_argument("--connect", metavar="HOST:PORT", default=None,
+                         help="run as a cluster worker: join the "
+                              "coordinator listening at this address and "
+                              "serve jobs until it stops")
+    cluster.add_argument("--join-timeout", type=float, default=10.0,
+                         help="seconds a '--connect' worker retries the "
+                              "coordinator before giving up (default 10)")
+    cluster.add_argument("--verbose", action="store_true",
+                         help="print distributed run details: work "
+                              "stealing, pipelining, adaptive job sizing")
     cluster.add_argument("--kernel", choices=KERNEL_NAMES, default=None,
                          help="evaluator kernel tier for kernel-capable "
                               "schemes: auto (default; numba, then native "

@@ -56,6 +56,29 @@ Because the model consumes wall-clock measurements, adaptive runs are
 the one case where the job partition (and, for the ε-schemes, the tree
 shape) is not bit-reproducible across runs or modes — bounds remain
 certified regardless.
+
+Two transports carry the process-mode wire protocol (see
+:mod:`repro.compile.transport`): the original single-host pipe pool
+(``execution="process"``) and a TCP socket transport
+(``execution="socket"``) whose workers can live on other machines —
+``repro cluster --listen host:port`` accepts ``repro cluster --connect``
+workers, which deserialize the network and the pickled masked program
+once at join and then receive jobs as prefix deltas with column
+patches, exactly like the pipe workers.  On top of either transport the
+coordinator runs a bounded-inflight scheduler with two levers:
+
+* **work stealing inside a generation** — the barrier constrains merge
+  order, not assignment: per-worker job queues are held coordinator-
+  side, and an idle worker steals from the tail of the most loaded
+  peer's queue (ties broken by worker id — never wall clock), while
+  the barrier still merges outcomes in creation order, so stolen
+  schedules produce bit-identical trees and bounds;
+* **pipelined patch shipment** — up to ``pipeline_depth`` jobs are kept
+  in flight per worker, so the next job's prefix delta and column
+  patches cross the wire while the current job executes
+  (``pipeline_depth=1`` restores ship-then-run); workers report the
+  time they spent blocked waiting for each message, surfaced as
+  ``result.extra["recv_wait_seconds"]``.
 """
 
 from __future__ import annotations
@@ -63,11 +86,11 @@ from __future__ import annotations
 import heapq
 import os
 import pickle
+import struct
 import threading
 import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
-from multiprocessing.connection import wait as connection_wait
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -75,11 +98,19 @@ from ..network.nodes import EventNetwork
 from ..worlds.variables import VariablePool
 from .compiler import ShannonCompiler, make_evaluator
 from .result import CompilationResult
+from .transport import PipeTransport, SocketTransport, WorkerTransport
 
 HANDOFFS = ("delta", "replay")
-EXECUTIONS = ("simulate", "threads", "process")
+EXECUTIONS = ("simulate", "threads", "process", "socket")
+#: The execution modes backed by a worker pool (pipe or socket).
+POOLED_EXECUTIONS = ("process", "socket")
 # How result.extra["execution"] encodes the mode.
-_EXECUTION_CODES = {"simulate": 0.0, "threads": 1.0, "process": 2.0}
+_EXECUTION_CODES = {
+    "simulate": 0.0,
+    "threads": 1.0,
+    "process": 2.0,
+    "socket": 3.0,
+}
 
 
 @dataclass
@@ -121,6 +152,9 @@ class _Outcome:
     tree_nodes: int
     evals: int
     max_depth: int
+    # Time the worker sat blocked waiting for this job's message —
+    # pipelined shipment drives this towards zero.
+    recv_wait: float = 0.0
 
 
 @dataclass
@@ -173,6 +207,12 @@ class AdaptiveJobSizer:
         self.max_size = max_size
         self.smoothing = smoothing
         self._avg: Optional[float] = None
+        self.merges = 0
+        self.splits = 0
+        # One record per observed generation: the depth the wave ran
+        # at, its mean/EWMA cost, and the job count — surfaced in
+        # ``result.extra["job_sizing"]`` and ``repro cluster --verbose``.
+        self.history: List[Dict[str, float]] = []
 
     def observe_wave(self, costs: Sequence[float]) -> int:
         """Fold one generation's measured job costs into the model.
@@ -187,13 +227,36 @@ class AdaptiveJobSizer:
                 self._avg = (
                     self.smoothing * mean + (1.0 - self.smoothing) * self._avg
                 )
+            observed_depth = self.job_size
             if self._avg < 0.5 * self.target_cost:
                 if self.job_size < self.max_size:
                     self.job_size += 1  # merge: fewer, larger jobs
+                    self.merges += 1
             elif self._avg > 2.0 * self.target_cost:
                 if self.job_size > self.min_size:
                     self.job_size -= 1  # split: more, smaller jobs
+                    self.splits += 1
+            self.history.append(
+                {
+                    "depth": float(observed_depth),
+                    "jobs": float(len(costs)),
+                    "mean_cost": mean,
+                    "ewma_cost": self._avg,
+                    "next_depth": float(self.job_size),
+                }
+            )
         return self.job_size
+
+    def report(self) -> dict:
+        """The sizer's decision trail, for ``result.extra["job_sizing"]``."""
+        return {
+            "final_depth": float(self.job_size),
+            "target_cost": self.target_cost,
+            "ewma_cost": 0.0 if self._avg is None else self._avg,
+            "merges": float(self.merges),
+            "splits": float(self.splits),
+            "waves": [dict(record) for record in self.history],
+        }
 
 
 class _JobCompiler(ShannonCompiler):
@@ -365,192 +428,175 @@ def _run_job(
 
 
 # ----------------------------------------------------------------------
-# Worker process entry point (spawn-safe: importable at module level)
+# Worker-side serving loop (spawn-safe: importable at module level)
 # ----------------------------------------------------------------------
 
 
-def _worker_main(worker_id: int, payload: bytes, job_queue, result_conn) -> None:
-    """Run one persistent worker: deserialize once, then serve jobs.
+def _build_worker_state(config: dict):
+    """Deserialize a worker payload once; returns (compiler, cursor, handoff).
 
-    ``payload`` pickles the network document, the variable-pool
-    document, and (masked engine) the prebuilt
+    ``config`` holds the network document, the variable-pool document,
+    and (masked engine) the prebuilt
     :class:`~repro.engine.masked.MaskedProgram`; the program is attached
     to the rebuilt network's IR caches so the worker's evaluator reuses
-    it instead of re-flattening.  Jobs arrive as :class:`_JobMessage`
-    prefix deltas; every result is a ``("done", ...)`` or
-    ``("error", ...)`` record on the worker's **private result pipe**.
-    One writer per pipe, no shared locks: a worker that dies mid-send
-    can corrupt only its own stream, which the coordinator observes as
-    EOF — with a shared queue, a crash inside the write-lock window
-    would wedge every surviving worker.
+    it instead of re-flattening.
+    """
+    from ..engine.ir import FoldedFlatIR
+    from ..network.serialize import network_from_dict, pool_from_dict
+
+    network = network_from_dict(config["network"])
+    program = config.get("program")
+    if program is not None:
+        source = program.cone_source
+        if isinstance(source, FoldedFlatIR):
+            network._folded_flat_ir = (len(network.nodes), source)
+        else:
+            network._flat_ir = (len(network.nodes), source)
+        network._masked_program = (source, program)
+    pool = pool_from_dict(config["pool"])
+    compiler = _JobCompiler(
+        network,
+        pool,
+        targets=config["targets"],
+        order=config["order"],
+        engine=config["engine"],
+    )
+    compiler.capture_patches = config["capture_patches"]
+    cursor = _PrefixCursor(network, config["engine"])
+    cursor.evaluator = compiler.evaluator
+    return compiler, cursor, config["handoff"]
+
+
+def _serve_jobs(
+    worker_id: int,
+    compiler: _JobCompiler,
+    cursor: _PrefixCursor,
+    handoff: str,
+    fault: dict,
+    recv_record,
+    send_record,
+    send_partial,
+) -> None:
+    """One worker's serving loop, shared by both transports.
+
+    Records arrive through ``recv_record`` — ``("job", message)`` until
+    a ``("stop",)`` record ends the session — and results leave through
+    ``send_record``.  The time spent blocked in ``recv_record`` is
+    measured per job and reported in the outcome (``recv_wait``): under
+    pipelined shipment the next message is already buffered while the
+    current job runs, so the wait collapses towards zero.
+
+    ``fault`` drives the crash-injection tests: ``crash_on_job`` dies
+    hard before running the n-th job, ``stall_on_job`` sleeps,
+    ``partial_send_on_job`` ships a frame header with a truncated body
+    via ``send_partial`` and then dies — the mid-patch-send scenario —
+    and ``sleep_per_job`` slows every job down (skew for the stealing
+    tests and benchmarks).
+    """
+    targeted = fault.get("worker") == worker_id
+    jobs_seen = 0
+    while True:
+        waited_from = time.perf_counter()
+        record = recv_record()
+        recv_wait = time.perf_counter() - waited_from
+        if record is None or record[0] == "stop":
+            break
+        message = record[1]
+        jobs_seen += 1
+        if targeted:
+            if jobs_seen == fault.get("crash_on_job"):
+                os._exit(17)  # simulate a hard worker crash (tests)
+            if jobs_seen == fault.get("stall_on_job"):
+                time.sleep(fault.get("stall_seconds", 3600.0))
+        if targeted and fault.get("sleep_per_job"):
+            time.sleep(fault["sleep_per_job"])
+        try:
+            outcome = _run_job(compiler, cursor, message, handoff)
+            outcome.recv_wait = recv_wait
+            done = ("done", worker_id, message.job_index, outcome)
+            if targeted and jobs_seen == fault.get("partial_send_on_job"):
+                send_partial(done)
+                os._exit(17)  # die between frame header and body
+            send_record(done)
+        except Exception:
+            send_record(
+                (
+                    "error",
+                    worker_id,
+                    message.job_index,
+                    traceback.format_exc(),
+                )
+            )
+            break
+
+
+def _worker_main(worker_id: int, payload: bytes, job_queue, result_conn) -> None:
+    """Pipe-transport worker entry point: deserialize once, serve jobs.
+
+    Every result is a ``("done", ...)`` or ``("error", ...)`` record on
+    the worker's **private result pipe**.  One writer per pipe, no
+    shared locks: a worker that dies mid-send can corrupt only its own
+    stream, which the coordinator observes as EOF — with a shared
+    queue, a crash inside the write-lock window would wedge every
+    surviving worker.
     """
     try:
-        from ..engine.ir import FoldedFlatIR
-        from ..network.serialize import network_from_dict, pool_from_dict
-
         config = pickle.loads(payload)
-        network = network_from_dict(config["network"])
-        program = config.get("program")
-        if program is not None:
-            source = program.cone_source
-            if isinstance(source, FoldedFlatIR):
-                network._folded_flat_ir = (len(network.nodes), source)
-            else:
-                network._flat_ir = (len(network.nodes), source)
-            network._masked_program = (source, program)
-        pool = pool_from_dict(config["pool"])
-        compiler = _JobCompiler(
-            network,
-            pool,
-            targets=config["targets"],
-            order=config["order"],
-            engine=config["engine"],
-        )
-        compiler.capture_patches = config["capture_patches"]
-        cursor = _PrefixCursor(network, config["engine"])
-        cursor.evaluator = compiler.evaluator
-        handoff = config["handoff"]
+        compiler, cursor, handoff = _build_worker_state(config)
         fault = config.get("fault") or {}
-        jobs_seen = 0
-        while True:
-            message = job_queue.get()
-            if message is None:
-                break
-            jobs_seen += 1
-            if fault.get("worker") == worker_id:
-                if jobs_seen == fault.get("crash_on_job"):
-                    os._exit(17)  # simulate a hard worker crash (tests)
-                if jobs_seen == fault.get("stall_on_job"):
-                    time.sleep(fault.get("stall_seconds", 3600.0))
-            try:
-                outcome = _run_job(compiler, cursor, message, handoff)
-                result_conn.send(("done", worker_id, message.job_index, outcome))
-            except Exception:
-                result_conn.send(
-                    (
-                        "error",
-                        worker_id,
-                        message.job_index,
-                        traceback.format_exc(),
-                    )
-                )
-                break
+
+        def send_partial(record) -> None:
+            # A multiprocessing.Connection frame is a 4-byte length
+            # header plus the pickled body; claim a large body and ship
+            # a few bytes of it, so the coordinator's recv sees the
+            # stream end mid-frame (EOFError), like a TCP peer dying
+            # between frame header and body.
+            os.write(
+                result_conn.fileno(),
+                struct.pack("!i", 1 << 20) + b"mid-frame",
+            )
+
+        _serve_jobs(
+            worker_id,
+            compiler,
+            cursor,
+            handoff,
+            fault,
+            recv_record=job_queue.get,
+            send_record=result_conn.send,
+            send_partial=send_partial,
+        )
     except KeyboardInterrupt:  # pragma: no cover - interactive teardown
         pass
 
 
-class _WorkerHandle:
-    """Coordinator-side state for one worker process."""
+def _worker_payload(
+    network: EventNetwork,
+    pool: VariablePool,
+    target_names: Sequence[str],
+    order,
+    engine: str,
+    handoff: str,
+    capture_patches: bool,
+    program,
+    fault: Optional[dict] = None,
+) -> bytes:
+    """The pickled join-time config both transports ship to workers."""
+    from ..network.serialize import network_to_dict, pool_to_dict
 
-    def __init__(self, worker_id: int, process, job_queue, reader) -> None:
-        self.worker_id = worker_id
-        self.process = process
-        self.job_queue = job_queue
-        self.reader = reader  # our end of the worker's result pipe
-        # The prefix the worker's evaluator will hold after draining its
-        # queue; every dispatched message advances it, so prefix deltas
-        # for queued jobs chain correctly under FIFO processing.
-        self.tail_prefix: Tuple[Tuple[int, bool], ...] = ()
-        self.assigned: Dict[int, Job] = {}
-
-    def alive(self) -> bool:
-        return self.reader is not None and self.process.is_alive()
-
-    def mark_dead(self) -> None:
-        if self.reader is not None:
-            try:
-                self.reader.close()
-            except OSError:  # pragma: no cover - already torn down
-                pass
-            self.reader = None
-
-
-class _ProcessPool:
-    """Persistent spawn-safe worker processes plus their queues."""
-
-    def __init__(
-        self,
-        network: EventNetwork,
-        pool: VariablePool,
-        target_names: Sequence[str],
-        order,
-        engine: str,
-        handoff: str,
-        workers: int,
-        capture_patches: bool,
-        program,
-        fault: Optional[dict] = None,
-    ) -> None:
-        import multiprocessing
-
-        from ..network.serialize import network_to_dict, pool_to_dict
-
-        self.capture_patches = capture_patches
-        context = multiprocessing.get_context("spawn")
-        payload = pickle.dumps(
-            {
-                "network": network_to_dict(network),
-                "pool": pool_to_dict(pool),
-                "program": program,
-                "targets": list(target_names),
-                "order": order,
-                "engine": engine,
-                "handoff": handoff,
-                "capture_patches": capture_patches,
-                "fault": fault,
-            }
-        )
-        started = time.perf_counter()
-        self.workers: List[_WorkerHandle] = []
-        try:
-            for worker_id in range(workers):
-                job_queue = context.Queue()
-                reader, writer = context.Pipe(duplex=False)
-                process = context.Process(
-                    target=_worker_main,
-                    args=(worker_id, payload, job_queue, writer),
-                    daemon=True,
-                )
-                process.start()
-                # Close our copy of the write end: the worker now holds
-                # the only one, so its death surfaces as EOF on
-                # ``reader``.
-                writer.close()
-                self.workers.append(
-                    _WorkerHandle(worker_id, process, job_queue, reader)
-                )
-        except BaseException:
-            # Partial spawn (e.g. the OS process limit): the caller
-            # never sees this pool object, so reap the workers that
-            # did start before re-raising.
-            self.shutdown(force=True)
-            raise
-        self.spawn_seconds = time.perf_counter() - started
-        self.worker_failures = 0
-
-    def alive_workers(self) -> List[_WorkerHandle]:
-        return [worker for worker in self.workers if worker.alive()]
-
-    def shutdown(self, force: bool = False, timeout: float = 5.0) -> None:
-        """Stop every worker; escalate to terminate() when needed."""
-        for worker in self.workers:
-            if not force and worker.alive():
-                try:
-                    worker.job_queue.put(None)
-                except (OSError, ValueError):  # pragma: no cover - torn queue
-                    pass
-        deadline = time.monotonic() + (0.0 if force else timeout)
-        for worker in self.workers:
-            remaining = max(0.0, deadline - time.monotonic())
-            worker.process.join(remaining)
-            if worker.process.is_alive():
-                worker.process.terminate()
-                worker.process.join(timeout)
-        for worker in self.workers:
-            worker.job_queue.cancel_join_thread()
-            worker.job_queue.close()
-            worker.mark_dead()
-        self.workers = []
+    return pickle.dumps(
+        {
+            "network": network_to_dict(network),
+            "pool": pool_to_dict(pool),
+            "program": program,
+            "targets": list(target_names),
+            "order": order,
+            "engine": engine,
+            "handoff": handoff,
+            "capture_patches": capture_patches,
+            "fault": fault,
+        }
+    )
 
 
 class DistributedCompiler:
@@ -570,9 +616,14 @@ class DistributedCompiler:
         handoff: str = "delta",
         target_job_cost: float = 0.01,
         fault_injection: Optional[dict] = None,
+        steal: bool = True,
+        pipeline_depth: int = 2,
+        listen: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if not isinstance(pipeline_depth, int) or pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be an int >= 1")
         if kernel is not None and ":" not in engine:
             # The tier travels inside the engine string: worker configs
             # and job pickles ship it unchanged, and make_evaluator
@@ -603,11 +654,17 @@ class DistributedCompiler:
         self.order = order
         self.target_job_cost = target_job_cost
         self.fault_injection = fault_injection
+        self.steal = steal
+        self.pipeline_depth = pipeline_depth
+        self.listen = listen
         self._compiler = _JobCompiler(
             network, pool, targets=targets, order=order, engine=engine
         )
         self.target_names = self._compiler.target_names
-        self._process_pool: Optional[_ProcessPool] = None
+        self._process_pool: Optional[WorkerTransport] = None
+        self._workers_killed = 0
+        self._steals = 0
+        self._recv_wait_by_worker: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
 
@@ -624,12 +681,15 @@ class DistributedCompiler:
         as an alias) measures per-job cost and reports the simulated
         makespan in ``result.makespan``; ``execution="threads"`` runs
         jobs on a thread pool; ``execution="process"`` runs them on
-        persistent worker processes.  ``timeout`` bounds the whole run
+        persistent worker processes; ``execution="socket"`` runs them
+        on workers joined over TCP — spawned locally, or (with
+        ``listen="host:port"``) remote ``repro cluster --connect``
+        workers.  ``timeout`` bounds the whole run
         in every mode and raises ``TimeoutError`` on expiry — checked
         continuously while collecting process results (the pool is
         torn down, no orphans) and at job/generation boundaries in the
         in-memory modes (a single in-flight job is never interrupted).
-        All three produce identical trees and bounds: a job is a pure
+        All modes produce identical trees and bounds: a job is a pure
         function of its creation-time inputs, merged at deterministic
         generation barriers.  The one carve-out is
         ``job_size="adaptive"``: the sizer consumes *measured* job
@@ -642,7 +702,11 @@ class DistributedCompiler:
         # The registry gate rejects schemes not marked distributed-capable;
         # the Shannon-set check guards against plugin schemes claiming the
         # capability, since the job compiler only implements Algorithm 1.
-        from ..engine.registry import CAP_DISTRIBUTED, get_scheme
+        from ..engine.registry import (
+            CAP_CLUSTER,
+            CAP_DISTRIBUTED,
+            get_scheme,
+        )
         from .compiler import SCHEMES
 
         if not get_scheme(scheme).has(CAP_DISTRIBUTED) or scheme not in SCHEMES:
@@ -656,21 +720,33 @@ class DistributedCompiler:
                 f"unknown execution mode {execution!r}; "
                 f"expected one of {EXECUTIONS}"
             )
+        if execution == "socket" and not get_scheme(scheme).has(CAP_CLUSTER):
+            raise ValueError(f"scheme {scheme!r} is not cluster-capable")
         deadline = None if timeout is None else time.monotonic() + timeout
         if execution == "simulate":
             return self._run_simulated(scheme, epsilon, deadline)
         if execution == "threads":
             return self._run_threaded(scheme, epsilon, deadline)
-        return self._run_process(scheme, epsilon, deadline)
+        return self._run_pooled(scheme, epsilon, deadline, execution)
+
+    @property
+    def workers_killed(self) -> int:
+        """Workers terminated (not joined) across this coordinator's life."""
+        return self._workers_killed
 
     def close(self, force: bool = False) -> None:
-        """Tear down the persistent worker processes, if any.
+        """Tear down the persistent worker pool, if any.
 
-        ``force=True`` terminates instead of asking politely — the
-        interrupt/timeout path, where a worker may be wedged mid-job.
+        ``force=True`` shortens the per-worker join deadline before
+        escalating to ``terminate()`` — the interrupt/timeout path,
+        where a worker may be wedged mid-job.  Workers that had to be
+        killed are counted in :attr:`workers_killed` and reported in
+        the next successful run's ``result.extra``.
         """
         if self._process_pool is not None:
-            self._process_pool.shutdown(force=force)
+            self._workers_killed += len(
+                self._process_pool.shutdown(force=force)
+            )
             self._process_pool = None
 
     def __enter__(self) -> "DistributedCompiler":
@@ -795,11 +871,11 @@ class DistributedCompiler:
                 )
             wave = next_wave
         bounds = {name: (lower[name], upper[name]) for name in names}
-        return bounds, executed, parent_of, totals, job_size
+        return bounds, executed, parent_of, totals, job_size, sizer
 
     def _result(
         self, scheme, epsilon, bounds, executed, totals, *,
-        seconds, makespan, job_size, execution,
+        seconds, makespan, job_size, execution, sizer=None,
     ) -> CompilationResult:
         result = CompilationResult(
             bounds=bounds,
@@ -817,6 +893,8 @@ class DistributedCompiler:
         result.extra["adaptive_job_size"] = 1.0 if self.adaptive else 0.0
         result.extra["delta_handoff"] = 1.0 if self.handoff == "delta" else 0.0
         result.extra["execution"] = _EXECUTION_CODES[execution]
+        if sizer is not None:
+            result.extra["job_sizing"] = sizer.report()
         return result
 
     # ------------------------------------------------------------------
@@ -858,7 +936,7 @@ class DistributedCompiler:
             return outcomes
 
         try:
-            bounds, executed, parent_of, totals, job_size = (
+            bounds, executed, parent_of, totals, job_size, sizer = (
                 self._run_generations(
                     scheme, epsilon, execute_wave, with_patches=False,
                     deadline=deadline,
@@ -874,7 +952,7 @@ class DistributedCompiler:
         return self._result(
             scheme, epsilon, bounds, executed, totals,
             seconds=wall, makespan=makespan, job_size=job_size,
-            execution="simulate",
+            execution="simulate", sizer=sizer,
         )
 
     def _simulate_makespan(
@@ -951,7 +1029,7 @@ class DistributedCompiler:
                     ]
                     return [future.result() for future in futures]
 
-                bounds, executed, parent_of, totals, job_size = (
+                bounds, executed, parent_of, totals, job_size, sizer = (
                     self._run_generations(
                         scheme, epsilon, execute_wave, with_patches=False,
                         deadline=deadline,
@@ -964,41 +1042,51 @@ class DistributedCompiler:
         return self._result(
             scheme, epsilon, bounds, executed, totals,
             seconds=elapsed, makespan=elapsed, job_size=job_size,
-            execution="threads",
+            execution="threads", sizer=sizer,
         )
 
-    # -- process mode ---------------------------------------------------
+    # -- pooled modes (pipe and socket transports) ----------------------
 
-    def _ensure_process_pool(self) -> _ProcessPool:
-        if self._process_pool is not None:
-            if self._process_pool.alive_workers():
-                return self._process_pool
-            self._process_pool.shutdown(force=True)
-            self._process_pool = None
+    def _ensure_process_pool(self, kind: str = "pipe") -> WorkerTransport:
+        pool = self._process_pool
+        if pool is not None:
+            if pool.kind == kind and pool.alive_workers():
+                return pool
+            # Wrong transport, or a half-dead pool: replace it, folding
+            # any workers the teardown had to kill into the tally the
+            # next successful run reports.
+            self.close(force=True)
         from ..engine.masked import MaskedEvaluator, masked_program
 
         program = None
         if isinstance(self._compiler.evaluator, MaskedEvaluator):
             program = masked_program(self.network)
         capture = self.handoff == "delta" and program is not None
-        self._process_pool = _ProcessPool(
+        payload = _worker_payload(
             self.network,
             self.pool,
             self.target_names,
             self.order,
             self.engine,
             self.handoff,
-            self.workers,
             capture,
             program,
             fault=self.fault_injection,
         )
-        return self._process_pool
+        if kind == "pipe":
+            pool = PipeTransport(payload, self.workers, _worker_main)
+        elif self.listen is not None:
+            pool = SocketTransport.listen_for(
+                payload, self.workers, self.listen
+            )
+        else:
+            pool = SocketTransport.spawn_local(payload, self.workers)
+        pool.capture_patches = capture
+        self._process_pool = pool
+        return pool
 
-    def _dispatch_to_worker(
-        self, worker: _WorkerHandle, job: Job, message: _JobMessage
-    ) -> None:
-        """Queue one job as a prefix delta against the worker's tail."""
+    def _dispatch_to_worker(self, worker, job: Job, message: _JobMessage):
+        """Ship one job as a prefix delta against the worker's tail."""
         common = 0
         if self.handoff == "delta":
             for ours, theirs in zip(worker.tail_prefix, job.prefix):
@@ -1011,12 +1099,19 @@ class DistributedCompiler:
             message.patches = job.patch_chain[common:]
         worker.tail_prefix = job.prefix
         worker.assigned[job.index] = job
-        worker.job_queue.put(message)
+        worker.send(("job", message))
 
-    def _run_process(
-        self, scheme: str, epsilon: float, deadline: Optional[float]
+    def _run_pooled(
+        self,
+        scheme: str,
+        epsilon: float,
+        deadline: Optional[float],
+        execution: str,
     ) -> CompilationResult:
-        pool = self._ensure_process_pool()
+        kind = "pipe" if execution == "process" else "socket"
+        pool = self._ensure_process_pool(kind)
+        self._steals = 0
+        self._recv_wait_by_worker = {}
         started = time.perf_counter()
         try:
 
@@ -1025,7 +1120,7 @@ class DistributedCompiler:
                     pool, wave, messages, deadline
                 )
 
-            bounds, executed, parent_of, totals, job_size = (
+            bounds, executed, parent_of, totals, job_size, sizer = (
                 self._run_generations(
                     scheme, epsilon, execute_wave,
                     with_patches=pool.capture_patches,
@@ -1034,70 +1129,76 @@ class DistributedCompiler:
             )
         except BaseException:
             # Interrupt, timeout, worker error: never leave orphans —
-            # and never wait on a wedged worker, so terminate outright.
+            # and never wait long on a wedged worker.
             self.close(force=True)
             raise
         elapsed = time.perf_counter() - started
         result = self._result(
             scheme, epsilon, bounds, executed, totals,
             seconds=elapsed, makespan=elapsed, job_size=job_size,
-            execution="process",
+            execution=execution, sizer=sizer,
         )
         result.extra["spawn_seconds"] = pool.spawn_seconds
         result.extra["worker_failures"] = float(pool.worker_failures)
+        result.extra["workers_killed"] = float(self._workers_killed)
+        result.extra["steals"] = float(self._steals)
+        result.extra["pipeline_depth"] = float(self.pipeline_depth)
+        result.extra["recv_wait_seconds"] = sum(
+            self._recv_wait_by_worker.values()
+        )
+        for worker_id, waited in sorted(self._recv_wait_by_worker.items()):
+            result.extra[f"recv_wait_w{worker_id}"] = waited
+        if isinstance(pool, SocketTransport):
+            sent, received = pool.wire_bytes()
+            result.extra["wire_bytes_sent"] = float(sent)
+            result.extra["wire_bytes_received"] = float(received)
         return result
 
     def _execute_process_wave(self, pool, wave, messages, deadline):
-        """Dispatch one generation to the worker processes and collect.
+        """Dispatch one generation to the worker pool and collect.
 
         Jobs are partitioned into contiguous creation-order blocks (one
         per worker) so sibling jobs — which share long prefixes — land
-        on the same worker and the prefix deltas stay short.  A worker
-        that dies mid-wave has its unfinished jobs requeued on the
+        on the same worker and the prefix deltas stay short.  The
+        blocks live in per-worker ``pending`` queues held coordinator-
+        side: each worker keeps at most ``pipeline_depth`` jobs in
+        flight (the next message crosses the wire while the current
+        job runs), and a worker whose queue runs dry *steals* from the
+        tail of the most loaded peer's queue — assignment changes, the
+        creation-order merge at the barrier does not.  A worker that
+        dies mid-wave has its unfinished jobs requeued on the
         surviving workers, with the dead worker recorded in each job's
         ``excluded_workers``.
         """
         alive = pool.alive_workers()
         if not alive:
-            raise RuntimeError("no alive workers in the process pool")
+            raise RuntimeError("no alive workers in the worker pool")
         by_index = {
             job.index: (job, message) for job, message in zip(wave, messages)
         }
         # Contiguous block partition across the alive workers.
         for position, job in enumerate(wave):
             worker = alive[position * len(alive) // len(wave)]
-            self._dispatch_to_worker(worker, job, by_index[job.index][1])
+            worker.pending.append(job.index)
+        for worker in alive:
+            self._top_up(pool, worker, by_index)
         outcomes: Dict[int, _Outcome] = {}
         while len(outcomes) < len(wave):
             if deadline is not None and time.monotonic() > deadline:
                 raise TimeoutError(
                     "distributed process run exceeded its timeout"
                 )
-            readers = {
-                worker.reader: worker
-                for worker in pool.workers
-                if worker.reader is not None
-            }
-            if not readers:
-                raise RuntimeError(
-                    "all distributed workers died; cannot recover"
-                )
-            ready = connection_wait(list(readers), timeout=0.05)
-            if not ready:
-                # No pipe traffic: poll liveness the slow way too, for
-                # workers wedged without closing their pipe.
+            records = pool.wait(0.05)
+            if not records:
+                # No traffic: poll liveness, for workers that died (or
+                # were marked dead mid-drain) without a parsed record.
                 self._recover_dead_workers(pool, outcomes, by_index)
+                if not pool.alive_workers():
+                    raise RuntimeError(
+                        "all distributed workers died; cannot recover"
+                    )
                 continue
-            for reader in ready:
-                worker = readers[reader]
-                try:
-                    record = reader.recv()
-                except (EOFError, OSError):
-                    # The worker died (possibly mid-send: only its own
-                    # stream is affected).  Requeue its unfinished jobs.
-                    worker.mark_dead()
-                    self._recover_dead_workers(pool, outcomes, by_index)
-                    continue
+            for worker, record in records:
                 kind, worker_id, job_index = record[0], record[1], record[2]
                 if kind == "error":
                     raise RuntimeError(
@@ -1111,28 +1212,77 @@ class DistributedCompiler:
                     # pure functions of their message, so the copies
                     # are identical — keep the first, drop the rest.
                     continue
-                outcomes[job_index] = record[3]
+                outcome = record[3]
+                outcomes[job_index] = outcome
+                self._recv_wait_by_worker[worker_id] = (
+                    self._recv_wait_by_worker.get(worker_id, 0.0)
+                    + outcome.recv_wait
+                )
                 for other in pool.workers:
                     other.assigned.pop(job_index, None)
+                self._top_up(pool, worker, by_index)
+            self._recover_dead_workers(pool, outcomes, by_index)
         return [outcomes[job.index] for job in wave]
+
+    def _top_up(self, pool, worker, by_index) -> None:
+        """Keep up to ``pipeline_depth`` jobs in flight on ``worker``."""
+        if not worker.alive():
+            return
+        while len(worker.assigned) < self.pipeline_depth:
+            job_index = self._claim_next_job(pool, worker)
+            if job_index is None:
+                return
+            job, message = by_index[job_index]
+            self._dispatch_to_worker(worker, job, message)
+
+    def _claim_next_job(self, pool, worker) -> Optional[int]:
+        """The next job index for ``worker``: its own queue, or a steal.
+
+        An idle worker (nothing in flight) steals from any loaded
+        peer; a worker merely prefetching its pipeline only steals
+        from peers with at least two queued jobs, so it never strips a
+        busy peer's last pending job.  The victim is the peer with the
+        longest queue, ties broken by worker id — the decision depends
+        only on queue state, never on wall-clock time — and the steal
+        takes the queue *tail*, where the prefixes are least local to
+        the victim.
+        """
+        if worker.pending:
+            return worker.pending.popleft()
+        if not self.steal:
+            return None
+        floor = 2 if worker.assigned else 1
+        victims = [
+            peer
+            for peer in pool.alive_workers()
+            if peer is not worker and len(peer.pending) >= floor
+        ]
+        if not victims:
+            return None
+        victims.sort(key=lambda peer: (-len(peer.pending), peer.worker_id))
+        self._steals += 1
+        return victims[0].pending.pop()
 
     def _recover_dead_workers(self, pool, outcomes, by_index) -> None:
         """Requeue the unfinished jobs of any worker that died.
 
         The dead worker is recorded in each requeued job's
-        ``excluded_workers`` so reassignment avoids it; the wire message
-        is reused with its prefix delta recomputed against the new
-        worker's queue tail.
+        ``excluded_workers`` so reassignment avoids it; the wire
+        message is reused with its prefix delta recomputed against the
+        new worker's queue tail.  Orphans go onto the survivors'
+        pending queues (round-robin) and flow out through the same
+        top-up/steal path as everything else.
         """
         for worker in pool.workers:
-            if worker.alive() or not worker.assigned:
+            if worker.alive() or (not worker.assigned and not worker.pending):
                 continue
             orphaned = [
                 index
-                for index in sorted(worker.assigned)
+                for index in sorted(set(worker.assigned) | set(worker.pending))
                 if index not in outcomes
             ]
             worker.assigned.clear()
+            worker.pending.clear()
             if not orphaned:
                 continue
             pool.worker_failures += 1
@@ -1150,7 +1300,9 @@ class DistributedCompiler:
                     if survivor.worker_id not in job.excluded_workers
                 ] or survivors
                 target = candidates[position % len(candidates)]
-                self._dispatch_to_worker(target, job, message)
+                target.pending.append(index)
+            for survivor in survivors:
+                self._top_up(pool, survivor, by_index)
 
 
 def compile_distributed(
@@ -1168,6 +1320,9 @@ def compile_distributed(
     handoff: str = "delta",
     timeout: Optional[float] = None,
     target_job_cost: float = 0.01,
+    steal: bool = True,
+    pipeline_depth: int = 2,
+    listen: Optional[str] = None,
 ) -> CompilationResult:
     """One-shot helper mirroring :func:`repro.compile.compiler.compile_network`."""
     coordinator = DistributedCompiler(
@@ -1181,6 +1336,9 @@ def compile_distributed(
         kernel=kernel,
         handoff=handoff,
         target_job_cost=target_job_cost,
+        steal=steal,
+        pipeline_depth=pipeline_depth,
+        listen=listen,
     )
     try:
         return coordinator.run(

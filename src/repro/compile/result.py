@@ -13,6 +13,11 @@ class CompilationResult:
     ``bounds[target]`` is the certified interval ``[L, U]`` with
     ``L <= P[target] <= U``; for exact runs ``L == U`` up to floating
     point.  ``estimate`` returns the interval midpoint.
+
+    ``extra`` carries per-run instrumentation: flat ``float`` metrics
+    (``"steals"``, ``"recv_wait_seconds"``, ...) plus the occasional
+    structured entry (``"job_sizing"``, the adaptive sizer's decision
+    trail as a dict).
     """
 
     bounds: Dict[str, Tuple[float, float]]
@@ -25,7 +30,7 @@ class CompilationResult:
     jobs: int = 0
     workers: int = 0
     makespan: float = 0.0
-    extra: Dict[str, float] = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
 
     def probability(self, target: str) -> float:
         """Midpoint estimate for a target (exact value for exact runs)."""

@@ -204,6 +204,7 @@ class ENFrame:
         seed: int = 0,
         confidence: float = 0.95,
         kernel: Optional[str] = None,
+        listen: Optional[str] = None,
     ) -> ProbabilisticResult:
         """Compute target probabilities.
 
@@ -215,8 +216,11 @@ class ENFrame:
         ``workers`` switches distributed-capable schemes to the
         distributed compiler (``hybrid-d`` & friends, Section 4.4),
         where ``execution`` picks the mode (``"simulate"``,
-        ``"threads"``, or ``"process"`` — true multi-process workers)
-        and ``job_size`` is the fork depth (an ``int`` or
+        ``"threads"``, ``"process"`` — true multi-process workers — or
+        ``"socket"`` — workers joined over TCP; with
+        ``listen="host:port"`` the run waits for remote
+        ``repro cluster --connect`` workers instead of spawning local
+        ones) and ``job_size`` is the fork depth (an ``int`` or
         ``"adaptive"`` for the measured-cost model); options irrelevant
         to the chosen scheme are ignored.  ``order``/``ordering`` (the
         latter wins when both are given) select the Shannon schemes'
@@ -243,5 +247,6 @@ class ENFrame:
             seed=seed,
             confidence=confidence,
             kernel=kernel,
+            listen=listen,
         )
         return ProbabilisticResult(raw, list(self._target_names))

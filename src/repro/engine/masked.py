@@ -38,6 +38,7 @@ network, like the flat IR itself.
 from __future__ import annotations
 
 import math
+import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -115,6 +116,54 @@ def _plain_values(tag: int, values: tuple) -> tuple:
             bool(values[3]),
         )
     return values
+
+
+def patch_wire_size(frames: Sequence[tuple]) -> int:
+    """Byte size of a column patch as framed on the wire (pickled).
+
+    The distributed transports ship patches pickled — inside a
+    ``multiprocessing`` queue message or a
+    :class:`repro.compile.transport.FramedStream` frame — so the
+    pickled size is the honest per-patch wire cost, reported by
+    ``benchmarks/bench_cluster.py``.
+    """
+    return len(pickle.dumps(tuple(frames), protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def patch_is_plain(frames: Sequence[tuple]) -> bool:
+    """True when every patch payload is plain Python scalars.
+
+    :meth:`MaskedEvaluator.export_patch` must never leak NumPy scalars
+    into a patch (they pickle differently across kernel tiers and
+    NumPy versions — the wire format contract); this validator backs
+    the property tests that pin that invariant down at runtime, next
+    to the static ``wire-format`` lint.
+    """
+    for variable, value, entries in frames:
+        if variable is not None and type(variable) is not int:
+            return False
+        if value is not None and type(value) is not bool:
+            return False
+        for entry in entries:
+            tag, vid = entry[0], entry[1]
+            if type(tag) is not int or type(vid) is not int:
+                return False
+            payload = entry[2:]
+            if tag == _TAG_BOOL:
+                if len(payload) != 1 or type(payload[0]) is not int:
+                    return False
+            elif tag == _TAG_NUM:
+                if len(payload) != 4:
+                    return False
+                if type(payload[0]) is not float:
+                    return False
+                if type(payload[1]) is not float:
+                    return False
+                if type(payload[2]) is not bool:
+                    return False
+                if type(payload[3]) is not bool:
+                    return False
+    return True
 
 
 @dataclass

@@ -19,6 +19,10 @@ Capabilities drive dispatch-time normalisation:
   certainty (Monte Carlo);
 * ``distributed`` — the scheme can run under the job-based distributed
   compiler (``workers=`` is honoured; otherwise it is ignored);
+* ``cluster`` — the distributed run can span machines over the socket
+  transport (``execution="socket"`` plus ``listen=`` for remote
+  ``repro cluster --connect`` workers; dropped to ``"simulate"`` for
+  schemes without it);
 * ``exact`` — bounds collapse to the exact probability;
 * ``timeout`` — the scheme honours a wall-clock budget;
 * ``bulk`` — the scheme evaluates through the vectorized bulk engine;
@@ -42,6 +46,7 @@ from ..worlds.variables import VariablePool
 CAP_EPSILON = "epsilon"
 CAP_STATISTICAL = "statistical"
 CAP_DISTRIBUTED = "distributed"
+CAP_CLUSTER = "cluster"
 CAP_EXACT = "exact"
 CAP_TIMEOUT = "timeout"
 CAP_BULK = "bulk"
@@ -53,6 +58,7 @@ CAPABILITIES = frozenset(
         CAP_EPSILON,
         CAP_STATISTICAL,
         CAP_DISTRIBUTED,
+        CAP_CLUSTER,
         CAP_EXACT,
         CAP_TIMEOUT,
         CAP_BULK,
@@ -72,10 +78,13 @@ class SchemeOptions:
     index sequence; see :func:`repro.compile.ordering.make_order`).
 
     ``execution`` selects how a ``distributed``-capable scheme runs its
-    workers (``"simulate"``, ``"threads"``, or ``"process"`` — see
+    workers (``"simulate"``, ``"threads"``, ``"process"``, or — for
+    ``cluster``-capable schemes — ``"socket"``; see
     :mod:`repro.compile.distributed`); ``job_size`` is the distributed
     fork depth, either an explicit ``int`` or ``"adaptive"`` for the
-    online cost model.
+    online cost model.  ``listen`` (``"host:port"``) makes a socket run
+    wait for remote ``repro cluster --connect`` workers instead of
+    spawning them locally.
 
     ``kernel`` names the evaluator tier for ``kernel``-capable schemes
     (one of :data:`repro.engine.kernels.KERNEL_NAMES`); ``None`` defers
@@ -92,6 +101,7 @@ class SchemeOptions:
     seed: int = 0
     confidence: float = 0.95
     kernel: Optional[str] = None
+    listen: Optional[str] = None
 
 
 Runner = Callable[
@@ -246,6 +256,7 @@ def run_scheme(
     seed: int = 0,
     confidence: float = 0.95,
     kernel: Optional[str] = None,
+    listen: Optional[str] = None,
 ) -> CompilationResult:
     """Dispatch one probability computation through the registry.
 
@@ -253,7 +264,9 @@ def run_scheme(
     than rejected: ``epsilon`` is zeroed for schemes without the
     ``epsilon`` capability, ``workers`` is dropped for schemes that are
     not ``distributed``-capable — and with it ``execution``, which
-    reverts to ``"simulate"`` — and ``timeout`` is dropped for schemes
+    reverts to ``"simulate"`` — ``execution="socket"`` (and with it
+    ``listen``) is dropped to ``"simulate"`` for distributed schemes
+    without the ``cluster`` capability, and ``timeout`` is dropped for schemes
     without the ``timeout`` capability (matching the historical facade
     behaviour where e.g. ``naive`` ignored ``workers``), *except* for
     distributed runs, where it bounds the whole run in process mode (a
@@ -274,16 +287,21 @@ def run_scheme(
                 f"unknown kernel {kernel!r}; expected one of {KERNEL_NAMES}"
             )
     distributed = spec.has(CAP_DISTRIBUTED) and workers is not None
+    cluster = distributed and spec.has(CAP_CLUSTER)
+    normalised_execution = execution if distributed else "simulate"
+    if normalised_execution == "socket" and not cluster:
+        normalised_execution = "simulate"
     options = SchemeOptions(
         epsilon=epsilon if spec.has(CAP_EPSILON) else 0.0,
         order=order if ordering is None else ordering,
         workers=workers if spec.has(CAP_DISTRIBUTED) else None,
         job_size=job_size,
-        execution=execution if distributed else "simulate",
+        execution=normalised_execution,
         timeout=timeout if spec.has(CAP_TIMEOUT) or distributed else None,
         samples=samples,
         seed=seed,
         confidence=confidence,
         kernel=kernel if spec.has(CAP_KERNEL) else None,
+        listen=listen if normalised_execution == "socket" else None,
     )
     return spec.runner(network, pool, targets, options)

@@ -6,7 +6,8 @@ registers the paper's six schemes plus the two scalar cross-validation
 oracles:
 
 * ``exact`` / ``lazy`` / ``eager`` / ``hybrid`` — Shannon expansion
-  (Algorithm 1), distributed-capable via ``workers=``;
+  (Algorithm 1), distributed-capable via ``workers=`` and
+  cluster-capable via ``execution="socket"``;
 * ``naive`` — bulk-vectorized world enumeration (flat and folded
   networks alike);
 * ``montecarlo`` — bulk-vectorized MCDB-style sampling (flat and folded
@@ -24,6 +25,7 @@ from ..network.nodes import EventNetwork
 from ..worlds.variables import VariablePool
 from .registry import (
     CAP_BULK,
+    CAP_CLUSTER,
     CAP_DISTRIBUTED,
     CAP_EPSILON,
     CAP_EXACT,
@@ -54,6 +56,7 @@ def _run_shannon(
             workers=options.workers,
             job_size=options.job_size,
             kernel=options.kernel,
+            listen=options.listen,
         )
         try:
             return coordinator.run(
@@ -144,7 +147,7 @@ def register_builtins() -> None:
     register_scheme(
         "exact",
         _make_shannon_runner("exact"),
-        capabilities={CAP_EXACT, CAP_DISTRIBUTED, CAP_KERNEL},
+        capabilities={CAP_EXACT, CAP_DISTRIBUTED, CAP_CLUSTER, CAP_KERNEL},
         description=(
             "Shannon expansion until every target is resolved on every branch"
         ),
@@ -158,7 +161,7 @@ def register_builtins() -> None:
         register_scheme(
             scheme,
             _make_shannon_runner(scheme),
-            capabilities={CAP_EPSILON, CAP_DISTRIBUTED, CAP_KERNEL},
+            capabilities={CAP_EPSILON, CAP_DISTRIBUTED, CAP_CLUSTER, CAP_KERNEL},
             description=description,
             replace=True,
         )

@@ -10,6 +10,12 @@ handoff modes.  The column-patch wire format
 (:meth:`~repro.engine.masked.MaskedEvaluator.export_patch`) rides the
 same assertions: a patch that diverged from a local re-sweep by one
 write would shift some bound.
+
+``execution="socket"`` inherits the whole contract: the same jobs ride
+a framed TCP stream instead of pipes, idle workers may *steal* queued
+jobs, and patches are pipelined ahead of execution — none of which may
+move a single tree node, because stealing only reassigns *which*
+worker computes a job and merges stay creation-ordered.
 """
 
 from __future__ import annotations
@@ -90,6 +96,53 @@ def test_process_matches_simulated_random_instances():
             _assert_identical(threaded, simulated, f"seed {seed} (threads)")
         finally:
             coordinator.close()
+
+
+@pytest.mark.parametrize("steal", [True, False], ids=["steal", "no-steal"])
+@pytest.mark.parametrize("handoff", ["delta", "replay"])
+def test_socket_matches_simulated_all_schemes(handoff, steal):
+    # Same pool-reuse pattern as the process test: one socket cluster
+    # (2 local TCP workers) serves all four schemes.
+    pool, network = _random_instance(11)
+    coordinator = DistributedCompiler(
+        network, pool, workers=2, job_size=2, handoff=handoff, steal=steal
+    )
+    try:
+        for scheme, epsilon in SCHEMES:
+            simulated = coordinator.run(
+                scheme=scheme, epsilon=epsilon, execution="simulate"
+            )
+            clustered = coordinator.run(
+                scheme=scheme, epsilon=epsilon, execution="socket"
+            )
+            _assert_identical(
+                clustered,
+                simulated,
+                f"{scheme}/{handoff}/steal={steal} socket vs simulated",
+            )
+    finally:
+        coordinator.close()
+
+
+def test_socket_pipelining_depth_does_not_change_the_tree():
+    # pipeline_depth=1 is ship-then-run, 2 overlaps the next patch with
+    # the current job; both must yield the simulated tree exactly.
+    pool, network = _random_instance(7)
+    results = []
+    for depth in (1, 2):
+        coordinator = DistributedCompiler(
+            network, pool, workers=2, job_size=1, pipeline_depth=depth
+        )
+        try:
+            results.append(
+                coordinator.run(scheme="hybrid", epsilon=0.05, execution="socket")
+            )
+        finally:
+            coordinator.close()
+    baseline = DistributedCompiler(network, pool, workers=2, job_size=1)
+    simulated = baseline.run(scheme="hybrid", epsilon=0.05)
+    for depth, clustered in zip((1, 2), results):
+        _assert_identical(clustered, simulated, f"pipeline depth {depth}")
 
 
 def test_process_matches_sequential_exact_folded():

@@ -212,6 +212,20 @@ class TestBarrierDeterminism:
     def test_out_of_scope_file_ignored(self):
         assert not BARRIER_RULE.applies("src/repro/compile/compiler.py")
 
+    def test_transport_module_in_scope(self):
+        # PR 8: steal decisions and the framed protocol live in the
+        # transport module and obey the same determinism discipline.
+        assert BARRIER_RULE.applies("src/repro/compile/transport.py")
+        bad = (
+            "import time\n"
+            "def pick_victim(workers):\n"
+            "    return min(workers, key=lambda w: time.time())\n"
+        )
+        found = findings_for(
+            BARRIER_RULE, "src/repro/compile/transport.py", bad
+        )
+        assert [f.line for f in found] == [3]
+
 
 class TestWireFormat:
     PATH = "src/repro/engine/custom.py"
@@ -256,6 +270,27 @@ class TestWireFormat:
             "        return (self._b[vid], self._lo[vid])\n"
         )
         assert not findings_for(WIRE_RULE, self.PATH, good)
+
+    def test_transport_wire_helpers_in_scope(self):
+        # PR 8: the socket transport ships the same patches over TCP,
+        # so its _wire* payload builders are checked too.
+        assert WIRE_RULE.applies("src/repro/compile/transport.py")
+        assert WIRE_RULE.applies("src/repro/compile/distributed.py")
+        assert not WIRE_RULE.applies("src/repro/compile/compiler.py")
+        bad = (
+            "def _wire_outcome(self, vid):\n"
+            "    return (vid, self._b[vid])\n"
+        )
+        assert findings_for(
+            WIRE_RULE, "src/repro/compile/transport.py", bad
+        )
+        good = (
+            "def _wire_outcome(self, vid):\n"
+            "    return (vid, int(self._b[vid]))\n"
+        )
+        assert not findings_for(
+            WIRE_RULE, "src/repro/compile/transport.py", good
+        )
 
 
 class TestKernelHygiene:

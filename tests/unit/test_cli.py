@@ -20,6 +20,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cluster", "--algorithm", "magic"])
 
+    def test_cluster_flags_parse(self):
+        args = build_parser().parse_args(
+            ["cluster", "--execution", "socket", "--listen", "0.0.0.0:7453",
+             "--workers", "2", "--join-timeout", "5", "--verbose"]
+        )
+        assert args.execution == "socket"
+        assert args.listen == "0.0.0.0:7453"
+        assert args.join_timeout == 5.0
+        assert args.verbose
+        worker = build_parser().parse_args(
+            ["cluster", "--connect", "coord.host:7453"]
+        )
+        assert worker.connect == "coord.host:7453"
+
 
 class TestCommands:
     def test_cluster_hybrid(self, capsys):
@@ -51,6 +65,40 @@ class TestCommands:
              "--variables", "6", "--algorithm", "lazy"]
         )
         assert code == 0
+
+    def test_cluster_socket_verbose(self, capsys):
+        code = main(
+            ["cluster", "--objects", "8", "--algorithm", "exact",
+             "--workers", "2", "--group-size", "2",
+             "--execution", "socket", "--verbose"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "exact-d" in output
+        assert "distributed run details" in output
+        assert "steals:" in output
+        assert "wire bytes:" in output
+
+    def test_cluster_listen_without_workers_rejected(self, capsys):
+        code = main(
+            ["cluster", "--objects", "8", "--listen", "127.0.0.1:0"]
+        )
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_connect_to_unreachable_coordinator_fails(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code = main(
+            ["cluster", "--connect", f"127.0.0.1:{port}",
+             "--join-timeout", "0.3"]
+        )
+        assert code == 2
+        assert "could not join" in capsys.readouterr().err
 
     def test_network_statistics(self, capsys):
         code = main(["network", "--objects", "6", "--group-size", "2"])

@@ -242,6 +242,220 @@ class TestProcessExecution:
             coordinator.close()
 
 
+def make_wide_instance(seed: int = 5):
+    """A wider instance whose waves outnumber workers * pipeline_depth.
+
+    Stealing only has material to work with when a generation leaves
+    jobs queued after the initial top-up, so the steal tests need many
+    more jobs per wave than the 5-variable instance produces.
+    """
+    import random
+
+    from repro.network.build import build_targets
+
+    rng = random.Random(seed)
+    pool = make_pool([rng.uniform(0.2, 0.8) for _ in range(10)])
+    events = {f"t{i}": random_event(pool, rng, depth=4) for i in range(3)}
+    return pool, build_targets(events)
+
+
+class TestSocketExecution:
+    def test_socket_exact_matches_sequential(self):
+        pool, network, events = make_instance()
+        sequential = compile_network(network, pool)
+        coordinator = DistributedCompiler(network, pool, workers=2, job_size=2)
+        try:
+            result = coordinator.run(scheme="exact", execution="socket")
+        finally:
+            coordinator.close()
+        for name in events:
+            assert result.bounds[name][0] == pytest.approx(
+                sequential.bounds[name][0]
+            )
+            assert result.bounds[name][1] == pytest.approx(
+                sequential.bounds[name][1]
+            )
+        assert result.extra["execution"] == 3.0
+        assert result.extra["wire_bytes_sent"] > 0.0
+        assert result.extra["wire_bytes_received"] > 0.0
+
+    def test_socket_requires_cluster_capability(self):
+        from repro.engine.registry import (
+            CAP_DISTRIBUTED,
+            register_scheme,
+            reset_registry,
+        )
+
+        pool, network, _ = make_instance()
+
+        def runner(network, pool, targets, options):  # pragma: no cover
+            raise AssertionError("never dispatched")
+
+        register_scheme(
+            "hybrid",
+            runner,
+            capabilities={CAP_DISTRIBUTED},
+            description="hybrid without cluster capability",
+            replace=True,
+        )
+        try:
+            coordinator = DistributedCompiler(network, pool, workers=2)
+            with pytest.raises(ValueError, match="not cluster-capable"):
+                coordinator.run(scheme="hybrid", execution="socket")
+        finally:
+            reset_registry()
+
+    def test_stealing_moves_jobs_and_keeps_the_tree(self):
+        # Worker 0 is slowed on every job; with wide waves the idle
+        # worker must steal from its queue, and the merged tree must
+        # still match the no-steal and simulated runs exactly.
+        pool, network = make_wide_instance()
+        slow = {"worker": 0, "sleep_per_job": 0.005}
+        runs = {}
+        for steal in (True, False):
+            coordinator = DistributedCompiler(
+                network, pool, workers=2, job_size=1,
+                fault_injection=slow, steal=steal,
+            )
+            try:
+                runs[steal] = coordinator.run(
+                    scheme="exact", execution="socket"
+                )
+            finally:
+                coordinator.close()
+        assert runs[True].extra["steals"] > 0.0
+        assert runs[False].extra["steals"] == 0.0
+        assert runs[True].tree_nodes == runs[False].tree_nodes
+        assert runs[True].jobs == runs[False].jobs
+        for name in runs[True].bounds:
+            assert runs[True].bounds[name] == pytest.approx(
+                runs[False].bounds[name]
+            )
+
+    @pytest.mark.parametrize("execution", ["process", "socket"])
+    def test_mid_patch_send_crash_recovers(self, execution):
+        # The worker dies after shipping a frame header with a truncated
+        # body: the partial frame must be discarded (never delivered),
+        # its jobs requeued on the survivor, and the tree unchanged.
+        import multiprocessing
+
+        pool, network, _ = make_instance()
+        reference = compile_distributed(
+            network, pool, scheme="exact", workers=2, job_size=1
+        )
+        coordinator = DistributedCompiler(
+            network, pool, workers=2, job_size=1,
+            fault_injection={"worker": 1, "partial_send_on_job": 1},
+        )
+        try:
+            result = coordinator.run(scheme="exact", execution=execution)
+            assert result.tree_nodes == reference.tree_nodes
+            assert result.jobs == reference.jobs
+            for name in reference.bounds:
+                assert result.bounds[name][0] == pytest.approx(
+                    reference.bounds[name][0]
+                )
+                assert result.bounds[name][1] == pytest.approx(
+                    reference.bounds[name][1]
+                )
+            assert result.extra["worker_failures"] >= 1.0
+            alive = coordinator._process_pool.alive_workers()
+            assert [worker.worker_id for worker in alive] == [0]
+        finally:
+            coordinator.close(force=True)
+        assert not multiprocessing.active_children()
+
+    def test_listen_accepts_remote_connect_workers(self):
+        # The cross-machine path on localhost: two out-of-tree worker
+        # processes join via serve_worker() (the `repro cluster
+        # --connect` entry point) and the run matches the simulation.
+        import multiprocessing
+        import socket as socket_module
+
+        from repro.compile.transport import serve_worker
+
+        probe = socket_module.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        address = f"127.0.0.1:{port}"
+        context = multiprocessing.get_context("spawn")
+        joiners = [
+            context.Process(
+                target=serve_worker, args=(address, 30.0), daemon=True
+            )
+            for _ in range(2)
+        ]
+        for process in joiners:
+            process.start()
+        pool, network, _ = make_instance()
+        coordinator = DistributedCompiler(
+            network, pool, workers=2, job_size=2, listen=address
+        )
+        try:
+            simulated = coordinator.run(scheme="hybrid", epsilon=0.1)
+            result = coordinator.run(
+                scheme="hybrid", epsilon=0.1, execution="socket"
+            )
+            assert result.tree_nodes == simulated.tree_nodes
+            for name in simulated.bounds:
+                assert result.bounds[name] == pytest.approx(
+                    simulated.bounds[name]
+                )
+        finally:
+            coordinator.close()
+            for process in joiners:
+                process.join(10.0)
+                if process.is_alive():  # pragma: no cover - hung joiner
+                    process.terminate()
+                    process.join(5.0)
+
+
+class TestShutdownReporting:
+    def test_healthy_force_close_kills_nobody(self):
+        pool, network, _ = make_instance()
+        coordinator = DistributedCompiler(network, pool, workers=2, job_size=2)
+        try:
+            coordinator.run(scheme="exact", execution="process")
+        finally:
+            coordinator.close(force=True)
+        # Healthy workers honour the stop record inside the bounded
+        # deadline even under force=True; nobody needed terminate().
+        assert coordinator.workers_killed == 0
+
+    def test_stalled_worker_is_killed_and_counted(self):
+        pool, network, _ = make_instance()
+        coordinator = DistributedCompiler(
+            network, pool, workers=2, job_size=1,
+            fault_injection={"worker": 0, "stall_on_job": 1},
+        )
+        try:
+            with pytest.raises(TimeoutError):
+                coordinator.run(scheme="exact", execution="process",
+                                timeout=1.5)
+        finally:
+            coordinator.close(force=True)
+        # The stalled worker overstayed the kill deadline and had to be
+        # terminated; the count feeds the next run's result.extra.
+        assert coordinator.workers_killed >= 1
+
+    def test_killed_workers_reported_in_next_run_extra(self):
+        pool, network, _ = make_instance()
+        coordinator = DistributedCompiler(
+            network, pool, workers=2, job_size=1,
+            fault_injection={"worker": 0, "stall_on_job": 1},
+        )
+        try:
+            with pytest.raises(TimeoutError):
+                coordinator.run(scheme="exact", execution="process",
+                                timeout=1.5)
+            coordinator.fault_injection = None
+            result = coordinator.run(scheme="exact", execution="process")
+            assert result.extra["workers_killed"] >= 1.0
+        finally:
+            coordinator.close(force=True)
+
+
 class TestAdaptiveJobSizer:
     def test_converges_on_synthetic_exponential_costs(self):
         # Per-job cost doubles with the fork depth: cost(d) = c0 * 2^d.
@@ -309,6 +523,24 @@ class TestAdaptiveJobSizer:
             assert via_registry.bounds[name][0] == pytest.approx(
                 sequential.bounds[name][0]
             )
+
+    def test_job_sizing_decision_trail_in_extra(self):
+        pool, network, _ = make_instance()
+        result = compile_distributed(
+            network, pool, scheme="exact", workers=2, job_size="adaptive"
+        )
+        sizing = result.extra["job_sizing"]
+        assert sizing["final_depth"] >= 1.0
+        assert sizing["target_cost"] > 0.0
+        assert sizing["waves"], "the decision trail must list every wave"
+        for wave in sizing["waves"]:
+            assert set(wave) == {
+                "depth", "jobs", "mean_cost", "ewma_cost", "next_depth"
+            }
+        fixed = compile_distributed(
+            network, pool, scheme="exact", workers=2, job_size=2
+        )
+        assert "job_sizing" not in fixed.extra
 
     def test_bad_job_size_rejected(self):
         pool, network, _ = make_instance()

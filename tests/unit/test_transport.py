@@ -1,0 +1,184 @@
+"""Unit tests for the framed socket transport (PR 8).
+
+The codec-level contracts the cluster relies on: length-prefixed frames
+survive arbitrary TCP segmentation, a peer that dies mid-frame is
+observed as EOF with the partial frame *discarded* (never delivered as
+a truncated record), and the patch payloads that ride the frames stay
+plain Python scalars.
+"""
+
+import pickle
+import socket
+
+import numpy as np
+import pytest
+
+from repro.compile.transport import (
+    HEADER,
+    FramedStream,
+    parse_address,
+    serve_worker,
+)
+from repro.engine.masked import patch_is_plain, patch_wire_size
+
+
+def tcp_pair():
+    """A connected loopback TCP socket pair (AF_INET, so TCP_NODELAY
+    applies, exactly like the real transport)."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    client = socket.create_connection(listener.getsockname())
+    server, _ = listener.accept()
+    listener.close()
+    return client, server
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("127.0.0.1:7453") == ("127.0.0.1", 7453)
+        assert parse_address("node-3.cluster:80") == ("node-3.cluster", 80)
+
+    @pytest.mark.parametrize("bad", ["localhost", ":80", "host:", "host:abc"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+
+class TestFramedStream:
+    def test_roundtrip_preserves_records(self):
+        client, server = tcp_pair()
+        sender, receiver = FramedStream(client), FramedStream(server)
+        try:
+            records = [("job", {"depth": 3}), ("done", 0, 7, [1.0, 2.0]),
+                       ("stop",)]
+            for record in records:
+                sender.send(record)
+            assert [receiver.recv() for _ in records] == records
+            assert sender.bytes_sent == receiver.bytes_received > 0
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_receive_available_drains_complete_frames_only(self):
+        client, server = tcp_pair()
+        sender, receiver = FramedStream(client), FramedStream(server)
+        try:
+            sender.send(("done", 0, 1, "first"))
+            sender.send(("done", 0, 2, "second"))
+            # A trailing partial frame: header promising more bytes than
+            # are ever sent.
+            body = pickle.dumps(("done", 0, 3, "never-finished"))
+            client.sendall(HEADER.pack(len(body)) + body[: len(body) // 2])
+            deadline_records = []
+            while len(deadline_records) < 2:
+                drained, eof = receiver.receive_available()
+                assert not eof
+                deadline_records.extend(drained)
+            assert deadline_records == [
+                ("done", 0, 1, "first"), ("done", 0, 2, "second")
+            ]
+            # The partial frame stays buffered, not delivered.
+            drained, eof = receiver.receive_available()
+            assert drained == [] and not eof
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_peer_death_mid_frame_surfaces_as_eof_not_a_record(self):
+        client, server = tcp_pair()
+        receiver = FramedStream(server)
+        try:
+            body = pickle.dumps(("done", 1, 9, "truncated"))
+            client.sendall(HEADER.pack(len(body)) + body[: len(body) // 2])
+            client.close()  # the worker dies mid-send
+            records = []
+            eof = False
+            while not eof:
+                drained, eof = receiver.receive_available()
+                records.extend(drained)
+            assert records == []  # the half frame was discarded
+        finally:
+            receiver.close()
+
+    def test_send_partial_is_a_faithful_crash_model(self):
+        # send_partial ships header + truncated body, exactly what a
+        # worker killed mid-sendall leaves on the wire.
+        client, server = tcp_pair()
+        sender, receiver = FramedStream(client), FramedStream(server)
+        try:
+            sender.send_partial(("done", 0, 0, "half"))
+            sender.close()
+            drained, eof = [], False
+            while not eof:
+                records, eof = receiver.receive_available()
+                drained.extend(records)
+            assert drained == []
+        finally:
+            receiver.close()
+
+    def test_blocking_recv_raises_eof_on_close(self):
+        client, server = tcp_pair()
+        receiver = FramedStream(server)
+        try:
+            client.close()
+            with pytest.raises(EOFError):
+                receiver.recv()
+        finally:
+            receiver.close()
+
+
+class TestServeWorker:
+    def test_gives_up_after_retry_deadline(self):
+        # Nothing listens on the probed port: the worker retries until
+        # the deadline, then re-raises the connection error.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(OSError):
+            serve_worker(f"127.0.0.1:{port}", retry_seconds=0.3)
+
+
+class TestPatchWireContract:
+    PLAIN_FRAMES = (
+        (4, True, ((0, 4, 1), (1, 2, 0.25, 0.75, True, False))),
+        (None, None, ()),
+    )
+
+    def test_plain_frames_pass(self):
+        assert patch_is_plain(self.PLAIN_FRAMES)
+
+    def test_numpy_scalars_are_rejected(self):
+        leaked_num = (
+            (4, True, ((1, 2, np.float64(0.25), 0.75, True, False),)),
+        )
+        assert not patch_is_plain(leaked_num)
+        leaked_bool = ((4, np.bool_(True), ((0, 4, 1),)),)
+        assert not patch_is_plain(leaked_bool)
+        leaked_vid = ((np.int64(4), True, ((0, 4, 1),)),)
+        assert not patch_is_plain(leaked_vid)
+
+    def test_wire_size_is_the_pickled_frame_cost(self):
+        assert patch_wire_size(self.PLAIN_FRAMES) == len(
+            pickle.dumps(
+                tuple(self.PLAIN_FRAMES), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        )
+
+    def test_real_exported_patches_are_plain(self):
+        # End to end: a patch exported by the evaluator (the thing the
+        # transports actually ship) satisfies the validator.
+        from repro.engine.masked import MaskedEvaluator
+        from repro.events.expressions import conj, var
+        from repro.network.build import build_targets
+
+        network = build_targets({"t": conj([var(0), var(1), var(2)])})
+        evaluator = MaskedEvaluator(network)
+        evaluator.push()
+        evaluator.push(0, True)
+        evaluator.push(1, False)
+        patch = evaluator.export_patch(1)
+        assert patch, "expected a non-empty patch"
+        assert patch_is_plain(patch)
+        assert patch_wire_size(patch) > 0
