@@ -1,0 +1,207 @@
+"""Service layer: cold vs warm latency and batched throughput.
+
+Three questions about ``repro serve`` on the paper's k-medoids
+workloads:
+
+* **What does the artifact cache buy?**  Cold latency (first query:
+  deserialize + engine pass) vs warm latency (repeat query: answered
+  from the result artifact, no pass).  The stable regression signal of
+  this file is ``min_speedup_warm_over_cold`` — a warm hit must stay
+  at least ``WARM_SPEEDUP_TARGET``× faster than the cold path, gated
+  by CI via :mod:`benchmarks.check_regression`.
+
+* **What does batching buy?**  N concurrent clients issuing the same
+  query against a plugged-then-released queue: the executor must
+  answer all N from strictly fewer engine passes (coalescing), and the
+  per-request latency under concurrency is recorded next to the
+  sequential baseline.
+
+* **Is the served answer the direct answer?**  Every timed row first
+  asserts the served bounds equal a direct ``run_scheme`` call within
+  1e-9 — transparency is a precondition of every measurement, the same
+  discipline as the cluster benchmark's parity checks.
+
+Results are printed paper-style and written to ``BENCH_serve.json`` at
+the repository root (override with ``--output``; ``--smoke`` runs the
+seconds-scale subset CI regenerates and gates).
+
+Run the full sweep:  python -m benchmarks.bench_serve
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.engine.registry import run_scheme
+from repro.serve import ServeClient, ServerThread
+
+from .common import make_workload
+
+MATCH_ABS = 1e-9
+WARM_SPEEDUP_TARGET = 3.0
+WARM_REPEATS = 25
+SMOKE_WARM_REPEATS = 10
+OBJECTS = 7
+SMOKE_OBJECTS = 5
+CONCURRENT_CLIENTS = 8
+SMOKE_CONCURRENT_CLIENTS = 4
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def _assert_matches_direct(served: dict, direct, targets) -> None:
+    for name in targets:
+        low, high = served["bounds"][name]
+        assert abs(low - direct.bounds[name][0]) <= MATCH_ABS, name
+        assert abs(high - direct.bounds[name][1]) <= MATCH_ABS, name
+
+
+def sweep_cold_vs_warm(
+    client: ServeClient, workload, scheme: str, repeats: int
+) -> Dict[str, float]:
+    """Cold first-touch latency vs best-of-N warm-hit latency."""
+    targets = sorted(workload.targets)
+    direct = run_scheme(
+        scheme, workload.network, workload.dataset.pool, targets=targets,
+        epsilon=0.1,
+    )
+    started = time.perf_counter()
+    cold = client.query(
+        network="bench", scheme=scheme, targets=targets, epsilon=0.1
+    )
+    cold_seconds = time.perf_counter() - started
+    # First touch ran an engine pass: "cold" for the first scheme,
+    # "miss" once another scheme already materialized the network.
+    assert cold["extra"]["cache"] in ("cold", "miss"), cold["extra"]["cache"]
+    _assert_matches_direct(cold, direct, targets)
+    warm_seconds = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        warm = client.query(
+            network="bench", scheme=scheme, targets=targets, epsilon=0.1
+        )
+        warm_seconds = min(warm_seconds, time.perf_counter() - started)
+        assert warm["extra"]["cache"] == "hit"
+        _assert_matches_direct(warm, direct, targets)
+    return {
+        "scheme": scheme,
+        "first_touch": cold["extra"]["cache"],
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_over_cold": cold_seconds / warm_seconds,
+    }
+
+
+def sweep_concurrent_throughput(
+    client: ServeClient, server: ServerThread, workload, clients: int
+) -> Dict[str, float]:
+    """N clients fire the same fresh query at once; count engine passes."""
+    # A target subset no earlier sweep used, so the result layer is
+    # cold and the requests must coalesce rather than all hit.
+    targets = sorted(workload.targets)[:-1] or sorted(workload.targets)
+    executor = server.server.executor
+    passes_before = executor.passes
+    latencies: List[float] = [0.0] * clients
+    responses: List[dict] = [None] * clients
+    barrier = threading.Barrier(clients)
+
+    def fire(index: int) -> None:
+        barrier.wait()
+        started = time.perf_counter()
+        responses[index] = client.query(
+            network="bench", scheme="naive", targets=targets
+        )
+        latencies[index] = time.perf_counter() - started
+
+    threads = [
+        threading.Thread(target=fire, args=(index,))
+        for index in range(clients)
+    ]
+    wall_started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_started
+    passes = executor.passes - passes_before
+    assert 1 <= passes <= clients, "coalescing sweep never ran a pass"
+    coalesced = max(
+        response["extra"]["batched_into"] for response in responses
+    )
+    return {
+        "clients": float(clients),
+        "engine_passes": float(passes),
+        "max_batched_into": coalesced,
+        "wall_seconds": wall,
+        "mean_latency_seconds": sum(latencies) / clients,
+        "requests_per_second": clients / wall,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="seconds-scale subset for CI")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args()
+
+    objects = SMOKE_OBJECTS if args.smoke else OBJECTS
+    repeats = SMOKE_WARM_REPEATS if args.smoke else WARM_REPEATS
+    clients = SMOKE_CONCURRENT_CLIENTS if args.smoke else CONCURRENT_CLIENTS
+    schemes = ("exact",) if args.smoke else ("exact", "hybrid", "naive")
+
+    workload = make_workload(objects, "independent", seed=3)
+    rows = []
+    with ServerThread(max_batch=32, max_pending=256) as server:
+        client = ServeClient(port=server.port, timeout=120.0)
+        client.put_network(
+            "bench", workload.network, workload.dataset.pool
+        )
+        for scheme in schemes:
+            row = sweep_cold_vs_warm(client, workload, scheme, repeats)
+            rows.append(row)
+            print(
+                f"{scheme:>8}: cold {row['cold_seconds'] * 1e3:8.2f} ms   "
+                f"warm {row['warm_seconds'] * 1e3:8.2f} ms   "
+                f"({row['warm_over_cold']:6.1f}x)"
+            )
+        throughput = sweep_concurrent_throughput(
+            client, server, workload, clients
+        )
+        print(
+            f"concurrent: {clients} clients, "
+            f"{throughput['engine_passes']:.0f} engine passes, "
+            f"max batched_into {throughput['max_batched_into']:.0f}, "
+            f"{throughput['requests_per_second']:8.1f} req/s"
+        )
+        stats = client.stats()
+
+    min_warm_over_cold = min(row["warm_over_cold"] for row in rows)
+    assert min_warm_over_cold >= WARM_SPEEDUP_TARGET, (
+        f"warm/cold speedup {min_warm_over_cold:.1f}x below the "
+        f"{WARM_SPEEDUP_TARGET}x floor"
+    )
+    payload = {
+        "smoke": bool(args.smoke),
+        "objects": objects,
+        "warm_repeats": repeats,
+        "min_speedup_warm_over_cold": min_warm_over_cold,
+        "speedup_target_warm_over_cold": WARM_SPEEDUP_TARGET,
+        "cold_vs_warm": rows,
+        "concurrent": throughput,
+        "cache": stats["cache"],
+        "executor": {
+            key: stats["executor"][key]
+            for key in ("requests", "passes", "batches")
+        },
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

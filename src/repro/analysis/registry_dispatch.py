@@ -10,7 +10,9 @@ through :func:`repro.engine.registry.run_scheme` instead of hard-coding
   exactly one module, the registry itself.  Anything else importing it
   is wiring around the dispatch point.
 * The entry-point modules (``cli.py``, ``__main__.py``,
-  ``core/platform.py``) must not import scheme *implementations*
+  ``core/platform.py``, and everything under ``repro.serve`` — the
+  query service answers arbitrary scheme requests, so the whole
+  package is an entry surface) must not import scheme *implementations*
   (compilers, world enumeration, Monte Carlo, the evaluator engines);
   they talk to ``repro.engine.registry`` only.  Option-name constants
   (``compile.ordering.ORDER_NAMES``, ``engine.kernels.KERNEL_NAMES``)
@@ -42,6 +44,11 @@ ENTRY_FILES = frozenset(
         "src/repro/core/platform.py",
     }
 )
+
+#: Entry-point *packages*: every module under these prefixes is an
+#: entry point.  The service layer answers arbitrary scheme queries, so
+#: all of it must dispatch through the registry.
+ENTRY_PREFIXES = ("src/repro/serve/",)
 
 #: Scheme-implementation modules banned from the entry points.
 IMPLEMENTATION_MODULES = (
@@ -75,7 +82,9 @@ class RegistryDispatchRule(Rule):
 
     def check(self, source: SourceFile) -> Iterable[Finding]:
         findings: List[Finding] = []
-        is_entry = source.path in ENTRY_FILES
+        is_entry = source.path in ENTRY_FILES or source.path.startswith(
+            ENTRY_PREFIXES
+        )
         for node in ast.walk(source.tree):
             if not isinstance(node, (ast.Import, ast.ImportFrom)):
                 continue

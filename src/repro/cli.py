@@ -8,6 +8,8 @@ Commands:
 * ``explain`` — sensitivity report for one output event.
 * ``network`` — build the event network and print its statistics (or a
   Graphviz rendering with ``--dot``).
+* ``serve`` — run the long-running HTTP/JSON query service: request
+  batching plus a compiled-artifact cache over the scheme registry.
 """
 
 from __future__ import annotations
@@ -220,6 +222,85 @@ def _command_check(args: argparse.Namespace) -> int:
     return runner.handle(args)
 
 
+def _parse_cache_bytes(raw: str) -> int:
+    """``--cache-bytes`` accepts plain bytes or a k/m/g suffix."""
+    scale = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    text = raw.strip().lower()
+    factor = 1
+    if text and text[-1] in scale:
+        factor = scale[text[-1]]
+        text = text[:-1]
+    try:
+        value = int(text) * factor
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"cache size must be an integer with optional k/m/g suffix, "
+            f"got {raw!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("cache size must be non-negative")
+    return value
+
+
+def _parse_named_path(raw: str) -> "tuple[str, str]":
+    """``--network`` takes ``NAME=PATH`` (a saved network document)."""
+    name, separator, path = raw.partition("=")
+    if not separator or not name or not path:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=PATH, got {raw!r}"
+        )
+    return name, path
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .serve.server import ReproServer
+
+    async def _main() -> int:
+        server = ReproServer(
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_pending=args.max_pending,
+            cache_bytes=args.cache_bytes,
+        )
+        for name, path in args.network or ():
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            info = server.put_network(name, document)
+            print(f"registered network {name} ({info['hash'][:12]})")
+        await server.start()
+        print(
+            f"serving on {server.host}:{server.port} "
+            f"(max batch {args.max_batch}, queue cap {args.max_pending}, "
+            f"cache {args.cache_bytes} bytes)"
+        )
+        print(f"schemes: {', '.join(ALGORITHM_CHOICES)}")
+        report = await server.serve_forever()
+        abandoned = int(report.get("requests_abandoned", 0))
+        if abandoned:
+            print(
+                f"shutdown: {abandoned} request(s) abandoned before the "
+                "drain deadline",
+                file=sys.stderr,
+            )
+        else:
+            print("shutdown: queue drained cleanly")
+        return 0
+
+    try:
+        return asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("interrupted; server stopped")
+        return 0
+    except OSError as exc:
+        print(f"could not serve on {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+
+
 def _command_network(args: argparse.Namespace) -> int:
     platform = _build_platform(args)
     stats = platform.network.stats()
@@ -307,6 +388,30 @@ def build_parser() -> argparse.ArgumentParser:
     network.add_argument("--dot", action="store_true",
                          help="emit Graphviz instead of statistics")
     network.set_defaults(handler=_command_network)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the batched HTTP/JSON query service with an "
+             "artifact cache",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port; 0 picks a free port (default 8080)")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="most requests coalesced per batch (default 32)")
+    serve.add_argument("--max-pending", type=int, default=256,
+                       help="admission cap: queued requests beyond this "
+                            "are rejected with 503 (default 256)")
+    serve.add_argument("--cache-bytes", type=_parse_cache_bytes,
+                       default=64 << 20, metavar="BYTES",
+                       help="artifact cache LRU byte cap, e.g. 64m "
+                            "(default 64m)")
+    serve.add_argument("--network", action="append", metavar="NAME=PATH",
+                       type=_parse_named_path,
+                       help="preload a saved network document (repeatable); "
+                            "clients can also PUT /networks/<name>")
+    serve.set_defaults(handler=_command_serve)
 
     kernels = subparsers.add_parser(
         "kernels", help="report kernel tier availability and the default"

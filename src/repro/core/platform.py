@@ -79,6 +79,35 @@ class ENFrame:
         via the SPROUT-style substrate of ``repro.db``)."""
         return cls(query.to_dataset(feature_attributes, pool))
 
+    @classmethod
+    def from_network(
+        cls,
+        network: EventNetwork,
+        pool: VariablePool,
+        targets: Optional[Sequence[str]] = None,
+    ) -> "ENFrame":
+        """A platform bound to an already-compiled event network.
+
+        The entry point for pre-built artifacts: networks persisted with
+        :func:`repro.network.serialize.save_network` or fetched from a
+        ``repro serve`` deployment can be re-run locally without the
+        source dataset or program.  ``targets`` defaults to every
+        compilation target the network carries.
+        """
+        unknown = [
+            name for name in (targets or ()) if name not in network.targets
+        ]
+        if unknown:
+            raise ValueError(f"unknown targets {unknown!r}")
+        platform = cls(
+            ProbabilisticDataset(np.zeros((0, 1), dtype=float), [], pool)
+        )
+        platform.network = network
+        platform._target_names = (
+            list(targets) if targets is not None else list(network.targets)
+        )
+        return platform
+
     # ------------------------------------------------------------------
     # Program registration
     # ------------------------------------------------------------------

@@ -239,11 +239,8 @@ def scheme_capabilities(name: str) -> FrozenSet[str]:
     return get_scheme(name).capabilities
 
 
-def run_scheme(
+def normalise_options(
     name: str,
-    network: EventNetwork,
-    pool: VariablePool,
-    targets: Optional[Sequence[str]] = None,
     *,
     epsilon: float = 0.0,
     order: "str | Sequence[int]" = "frequency",
@@ -257,16 +254,24 @@ def run_scheme(
     confidence: float = 0.95,
     kernel: Optional[str] = None,
     listen: Optional[str] = None,
-) -> CompilationResult:
-    """Dispatch one probability computation through the registry.
+) -> SchemeOptions:
+    """Normalise run options against the named scheme's capabilities.
+
+    This is the canonicalisation half of :func:`run_scheme`, exposed so
+    callers that *key* on options — the service layer's artifact cache
+    hashes the normalised form, so e.g. ``exact`` requests with
+    different ``epsilon`` or ``seed`` values share one cache entry —
+    see exactly what the runner will see.
 
     Options irrelevant to the chosen scheme are normalised away rather
     than rejected: ``epsilon`` is zeroed for schemes without the
-    ``epsilon`` capability, ``workers`` is dropped for schemes that are
-    not ``distributed``-capable — and with it ``execution``, which
-    reverts to ``"simulate"`` — ``execution="socket"`` (and with it
-    ``listen``) is dropped to ``"simulate"`` for distributed schemes
-    without the ``cluster`` capability, and ``timeout`` is dropped for schemes
+    ``epsilon`` capability; ``samples``/``seed``/``confidence`` revert
+    to their defaults for schemes without the ``statistical``
+    capability; ``workers`` is dropped for schemes that are not
+    ``distributed``-capable — and with it ``execution``, which reverts
+    to ``"simulate"`` — ``execution="socket"`` (and with it ``listen``)
+    is dropped to ``"simulate"`` for distributed schemes without the
+    ``cluster`` capability, and ``timeout`` is dropped for schemes
     without the ``timeout`` capability (matching the historical facade
     behaviour where e.g. ``naive`` ignored ``workers``), *except* for
     distributed runs, where it bounds the whole run in process mode (a
@@ -286,22 +291,40 @@ def run_scheme(
             raise ValueError(
                 f"unknown kernel {kernel!r}; expected one of {KERNEL_NAMES}"
             )
+    statistical = spec.has(CAP_STATISTICAL)
     distributed = spec.has(CAP_DISTRIBUTED) and workers is not None
     cluster = distributed and spec.has(CAP_CLUSTER)
     normalised_execution = execution if distributed else "simulate"
     if normalised_execution == "socket" and not cluster:
         normalised_execution = "simulate"
-    options = SchemeOptions(
+    return SchemeOptions(
         epsilon=epsilon if spec.has(CAP_EPSILON) else 0.0,
         order=order if ordering is None else ordering,
         workers=workers if spec.has(CAP_DISTRIBUTED) else None,
         job_size=job_size,
         execution=normalised_execution,
         timeout=timeout if spec.has(CAP_TIMEOUT) or distributed else None,
-        samples=samples,
-        seed=seed,
-        confidence=confidence,
+        samples=samples if statistical else 1000,
+        seed=seed if statistical else 0,
+        confidence=confidence if statistical else 0.95,
         kernel=kernel if spec.has(CAP_KERNEL) else None,
         listen=listen if normalised_execution == "socket" else None,
     )
-    return spec.runner(network, pool, targets, options)
+
+
+def run_scheme(
+    name: str,
+    network: EventNetwork,
+    pool: VariablePool,
+    targets: Optional[Sequence[str]] = None,
+    **options,
+) -> CompilationResult:
+    """Dispatch one probability computation through the registry.
+
+    Accepts the keyword options of :func:`normalise_options` (which
+    documents how options irrelevant to the chosen scheme are
+    normalised away rather than rejected) and hands the normalised
+    :class:`SchemeOptions` to the scheme's registered runner.
+    """
+    spec = get_scheme(name)
+    return spec.runner(network, pool, targets, normalise_options(name, **options))

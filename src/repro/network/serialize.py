@@ -13,6 +13,7 @@ serialise their slot bindings and iteration count as well.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict, Optional
 
@@ -117,6 +118,44 @@ def pool_from_dict(document: Dict[str, Any]) -> VariablePool:
     for probability, name in zip(document["probabilities"], document["names"]):
         pool.add(probability, name=name)
     return pool
+
+
+def canonical_json_bytes(document: Any) -> bytes:
+    """Canonical byte encoding of a JSON-ready document.
+
+    Keys are sorted and separators fixed, so two structurally equal
+    documents encode to the same bytes regardless of insertion order —
+    the property the service layer's content-addressed artifact cache
+    (:mod:`repro.serve.cache`) relies on.  ``float`` values round-trip
+    through ``repr`` (shortest-exact in CPython), so the encoding is
+    stable across processes on the same platform.
+    """
+    return json.dumps(
+        document, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")
+
+
+def content_hash(document: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json_bytes`."""
+    return hashlib.sha256(canonical_json_bytes(document)).hexdigest()
+
+
+def network_content_hash(
+    network: EventNetwork, pool: Optional[VariablePool] = None
+) -> str:
+    """Content hash of a network (and optionally its pool).
+
+    Two networks (flat or folded) serialising to the same document —
+    same nodes, targets, names, slot bindings, and marginals — share a
+    hash; any edit (a renamed target, a changed probability) changes
+    it.  This is the cache-invalidation anchor for the service layer:
+    artifacts are keyed by this hash, so an edited network *cannot*
+    alias a stale artifact.
+    """
+    document: Dict[str, Any] = {"network": network_to_dict(network)}
+    if pool is not None:
+        document["pool"] = pool_to_dict(pool)
+    return content_hash(document)
 
 
 def save_network(

@@ -1,0 +1,27 @@
+"""The service layer: a long-running batched query front-end.
+
+``repro serve`` turns the platform into a network service: an asyncio
+HTTP/JSON server (:mod:`repro.serve.server`) with admission control
+and request batching (:mod:`repro.serve.batching`) over a
+content-addressed compiled-artifact cache (:mod:`repro.serve.cache`).
+All probability computation dispatches through
+:mod:`repro.engine.registry`, so every registered scheme is servable.
+"""
+
+from .batching import BatchingExecutor, QueryJob
+from .cache import Artifact, ArtifactCache, DEFAULT_CACHE_BYTES
+from .client import ServeClient, ServeClientError
+from .server import ReproServer, ServeError, ServerThread
+
+__all__ = [
+    "Artifact",
+    "ArtifactCache",
+    "BatchingExecutor",
+    "DEFAULT_CACHE_BYTES",
+    "QueryJob",
+    "ReproServer",
+    "ServeClient",
+    "ServeClientError",
+    "ServeError",
+    "ServerThread",
+]

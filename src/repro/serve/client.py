@@ -1,0 +1,118 @@
+"""A small blocking client for the ``repro serve`` HTTP/JSON API.
+
+Stdlib-only (``http.client``), one connection per exchange (the server
+answers ``Connection: close``).  Used by the differential test
+harness, the service benchmark, and the CI smoke job — and usable from
+application code that wants typed errors instead of raw HTTP.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, List, Optional, Tuple
+
+from ..network.nodes import EventNetwork
+from ..network.serialize import network_to_dict, pool_to_dict
+from ..worlds.variables import VariablePool
+
+
+class ServeClientError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Blocking client bound to one ``repro serve`` endpoint."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> dict:
+        """One HTTP exchange; raises :class:`ServeClientError` on non-2xx."""
+        status, document = self.raw_request(method, path, payload)
+        if status >= 300:
+            raise ServeClientError(
+                status, str(document.get("error", document))
+            )
+        return document
+
+    def raw_request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> Tuple[int, dict]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            document = json.loads(raw) if raw else {}
+            return response.status, document
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self.request("GET", "/stats")
+
+    def schemes(self) -> Dict[str, List[str]]:
+        return self.request("GET", "/schemes")["schemes"]
+
+    def put_network(
+        self, name: str, network: EventNetwork, pool: VariablePool
+    ) -> dict:
+        document = {
+            "network": network_to_dict(network),
+            "pool": pool_to_dict(pool),
+        }
+        return self.put_network_document(name, document)
+
+    def put_network_document(self, name: str, document: dict) -> dict:
+        return self.request("PUT", f"/networks/{name}", document)
+
+    def delete_network(self, name: str) -> dict:
+        return self.request("DELETE", f"/networks/{name}")
+
+    def rename_network(self, name: str, new_name: str) -> dict:
+        return self.request(
+            "POST", f"/networks/{name}/rename", {"to": new_name}
+        )
+
+    def query(self, network: str, **options) -> dict:
+        """One probability query; keyword options mirror the JSON API
+        (``scheme``, ``targets``, ``epsilon``, ``ordering``, ``kernel``,
+        ``samples``, ``seed``, ``confidence``, ``workers``, ...)."""
+        payload = {"network": network}
+        payload.update(options)
+        return self.request("POST", "/query", payload)
+
+    def shutdown(self, drain_timeout: float = 5.0) -> dict:
+        return self.request(
+            "POST", "/shutdown", {"drain_timeout": drain_timeout}
+        )

@@ -1,0 +1,228 @@
+"""Differential property: served answers ≡ direct ``run_scheme``.
+
+The service layer must be *transparent*: for every registered scheme,
+an answer obtained through HTTP — cold (first touch), warm (artifact
+cache hit), or mid-batch (coalesced with concurrent peers) — must
+agree with a direct in-process ``run_scheme`` call to 1e-9, and
+statistical schemes must be per-seed *identical* (same seed, same
+sample worlds, same estimate — coalescing draws sample worlds before
+looking at targets, so riding along in a union pass changes nothing).
+
+Random instances cover both flat networks and folded (loop-slot)
+networks; every scheme in the registry is exercised against each.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.engine.registry import (
+    CAP_EPSILON,
+    CAP_STATISTICAL,
+    available_schemes,
+    run_scheme,
+    scheme_capabilities,
+)
+from repro.network.build import build_targets
+from repro.serve import ServeClient, ServerThread
+
+from ..conftest import make_pool, random_event
+from .test_folded_bulk_vs_scalar import _random_folded_instance
+
+MATCH_ABS = 1e-9
+SEEDS = (101, 202)
+
+
+def _random_flat_instance(seed: int):
+    rng = random.Random(seed)
+    pool = make_pool(
+        [rng.uniform(0.05, 0.95) for _ in range(rng.randint(4, 7))]
+    )
+    events = {
+        f"t{index}": random_event(pool, rng, depth=rng.randint(1, 3))
+        for index in range(rng.randint(2, 4))
+    }
+    return pool, build_targets(events)
+
+
+def _instances(seed: int):
+    yield "flat", _random_flat_instance(seed)
+    yield "folded", _random_folded_instance(seed)
+
+
+def _query_options(scheme: str) -> dict:
+    options = {}
+    if scheme_capabilities(scheme) & {CAP_EPSILON}:
+        options["epsilon"] = 0.07
+    if scheme_capabilities(scheme) & {CAP_STATISTICAL}:
+        options["samples"] = 200
+        options["seed"] = 31
+    return options
+
+
+def _assert_bounds_match(served: dict, direct, targets, *, exact: bool):
+    for name in targets:
+        low, high = served["bounds"][name]
+        if exact:
+            # Per-seed statistical identity and JSON round-trip
+            # exactness: the served floats equal the direct floats bit
+            # for bit (json repr round-trips IEEE doubles).
+            assert low == direct.bounds[name][0], name
+            assert high == direct.bounds[name][1], name
+        else:
+            assert low == pytest.approx(direct.bounds[name][0], abs=MATCH_ABS)
+            assert high == pytest.approx(direct.bounds[name][1], abs=MATCH_ABS)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_served_cold_and_warm_match_direct(seed):
+    with ServerThread() as server:
+        client = ServeClient(port=server.port)
+        for kind, (pool, network) in _instances(seed):
+            name = f"net-{kind}"
+            client.put_network(name, network, pool)
+            targets = sorted(network.targets)
+            for scheme in available_schemes():
+                options = _query_options(scheme)
+                direct = run_scheme(
+                    scheme, network, pool, targets=targets, **options
+                )
+                cold = client.query(
+                    network=name, scheme=scheme, targets=targets, **options
+                )
+                warm = client.query(
+                    network=name, scheme=scheme, targets=targets, **options
+                )
+                exact = CAP_STATISTICAL in scheme_capabilities(scheme)
+                _assert_bounds_match(cold, direct, targets, exact=exact)
+                assert warm["extra"]["cache"] == "hit", (kind, scheme)
+                assert warm["bounds"] == cold["bounds"]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_served_mid_batch_matches_direct(seed):
+    """Answers produced *inside a coalesced batch* still match direct.
+
+    A gate-able plug scheme holds the executor busy while one query per
+    registered scheme — with distinct single targets for the bulk
+    schemes, forcing a union pass — piles up behind it; releasing the
+    gate runs them all through shared batches.
+    """
+    from contextlib import ExitStack
+
+    from repro.compile.result import CompilationResult
+    from repro.engine.registry import register_scheme, unregister_scheme
+
+    pool, network = _random_flat_instance(seed)
+    targets = sorted(network.targets)
+    gate = threading.Event()
+    started = threading.Event()
+
+    def plug_runner(net, pl, tg, options):
+        started.set()
+        assert gate.wait(timeout=30.0)
+        names = list(tg) if tg is not None else list(net.targets)
+        return CompilationResult(
+            bounds={n: (0.0, 1.0) for n in names}, scheme="serve-plug",
+            epsilon=0.0,
+        )
+
+    register_scheme("serve-plug", plug_runner, capabilities=(), replace=True)
+    with ExitStack() as stack:
+        stack.callback(unregister_scheme, "serve-plug")
+        stack.callback(gate.set)
+        server = stack.enter_context(ServerThread(max_batch=64,
+                                                  max_pending=128))
+        client = ServeClient(port=server.port)
+        client.put_network("net", network, pool)
+        plug = threading.Thread(
+            target=client.query, kwargs=dict(network="net",
+                                             scheme="serve-plug"),
+        )
+        plug.start()
+        assert started.wait(10.0)
+
+        jobs = []
+        for scheme in available_schemes():
+            options = _query_options(scheme)
+            # Give each request a single distinct target so bulk
+            # schemes must answer from a union-pass slice.
+            target = targets[len(jobs) % len(targets)]
+            jobs.append((scheme, [target], options))
+        responses = [None] * len(jobs)
+
+        def ask(index, scheme, job_targets, options):
+            responses[index] = client.query(
+                network="net", scheme=scheme, targets=job_targets, **options
+            )
+
+        threads = [
+            threading.Thread(target=ask, args=(i, *job))
+            for i, job in enumerate(jobs)
+        ]
+        for thread in threads:
+            thread.start()
+        import time
+
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if client.stats()["executor"]["pending"] >= len(jobs) + 1:
+                break
+            time.sleep(0.005)
+        else:
+            raise AssertionError("queries never queued behind the plug")
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        plug.join(timeout=60.0)
+
+        for (scheme, job_targets, options), served in zip(jobs, responses):
+            direct = run_scheme(
+                scheme, network, pool, targets=job_targets, **options
+            )
+            exact = CAP_STATISTICAL in scheme_capabilities(scheme)
+            assert list(served["bounds"]) == job_targets
+            _assert_bounds_match(served, direct, job_targets, exact=exact)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_montecarlo_per_seed_identity_survives_union_batching(seed):
+    """Same seed → bit-identical estimate, alone or unioned.
+
+    Two concurrent Monte Carlo queries with different targets coalesce
+    into one union pass; each answer must equal its own direct
+    single-target run exactly, because sampling is target-independent.
+    """
+    pool, network = _random_flat_instance(seed)
+    targets = sorted(network.targets)
+    if len(targets) < 2:
+        pytest.skip("needs two targets")
+    with ServerThread() as server:
+        client = ServeClient(port=server.port)
+        client.put_network("net", network, pool)
+        responses = {}
+
+        def ask(name):
+            responses[name] = client.query(
+                network="net", scheme="montecarlo", targets=[name],
+                samples=256, seed=seed,
+            )
+
+        threads = [
+            threading.Thread(target=ask, args=(name,))
+            for name in targets[:2]
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        for name in targets[:2]:
+            direct = run_scheme(
+                "montecarlo", network, pool, targets=[name],
+                samples=256, seed=seed,
+            )
+            assert responses[name]["bounds"][name][0] == direct.bounds[name][0]
+            assert responses[name]["bounds"][name][1] == direct.bounds[name][1]

@@ -178,6 +178,25 @@ class TestRegistryDispatch:
             REGISTRY_RULE, "benchmarks/bench_orders.py", good
         )
 
+    def test_serve_package_is_entry_surface(self):
+        bad = "from ..engine.bulk import bulk_probabilities\n"
+        for path in (
+            "src/repro/serve/server.py",
+            "src/repro/serve/batching.py",
+            "src/repro/serve/newmodule.py",
+        ):
+            found = findings_for(REGISTRY_RULE, path, bad)
+            assert found and "entry point" in found[0].message, path
+
+    def test_serve_package_may_use_registry(self):
+        good = (
+            "from ..engine.registry import run_scheme, normalise_options\n"
+            "from ..compile.ordering import ORDER_NAMES\n"
+        )
+        assert not findings_for(
+            REGISTRY_RULE, "src/repro/serve/server.py", good
+        )
+
 
 class TestBarrierDeterminism:
     PATH = "src/repro/compile/distributed.py"

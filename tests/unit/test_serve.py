@@ -1,0 +1,496 @@
+"""Unit tests for the service layer: batching, cache, catalog, CLI.
+
+The concurrency tests drive N simultaneous HTTP clients against one
+server and assert *coalescing* through the executor's instrumented
+pass counter — strictly fewer engine passes than requests, and
+``batched_into > 1`` on every response of a coalesced group.  The
+determinism trick is a gate-able "plug" scheme registered in-process:
+while its runner blocks on a `threading.Event` inside the executor
+thread, the asyncio loop keeps admitting requests, which therefore
+pile up in the queue and must coalesce into the next batch.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+
+import pytest
+
+from repro.compile.result import CompilationResult
+from repro.core.platform import ENFrame
+from repro.engine.registry import (
+    register_scheme,
+    run_scheme,
+    unregister_scheme,
+)
+from repro.network.build import build_targets
+from repro.network.serialize import (
+    network_content_hash,
+    network_to_dict,
+    pool_to_dict,
+)
+from repro.serve import ArtifactCache, ServeClient, ServeClientError, ServerThread
+from repro.serve.server import ReproServer
+
+from ..conftest import make_pool, random_event
+
+import random
+
+
+def small_instance(seed: int = 7):
+    """A small flat network with a handful of named targets."""
+    rng = random.Random(seed)
+    pool = make_pool([rng.uniform(0.1, 0.9) for _ in range(5)])
+    events = {
+        f"t{index}": random_event(pool, rng, depth=2) for index in range(4)
+    }
+    return pool, build_targets(events)
+
+
+def network_document(network, pool) -> dict:
+    return {"network": network_to_dict(network), "pool": pool_to_dict(pool)}
+
+
+@contextmanager
+def plugged_scheme(name: str = "serve-plug"):
+    """Register a scheme whose runner blocks until the gate is set."""
+    gate = threading.Event()
+    started = threading.Event()
+
+    def runner(network, pool, targets, options):
+        names = list(targets) if targets is not None else list(network.targets)
+        started.set()
+        assert gate.wait(timeout=30.0), "plug never released"
+        return CompilationResult(
+            bounds={name: (0.5, 0.5) for name in names},
+            scheme="serve-plug",
+            epsilon=0.0,
+        )
+
+    register_scheme(name, runner, capabilities=(), replace=True)
+    try:
+        yield gate, started
+    finally:
+        gate.set()
+        unregister_scheme(name)
+
+
+@pytest.fixture()
+def server():
+    with ServerThread(max_batch=16, max_pending=64) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(server):
+    return ServeClient(port=server.port)
+
+
+def wait_for_pending(client, count, timeout=10.0):
+    """Poll /stats until ``count`` requests are admitted and pending."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if client.stats()["executor"]["pending"] >= count:
+            return
+        time.sleep(0.005)
+    raise AssertionError(f"never reached {count} pending requests")
+
+
+class TestCoalescing:
+    def test_identical_queries_coalesce_into_one_pass(self, server, client):
+        pool, network = small_instance()
+        client.put_network("net", network, pool)
+        targets = sorted(network.targets)[:2]
+        with plugged_scheme() as (gate, started):
+            plug = threading.Thread(
+                target=client.query,
+                kwargs=dict(network="net", scheme="serve-plug"),
+            )
+            plug.start()
+            assert started.wait(10.0)
+            results = []
+            threads = [
+                threading.Thread(
+                    target=lambda: results.append(
+                        client.query(
+                            network="net", scheme="exact", targets=targets
+                        )
+                    )
+                )
+                for _ in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            wait_for_pending(client, 7)  # plug + all six queued
+            passes_before = server.server.executor.passes
+            gate.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            plug.join(timeout=30.0)
+        assert len(results) == 6
+        executor = server.server.executor
+        # One plugged pass + one coalesced pass for all six requests.
+        assert executor.passes - passes_before == 1
+        assert executor.passes < executor.requests
+        direct = run_scheme("exact", network, pool, targets=targets)
+        for response in results:
+            assert response["extra"]["batched_into"] == 6.0
+            assert response["extra"]["cache"] in ("cold", "miss")
+            assert response["extra"]["queue_wait_seconds"] >= 0.0
+            for name in targets:
+                assert response["bounds"][name][0] == pytest.approx(
+                    direct.bounds[name][0], abs=1e-9
+                )
+
+    def test_bulk_scheme_coalesces_target_union(self, server, client):
+        pool, network = small_instance()
+        client.put_network("net", network, pool)
+        names = sorted(network.targets)
+        with plugged_scheme() as (gate, started):
+            plug = threading.Thread(
+                target=client.query,
+                kwargs=dict(network="net", scheme="serve-plug"),
+            )
+            plug.start()
+            assert started.wait(10.0)
+            results = {}
+
+            def ask(key, target):
+                results[key] = client.query(
+                    network="net", scheme="naive", targets=[target]
+                )
+
+            threads = [
+                threading.Thread(args=(i, name), target=ask)
+                for i, name in enumerate(names[:3])
+            ]
+            for thread in threads:
+                thread.start()
+            wait_for_pending(client, 4)
+            passes_before = server.server.executor.passes
+            gate.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            plug.join(timeout=30.0)
+        # Three different target sets, ONE union pass (naive is bulk).
+        assert server.server.executor.passes - passes_before == 1
+        for i, name in enumerate(names[:3]):
+            direct = run_scheme("naive", network, pool, targets=[name])
+            assert results[i]["extra"]["batched_into"] == 3.0
+            assert list(results[i]["bounds"]) == [name]
+            assert results[i]["bounds"][name][0] == pytest.approx(
+                direct.bounds[name][0], abs=1e-9
+            )
+
+    def test_admission_control_rejects_beyond_cap(self):
+        pool, network = small_instance()
+        with ServerThread(max_pending=2) as server:
+            client = ServeClient(port=server.port)
+            client.put_network("net", network, pool)
+            with plugged_scheme() as (gate, started):
+                plug = threading.Thread(
+                    target=client.query,
+                    kwargs=dict(network="net", scheme="serve-plug"),
+                )
+                plug.start()
+                assert started.wait(10.0)
+                second = threading.Thread(
+                    target=lambda: client.query(network="net", scheme="exact"),
+                )
+                second.start()
+                wait_for_pending(client, 2)
+                with pytest.raises(ServeClientError) as rejected:
+                    client.query(network="net", scheme="exact")
+                assert rejected.value.status == 503
+                assert server.server.executor.rejected == 1
+                gate.set()
+                second.join(timeout=30.0)
+                plug.join(timeout=30.0)
+
+
+class TestCacheCoherence:
+    def test_cache_states_and_exact_counters(self, server, client):
+        pool, network = small_instance()
+        client.put_network("net", network, pool)
+        targets = sorted(network.targets)[:2]
+        first = client.query(network="net", scheme="exact", targets=targets)
+        # Cold: result probe missed AND the network had to materialize.
+        assert first["extra"]["cache"] == "cold"
+        stats = client.stats()["cache"]
+        assert stats == {
+            **stats,
+            "hits": 0,
+            "misses": 2,  # result probe + compiled probe
+            "entries": 2,  # result + compiled artifacts
+            "evictions": 0,
+            "invalidations": 0,
+        }
+        second = client.query(network="net", scheme="exact", targets=targets)
+        assert second["extra"]["cache"] == "hit"
+        assert second["bounds"] == first["bounds"]
+        stats = client.stats()["cache"]
+        assert stats["hits"] == 1 and stats["misses"] == 2
+        # A different target set misses the result layer but finds the
+        # compiled artifact resident: "miss", not "cold".
+        third = client.query(
+            network="net", scheme="exact", targets=sorted(network.targets)[2:]
+        )
+        assert third["extra"]["cache"] == "miss"
+        stats = client.stats()["cache"]
+        assert stats["hits"] == 2 and stats["misses"] == 3
+
+    def test_edit_invalidates_exactly_the_affected_hash(self, server, client):
+        pool_a, network_a = small_instance(seed=1)
+        pool_b, network_b = small_instance(seed=2)
+        pool_c, network_c = small_instance(seed=3)
+        client.put_network("a", network_a, pool_a)
+        client.put_network("b", network_b, pool_b)
+        client.query(network="a", scheme="exact")
+        client.query(network="b", scheme="exact")
+        # Edit a: its old artifacts (result + compiled) drop, b's stay.
+        info = client.put_network("a", network_c, pool_c)
+        assert info["replaced"] is True
+        assert info["invalidated"] == 2
+        assert client.stats()["cache"]["invalidations"] == 2
+        assert client.query(network="b", scheme="exact")["extra"]["cache"] == "hit"
+        assert client.query(network="a", scheme="exact")["extra"]["cache"] == "cold"
+        # Re-registering identical content invalidates nothing.
+        info = client.put_network("a", network_c, pool_c)
+        assert info["invalidated"] == 0
+
+    def test_rename_keeps_artifacts_delete_drops_them(self, server, client):
+        pool, network = small_instance()
+        client.put_network("orig", network, pool)
+        client.query(network="orig", scheme="exact")
+        renamed = client.rename_network("orig", "moved")
+        assert renamed["invalidated"] == 0
+        # Content-addressed artifacts survive the rename: warm hit.
+        assert (
+            client.query(network="moved", scheme="exact")["extra"]["cache"]
+            == "hit"
+        )
+        with pytest.raises(ServeClientError) as missing:
+            client.query(network="orig", scheme="exact")
+        assert missing.value.status == 404
+        dropped = client.delete_network("moved")
+        assert dropped["invalidated"] == 2
+        assert client.stats()["cache"]["entries"] == 0
+
+    def test_delete_keeps_artifacts_shared_by_an_alias(self, server, client):
+        pool, network = small_instance()
+        client.put_network("one", network, pool)
+        client.put_network("two", network, pool)  # same content hash
+        client.query(network="one", scheme="exact")
+        assert client.delete_network("one")["invalidated"] == 0
+        assert (
+            client.query(network="two", scheme="exact")["extra"]["cache"]
+            == "hit"
+        )
+
+    def test_tiny_byte_cap_evicts_but_stays_correct(self):
+        pool, network = small_instance()
+        with ServerThread(cache_bytes=1) as server:
+            client = ServeClient(port=server.port)
+            client.put_network("net", network, pool)
+            first = client.query(network="net", scheme="exact")
+            again = client.query(network="net", scheme="exact")
+            assert again["bounds"] == first["bounds"]
+            stats = client.stats()["cache"]
+            assert stats["evictions"] > 0
+            assert stats["bytes"] <= max(
+                artifact.nbytes
+                for artifact in server.server.cache._entries.values()
+            )
+
+
+class TestArtifactCacheUnit:
+    def test_lru_evicts_in_recency_order_with_exact_counters(self):
+        cache = ArtifactCache(max_bytes=250)
+        cache.store("k1", "result", "a", "h1", nbytes=100)
+        cache.store("k2", "result", "b", "h1", nbytes=100)
+        assert cache.lookup("k1").payload == "a"  # k1 now most recent
+        cache.store("k3", "result", "c", "h2", nbytes=100)
+        assert cache.evictions == 1
+        assert cache.lookup("k2") is None  # k2 was least recent
+        assert cache.lookup("k1") is not None
+        assert cache.lookup("k3") is not None
+        assert cache.total_bytes == 200
+        assert cache.stats()["entries"] == 2
+        assert cache.hits == 3 and cache.misses == 1
+
+    def test_store_replacement_reaccounts_bytes(self):
+        cache = ArtifactCache(max_bytes=1000)
+        cache.store("k", "result", "a", "h", nbytes=400)
+        cache.store("k", "result", "b", "h", nbytes=100)
+        assert cache.total_bytes == 100
+        assert cache.evictions == 0
+
+    def test_oversized_artifact_survives_alone(self):
+        cache = ArtifactCache(max_bytes=10)
+        cache.store("big", "result", "x", "h", nbytes=500)
+        assert cache.lookup("big") is not None
+        cache.store("big2", "result", "y", "h", nbytes=600)
+        assert cache.lookup("big") is None
+        assert cache.evictions == 1
+
+    def test_drop_network_is_tag_exact(self):
+        cache = ArtifactCache()
+        cache.store("k1", "result", "a", "h1", nbytes=10)
+        cache.store("k2", "compiled", "b", "h1", nbytes=10)
+        cache.store("k3", "result", "c", "h2", nbytes=10)
+        assert cache.drop_network("h1") == 2
+        assert cache.invalidations == 2
+        assert cache.lookup("k3") is not None
+        assert cache.drop_network("h1") == 0
+
+    def test_rename_hook_invalidates_nothing(self):
+        cache = ArtifactCache()
+        cache.store("k", "result", "a", "h", nbytes=10)
+        assert cache.rename_network("old", "new") == 0
+        assert cache.invalidations == 0
+        assert cache.lookup("k") is not None
+
+
+class TestValidation:
+    def test_unknown_network_is_404(self, client):
+        with pytest.raises(ServeClientError) as err:
+            client.query(network="ghost", scheme="exact")
+        assert err.value.status == 404
+
+    def test_unknown_scheme_and_targets_are_400(self, client):
+        pool, network = small_instance()
+        client.put_network("net", network, pool)
+        for payload in (
+            dict(scheme="magic"),
+            dict(scheme="exact", targets=["nope"]),
+            dict(scheme="exact", targets=[]),
+            dict(scheme="exact", kernel="warp-drive"),
+            dict(scheme="exact", execution="socket"),
+            dict(scheme="exact", ordering=1.5),
+        ):
+            with pytest.raises(ServeClientError) as err:
+                client.query(network="net", **payload)
+            assert err.value.status == 400, payload
+
+    def test_malformed_documents_rejected(self, client):
+        with pytest.raises(ServeClientError) as err:
+            client.put_network_document("net", {"network": {"bogus": 1}})
+        assert err.value.status == 400
+        with pytest.raises(ServeClientError) as err:
+            client.put_network_document("bad~name", {})
+        assert err.value.status == 400
+
+    def test_rename_collision_is_409(self, client):
+        pool, network = small_instance()
+        client.put_network("one", network, pool)
+        client.put_network("two", network, pool)
+        with pytest.raises(ServeClientError) as err:
+            client.rename_network("one", "two")
+        assert err.value.status == 409
+
+    def test_unknown_route_and_bad_json(self, server, client):
+        status, _ = client.raw_request("GET", "/nowhere")
+        assert status == 404
+        import http.client as http_client
+
+        connection = http_client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=10
+        )
+        connection.request(
+            "POST", "/query", body=b"{not json", headers={"Content-Length": "9"}
+        )
+        assert connection.getresponse().status == 400
+        connection.close()
+
+    def test_schemes_endpoint_lists_registry(self, client):
+        from repro.engine.registry import available_schemes
+
+        schemes = client.schemes()
+        assert sorted(schemes) == sorted(available_schemes())
+        assert "bulk" in schemes["naive"]
+
+
+class TestNormalisedCacheKeys:
+    def test_irrelevant_options_share_one_entry(self, server, client):
+        """exact has no epsilon/statistical caps: eps and seed collapse."""
+        pool, network = small_instance()
+        client.put_network("net", network, pool)
+        cold = client.query(network="net", scheme="exact", epsilon=0.3, seed=9)
+        warm = client.query(network="net", scheme="exact", epsilon=0.7, seed=2)
+        assert cold["extra"]["cache"] == "cold"
+        assert warm["extra"]["cache"] == "hit"
+        # But a statistical scheme keys on its seed.
+        mc_a = client.query(network="net", scheme="montecarlo", seed=1,
+                            samples=64)
+        mc_b = client.query(network="net", scheme="montecarlo", seed=2,
+                            samples=64)
+        assert mc_a["extra"]["cache"] == "miss"
+        assert mc_b["extra"]["cache"] == "miss"
+
+
+class TestFacadeAndHashing:
+    def test_from_network_matches_registry(self):
+        pool, network = small_instance()
+        direct = run_scheme("exact", network, pool)
+        facade = ENFrame.from_network(network, pool).run(scheme="exact")
+        for name in network.targets:
+            assert facade.probability(name) == pytest.approx(
+                0.5 * sum(direct.bounds[name]), abs=1e-12
+            )
+        with pytest.raises(ValueError):
+            ENFrame.from_network(network, pool, targets=["ghost"])
+
+    def test_content_hash_is_content_addressed(self):
+        pool_a, network_a = small_instance(seed=5)
+        pool_b, network_b = small_instance(seed=5)
+        pool_c, network_c = small_instance(seed=6)
+        assert network_content_hash(network_a, pool_a) == network_content_hash(
+            network_b, pool_b
+        )
+        assert network_content_hash(network_a, pool_a) != network_content_hash(
+            network_c, pool_c
+        )
+
+
+class TestServeCLIParsing:
+    def test_serve_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--max-batch", "8",
+             "--cache-bytes", "4m", "--network", "demo=/tmp/net.json"]
+        )
+        assert args.port == 0
+        assert args.max_batch == 8
+        assert args.cache_bytes == 4 << 20
+        assert args.network == [("demo", "/tmp/net.json")]
+
+    def test_bad_cache_bytes_and_network_specs_rejected(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--cache-bytes", "lots"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--network", "nopath"])
+
+    def test_serve_roundtrip_via_cli_entrypoint(self, tmp_path):
+        """The handler itself, driven in a thread with port 0."""
+        import repro.cli as cli
+        from repro.network.serialize import save_network
+
+        pool, network = small_instance()
+        path = tmp_path / "net.json"
+        save_network(network, str(path), pool)
+        # Run the server on a private port via the module API (the CLI
+        # handler blocks, so drive ReproServer directly for the
+        # round-trip and keep the CLI handler covered by parsing plus
+        # the CI smoke job).
+        document = json.loads(path.read_text())
+        server = ReproServer(port=0)
+        info = server.put_network("demo", document)
+        assert info["hash"] == network_content_hash(network, pool)
+        assert cli is not None
