@@ -1,0 +1,218 @@
+"""Conditioning benchmark: incremental what-if vs recompile-from-scratch.
+
+The workload is ``G`` independent targets over disjoint, index-contiguous
+variable triples — the pc-table shape where evidence on one tuple's
+variables touches one answer's influence cone and leaves the others
+alone.  A scripted evidence walk (assert / retract on the first group's
+variables) is driven down two paths:
+
+* **recompile** — after every edit, a full ``exact-cond`` pass through
+  the registry compiles the conditional bounds from scratch;
+* **incremental** — one long-lived :class:`repro.session.WhatIfSession`
+  pushes the edit as a trailed evaluator frame and re-expands only the
+  dirty cone's target.
+
+Before any timed row the two paths replay the whole walk in lockstep
+and must agree to 1e-9 at every step; the speedup is then pure avoided
+recompilation.  Results go to ``BENCH_condition.json`` at the repo root
+(override with ``--output``; ``--smoke`` is the seconds-scale CI
+subset).
+
+Run the full sweep:  python -m benchmarks.bench_condition
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.engine.registry import run_scheme
+from repro.events.expressions import conj, disj, negate, var
+from repro.network.build import build_targets
+from repro.session import WhatIfSession
+from repro.worlds.variables import VariablePool
+
+GROUP_SWEEP = (3, 4, 5)
+SMOKE_SWEEP = (3,)
+EDITS = 12
+SMOKE_EDITS = 6
+REPEATS = 5
+SMOKE_REPEATS = 2
+MATCH_ABS = 1e-9
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_condition.json"
+
+
+def make_instance(groups: int):
+    """``groups`` independent targets over disjoint variable triples."""
+    pool = VariablePool()
+    events = {}
+    for group in range(groups):
+        base = 3 * group
+        pool.add(0.25 + 0.04 * group)
+        pool.add(0.5)
+        pool.add(0.75 - 0.04 * group)
+        events[f"t{group}"] = disj(
+            [
+                conj([var(base), var(base + 1)]),
+                conj([negate(var(base + 1)), var(base + 2)]),
+            ]
+        )
+    return pool, build_targets(events)
+
+
+def make_walk(edits: int) -> List[Tuple[str, int, bool]]:
+    """A deterministic assert/retract script over the first group's
+    variables (the frequency order breaks ties towards low indices, so
+    these edits keep the incremental re-query localised)."""
+    cycle = [
+        ("assert", 0, True),
+        ("retract", 0, False),
+        ("assert", 1, False),
+        ("assert", 2, True),
+        ("retract", 1, False),
+        ("retract", 2, False),
+    ]
+    return [cycle[index % len(cycle)] for index in range(edits)]
+
+
+def apply_to_evidence(evidence, op, variable, value):
+    if op == "assert":
+        return evidence + [(variable, value)]
+    return [entry for entry in evidence if entry[0] != variable]
+
+
+def check_parity(network, pool, walk) -> float:
+    """Replay the walk down both paths; 1e-9 agreement at every step."""
+    session = WhatIfSession(network, pool)
+    evidence: List[Tuple[int, bool]] = []
+    max_diff = 0.0
+    for op, variable, value in walk:
+        if op == "assert":
+            session.assert_evidence(variable, value)
+        else:
+            session.retract(variable)
+        evidence = apply_to_evidence(evidence, op, variable, value)
+        incremental = session.query()
+        recompiled = run_scheme(
+            "exact-cond", network, pool, evidence=list(evidence)
+        )
+        for name in network.targets:
+            diff = max(
+                abs(incremental.bounds[name][0] - recompiled.bounds[name][0]),
+                abs(incremental.bounds[name][1] - recompiled.bounds[name][1]),
+            )
+            max_diff = max(max_diff, diff)
+            assert diff <= MATCH_ABS, (
+                f"what-if diverged from recompile by {diff} "
+                f"({name}, evidence={evidence})"
+            )
+    return max_diff
+
+
+def time_recompile(network, pool, walk) -> float:
+    evidence: List[Tuple[int, bool]] = []
+    seconds = 0.0
+    for op, variable, value in walk:
+        evidence = apply_to_evidence(evidence, op, variable, value)
+        started = time.perf_counter()
+        run_scheme("exact-cond", network, pool, evidence=list(evidence))
+        seconds += time.perf_counter() - started
+    return seconds
+
+
+def time_incremental(network, pool, walk) -> Tuple[float, float]:
+    session = WhatIfSession(network, pool)
+    session.query()  # baseline compile, untimed for both paths
+    seconds = 0.0
+    recomputed = 0
+    for op, variable, value in walk:
+        started = time.perf_counter()
+        if op == "assert":
+            session.assert_evidence(variable, value)
+        else:
+            session.retract(variable)
+        session.query()
+        seconds += time.perf_counter() - started
+        recomputed += session.recomputed
+    return seconds, recomputed / max(len(walk), 1)
+
+
+def sweep(group_sweep, edits: int, repeats: int) -> List[Dict[str, float]]:
+    rows = []
+    walk = make_walk(edits)
+    for groups in group_sweep:
+        pool, network = make_instance(groups)
+        max_diff = check_parity(network, pool, walk)
+        recompile_seconds = min(
+            time_recompile(network, pool, walk) for _ in range(repeats)
+        )
+        incremental_runs = [
+            time_incremental(network, pool, walk) for _ in range(repeats)
+        ]
+        incremental_seconds = min(run[0] for run in incremental_runs)
+        rows.append(
+            {
+                "groups": groups,
+                "variables": 3 * groups,
+                "targets": groups,
+                "edits": edits,
+                "recompile_seconds": max(recompile_seconds, 1e-9),
+                "incremental_seconds": max(incremental_seconds, 1e-9),
+                "speedup": recompile_seconds / max(incremental_seconds, 1e-9),
+                "recomputed_per_edit": incremental_runs[0][1],
+                "max_abs_diff": max_diff,
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help="where to write the JSON results (default: repo root)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale subset (CI rot check, not a measurement)",
+    )
+    args = parser.parse_args(argv)
+
+    group_sweep = SMOKE_SWEEP if args.smoke else GROUP_SWEEP
+    edits = SMOKE_EDITS if args.smoke else EDITS
+    repeats = SMOKE_REPEATS if args.smoke else REPEATS
+
+    rows = sweep(group_sweep, edits, repeats)
+
+    print("\n== Incremental what-if vs exact-cond recompile ==")
+    print(
+        f"{'groups':>7}  {'vars':>5}  {'edits':>6}  {'recompile s':>12}"
+        f"  {'whatif s':>9}  {'dirty/edit':>10}  {'speedup':>8}"
+    )
+    for row in rows:
+        print(
+            f"{row['groups']:>7}  {row['variables']:>5}  {row['edits']:>6}"
+            f"  {row['recompile_seconds']:>12.5f}"
+            f"  {row['incremental_seconds']:>9.5f}"
+            f"  {row['recomputed_per_edit']:>10.2f}"
+            f"  {row['speedup']:>7.2f}x"
+        )
+
+    payload = {
+        "benchmark": "condition",
+        "smoke": bool(args.smoke),
+        "epsilon_match": MATCH_ABS,
+        "walk": rows,
+        "min_speedup_whatif": min(row["speedup"] for row in rows),
+        "max_speedup_whatif": max(row["speedup"] for row in rows),
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,9 @@ Quickstart::
 
 from .core import ENFrame, ProbabilisticResult
 from .data import ProbabilisticDataset, certain_dataset, sensor_dataset
+from .engine.registry import SchemeOptions
 from .mining import KMeansSpec, KMedoidsSpec, MCLSpec
+from .session import WhatIfSession
 from .worlds import VariablePool
 
 __version__ = "1.0.0"
@@ -30,7 +32,9 @@ __all__ = [
     "MCLSpec",
     "ProbabilisticDataset",
     "ProbabilisticResult",
+    "SchemeOptions",
     "VariablePool",
+    "WhatIfSession",
     "certain_dataset",
     "sensor_dataset",
     "__version__",

@@ -47,8 +47,10 @@ ENTRY_FILES = frozenset(
 
 #: Entry-point *packages*: every module under these prefixes is an
 #: entry point.  The service layer answers arbitrary scheme queries, so
-#: all of it must dispatch through the registry.
-ENTRY_PREFIXES = ("src/repro/serve/",)
+#: all of it must dispatch through the registry; the pc-table substrate
+#: (``repro.db``) reaches conditioning through the ``exact-cond`` /
+#: ``lazy-cond`` schemes and may not import compilers directly either.
+ENTRY_PREFIXES = ("src/repro/serve/", "src/repro/db/")
 
 #: Scheme-implementation modules banned from the entry points.
 IMPLEMENTATION_MODULES = (

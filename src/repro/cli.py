@@ -67,6 +67,33 @@ def _build_platform(args: argparse.Namespace) -> ENFrame:
     return platform
 
 
+def _parse_evidence(raw: str) -> tuple:
+    """``--evidence`` accepts ``INDEX``, ``INDEX=true|false``, or an
+    event name bound on the network."""
+    text = raw.strip()
+    head, separator, tail = text.partition("=")
+    if separator:
+        try:
+            index = int(head)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"evidence must be INDEX, INDEX=true|false, or an event "
+                f"name, got {raw!r}"
+            ) from None
+        value = tail.strip().lower()
+        if value in ("true", "1", "t", "yes"):
+            return ("var", index, True)
+        if value in ("false", "0", "f", "no"):
+            return ("var", index, False)
+        raise argparse.ArgumentTypeError(
+            f"evidence truth value must be true/false, got {tail!r}"
+        )
+    try:
+        return ("var", int(text), True)
+    except ValueError:
+        return ("event", text)
+
+
 def _parse_job_size(raw: str) -> "int | str":
     """``--job-size`` accepts an integer depth or ``adaptive``."""
     if raw == "adaptive":
@@ -164,6 +191,7 @@ def _command_cluster(args: argparse.Namespace) -> int:
             execution=execution,
             kernel=args.kernel,
             listen=args.listen,
+            evidence=args.evidence,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -363,6 +391,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="evaluator kernel tier for kernel-capable "
                               "schemes: auto (default; numba, then native "
                               "C, then python), or an explicit tier")
+    cluster.add_argument("--evidence", action="append", type=_parse_evidence,
+                         default=None, metavar="VAR[=BOOL]|EVENT",
+                         help="condition evidence-capable schemes "
+                              "(exact-cond/lazy-cond) on a variable index, "
+                              "a VAR=false assignment, or a named network "
+                              "event (repeatable; ignored by other schemes)")
     cluster.add_argument("--targets", choices=("medoids", "assignments",
                                                "is_medoid"), default="medoids")
     cluster.add_argument("--folded", action="store_true",

@@ -24,7 +24,7 @@ from typing import Any, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..data.datasets import ProbabilisticDataset, certain_dataset, sensor_dataset
-from ..engine.registry import run_scheme
+from ..engine.registry import SchemeOptions, run_scheme
 from ..events.expressions import Event
 from ..events.program import EventProgram
 from ..lang.translate import Translator, dataset_externals, translate_source
@@ -234,6 +234,8 @@ class ENFrame:
         confidence: float = 0.95,
         kernel: Optional[str] = None,
         listen: Optional[str] = None,
+        evidence=None,
+        options: Optional[SchemeOptions] = None,
     ) -> ProbabilisticResult:
         """Compute target probabilities.
 
@@ -258,24 +260,68 @@ class ENFrame:
         the evaluator tier for kernel-capable schemes
         (:data:`repro.engine.kernels.KERNEL_NAMES`; ``None`` = process
         default).
+
+        ``evidence`` conditions evidence-capable schemes
+        (``exact-cond``/``lazy-cond``) — any form accepted by
+        :func:`repro.engine.registry.normalise_evidence`; it is dropped
+        for schemes without the capability.  Alternatively pass a fully
+        formed :class:`repro.engine.registry.SchemeOptions` via
+        ``options=`` *instead of* the individual keywords (both at once
+        raise ``TypeError`` downstream); either spelling goes through
+        the same ``normalise_options`` seam.
         """
         if self.network is None:
             raise RuntimeError("no program registered; call kmedoids()/kmeans()/...")
-        raw = run_scheme(
-            scheme,
+        if options is not None:
+            raw = run_scheme(
+                scheme,
+                self.network,
+                self.dataset.pool,
+                targets=self._target_names,
+                options=options,
+            )
+        else:
+            raw = run_scheme(
+                scheme,
+                self.network,
+                self.dataset.pool,
+                targets=self._target_names,
+                epsilon=epsilon,
+                order=order if ordering is None else ordering,
+                workers=workers,
+                job_size=job_size,
+                execution=execution,
+                timeout=timeout,
+                samples=samples,
+                seed=seed,
+                confidence=confidence,
+                kernel=kernel,
+                listen=listen,
+                evidence=evidence,
+            )
+        return ProbabilisticResult(raw, list(self._target_names))
+
+    def whatif(
+        self,
+        targets: Optional[Sequence[str]] = None,
+        order: "str | Sequence[int]" = "frequency",
+        kernel: Optional[str] = None,
+    ):
+        """Open an incremental :class:`repro.session.WhatIfSession`.
+
+        The session holds a persistent evaluator over the registered
+        network: ``assert_evidence``/``retract``/``set_probability``
+        edits re-sweep only the touched variable's influence cone, and
+        ``query`` re-expands only the targets that edit made stale.
+        """
+        if self.network is None:
+            raise RuntimeError("no program registered; call kmedoids()/kmeans()/...")
+        from ..session import WhatIfSession
+
+        return WhatIfSession(
             self.network,
             self.dataset.pool,
-            targets=self._target_names,
-            epsilon=epsilon,
-            order=order if ordering is None else ordering,
-            workers=workers,
-            job_size=job_size,
-            execution=execution,
-            timeout=timeout,
-            samples=samples,
-            seed=seed,
-            confidence=confidence,
+            targets=targets if targets is not None else self._target_names,
+            order=order,
             kernel=kernel,
-            listen=listen,
         )
-        return ProbabilisticResult(raw, list(self._target_names))

@@ -1,23 +1,49 @@
-"""Conditioning probabilistic data on constraints (Koch & Olteanu, VLDB'08).
+"""Deprecated conditioning helpers (Koch & Olteanu, VLDB'08).
 
-The paper lists conditioning as a natural source of correlations: after
-asserting a constraint event ``C`` (e.g. a key constraint or a cleaning
-rule), tuple probabilities become conditional probabilities
-``P(Φ | C) = P(Φ ∧ C) / P(C)``.
+Conditioning is now a first-class registered scheme: ``exact-cond`` /
+``lazy-cond`` in :mod:`repro.engine.registry` assert evidence on the
+network, compile ``Φ ∧ C`` and ``C`` in one engine pass, and return
+renormalised conditional bounds — reachable from ``run_scheme``,
+``ENFrame.run(evidence=...)``, the CLI, the distributed compiler, and
+``repro serve``.  For interactive evidence editing, use
+:class:`repro.session.WhatIfSession`.
 
-ENFrame's compiler makes this easy: compile ``Φ ∧ C`` and ``C`` as joint
-targets in a single bulk pass and divide the bounds.  The resulting
-interval is a certified enclosure of the conditional probability.
+The two historical free functions below are thin wrappers over the
+scheme path, kept for source compatibility.  They emit
+``DeprecationWarning`` and will be removed; the arithmetic (interval
+division with the ``ZeroDivisionError`` contract for almost-surely
+false constraints) is unchanged — it now lives in
+:mod:`repro.engine.conditioning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Tuple
 
-from ..compile.compiler import compile_network
-from ..events.expressions import Event, conj
+from ..engine.registry import run_scheme
+from ..events.expressions import Event
 from ..network.build import build_targets
 from ..worlds.variables import VariablePool
+
+_CONSTRAINT = "__constraint__"
+
+
+def _cond_scheme(scheme: str) -> str:
+    # The historical API took any Shannon scheme; epsilon-free requests
+    # map to the exact conditional scheme, budgeted ones to lazy-cond
+    # (run_conditioned itself falls back to exact when epsilon == 0).
+    return "exact-cond" if scheme == "exact" else "lazy-cond"
+
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.db.conditioning.{name} is deprecated; use "
+        "run_scheme('exact-cond', network, pool, evidence=[...]) or "
+        "ENFrame.run(scheme='exact-cond', evidence=[...]) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def conditional_probability(
@@ -29,22 +55,13 @@ def conditional_probability(
 ) -> Tuple[float, float]:
     """Certified bounds on ``P(event | constraint)``.
 
-    Compiles the conjunction and the constraint in one bulk pass; with an
-    approximation scheme the returned interval accounts for both
-    numerator and denominator error.  Raises ``ZeroDivisionError`` when
-    the constraint is almost surely false.
+    .. deprecated:: dispatch through the ``exact-cond`` / ``lazy-cond``
+       registry schemes instead.
     """
-    network = build_targets(
-        {"joint": conj([event, constraint]), "constraint": constraint}
-    )
-    result = compile_network(network, pool, scheme=scheme, epsilon=epsilon)
-    joint_lower, joint_upper = result.bounds["joint"]
-    constraint_lower, constraint_upper = result.bounds["constraint"]
-    if constraint_upper <= 0.0:
-        raise ZeroDivisionError("conditioning on an almost-surely-false event")
-    lower = joint_lower / constraint_upper
-    upper = 1.0 if constraint_lower <= 0.0 else min(1.0, joint_upper / constraint_lower)
-    return lower, upper
+    _deprecated("conditional_probability")
+    return _condition(
+        {"__event__": event}, constraint, pool, scheme, epsilon
+    )["__event__"]
 
 
 def condition_events(
@@ -54,24 +71,28 @@ def condition_events(
     scheme: str = "exact",
     epsilon: float = 0.0,
 ) -> Dict[str, Tuple[float, float]]:
-    """Conditional-probability bounds for several events at once."""
-    targets = {
-        name: conj([event, constraint]) for name, event in events.items()
-    }
-    targets["__constraint__"] = constraint
-    network = build_targets(targets)
-    result = compile_network(network, pool, scheme=scheme, epsilon=epsilon)
-    constraint_lower, constraint_upper = result.bounds["__constraint__"]
-    if constraint_upper <= 0.0:
-        raise ZeroDivisionError("conditioning on an almost-surely-false event")
-    bounds: Dict[str, Tuple[float, float]] = {}
-    for name in events:
-        joint_lower, joint_upper = result.bounds[name]
-        lower = joint_lower / constraint_upper
-        upper = (
-            1.0
-            if constraint_lower <= 0.0
-            else min(1.0, joint_upper / constraint_lower)
-        )
-        bounds[name] = (lower, upper)
-    return bounds
+    """Conditional-probability bounds for several events at once.
+
+    .. deprecated:: dispatch through the ``exact-cond`` / ``lazy-cond``
+       registry schemes instead.
+    """
+    _deprecated("condition_events")
+    return _condition(dict(events), constraint, pool, scheme, epsilon)
+
+
+def _condition(
+    events: Dict[str, Event],
+    constraint: Event,
+    pool: VariablePool,
+    scheme: str,
+    epsilon: float,
+) -> Dict[str, Tuple[float, float]]:
+    network = build_targets(events, extra=[(_CONSTRAINT, constraint)])
+    result = run_scheme(
+        _cond_scheme(scheme),
+        network,
+        pool,
+        evidence=[("event", _CONSTRAINT)],
+        epsilon=epsilon,
+    )
+    return {name: result.bounds[name] for name in events}

@@ -31,12 +31,16 @@ Capabilities drive dispatch-time normalisation:
   the masked engine, compiled segment dispatch for the packed bulk
   engine); for schemes without it, ``kernel`` is dropped;
 * ``packed`` — the scheme's bulk evaluation runs over bit-packed
-  Boolean world columns (:mod:`repro.engine.packed`).
+  Boolean world columns (:mod:`repro.engine.packed`);
+* ``evidence`` — the scheme conditions its answers on an evidence list
+  (:func:`normalise_evidence`); for schemes without it, ``evidence``
+  is dropped so conditioned and unconditioned requests cannot fragment
+  the service layer's artifact cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
 
 from ..compile.result import CompilationResult
@@ -52,6 +56,7 @@ CAP_TIMEOUT = "timeout"
 CAP_BULK = "bulk"
 CAP_KERNEL = "kernel"
 CAP_PACKED = "packed"
+CAP_EVIDENCE = "evidence"
 
 CAPABILITIES = frozenset(
     {
@@ -64,8 +69,103 @@ CAPABILITIES = frozenset(
         CAP_BULK,
         CAP_KERNEL,
         CAP_PACKED,
+        CAP_EVIDENCE,
     }
 )
+
+
+def normalise_evidence(evidence) -> Tuple[tuple, ...]:
+    """Canonicalise an evidence list into sorted, deduplicated tuples.
+
+    Each entry becomes ``("var", index, value)`` (the Bernoulli variable
+    ``index`` is observed with truth ``value``) or ``("event", name)``
+    (the Boolean network node bound to ``name`` is observed true).
+    Accepted input forms per entry:
+
+    * ``index`` (an ``int``) — shorthand for the variable being true;
+    * ``(index, value)`` — a variable with an explicit truth value;
+    * ``"name"`` (a ``str``) — a named network event;
+    * ``{"var": index, "value": value}`` / ``{"event": name}`` — the
+      JSON object form the service layer accepts;
+    * ``("var", index, value)`` / ``("event", name)`` — the canonical
+      forms themselves (lists too, so decoded JSON round-trips).
+
+    Variable entries sort before event entries, variables by index and
+    events by name, so equal evidence sets always canonicalise to the
+    same tuple (the service layer hashes it into cache keys).
+    Conflicting assignments to one variable raise ``ValueError``;
+    ``None`` means no evidence.
+    """
+    if evidence is None:
+        return ()
+    if isinstance(evidence, (str, int, dict)):
+        raise ValueError(
+            f"evidence must be a list of entries, got {evidence!r}; "
+            "wrap a single entry in a list"
+        )
+    assignments: Dict[int, bool] = {}
+    events = set()
+    for entry in evidence:
+        kind, payload = _canonical_evidence_entry(entry)
+        if kind == "var":
+            index, value = payload
+            previous = assignments.get(index)
+            if previous is not None and previous != value:
+                raise ValueError(
+                    f"conflicting evidence for variable {index}: "
+                    f"asserted both {previous} and {value}"
+                )
+            assignments[index] = value
+        else:
+            events.add(payload)
+    return tuple(
+        [("var", index, assignments[index]) for index in sorted(assignments)]
+        + [("event", name) for name in sorted(events)]
+    )
+
+
+def _canonical_evidence_entry(entry) -> Tuple[str, object]:
+    """One evidence entry → ``("var", (index, value))`` or ``("event", name)``."""
+    if isinstance(entry, bool):
+        raise ValueError(
+            f"bad evidence entry {entry!r}: a bare bool names no variable"
+        )
+    if isinstance(entry, int):
+        if entry < 0:
+            raise ValueError(f"bad evidence entry {entry!r}: negative index")
+        return ("var", (int(entry), True))
+    if isinstance(entry, str):
+        return ("event", entry)
+    if isinstance(entry, dict):
+        if "event" in entry:
+            name = entry["event"]
+            if not isinstance(name, str):
+                raise ValueError(f"bad evidence entry {entry!r}")
+            return ("event", name)
+        if "var" in entry:
+            index = entry["var"]
+            value = entry.get("value", True)
+            if isinstance(index, bool) or not isinstance(index, int) or index < 0:
+                raise ValueError(f"bad evidence entry {entry!r}")
+            if not isinstance(value, bool):
+                raise ValueError(f"bad evidence entry {entry!r}")
+            return ("var", (int(index), value))
+        raise ValueError(f"bad evidence entry {entry!r}")
+    if isinstance(entry, (tuple, list)):
+        items = list(entry)
+        if len(items) == 3 and items[0] == "var":
+            return _canonical_evidence_entry({"var": items[1], "value": items[2]})
+        if len(items) == 2 and items[0] == "event":
+            return _canonical_evidence_entry({"event": items[1]})
+        if (
+            len(items) == 2
+            and isinstance(items[0], int)
+            and not isinstance(items[0], bool)
+            and isinstance(items[1], bool)
+        ):
+            return ("var", (int(items[0]), items[1]))
+        raise ValueError(f"bad evidence entry {entry!r}")
+    raise ValueError(f"bad evidence entry {entry!r}")
 
 
 @dataclass
@@ -89,6 +189,18 @@ class SchemeOptions:
     ``kernel`` names the evaluator tier for ``kernel``-capable schemes
     (one of :data:`repro.engine.kernels.KERNEL_NAMES`); ``None`` defers
     to the process default (``REPRO_KERNEL`` or ``auto``).
+
+    ``evidence`` is the canonical evidence tuple of
+    :func:`normalise_evidence` for ``evidence``-capable schemes
+    (``exact-cond`` / ``lazy-cond``): the conditioning constraint the
+    returned bounds are renormalised against.  Empty for every other
+    scheme.
+
+    This dataclass is the *public* typed options object: build one and
+    pass it to :func:`run_scheme` (or ``ENFrame.run``) as ``options=``
+    instead of spelling the keywords out — it is re-normalised through
+    :func:`normalise_options` either way, so the two spellings cannot
+    diverge.
     """
 
     epsilon: float = 0.0
@@ -102,6 +214,7 @@ class SchemeOptions:
     confidence: float = 0.95
     kernel: Optional[str] = None
     listen: Optional[str] = None
+    evidence: Tuple[tuple, ...] = ()
 
 
 Runner = Callable[
@@ -254,6 +367,7 @@ def normalise_options(
     confidence: float = 0.95,
     kernel: Optional[str] = None,
     listen: Optional[str] = None,
+    evidence=None,
 ) -> SchemeOptions:
     """Normalise run options against the named scheme's capabilities.
 
@@ -281,9 +395,12 @@ def normalise_options(
     more generic ``order`` keywords of their own.  ``kernel`` (an
     evaluator tier name) is validated against
     :data:`repro.engine.kernels.KERNEL_NAMES` and dropped for schemes
-    without the ``kernel`` capability.
+    without the ``kernel`` capability.  ``evidence`` is canonicalised
+    through :func:`normalise_evidence` (malformed entries raise) and
+    dropped to ``()`` for schemes without the ``evidence`` capability.
     """
     spec = get_scheme(name)
+    canonical_evidence = normalise_evidence(evidence)
     if kernel is not None:
         from .kernels import KERNEL_NAMES
 
@@ -309,6 +426,7 @@ def normalise_options(
         confidence=confidence if statistical else 0.95,
         kernel=kernel if spec.has(CAP_KERNEL) else None,
         listen=listen if normalised_execution == "socket" else None,
+        evidence=canonical_evidence if spec.has(CAP_EVIDENCE) else (),
     )
 
 
@@ -317,14 +435,33 @@ def run_scheme(
     network: EventNetwork,
     pool: VariablePool,
     targets: Optional[Sequence[str]] = None,
-    **options,
+    options: Optional[SchemeOptions] = None,
+    **kwargs,
 ) -> CompilationResult:
     """Dispatch one probability computation through the registry.
 
-    Accepts the keyword options of :func:`normalise_options` (which
-    documents how options irrelevant to the chosen scheme are
-    normalised away rather than rejected) and hands the normalised
-    :class:`SchemeOptions` to the scheme's registered runner.
+    Options come in either spelling — a :class:`SchemeOptions` instance
+    via ``options=``, or the keyword options of
+    :func:`normalise_options` (which documents how options irrelevant
+    to the chosen scheme are normalised away rather than rejected) —
+    but not both at once.  Both spellings pass through
+    :func:`normalise_options` before reaching the scheme's registered
+    runner, so an instance built for one scheme is re-normalised for
+    the scheme actually named here.
     """
     spec = get_scheme(name)
-    return spec.runner(network, pool, targets, normalise_options(name, **options))
+    if options is not None:
+        if kwargs:
+            raise TypeError(
+                "pass either a SchemeOptions instance via options= or "
+                f"keyword options, not both (got {sorted(kwargs)!r})"
+            )
+        if not isinstance(options, SchemeOptions):
+            raise TypeError(
+                f"options must be a SchemeOptions, got {type(options).__name__}"
+            )
+        kwargs = {
+            field.name: getattr(options, field.name)
+            for field in fields(SchemeOptions)
+        }
+    return spec.runner(network, pool, targets, normalise_options(name, **kwargs))

@@ -13,7 +13,10 @@ oracles:
 * ``montecarlo`` — bulk-vectorized MCDB-style sampling (flat and folded
   networks alike);
 * ``naive-scalar`` / ``montecarlo-scalar`` — the original per-world
-  recursive evaluators, kept as oracles for cross-validation.
+  recursive evaluators, kept as oracles for cross-validation;
+* ``exact-cond`` / ``lazy-cond`` — conditioned queries: one base-scheme
+  pass over the derived ``Φ ∧ C`` network plus interval renormalisation
+  (:mod:`repro.engine.conditioning`).
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from .registry import (
     CAP_CLUSTER,
     CAP_DISTRIBUTED,
     CAP_EPSILON,
+    CAP_EVIDENCE,
     CAP_EXACT,
     CAP_KERNEL,
     CAP_PACKED,
@@ -142,6 +146,16 @@ def _run_montecarlo_scalar(network, pool, targets, options):
     return result
 
 
+def _make_conditioned_runner(label: str, base: str):
+    def runner(network, pool, targets, options):
+        from .conditioning import run_conditioned
+
+        return run_conditioned(label, base, network, pool, targets, options)
+
+    runner.__name__ = f"run_{label.replace('-', '_')}"
+    return runner
+
+
 def register_builtins() -> None:
     """(Re-)register every built-in scheme; idempotent by construction."""
     register_scheme(
@@ -191,5 +205,34 @@ def register_builtins() -> None:
         _run_montecarlo_scalar,
         capabilities={CAP_STATISTICAL},
         description="per-sample Monte Carlo estimation (cross-validation oracle)",
+        replace=True,
+    )
+    register_scheme(
+        "exact-cond",
+        _make_conditioned_runner("exact-cond", "exact"),
+        capabilities={
+            CAP_EXACT,
+            CAP_EVIDENCE,
+            CAP_DISTRIBUTED,
+            CAP_CLUSTER,
+            CAP_KERNEL,
+        },
+        description="exact conditional probabilities P(target | evidence)",
+        replace=True,
+    )
+    register_scheme(
+        "lazy-cond",
+        _make_conditioned_runner("lazy-cond", "lazy"),
+        capabilities={
+            CAP_EPSILON,
+            CAP_EVIDENCE,
+            CAP_DISTRIBUTED,
+            CAP_CLUSTER,
+            CAP_KERNEL,
+        },
+        description=(
+            "conditional probabilities with a lazy 2eps budget on the "
+            "underlying joint pass"
+        ),
         replace=True,
     )

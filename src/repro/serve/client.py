@@ -107,10 +107,29 @@ class ServeClient:
     def query(self, network: str, **options) -> dict:
         """One probability query; keyword options mirror the JSON API
         (``scheme``, ``targets``, ``epsilon``, ``ordering``, ``kernel``,
-        ``samples``, ``seed``, ``confidence``, ``workers``, ...)."""
+        ``samples``, ``seed``, ``confidence``, ``workers``,
+        ``evidence``, ...)."""
         payload = {"network": network}
         payload.update(options)
         return self.request("POST", "/query", payload)
+
+    def condition(self, network: str, **options) -> dict:
+        """A conditional query (defaults to the ``exact-cond`` scheme);
+        pass ``evidence=[...]`` and/or rely on sticky evidence set via
+        :meth:`put_evidence`."""
+        payload = {"network": network}
+        payload.update(options)
+        return self.request("POST", "/condition", payload)
+
+    def put_evidence(self, network: str, evidence) -> dict:
+        """Attach sticky evidence to a registered network; it is merged
+        into every subsequent query against that network."""
+        return self.request(
+            "PUT", f"/networks/{network}/evidence", {"evidence": list(evidence)}
+        )
+
+    def delete_evidence(self, network: str) -> dict:
+        return self.request("DELETE", f"/networks/{network}/evidence")
 
     def shutdown(self, drain_timeout: float = 5.0) -> dict:
         return self.request(

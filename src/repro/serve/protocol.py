@@ -19,6 +19,11 @@ from typing import Dict, Optional
 MAX_HEADER_BYTES = 64 * 1024
 MAX_BODY_BYTES = 256 * 1024 * 1024
 
+#: Wire-protocol revision, stamped into every response envelope (error
+#: envelopes included) so clients can gate on compatibility.  Bump on
+#: breaking response-shape changes.
+PROTOCOL_VERSION = 1
+
 STATUS_PHRASES = {
     200: "OK",
     400: "Bad Request",
@@ -96,8 +101,15 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
 
 
 def json_response(status: int, payload: dict) -> bytes:
-    """Serialise one JSON response (Connection: close)."""
-    body = json.dumps(payload).encode("utf-8")
+    """Serialise one JSON response (Connection: close).
+
+    Every envelope — success or error — carries ``protocol_version``;
+    injecting it here, at the single serialisation point, is what makes
+    the guarantee airtight.
+    """
+    document = dict(payload)
+    document.setdefault("protocol_version", PROTOCOL_VERSION)
+    body = json.dumps(document).encode("utf-8")
     phrase = STATUS_PHRASES.get(status, "Unknown")
     head = (
         f"HTTP/1.1 {status} {phrase}\r\n"

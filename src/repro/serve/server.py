@@ -21,10 +21,22 @@ Catalog semantics (the cache contract):
 * **delete** ``DELETE /networks/<name>`` — unbinds the name and drops
   the hash's artifacts unless another name still references it.
 
+Conditioning: ``POST /condition`` is ``POST /query`` with the scheme
+defaulting to ``exact-cond`` and evidence *required* — the request's
+``evidence`` list (any form accepted by
+:func:`repro.engine.registry.normalise_evidence`) merged with the
+network's *sticky* evidence, set with ``PUT /networks/<name>/evidence``
+and cleared with ``DELETE`` (or by re-registering the network).
+Evidence participates in the normalised options, so it is part of the
+artifact-cache key for evidence-capable schemes and normalised away —
+one shared cache entry — for all others.  Every response envelope
+carries ``protocol_version`` (:data:`repro.serve.protocol.PROTOCOL_VERSION`).
+
 Endpoints: ``GET /healthz``, ``GET /stats``, ``GET /schemes``,
 ``PUT /networks/<name>``, ``DELETE /networks/<name>``,
-``POST /networks/<name>/rename``, ``POST /query``,
-``POST /shutdown``.
+``POST /networks/<name>/rename``,
+``PUT/DELETE /networks/<name>/evidence``, ``POST /query``,
+``POST /condition``, ``POST /shutdown``.
 """
 
 from __future__ import annotations
@@ -40,9 +52,11 @@ from ..compile.ordering import ORDER_NAMES
 from ..engine.registry import (
     available_schemes,
     get_scheme,
+    normalise_evidence,
     normalise_options,
     scheme_capabilities,
     CAP_BULK,
+    CAP_EVIDENCE,
 )
 from ..network.serialize import (
     canonical_json_bytes,
@@ -77,12 +91,19 @@ class ServeError(Exception):
 
 @dataclass
 class CatalogEntry:
-    """One registered network: its document and content identity."""
+    """One registered network: its document and content identity.
+
+    ``evidence`` is the *sticky* evidence set via
+    ``PUT /networks/<name>/evidence``: canonical entries merged into
+    every evidence-capable query against this name.  Re-registering the
+    name resets it — new content, fresh conditioning state.
+    """
 
     name: str
     document: dict
     network_hash: str
     nbytes: int
+    evidence: Tuple[tuple, ...] = ()
 
 
 class ReproServer:
@@ -192,7 +213,9 @@ class ReproServer:
     # Query preparation
     # ------------------------------------------------------------------
 
-    def _prepare_job(self, payload: dict) -> QueryJob:
+    def _prepare_job(
+        self, payload: dict, require_evidence: bool = False
+    ) -> QueryJob:
         name = payload.get("network")
         if not isinstance(name, str):
             raise ServeError(400, "missing 'network' (a catalog name)")
@@ -204,6 +227,31 @@ class ReproServer:
             spec = get_scheme(scheme)
         except ValueError as exc:
             raise ServeError(400, str(exc)) from exc
+        try:
+            request_evidence = normalise_evidence(payload.get("evidence"))
+            # The sticky set and the request's entries must agree; the
+            # merge re-canonicalises and surfaces conflicts as a 400.
+            evidence = normalise_evidence(
+                tuple(entry.evidence) + request_evidence
+            )
+        except ValueError as exc:
+            raise ServeError(400, str(exc)) from exc
+        if require_evidence:
+            if not spec.has(CAP_EVIDENCE):
+                raise ServeError(
+                    400,
+                    f"scheme {scheme!r} cannot condition on evidence; "
+                    f"expected one of "
+                    f"{available_schemes(capability=CAP_EVIDENCE)}",
+                )
+            if not evidence:
+                raise ServeError(
+                    400,
+                    "conditioning requires evidence: pass an 'evidence' "
+                    "list or set sticky evidence with "
+                    f"PUT /networks/{name}/evidence",
+                )
+        self._validate_evidence(entry, evidence)
         execution = payload.get("execution", "simulate")
         if execution not in SERVABLE_EXECUTIONS:
             raise ServeError(
@@ -253,6 +301,7 @@ class ReproServer:
                 seed=int(payload.get("seed", 0)),
                 confidence=float(payload.get("confidence", 0.95)),
                 kernel=payload.get("kernel"),
+                evidence=evidence,
             )
         except (ValueError, TypeError) as exc:
             raise ServeError(400, str(exc)) from exc
@@ -269,6 +318,10 @@ class ReproServer:
             "seed": options.seed,
             "confidence": options.confidence,
             "kernel": options.kernel,
+            # Normalised away (empty) for evidence-free schemes, so
+            # conditioned and unconditioned requests share cache keys
+            # only when the engine pass is provably identical.
+            "evidence": [list(item) for item in options.evidence],
         }
         sorted_targets = sorted(targets)
         # Bulk schemes evaluate all targets in one sweep with per-target
@@ -298,6 +351,7 @@ class ReproServer:
             "seed": options.seed,
             "confidence": options.confidence,
             "kernel": options.kernel,
+            "evidence": options.evidence,
         }
         return QueryJob(
             scheme=scheme,
@@ -432,6 +486,16 @@ class ReproServer:
             return 200, {"status": "shutting-down", "drain_timeout": timeout}
         if parts == ["query"] and method == "POST":
             return await self._handle_query(request.json())
+        if parts == ["condition"] and method == "POST":
+            payload = dict(request.json())
+            payload.setdefault("scheme", "exact-cond")
+            return await self._handle_query(payload, require_evidence=True)
+        if (
+            len(parts) == 3
+            and parts[0] == "networks"
+            and parts[2] == "evidence"
+        ):
+            return self._handle_evidence(parts[1], method, request)
         if len(parts) == 2 and parts[0] == "networks":
             name = parts[1]
             if method in ("PUT", "POST"):
@@ -452,8 +516,56 @@ class ReproServer:
             return 200, self.rename_network(parts[1], new_name)
         raise ServeError(404, f"no route for {method} {request.path}")
 
-    async def _handle_query(self, payload: dict) -> Tuple[int, dict]:
-        job = self._prepare_job(payload)
+    @staticmethod
+    def _validate_evidence(
+        entry: CatalogEntry, evidence: Tuple[tuple, ...]
+    ) -> None:
+        """Evidence must name real events/variables of the document."""
+        known_names = entry.document["network"].get("names", {})
+        pool_size = len(entry.document["pool"].get("probabilities", ()))
+        for item in evidence:
+            if item[0] == "event" and item[1] not in known_names:
+                raise ServeError(400, f"unknown evidence event {item[1]!r}")
+            if item[0] == "var" and item[1] >= pool_size:
+                raise ServeError(
+                    400,
+                    f"evidence variable {item[1]} is not in the pool "
+                    f"(size {pool_size})",
+                )
+
+    def _handle_evidence(
+        self, name: str, method: str, request: Request
+    ) -> Tuple[int, dict]:
+        """Sticky evidence CRUD: ``PUT``/``DELETE /networks/<n>/evidence``."""
+        entry = self.catalog.get(name)
+        if entry is None:
+            raise ServeError(404, f"unknown network {name!r}")
+        if method == "PUT":
+            body = request.json()
+            try:
+                evidence = normalise_evidence(body.get("evidence"))
+            except ValueError as exc:
+                raise ServeError(400, str(exc)) from exc
+            if not evidence:
+                raise ServeError(
+                    400, "evidence body needs a non-empty 'evidence' list"
+                )
+            self._validate_evidence(entry, evidence)
+            entry.evidence = evidence
+            return 200, {
+                "network": name,
+                "evidence": [list(item) for item in evidence],
+            }
+        if method == "DELETE":
+            cleared = len(entry.evidence)
+            entry.evidence = ()
+            return 200, {"network": name, "cleared": cleared}
+        raise ServeError(405, f"{method} not supported on evidence")
+
+    async def _handle_query(
+        self, payload: dict, require_evidence: bool = False
+    ) -> Tuple[int, dict]:
+        job = self._prepare_job(payload, require_evidence=require_evidence)
         try:
             response = await self.executor.submit(job)
         except (QueueFull, ShuttingDown) as exc:

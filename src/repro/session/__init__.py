@@ -1,0 +1,5 @@
+"""Interactive what-if sessions over compiled event networks."""
+
+from .whatif import WhatIfSession
+
+__all__ = ["WhatIfSession"]

@@ -1,0 +1,156 @@
+"""Property tests: conditioning schemes and what-if sessions.
+
+Three independent paths must agree on conditional probabilities:
+
+* naive possible-worlds enumeration of ``P(t ∧ C) / P(C)``,
+* the one-pass ``exact-cond`` registry scheme (recompile from scratch),
+* a :class:`repro.session.WhatIfSession` driven through a random
+  assert/retract/``set_probability`` walk — the incremental path, with
+  only the dirty cones re-expanded after each edit.
+
+The session walk runs on flat and folded networks and on every kernel
+tier that built in this process, so the trailed evidence frames are
+exercised across the whole evaluator matrix.  ``lazy-cond`` must
+enclose ``exact-cond`` and respect its width budget.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.kernels import available_kernels
+from repro.engine.registry import run_scheme
+from repro.events.expressions import conj, negate, var
+from repro.events.probability import event_probability
+from repro.network.build import build_targets
+from repro.session import WhatIfSession
+from repro.worlds.variables import VariablePool
+
+from ..conftest import random_event
+from .test_folded_bulk_vs_scalar import _random_folded_instance
+
+MATCH_ABS = 1e-9
+
+#: Every kernel tier live in this process plus the pure-Python engine;
+#: "auto" resolves to one of these and adds no coverage.
+TIERS = tuple(name for name in available_kernels() if name != "auto")
+
+
+def _random_instance(seed: int):
+    rng = random.Random(seed)
+    pool = VariablePool()
+    for _ in range(rng.randint(3, 6)):
+        pool.add(rng.uniform(0.05, 0.95))
+    events = {
+        f"t{index}": random_event(pool, rng, depth=rng.randint(1, 3))
+        for index in range(rng.randint(1, 3))
+    }
+    return pool, build_targets(events)
+
+
+def _reference(network, pool, evidence):
+    return run_scheme(
+        "exact-cond", network, pool, evidence=list(evidence)
+    ).bounds
+
+
+def _session_walk(session, network, pool, rng, steps):
+    """Random evidence edits; after each, the session must match a
+    from-scratch ``exact-cond`` recompile of the standing evidence."""
+    for _ in range(steps):
+        asserted = {variable for variable, _ in session.evidence}
+        free = [v for v in range(len(pool)) if v not in asserted]
+        roll = rng.random()
+        if asserted and (roll < 0.3 or not free):
+            session.retract(rng.choice(sorted(asserted)))
+        elif roll < 0.45:
+            victim = rng.randrange(len(pool))
+            session.set_probability(victim, rng.uniform(0.05, 0.95))
+        else:
+            session.assert_evidence(rng.choice(free), rng.random() < 0.5)
+        result = session.query()
+        expected = _reference(network, pool, session.evidence)
+        for name in session.target_names:
+            assert result.bounds[name][0] == pytest.approx(
+                expected[name][0], abs=MATCH_ABS
+            ), (name, session.evidence)
+            assert result.bounds[name][1] == pytest.approx(
+                expected[name][1], abs=MATCH_ABS
+            ), (name, session.evidence)
+
+
+@pytest.mark.parametrize("tier", TIERS)
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_whatif_walk_matches_recompile_flat(tier, seed):
+    pool, network = _random_instance(seed)
+    session = WhatIfSession(network, pool, kernel=tier)
+    rng = random.Random(seed + 1)
+    _session_walk(session, network, pool, rng, steps=6)
+
+
+@pytest.mark.parametrize("tier", TIERS)
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_whatif_walk_matches_recompile_folded(tier, seed):
+    pool, folded = _random_folded_instance(seed)
+    session = WhatIfSession(folded, pool, kernel=tier)
+    rng = random.Random(seed + 1)
+    _session_walk(session, folded, pool, rng, steps=5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_exact_cond_matches_enumeration(seed):
+    """``exact-cond`` with variable AND event evidence equals the
+    enumerated ratio ``P(t ∧ C) / P(C)``."""
+    rng = random.Random(seed)
+    pool = VariablePool()
+    for _ in range(rng.randint(3, 6)):
+        pool.add(rng.uniform(0.05, 0.95))
+    target = random_event(pool, rng, depth=rng.randint(1, 3))
+    constraint = random_event(pool, rng, depth=rng.randint(1, 2))
+    variable = rng.randrange(len(pool))
+    value = rng.random() < 0.5
+    network = build_targets({"t": target, "C": constraint})
+    literal = var(variable) if value else negate(var(variable))
+    denominator = event_probability(conj([constraint, literal]), pool)
+    assume(denominator > 1e-12)
+    expected = (
+        event_probability(conj([target, constraint, literal]), pool)
+        / denominator
+    )
+    result = run_scheme(
+        "exact-cond",
+        network,
+        pool,
+        targets=["t"],
+        evidence=[("event", "C"), (variable, value)],
+    )
+    assert result.bounds["t"][0] == pytest.approx(expected, abs=MATCH_ABS)
+    assert result.bounds["t"][1] == pytest.approx(expected, abs=MATCH_ABS)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    epsilon=st.sampled_from([0.05, 0.1, 0.25]),
+)
+def test_lazy_cond_encloses_exact(seed, epsilon):
+    pool, network = _random_instance(seed)
+    rng = random.Random(seed + 1)
+    evidence = [(rng.randrange(len(pool)), rng.random() < 0.5)]
+    try:
+        exact = run_scheme("exact-cond", network, pool, evidence=evidence)
+    except ZeroDivisionError:
+        assume(False)
+    lazy = run_scheme(
+        "lazy-cond", network, pool, evidence=evidence, epsilon=epsilon
+    )
+    for name in network.targets:
+        assert lazy.bounds[name][0] - MATCH_ABS <= exact.bounds[name][0]
+        assert lazy.bounds[name][1] + MATCH_ABS >= exact.bounds[name][1]

@@ -20,6 +20,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cluster", "--algorithm", "magic"])
 
+    def test_evidence_flag_parses(self):
+        args = build_parser().parse_args(
+            ["cluster", "--evidence", "0", "--evidence", "3=false",
+             "--evidence", "Centre(o1,0)"]
+        )
+        assert args.evidence == [
+            ("var", 0, True),
+            ("var", 3, False),
+            ("event", "Centre(o1,0)"),
+        ]
+
+    def test_bad_evidence_flag_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--evidence", "0=maybe"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--evidence", "x=1"])
+
     def test_cluster_flags_parse(self):
         args = build_parser().parse_args(
             ["cluster", "--execution", "socket", "--listen", "0.0.0.0:7453",
@@ -65,6 +82,15 @@ class TestCommands:
              "--variables", "6", "--algorithm", "lazy"]
         )
         assert code == 0
+
+    def test_cluster_conditioned(self, capsys):
+        code = main(
+            ["cluster", "--objects", "8", "--algorithm", "exact-cond",
+             "--evidence", "0", "--evidence", "1=false",
+             "--group-size", "2"]
+        )
+        assert code == 0
+        assert "exact-cond" in capsys.readouterr().out
 
     def test_cluster_socket_verbose(self, capsys):
         code = main(

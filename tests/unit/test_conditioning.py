@@ -1,10 +1,14 @@
-"""Unit tests for conditioning on constraint events."""
+"""Unit tests for conditioning: the ``exact-cond`` / ``lazy-cond``
+registered schemes and the deprecated ``repro.db.conditioning``
+wrappers that now route through them."""
 
 import pytest
 
 from repro.db.conditioning import condition_events, conditional_probability
+from repro.engine.registry import run_scheme
 from repro.events.expressions import FALSE, TRUE, conj, disj, negate, var
 from repro.events.probability import event_probability
+from repro.network.build import build_targets
 
 from ..conftest import make_pool
 
@@ -52,6 +56,131 @@ class TestConditionalProbability:
         )
         assert lower - 1e-9 <= exact_lower
         assert upper + 1e-9 >= exact_upper
+
+
+class TestCondSchemes:
+    """Conditioning as first-class registry schemes."""
+
+    def test_event_evidence_matches_enumeration(self):
+        pool = make_pool([0.4, 0.6, 0.3])
+        event = conj([var(1), var(2)])
+        constraint = disj([var(0), var(2)])
+        network = build_targets({"t": event, "C": constraint})
+        result = run_scheme(
+            "exact-cond", network, pool, targets=["t"],
+            evidence=[("event", "C")],
+        )
+        joint = event_probability(conj([event, constraint]), pool)
+        denominator = event_probability(constraint, pool)
+        assert result.scheme == "exact-cond"
+        assert result.bounds["t"][0] == pytest.approx(
+            joint / denominator, abs=1e-9
+        )
+        assert result.bounds["t"][1] == pytest.approx(
+            joint / denominator, abs=1e-9
+        )
+        assert result.extra["evidence_terms"] == 1.0
+        assert result.extra["evidence_lower"] == pytest.approx(denominator)
+
+    def test_var_evidence_matches_enumeration(self):
+        pool = make_pool([0.4, 0.6, 0.3])
+        event = disj([conj([var(0), var(1)]), var(2)])
+        network = build_targets({"t": event})
+        result = run_scheme(
+            "exact-cond", network, pool, evidence=[(0, True), (2, False)]
+        )
+        joint = event_probability(
+            conj([event, var(0), negate(var(2))]), pool
+        )
+        denominator = event_probability(conj([var(0), negate(var(2))]), pool)
+        assert result.bounds["t"][0] == pytest.approx(
+            joint / denominator, abs=1e-9
+        )
+
+    def test_empty_evidence_is_the_marginal(self):
+        pool = make_pool([0.4, 0.6])
+        event = disj([var(0), var(1)])
+        network = build_targets({"t": event})
+        result = run_scheme("exact-cond", network, pool, evidence=[])
+        assert result.scheme == "exact-cond"
+        assert result.bounds["t"][0] == pytest.approx(
+            event_probability(event, pool), abs=1e-9
+        )
+
+    def test_contradictory_evidence_raises(self):
+        pool = make_pool([0.5])
+        network = build_targets({"t": var(0), "C": FALSE})
+        with pytest.raises(ZeroDivisionError):
+            run_scheme(
+                "exact-cond", network, pool, targets=["t"],
+                evidence=[("event", "C")],
+            )
+
+    def test_lazy_cond_encloses_exact(self):
+        pool = make_pool([0.5, 0.6, 0.7])
+        event = conj([var(0), var(2)])
+        network = build_targets({"t": event})
+        exact = run_scheme("exact-cond", network, pool, evidence=[(1, True)])
+        lazy = run_scheme(
+            "lazy-cond", network, pool, evidence=[(1, True)], epsilon=0.05
+        )
+        assert lazy.scheme == "lazy-cond"
+        assert lazy.bounds["t"][0] - 1e-9 <= exact.bounds["t"][0]
+        assert lazy.bounds["t"][1] + 1e-9 >= exact.bounds["t"][1]
+
+    def test_lazy_cond_zero_epsilon_falls_back_to_exact(self):
+        pool = make_pool([0.5, 0.6])
+        network = build_targets({"t": conj([var(0), var(1)])})
+        lazy = run_scheme("lazy-cond", network, pool, evidence=[(0, True)])
+        exact = run_scheme("exact-cond", network, pool, evidence=[(0, True)])
+        assert lazy.scheme == "lazy-cond"
+        assert lazy.bounds["t"][0] == pytest.approx(
+            exact.bounds["t"][0], abs=1e-12
+        )
+
+    def test_source_network_is_not_mutated(self):
+        pool = make_pool([0.5, 0.6])
+        network = build_targets({"t": disj([var(0), var(1)])})
+        nodes_before = len(network.nodes)
+        targets_before = dict(network.targets)
+        run_scheme("exact-cond", network, pool, evidence=[(0, False)])
+        assert len(network.nodes) == nodes_before
+        assert network.targets == targets_before
+
+    def test_unknown_event_evidence_rejected(self):
+        pool = make_pool([0.5])
+        network = build_targets({"t": var(0)})
+        with pytest.raises(ValueError, match="ghost"):
+            run_scheme(
+                "exact-cond", network, pool, evidence=[("event", "ghost")]
+            )
+
+
+class TestDeprecatedWrappers:
+    def test_wrappers_warn(self):
+        pool = make_pool([0.5, 0.5])
+        with pytest.warns(DeprecationWarning, match="exact-cond"):
+            conditional_probability(var(0), disj([var(0), var(1)]), pool)
+        with pytest.warns(DeprecationWarning, match="exact-cond"):
+            condition_events({"a": var(0)}, TRUE, pool)
+
+    def test_wrapper_parity_with_scheme_path(self):
+        # The wrappers must reproduce the historical interval-division
+        # arithmetic bit-for-bit (now hosted by the cond schemes).
+        pool = make_pool([0.35, 0.65, 0.45])
+        event = disj([conj([var(0), var(1)]), var(2)])
+        constraint = disj([var(0), negate(var(1))])
+        wrapper = conditional_probability(event, constraint, pool)
+        network = build_targets({"e": event, "C": constraint})
+        scheme = run_scheme(
+            "exact-cond", network, pool, targets=["e"],
+            evidence=[("event", "C")],
+        )
+        assert wrapper[0] == pytest.approx(scheme.bounds["e"][0], abs=1e-9)
+        assert wrapper[1] == pytest.approx(scheme.bounds["e"][1], abs=1e-9)
+        joint = event_probability(conj([event, constraint]), pool)
+        denominator = event_probability(constraint, pool)
+        assert wrapper[0] == pytest.approx(joint / denominator, abs=1e-9)
 
 
 class TestConditionEvents:

@@ -7,12 +7,15 @@ from repro.engine.registry import (
     CAP_BULK,
     CAP_DISTRIBUTED,
     CAP_EPSILON,
+    CAP_EVIDENCE,
     CAP_EXACT,
     CAP_STATISTICAL,
     CAP_TIMEOUT,
+    SchemeOptions,
     available_schemes,
     get_scheme,
     has_capability,
+    normalise_evidence,
     register_scheme,
     reset_registry,
     run_scheme,
@@ -57,6 +60,8 @@ class TestRegistration:
             "lazy",
             "eager",
             "hybrid",
+            "exact-cond",
+            "lazy-cond",
         }
 
     def test_capability_queries(self):
@@ -246,3 +251,138 @@ class TestDispatch:
             assert seen["execution"] == "simulate"
         finally:
             unregister_scheme("test-distributed-timeout")
+
+
+class TestNormaliseEvidence:
+    def test_accepted_entry_forms_canonicalise(self):
+        assert normalise_evidence(None) == ()
+        assert normalise_evidence([3]) == (("var", 3, True),)
+        assert normalise_evidence([(3, False)]) == (("var", 3, False),)
+        assert normalise_evidence(["rain"]) == (("event", "rain"),)
+        assert normalise_evidence([{"var": 2, "value": False}]) == (
+            ("var", 2, False),
+        )
+        # Truth values must be actual booleans, as JSON decoding yields.
+        with pytest.raises(ValueError):
+            normalise_evidence([{"var": 2, "value": 0}])
+        assert normalise_evidence([{"event": "rain"}]) == (("event", "rain"),)
+        # Canonical tuples and their JSON round-trip (lists) re-normalise.
+        canonical = (("var", 1, True), ("event", "rain"))
+        assert normalise_evidence(canonical) == canonical
+        assert normalise_evidence([list(item) for item in canonical]) == (
+            canonical
+        )
+
+    def test_sorted_and_deduplicated(self):
+        entries = ["zeta", (2, True), "alpha", 0, (2, True), "alpha"]
+        assert normalise_evidence(entries) == (
+            ("var", 0, True),
+            ("var", 2, True),
+            ("event", "alpha"),
+            ("event", "zeta"),
+        )
+
+    def test_conflicting_var_assignments_rejected(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            normalise_evidence([(1, True), (1, False)])
+
+    def test_malformed_entries_rejected(self):
+        for bad in ([True], [-1], [1.5], [("var",)], [{"value": 1}], [()]):
+            with pytest.raises(ValueError):
+                normalise_evidence(bad)
+        # A bare entry must be wrapped in a list.
+        with pytest.raises(ValueError, match="list"):
+            normalise_evidence(3)
+        with pytest.raises(ValueError, match="list"):
+            normalise_evidence("rain")
+
+    def test_evidence_gated_by_capability(self):
+        seen = {}
+
+        @register_scheme("test-evidence-probe", capabilities={CAP_EXACT})
+        def run_plain(network, pool, targets, options):
+            seen["plain"] = options.evidence
+            return CompilationResult(
+                bounds={"t": (0.0, 0.0)}, scheme="test-evidence-probe",
+                epsilon=0.0,
+            )
+
+        @register_scheme(
+            "test-evidence-capable", capabilities={CAP_EVIDENCE}
+        )
+        def run_capable(network, pool, targets, options):
+            seen["capable"] = options.evidence
+            return CompilationResult(
+                bounds={"t": (0.0, 0.0)}, scheme="test-evidence-capable",
+                epsilon=0.0,
+            )
+
+        try:
+            pool, network, _ = _instance()
+            run_scheme(
+                "test-evidence-probe", network, pool, evidence=[(0, True)]
+            )
+            run_scheme(
+                "test-evidence-capable", network, pool, evidence=[(0, True)]
+            )
+            assert seen["plain"] == ()
+            assert seen["capable"] == (("var", 0, True),)
+        finally:
+            unregister_scheme("test-evidence-probe")
+            unregister_scheme("test-evidence-capable")
+
+    def test_invalid_evidence_rejected_even_without_capability(self):
+        # Validation always runs; only forwarding is capability-gated.
+        pool, network, _ = _instance()
+        with pytest.raises(ValueError):
+            run_scheme("exact", network, pool, evidence=[(0, True), (0, False)])
+
+
+class TestSchemeOptionsDispatch:
+    def test_options_instance_accepted(self):
+        pool, network, events = _instance()
+        options = SchemeOptions(epsilon=0.1)
+        result = run_scheme("hybrid", network, pool, options=options)
+        assert result.epsilon == 0.1
+        assert result.max_gap() <= 0.2 + 1e-12
+
+    def test_options_renormalised_per_scheme(self):
+        # The same options object is valid for any scheme: exact drops
+        # the epsilon, hybrid honours it.
+        pool, network, _ = _instance()
+        options = SchemeOptions(epsilon=0.25, seed=3)
+        assert run_scheme("exact", network, pool, options=options).epsilon == 0.0
+        assert (
+            run_scheme("hybrid", network, pool, options=options).epsilon == 0.25
+        )
+
+    def test_options_with_kwargs_rejected(self):
+        pool, network, _ = _instance()
+        with pytest.raises(TypeError, match="not both"):
+            run_scheme(
+                "exact", network, pool,
+                options=SchemeOptions(), epsilon=0.1,
+            )
+
+    def test_options_must_be_scheme_options(self):
+        pool, network, _ = _instance()
+        with pytest.raises(TypeError, match="SchemeOptions"):
+            run_scheme("exact", network, pool, options={"epsilon": 0.1})
+
+    def test_evidence_field_round_trips_through_options(self):
+        pool, network, events = _instance()
+        options = SchemeOptions(evidence=(("var", 0, True),))
+        result = run_scheme("exact-cond", network, pool, options=options)
+        event = events["t"]
+        joint = event_probability(conj([event, var(0)]), pool)
+        denominator = event_probability(var(0), pool)
+        assert result.bounds["t"][0] == pytest.approx(
+            joint / denominator, abs=1e-9
+        )
+
+    def test_cond_schemes_registered_with_evidence_capability(self):
+        for name in ("exact-cond", "lazy-cond"):
+            assert name in available_schemes()
+            assert has_capability(name, CAP_EVIDENCE)
+        assert "exact-cond" in available_schemes(CAP_EVIDENCE)
+        assert "exact" not in available_schemes(CAP_EVIDENCE)

@@ -432,6 +432,149 @@ class TestNormalisedCacheKeys:
         assert mc_b["extra"]["cache"] == "miss"
 
 
+class TestConditioningEndpoints:
+    def test_every_envelope_carries_protocol_version(self, client):
+        from repro.serve.protocol import PROTOCOL_VERSION
+
+        assert client.healthz()["protocol_version"] == PROTOCOL_VERSION
+        assert client.stats()["protocol_version"] == PROTOCOL_VERSION
+        # Error envelopes too — protocol_version is injected at the
+        # single serialisation point, not per-handler.
+        status, document = client.raw_request(
+            "POST", "/query", {"network": "ghost"}
+        )
+        assert status == 404
+        assert document["protocol_version"] == PROTOCOL_VERSION
+        status, document = client.raw_request("GET", "/nowhere")
+        assert status == 404
+        assert document["protocol_version"] == PROTOCOL_VERSION
+
+    def test_condition_matches_direct_scheme(self, client):
+        pool, network = small_instance()
+        client.put_network("net", network, pool)
+        target = sorted(network.targets)[0]
+        response = client.condition(
+            "net", evidence=[["var", 0, True]], targets=[target]
+        )
+        assert response["scheme"] == "exact-cond"
+        direct = run_scheme(
+            "exact-cond", network, pool, targets=[target],
+            evidence=[("var", 0, True)],
+        )
+        assert response["bounds"][target][0] == pytest.approx(
+            direct.bounds[target][0], abs=1e-9
+        )
+        assert response["bounds"][target][1] == pytest.approx(
+            direct.bounds[target][1], abs=1e-9
+        )
+
+    def test_condition_requires_evidence_and_a_capable_scheme(self, client):
+        pool, network = small_instance()
+        client.put_network("net", network, pool)
+        with pytest.raises(ServeClientError) as err:
+            client.condition("net")
+        assert err.value.status == 400
+        with pytest.raises(ServeClientError) as err:
+            client.condition("net", scheme="exact", evidence=[["var", 0, True]])
+        assert err.value.status == 400
+        assert "exact-cond" in err.value.message
+
+    def test_sticky_evidence_merges_and_clears(self, client):
+        pool, network = small_instance()
+        client.put_network("net", network, pool)
+        target = sorted(network.targets)[0]
+        stored = client.put_evidence("net", [["var", 1, False]])
+        assert stored["evidence"] == [["var", 1, False]]
+        merged = client.condition(
+            "net", evidence=[["var", 0, True]], targets=[target]
+        )
+        direct = run_scheme(
+            "exact-cond", network, pool, targets=[target],
+            evidence=[("var", 0, True), ("var", 1, False)],
+        )
+        assert merged["bounds"][target][0] == pytest.approx(
+            direct.bounds[target][0], abs=1e-9
+        )
+        # Sticky evidence conflicting with the request is a 400, not a
+        # silent override.
+        with pytest.raises(ServeClientError) as err:
+            client.condition("net", evidence=[["var", 1, True]])
+        assert err.value.status == 400
+        assert client.delete_evidence("net")["cleared"] == 1
+        with pytest.raises(ServeClientError) as err:
+            client.condition("net", targets=[target])
+        assert err.value.status == 400
+
+    def test_evidence_validation_and_routes(self, client):
+        pool, network = small_instance()
+        client.put_network("net", network, pool)
+        for bad in ([["var", 99, True]], [["event", "ghost"]], []):
+            with pytest.raises(ServeClientError) as err:
+                client.put_evidence("net", bad)
+            assert err.value.status == 400, bad
+        with pytest.raises(ServeClientError) as err:
+            client.put_evidence("ghost", [["var", 0, True]])
+        assert err.value.status == 404
+        status, _ = client.raw_request(
+            "POST", "/networks/net/evidence", {"evidence": []}
+        )
+        assert status == 405
+
+    def test_reregistration_resets_sticky_evidence(self, client):
+        pool, network = small_instance()
+        client.put_network("net", network, pool)
+        client.put_evidence("net", [["var", 0, True]])
+        client.put_network("net", network, pool)
+        with pytest.raises(ServeClientError) as err:
+            client.condition("net")
+        assert err.value.status == 400
+
+    def test_evidence_fragments_the_cache_only_when_it_matters(self, client):
+        pool, network = small_instance()
+        client.put_network("net", network, pool)
+        target = sorted(network.targets)[0]
+        first = client.query(
+            network="net", scheme="exact-cond",
+            evidence=[["var", 0, True]], targets=[target],
+        )
+        same = client.query(
+            network="net", scheme="exact-cond",
+            evidence=[["var", 0, True]], targets=[target],
+        )
+        flipped = client.query(
+            network="net", scheme="exact-cond",
+            evidence=[["var", 0, False]], targets=[target],
+        )
+        assert first["extra"]["cache"] == "cold"
+        assert same["extra"]["cache"] == "hit"
+        assert flipped["extra"]["cache"] != "hit"
+        # exact has no evidence capability: the option normalises away
+        # and must NOT fragment the key.
+        plain = client.query(network="net", scheme="exact", targets=[target])
+        decorated = client.query(
+            network="net", scheme="exact",
+            evidence=[["var", 0, True]], targets=[target],
+        )
+        assert plain["extra"]["cache"] in ("cold", "miss")
+        assert decorated["extra"]["cache"] == "hit"
+
+    def test_sticky_evidence_is_part_of_the_cache_key(self, client):
+        pool, network = small_instance()
+        client.put_network("net", network, pool)
+        target = sorted(network.targets)[0]
+        request_keyed = client.query(
+            network="net", scheme="exact-cond",
+            evidence=[["var", 0, True]], targets=[target],
+        )
+        client.put_evidence("net", [["var", 0, True]])
+        sticky_keyed = client.query(
+            network="net", scheme="exact-cond", targets=[target]
+        )
+        # Same canonical evidence, whether sticky or per-request.
+        assert request_keyed["extra"]["cache"] in ("cold", "miss")
+        assert sticky_keyed["extra"]["cache"] == "hit"
+
+
 class TestFacadeAndHashing:
     def test_from_network_matches_registry(self):
         pool, network = small_instance()
